@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Ablation: local replacement policies inside a unified cache —
+ * pseudo-circular (the paper's §4.3 choice) vs. idealized FIFO, LRU,
+ * and Dynamo-style preemptive flush.
+ *
+ * Context: the paper's prior work [12] found FIFO-style circular
+ * management superior to LRU once overhead and fragmentation are
+ * accounted for, and preemptive flushing discards useful long-lived
+ * traces. This bench reports both miss rates and the Table 2
+ * instruction overheads so the trade-off is visible.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "codecache/unified_cache.h"
+#include "sim/experiment.h"
+#include "sim/simulator.h"
+#include "stats/summary.h"
+#include "stats/table.h"
+#include "support/format.h"
+
+namespace {
+
+using namespace gencache;
+
+const char *const kSubset[] = {"gzip", "gcc", "crafty", "vortex",
+                               "art", "word", "excel", "solitaire"};
+
+const cache::LocalPolicy kPolicies[] = {
+    cache::LocalPolicy::PseudoCircular,
+    cache::LocalPolicy::Fifo,
+    cache::LocalPolicy::Lru,
+    cache::LocalPolicy::PreemptiveFlush,
+};
+
+} // namespace
+
+int
+main()
+{
+    using namespace gencache;
+
+    bench::banner("Ablation: local policy in a unified cache "
+                  "(miss rate / overhead instr)");
+
+    TextTable table({"benchmark", "pseudo-circular", "fifo", "lru",
+                     "preemptive-flush"});
+    SummaryStats totals[4];
+
+    for (const char *name : kSubset) {
+        workload::BenchmarkProfile profile =
+            bench::scaled(workload::findProfile(name));
+        sim::ExperimentRunner runner(profile);
+        sim::SimResult unbounded = runner.runUnbounded();
+        std::uint64_t capacity =
+            std::max<std::uint64_t>(4096, unbounded.peakBytes / 2);
+
+        std::vector<std::string> row = {profile.name};
+        int column = 0;
+        for (cache::LocalPolicy policy : kPolicies) {
+            cache::UnifiedCacheManager manager(capacity, policy);
+            sim::CacheSimulator simulator(manager);
+            sim::SimResult result = simulator.run(runner.log());
+            totals[column].add(
+                static_cast<double>(result.overhead.total()));
+            row.push_back(format("{} / {}",
+                                 percent(result.missRate(), 2),
+                                 withCommas(static_cast<std::int64_t>(
+                                     result.overhead.total()))));
+            ++column;
+        }
+        table.addRow(row);
+    }
+    std::printf("%s", table.toString().c_str());
+
+    std::printf("\nmean overhead (instructions):\n");
+    const char *labels[] = {"pseudo-circular", "fifo", "lru",
+                            "preemptive-flush"};
+    for (int i = 0; i < 4; ++i) {
+        std::printf("  %-17s %s\n", labels[i],
+                    withCommas(static_cast<std::int64_t>(
+                        totals[i].mean())).c_str());
+    }
+    std::printf("\n(prior-work claim: circular/FIFO competitive with "
+                "LRU at far lower bookkeeping cost; flushing is the "
+                "worst of both)\n");
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harness binaries.
+ *
+ * Every figure/table binary replays the full benchmark suites by
+ * default. Set GENCACHE_SCALE=<factor> (e.g. 0.1) to scale workload
+ * volume down proportionally for quick runs — insertion rates and
+ * shapes are preserved, absolute sizes shrink.
+ */
+
+#ifndef GENCACHE_BENCH_BENCH_UTIL_H
+#define GENCACHE_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "workload/profile.h"
+
+namespace gencache::bench {
+
+/** Scale factor from GENCACHE_SCALE (default 1.0, clamped to
+ *  [0.01, 10]). */
+inline double
+scaleFactor()
+{
+    const char *env = std::getenv("GENCACHE_SCALE");
+    if (env == nullptr) {
+        return 1.0;
+    }
+    double value = std::atof(env);
+    if (value < 0.01) {
+        return 0.01;
+    }
+    if (value > 10.0) {
+        return 10.0;
+    }
+    return value;
+}
+
+/** Apply the scale factor to one profile (volume and duration). */
+inline workload::BenchmarkProfile
+scaled(workload::BenchmarkProfile profile)
+{
+    double factor = scaleFactor();
+    profile.finalCacheKb *= factor;
+    profile.durationSec *= factor;
+    if (profile.finalCacheKb < 16.0) {
+        profile.finalCacheKb = 16.0;
+    }
+    if (profile.durationSec < 0.25) {
+        profile.durationSec = 0.25;
+    }
+    return profile;
+}
+
+/** All SPEC2000 profiles, scaled. */
+inline std::vector<workload::BenchmarkProfile>
+scaledSpecProfiles()
+{
+    std::vector<workload::BenchmarkProfile> profiles;
+    for (const auto &profile : workload::spec2000Profiles()) {
+        profiles.push_back(scaled(profile));
+    }
+    return profiles;
+}
+
+/** All interactive profiles, scaled. */
+inline std::vector<workload::BenchmarkProfile>
+scaledInteractiveProfiles()
+{
+    std::vector<workload::BenchmarkProfile> profiles;
+    for (const auto &profile : workload::interactiveProfiles()) {
+        profiles.push_back(scaled(profile));
+    }
+    return profiles;
+}
+
+/** Print a section banner. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+} // namespace gencache::bench
+
+#endif // GENCACHE_BENCH_BENCH_UTIL_H

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Reproduces Figure 11: the instruction overhead ratio of the
+ * generational design (45-10-45) to the unified cache (Equation 3),
+ * using the Table 2 cost model. Values below 100% are overhead
+ * reductions.
+ *
+ * Paper reference points: geometric mean 80.7% (a 19.3% overhead
+ * reduction); gzip best at 51.1%; eon, vpr, and applu above 100%
+ * (their promotion traffic outweighs the miss savings); every
+ * interactive benchmark below 100%.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sim/experiment.h"
+#include "stats/summary.h"
+#include "stats/table.h"
+#include "support/format.h"
+
+namespace {
+
+using namespace gencache;
+
+void
+reportSuite(const char *title,
+            const std::vector<workload::BenchmarkProfile> &profiles,
+            const sim::GenerationalLayout &layout,
+            SummaryStats &all_ratios, unsigned &above100)
+{
+    bench::banner(title);
+    TextTable table({"benchmark", "unified overhead",
+                     "generational overhead", "ratio"});
+    for (const workload::BenchmarkProfile &profile : profiles) {
+        sim::ExperimentRunner runner(profile);
+        sim::BenchmarkComparison comparison =
+            runner.compare({layout});
+        double ratio = comparison.overheadRatioPct(0);
+        all_ratios.add(ratio / 100.0);
+        if (ratio > 100.0) {
+            ++above100;
+        }
+        table.addRow({profile.name,
+                      withCommas(static_cast<std::int64_t>(
+                          comparison.unified.overhead.total())),
+                      withCommas(static_cast<std::int64_t>(
+                          comparison.generational[0]
+                              .overhead.total())),
+                      fixed(ratio, 1) + "%"});
+    }
+    std::printf("%s", table.toString().c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace gencache;
+
+    sim::GenerationalLayout layout = sim::paperLayouts().back();
+    std::printf("layout: %s (smaller ratios are better; <100%% is a "
+                "reduction)\n", layout.label.c_str());
+
+    SummaryStats ratios;
+    unsigned above100 = 0;
+    reportSuite("Figure 11a: SPEC2000 overhead ratio",
+                bench::scaledSpecProfiles(), layout, ratios,
+                above100);
+    reportSuite("Figure 11b: Interactive overhead ratio",
+                bench::scaledInteractiveProfiles(), layout, ratios,
+                above100);
+
+    std::printf("\ngeometric mean overhead ratio: %s (%u benchmarks "
+                "above 100%%)\n",
+                percent(ratios.geomean()).c_str(), above100);
+    std::printf("(paper: geomean 80.7%%, i.e. 19.3%% fewer "
+                "instructions spent servicing misses; 3 SPEC "
+                "benchmarks above 100%%)\n");
+    return 0;
+}

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the code cache data
+ * structures: region placement, lookup, removal, flush, and the
+ * generational cascade, across capacities and fragment sizes.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "codecache/cache_region.h"
+#include "codecache/generational_cache.h"
+#include "codecache/list_cache.h"
+#include "codecache/pseudo_circular_cache.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace gencache;
+using cache::Fragment;
+
+Fragment
+frag(cache::TraceId id, std::uint32_t size)
+{
+    Fragment fragment;
+    fragment.id = id;
+    fragment.sizeBytes = size;
+    fragment.module = 0;
+    return fragment;
+}
+
+void
+BM_RegionPlace(benchmark::State &state)
+{
+    cache::CacheRegion region(
+        static_cast<std::uint64_t>(state.range(0)));
+    cache::TraceId next = 1;
+    std::vector<Fragment> evicted;
+    for (auto _ : state) {
+        evicted.clear();
+        region.place(frag(next++, 242), evicted);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RegionPlace)->Arg(64 << 10)->Arg(1 << 20)->Arg(8 << 20);
+
+void
+BM_RegionFind(benchmark::State &state)
+{
+    cache::CacheRegion region(1 << 20);
+    std::vector<Fragment> evicted;
+    const cache::TraceId count = 2000;
+    for (cache::TraceId id = 1; id <= count; ++id) {
+        region.place(frag(id, 242), evicted);
+    }
+    cache::TraceId id = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(region.find(id));
+        id = id % count + 1;
+    }
+}
+BENCHMARK(BM_RegionFind);
+
+void
+BM_RegionRemoveReinsert(benchmark::State &state)
+{
+    cache::CacheRegion region(1 << 20);
+    std::vector<Fragment> evicted;
+    const cache::TraceId count = 2000;
+    for (cache::TraceId id = 1; id <= count; ++id) {
+        region.place(frag(id, 242), evicted);
+    }
+    cache::TraceId id = 1;
+    cache::TraceId next = count + 1;
+    for (auto _ : state) {
+        region.remove(id);
+        evicted.clear();
+        region.place(frag(next, 242), evicted);
+        id = (next % count) + 1;
+        ++next;
+    }
+}
+BENCHMARK(BM_RegionRemoveReinsert);
+
+void
+BM_LruTouch(benchmark::State &state)
+{
+    cache::LruCache cache(1 << 20);
+    std::vector<Fragment> evicted;
+    const cache::TraceId count = 2000;
+    for (cache::TraceId id = 1; id <= count; ++id) {
+        cache.insert(frag(id, 242), evicted);
+    }
+    cache::TraceId id = 1;
+    for (auto _ : state) {
+        cache.touch(id, 0);
+        id = id % count + 1;
+    }
+}
+BENCHMARK(BM_LruTouch);
+
+void
+BM_GenerationalLookupHit(benchmark::State &state)
+{
+    cache::GenerationalConfig config =
+        cache::GenerationalConfig::fromProportions(4 << 20, 0.45,
+                                                   0.10, 1);
+    cache::GenerationalCacheManager manager(config);
+    const cache::TraceId count = 4000;
+    for (cache::TraceId id = 1; id <= count; ++id) {
+        manager.insert(id, 242, 0, id);
+    }
+    cache::TraceId id = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(manager.lookup(id, id));
+        id = id % count + 1;
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GenerationalLookupHit);
+
+void
+BM_GenerationalChurn(benchmark::State &state)
+{
+    cache::GenerationalConfig config =
+        cache::GenerationalConfig::fromProportions(
+            static_cast<std::uint64_t>(state.range(0)), 0.45, 0.10,
+            1);
+    cache::GenerationalCacheManager manager(config);
+    Rng rng(7);
+    cache::TraceId next = 1;
+    for (auto _ : state) {
+        manager.insert(next, static_cast<std::uint32_t>(
+                                 rng.uniformInt(64, 1024)),
+                       0, next);
+        if (next > 4) {
+            manager.lookup(next - static_cast<cache::TraceId>(
+                                      rng.uniformInt(1, 4)),
+                           next);
+        }
+        ++next;
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GenerationalChurn)->Arg(64 << 10)->Arg(1 << 20);
+
+void
+BM_RegionFlush(benchmark::State &state)
+{
+    for (auto _ : state) {
+        state.PauseTiming();
+        cache::CacheRegion region(1 << 20);
+        std::vector<Fragment> evicted;
+        for (cache::TraceId id = 1; id <= 2000; ++id) {
+            region.place(frag(id, 242), evicted);
+        }
+        std::vector<Fragment> flushed;
+        state.ResumeTiming();
+        region.flush(flushed);
+        benchmark::DoNotOptimize(flushed.size());
+    }
+}
+BENCHMARK(BM_RegionFlush);
+
+} // namespace
+
+BENCHMARK_MAIN();

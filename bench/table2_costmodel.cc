@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Reproduces Table 2: the instruction overheads of trace generation,
+ * DynamoRIO context switches, evictions, and promotions.
+ *
+ * The paper measured these with Pentium-4 counters and fit formulas;
+ * we print the formulas and their values at the 242-byte median
+ * trace, and additionally microbenchmark (google-benchmark) the cost
+ * of the *simulated* operations in this library so the model's
+ * relative ordering (generation >> promotion > eviction >> switch)
+ * can be compared against real data-structure work.
+ */
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "codecache/generational_cache.h"
+#include "codecache/unified_cache.h"
+#include "costmodel/cost_model.h"
+#include "stats/table.h"
+#include "support/format.h"
+
+namespace {
+
+using namespace gencache;
+
+void
+printTable2()
+{
+    cost::CostModel model;
+    std::printf("\n=== Table 2: overheads used in the evaluation "
+                "===\n\n");
+    TextTable table({"Description", "Formula (instructions)",
+                     "@242 bytes"});
+    table.setAlign(1, Align::Left);
+    table.addRow({"Trace Generation", "865 * bytes^0.8",
+                  withCommas(static_cast<std::int64_t>(
+                      model.traceGeneration(242)))});
+    table.addRow({"DR Context Switch", "25",
+                  withCommas(static_cast<std::int64_t>(
+                      model.contextSwitch()))});
+    table.addRow({"Evictions", "2.75 * bytes + 2650",
+                  withCommas(static_cast<std::int64_t>(
+                      model.eviction(242)))});
+    table.addRow({"Promotions", "22 * bytes + 8030",
+                  withCommas(static_cast<std::int64_t>(
+                      model.promotion(242)))});
+    table.addSeparator();
+    table.addRow({"Conflict miss (2 sw + gen + copy)", "",
+                  withCommas(static_cast<std::int64_t>(
+                      model.missCost(242)))});
+    std::printf("%s", table.toString().c_str());
+    std::printf("(paper: 69,834 generation / 3,316 eviction / "
+                "13,354 promotion; ~85,000 per miss)\n\n");
+}
+
+// ----- microbenchmarks of the simulated operations -----
+
+void
+BM_UnifiedInsertEvict(benchmark::State &state)
+{
+    cache::UnifiedCacheManager manager(64 * 1024);
+    cache::TraceId next = 1;
+    auto size = static_cast<std::uint32_t>(state.range(0));
+    for (auto _ : state) {
+        manager.insert(next++, size, 0, next);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_UnifiedInsertEvict)->Arg(64)->Arg(242)->Arg(1024);
+
+void
+BM_UnifiedLookupHit(benchmark::State &state)
+{
+    cache::UnifiedCacheManager manager(1024 * 1024);
+    for (cache::TraceId id = 1; id <= 1000; ++id) {
+        manager.insert(id, 242, 0, id);
+    }
+    cache::TraceId id = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(manager.lookup(id, id));
+        id = id % 1000 + 1;
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_UnifiedLookupHit);
+
+void
+BM_GenerationalInsertCascade(benchmark::State &state)
+{
+    cache::GenerationalConfig config =
+        cache::GenerationalConfig::fromProportions(64 * 1024, 0.45,
+                                                   0.10, 1);
+    cache::GenerationalCacheManager manager(config);
+    cache::TraceId next = 1;
+    for (auto _ : state) {
+        manager.insert(next, 242, 0, next);
+        manager.lookup(next, next); // keep some traces warm
+        ++next;
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GenerationalInsertCascade);
+
+void
+BM_ModuleInvalidate(benchmark::State &state)
+{
+    for (auto _ : state) {
+        state.PauseTiming();
+        cache::UnifiedCacheManager manager(0);
+        for (cache::TraceId id = 1; id <= 512; ++id) {
+            manager.insert(id, 242,
+                           static_cast<cache::ModuleId>(id % 4), id);
+        }
+        state.ResumeTiming();
+        manager.invalidateModule(1, 1000);
+    }
+}
+BENCHMARK(BM_ModuleInvalidate);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTable2();
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Log workflow tool: generate an access log from a profile (or from a
+ * live run of the dynamic optimizer), save it, reload it, and replay
+ * it — the exact methodology of the paper's evaluation.
+ *
+ * Usage:
+ *   logreplay_tool generate <benchmark> <path.gclog|path.gclogb>
+ *   logreplay_tool live <seed> <path.gclog|path.gclogb>
+ *   logreplay_tool replay <path> [capacityKb]
+ *   logreplay_tool info <path>
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "codecache/unified_cache.h"
+#include "guest/synthetic_program.h"
+#include "runtime/runtime.h"
+#include "sim/simulator.h"
+#include "support/format.h"
+#include "tracelog/lifetime.h"
+#include "tracelog/serialize.h"
+#include "workload/generator.h"
+#include "workload/profile.h"
+
+namespace {
+
+using namespace gencache;
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage:\n"
+                 "  logreplay_tool generate <benchmark> <path>\n"
+                 "  logreplay_tool live <seed> <path>\n"
+                 "  logreplay_tool replay <path> [capacityKb]\n"
+                 "  logreplay_tool info <path>\n");
+    return 2;
+}
+
+int
+cmdGenerate(const std::string &benchmark, const std::string &path)
+{
+    workload::BenchmarkProfile profile =
+        workload::findProfile(benchmark);
+    // Scale the biggest profiles down for example purposes.
+    if (profile.finalCacheKb > 2048.0) {
+        profile.finalCacheKb = 2048.0;
+        profile.durationSec = std::min(profile.durationSec, 20.0);
+    }
+    tracelog::AccessLog log = workload::generateWorkload(profile);
+    log.validate();
+    tracelog::saveLog(log, path);
+    std::printf("wrote %llu events (%llu traces, %s) to %s\n",
+                static_cast<unsigned long long>(log.size()),
+                static_cast<unsigned long long>(
+                    log.createdTraceCount()),
+                humanBytes(log.createdTraceBytes()).c_str(),
+                path.c_str());
+    return 0;
+}
+
+int
+cmdLive(std::uint64_t seed, const std::string &path)
+{
+    guest::SyntheticProgramConfig config;
+    config.seed = seed;
+    config.phases = 3;
+    config.phaseIterations = 50;
+    config.innerIterations = 30;
+    config.dllCount = 2;
+    guest::SyntheticProgram synthetic =
+        guest::generateSyntheticProgram(config);
+
+    guest::AddressSpace space;
+    for (const auto &module : synthetic.program.modules()) {
+        space.map(*module);
+    }
+    cache::UnifiedCacheManager manager(0); // unbounded, like the paper
+    runtime::Runtime runtime(space, manager, 20);
+    runtime.start(synthetic.program.entry());
+    runtime.run();
+
+    const tracelog::AccessLog &log = runtime.log();
+    log.validate();
+    tracelog::saveLog(log, path);
+    std::printf("live run: %llu instructions, %s residency; wrote "
+                "%llu events to %s\n",
+                static_cast<unsigned long long>(
+                    runtime.stats().totalInstructions()),
+                percent(runtime.stats().cacheResidency()).c_str(),
+                static_cast<unsigned long long>(log.size()),
+                path.c_str());
+    return 0;
+}
+
+int
+cmdReplay(const std::string &path, double capacity_kb)
+{
+    tracelog::AccessLog log = tracelog::loadLog(path);
+    log.validate();
+    std::uint64_t capacity = 0;
+    if (capacity_kb <= 0.0) {
+        // Default: the paper's 50%-of-maxCache pressure point.
+        cache::UnifiedCacheManager unbounded(0);
+        sim::CacheSimulator pre(unbounded);
+        sim::SimResult first = pre.run(log);
+        capacity = std::max<std::uint64_t>(4096, first.peakBytes / 2);
+    } else {
+        capacity = static_cast<std::uint64_t>(capacity_kb * 1024.0);
+    }
+
+    cache::UnifiedCacheManager manager(capacity);
+    sim::CacheSimulator simulator(manager);
+    sim::SimResult result = simulator.run(log);
+    std::printf("replayed '%s' against %s\n",
+                log.benchmark().c_str(), manager.name().c_str());
+    std::printf("lookups %llu, misses %llu (%s), evict+regen "
+                "overhead %s instructions\n",
+                static_cast<unsigned long long>(result.lookups),
+                static_cast<unsigned long long>(result.misses),
+                percent(result.missRate(), 2).c_str(),
+                withCommas(static_cast<std::int64_t>(
+                    result.overhead.total())).c_str());
+    return 0;
+}
+
+int
+cmdInfo(const std::string &path)
+{
+    tracelog::AccessLog log = tracelog::loadLog(path);
+    log.validate();
+    tracelog::LifetimeAnalyzer analyzer(log);
+    std::printf("benchmark:  %s\n", log.benchmark().c_str());
+    std::printf("duration:   %.2f s\n", usToSeconds(log.duration()));
+    std::printf("events:     %llu\n",
+                static_cast<unsigned long long>(log.size()));
+    std::printf("traces:     %llu (%s)\n",
+                static_cast<unsigned long long>(
+                    log.createdTraceCount()),
+                humanBytes(log.createdTraceBytes()).c_str());
+    std::printf("footprint:  %s\n",
+                humanBytes(log.footprintBytes()).c_str());
+    std::printf("short-lived %s, long-lived %s\n",
+                percent(analyzer.shortLivedFraction()).c_str(),
+                percent(analyzer.longLivedFraction()).c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3) {
+        return usage();
+    }
+    std::string command = argv[1];
+    if (command == "generate" && argc == 4) {
+        return cmdGenerate(argv[2], argv[3]);
+    }
+    if (command == "live" && argc == 4) {
+        return cmdLive(static_cast<std::uint64_t>(
+                           std::strtoull(argv[2], nullptr, 10)),
+                       argv[3]);
+    }
+    if (command == "replay" && (argc == 3 || argc == 4)) {
+        return cmdReplay(argv[2],
+                         argc == 4 ? std::atof(argv[3]) : 0.0);
+    }
+    if (command == "info" && argc == 3) {
+        return cmdInfo(argv[2]);
+    }
+    return usage();
+}

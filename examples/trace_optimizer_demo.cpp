@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Trace optimizer demo: builds a superblock the way the runtime does
+ * (jump straightening included), runs the optimization pipeline, and
+ * prints the before/after disassembly — then shows the effect the
+ * optimizer has on real cache pressure by running the same guest
+ * program with optimization on and off.
+ */
+
+#include <cstdio>
+
+#include "codecache/unified_cache.h"
+#include "guest/synthetic_program.h"
+#include "opt/passes.h"
+#include "runtime/runtime.h"
+#include "support/format.h"
+#include "support/units.h"
+
+namespace {
+
+using namespace gencache;
+
+void
+demoPipeline()
+{
+    std::printf("=== pass pipeline on a hand-built superblock ===\n\n");
+
+    // A trace as selection might record it: loop setup feeding
+    // constants into an address computation, with a side exit.
+    opt::Superblock sb(0x400);
+    sb.append(isa::makeNop());
+    sb.append(isa::makeMovImm(1, 100));
+    sb.append(isa::makeMovImm(2, 28));
+    sb.append(isa::makeAdd(3, 1, 2));      // 3 = 128 (foldable)
+    sb.append(isa::makeMov(4, 4));         // self move
+    sb.append(isa::makeAddImm(5, 3, 4));   // 5 = 132 (foldable)
+    sb.append(isa::makeBranchNz(0, 0x900), true); // side exit
+    sb.append(isa::makeMovImm(1, 0));      // kills the earlier r1
+    sb.append(isa::makeStore(5, 0, 3));
+    sb.append(isa::makeReturn());
+
+    std::printf("before:\n%s\n", sb.toString().c_str());
+    opt::PassManager pipeline = opt::makeDefaultPipeline();
+    opt::OptResult result = pipeline.optimize(sb);
+    std::printf("after (%u -> %u bytes, %u saved, %u iterations):\n%s",
+                result.bytesBefore, result.bytesAfter,
+                result.bytesSaved(), result.iterations,
+                sb.toString().c_str());
+    for (const opt::PassStats &stats : result.passStats) {
+        std::printf("  %-12s changed the block in %u iteration(s)\n",
+                    stats.pass.c_str(), stats.applications);
+    }
+}
+
+runtime::RuntimeStats
+runGuest(bool optimize)
+{
+    guest::SyntheticProgramConfig config;
+    config.seed = 2026;
+    config.phases = 3;
+    config.phaseIterations = 50;
+    config.innerIterations = 30;
+    config.dllCount = 2;
+    guest::SyntheticProgram synthetic =
+        guest::generateSyntheticProgram(config);
+    guest::AddressSpace space;
+    for (const auto &module : synthetic.program.modules()) {
+        space.map(*module);
+    }
+    cache::UnifiedCacheManager manager(3 * kKiB);
+    runtime::Runtime runtime(space, manager, 20);
+    runtime.setOptimizeTraces(optimize);
+    runtime.start(synthetic.program.entry());
+    runtime.run();
+    std::printf("  %-12s traces %3zu, cached bytes/trace %5.1f, "
+                "misses %llu, saved %s\n",
+                optimize ? "optimized:" : "unoptimized:",
+                runtime.traceCount(),
+                static_cast<double>(
+                    manager.stats().insertedBytes) /
+                    static_cast<double>(manager.stats().inserts),
+                static_cast<unsigned long long>(
+                    manager.stats().misses),
+                humanBytes(runtime.stats().optimizerBytesSaved)
+                    .c_str());
+    return runtime.stats();
+}
+
+} // namespace
+
+int
+main()
+{
+    demoPipeline();
+
+    std::printf("\n=== effect on cache pressure (same guest, same "
+                "3 KB cache) ===\n\n");
+    runGuest(false);
+    runGuest(true);
+    std::printf("\nsmaller traces -> more of them fit -> fewer "
+                "conflict misses.\n");
+    return 0;
+}

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Global code cache management (paper §5): the hierarchy and policy of
+ * interaction between caches.
+ *
+ * A CacheManager answers trace lookups and owns one or more local
+ * caches. The driver protocol mirrors a dynamic optimizer: on a lookup
+ * miss the caller regenerates the trace (paying the Table 2 costs) and
+ * then calls insert(). Every cache transition is reported to an
+ * optional CacheEventListener, which is how the cost model observes
+ * evictions and promotions without coupling the cache code to it.
+ */
+
+#ifndef GENCACHE_CODECACHE_CACHE_MANAGER_H
+#define GENCACHE_CODECACHE_CACHE_MANAGER_H
+
+#include <cstdint>
+#include <string>
+
+#include "codecache/fragment.h"
+#include "codecache/local_cache.h"
+
+namespace gencache::cache {
+
+/** Observer of cache transitions (cost accounting, logging, tests). */
+class CacheEventListener
+{
+  public:
+    virtual ~CacheEventListener() = default;
+
+    /** A lookup missed: the trace must be (re)generated. */
+    virtual void onMiss(TraceId id, TimeUs now)
+    {
+        (void)id;
+        (void)now;
+    }
+
+    /** A lookup hit in @p gen. */
+    virtual void onHit(TraceId id, Generation gen, TimeUs now)
+    {
+        (void)id;
+        (void)gen;
+        (void)now;
+    }
+
+    /** @p frag entered @p gen (fresh insert, not a promotion). */
+    virtual void onInsert(const Fragment &frag, Generation gen,
+                          TimeUs now)
+    {
+        (void)frag;
+        (void)gen;
+        (void)now;
+    }
+
+    /** @p frag left @p gen. For reason PromotionMove an onPromote
+     *  follows; all other reasons destroy the cached code. */
+    virtual void onEvict(const Fragment &frag, Generation gen,
+                         EvictReason reason, TimeUs now)
+    {
+        (void)frag;
+        (void)gen;
+        (void)reason;
+        (void)now;
+    }
+
+    /** @p frag moved from @p from to @p to (code relocation, §5.4). */
+    virtual void onPromote(const Fragment &frag, Generation from,
+                           Generation to, TimeUs now)
+    {
+        (void)frag;
+        (void)from;
+        (void)to;
+        (void)now;
+    }
+};
+
+/** Aggregate counters of a global manager. */
+struct ManagerStats
+{
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t insertedBytes = 0;
+    std::uint64_t deletions = 0;      ///< capacity + rejection deletions
+    std::uint64_t deletedBytes = 0;
+    std::uint64_t unmapDeletions = 0;
+    std::uint64_t unmapDeletedBytes = 0;
+    std::uint64_t promotions = 0;     ///< all inter-cache moves
+    std::uint64_t promotedBytes = 0;
+    std::uint64_t probationRejections = 0;
+    std::uint64_t placementFailures = 0;
+
+    /** Fraction of lookups that missed (0 when no lookups). */
+    double missRate() const
+    {
+        return lookups == 0
+                   ? 0.0
+                   : static_cast<double>(misses) /
+                         static_cast<double>(lookups);
+    }
+};
+
+/** Interface of a global cache management scheme. */
+class CacheManager
+{
+  public:
+    virtual ~CacheManager() = default;
+
+    CacheManager() = default;
+    CacheManager(const CacheManager &) = delete;
+    CacheManager &operator=(const CacheManager &) = delete;
+
+    /** Human-readable configuration name for reports. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Look up trace @p id at virtual time @p now.
+     * @return true on hit. On miss the caller must regenerate the
+     *         trace and call insert().
+     */
+    virtual bool lookup(TraceId id, TimeUs now) = 0;
+
+    /** Insert a newly generated trace. Must not be resident.
+     *  @return false when placement failed (trace runs uncached). */
+    virtual bool insert(TraceId id, std::uint32_t size_bytes,
+                        ModuleId module, TimeUs now) = 0;
+
+    /** Program-forced eviction of every trace tagged @p module. */
+    virtual void invalidateModule(ModuleId module, TimeUs now) = 0;
+
+    /** Mark/unmark @p id undeletable.
+     *  @return false when not resident. */
+    virtual bool setPinned(TraceId id, bool pinned) = 0;
+
+    /** @return true when @p id is resident in any cache. */
+    virtual bool contains(TraceId id) const = 0;
+
+    /** Sum of all local cache capacities in bytes. */
+    virtual std::uint64_t totalCapacity() const = 0;
+
+    /** Sum of bytes resident across all local caches. */
+    virtual std::uint64_t usedBytes() const = 0;
+
+    const ManagerStats &stats() const { return stats_; }
+
+    /** Attach @p listener (not owned; nullptr detaches). */
+    void setListener(CacheEventListener *listener)
+    {
+        listener_ = listener;
+    }
+
+  protected:
+    CacheEventListener *listener_ = nullptr;
+    ManagerStats stats_;
+};
+
+} // namespace gencache::cache
+
+#endif // GENCACHE_CODECACHE_CACHE_MANAGER_H

@@ -1,0 +1,280 @@
+#include "codecache/cache_region.h"
+
+#include "support/logging.h"
+
+namespace gencache::cache {
+
+double
+FragmentationInfo::index() const
+{
+    if (freeBytes == 0) {
+        return 0.0;
+    }
+    return 1.0 - static_cast<double>(largestFreeExtent) /
+                     static_cast<double>(freeBytes);
+}
+
+CacheRegion::CacheRegion(std::uint64_t capacity)
+    : capacity_(capacity)
+{
+    if (capacity_ == 0) {
+        GENCACHE_PANIC("CacheRegion capacity must be positive");
+    }
+}
+
+bool
+CacheRegion::scanRange(std::uint64_t begin, std::uint64_t end,
+                       std::vector<TraceId> &victims,
+                       std::uint64_t &blocker) const
+{
+    victims.clear();
+    auto it = byAddr_.upper_bound(begin);
+    if (it != byAddr_.begin()) {
+        auto prev = std::prev(it);
+        if (prev->first + prev->second.sizeBytes > begin) {
+            it = prev;
+        }
+    }
+    for (; it != byAddr_.end() && it->first < end; ++it) {
+        if (it->second.pinned) {
+            blocker = it->first + it->second.sizeBytes;
+            return false;
+        }
+        victims.push_back(it->second.id);
+    }
+    return true;
+}
+
+void
+CacheRegion::evictIds(const std::vector<TraceId> &victims,
+                      std::vector<Fragment> &evicted)
+{
+    for (TraceId id : victims) {
+        auto addr_it = addrOf_.find(id);
+        if (addr_it == addrOf_.end()) {
+            GENCACHE_PANIC("evicting absent fragment {}", id);
+        }
+        auto frag_it = byAddr_.find(addr_it->second);
+        evicted.push_back(frag_it->second);
+        usedBytes_ -= frag_it->second.sizeBytes;
+        byAddr_.erase(frag_it);
+        addrOf_.erase(addr_it);
+    }
+}
+
+bool
+CacheRegion::place(Fragment frag, std::vector<Fragment> &evicted)
+{
+    if (frag.sizeBytes == 0) {
+        GENCACHE_PANIC("placing zero-sized fragment {}", frag.id);
+    }
+    if (addrOf_.count(frag.id) != 0) {
+        GENCACHE_PANIC("fragment {} already resident", frag.id);
+    }
+    if (frag.sizeBytes > capacity_) {
+        return false;
+    }
+
+    // Plan phase: read-only search for a placement window. Nothing is
+    // modified until the plan succeeds, so failure leaves the region
+    // untouched.
+    std::vector<TraceId> planned;
+    std::vector<TraceId> scratch;
+    std::uint64_t waste = 0;
+    std::uint64_t skips = 0;
+    std::uint64_t p = pointer_;
+    unsigned wraps = 0;
+
+    while (true) {
+        std::uint64_t blocker = 0;
+        if (p + frag.sizeBytes > capacity_) {
+            if (wraps >= 1) {
+                // Second wrap: a full circle found no window.
+                return false;
+            }
+            if (!scanRange(p, capacity_, scratch, blocker)) {
+                ++skips;
+                p = blocker;
+                continue;
+            }
+            planned.insert(planned.end(), scratch.begin(),
+                           scratch.end());
+            waste += capacity_ - p;
+            p = 0;
+            ++wraps;
+            continue;
+        }
+        if (!scanRange(p, p + frag.sizeBytes, scratch, blocker)) {
+            ++skips;
+            p = blocker;
+            continue;
+        }
+        planned.insert(planned.end(), scratch.begin(), scratch.end());
+        break;
+    }
+
+    // Commit phase. A wrap scan and a post-wrap scan can both select
+    // the same fragment when pinned skips push the window forward, so
+    // deduplicate while preserving eviction order.
+    std::vector<TraceId> unique_victims;
+    unique_victims.reserve(planned.size());
+    for (TraceId id : planned) {
+        bool seen = false;
+        for (TraceId prior : unique_victims) {
+            if (prior == id) {
+                seen = true;
+                break;
+            }
+        }
+        if (!seen) {
+            unique_victims.push_back(id);
+        }
+    }
+    evictIds(unique_victims, evicted);
+    frag.addr = p;
+    addrOf_.emplace(frag.id, p);
+    usedBytes_ += frag.sizeBytes;
+    byAddr_.emplace(p, frag);
+    pointer_ = p + frag.sizeBytes;
+    if (pointer_ >= capacity_) {
+        pointer_ = 0;
+    }
+    wrapWasteBytes_ += waste;
+    pinnedSkips_ += skips;
+    return true;
+}
+
+bool
+CacheRegion::remove(TraceId id, Fragment *out)
+{
+    auto addr_it = addrOf_.find(id);
+    if (addr_it == addrOf_.end()) {
+        return false;
+    }
+    auto frag_it = byAddr_.find(addr_it->second);
+    if (out != nullptr) {
+        *out = frag_it->second;
+    }
+    usedBytes_ -= frag_it->second.sizeBytes;
+    byAddr_.erase(frag_it);
+    addrOf_.erase(addr_it);
+    return true;
+}
+
+Fragment *
+CacheRegion::find(TraceId id)
+{
+    auto addr_it = addrOf_.find(id);
+    if (addr_it == addrOf_.end()) {
+        return nullptr;
+    }
+    return &byAddr_.find(addr_it->second)->second;
+}
+
+const Fragment *
+CacheRegion::find(TraceId id) const
+{
+    auto addr_it = addrOf_.find(id);
+    if (addr_it == addrOf_.end()) {
+        return nullptr;
+    }
+    return &byAddr_.find(addr_it->second)->second;
+}
+
+bool
+CacheRegion::setPinned(TraceId id, bool pinned)
+{
+    Fragment *frag = find(id);
+    if (frag == nullptr) {
+        return false;
+    }
+    frag->pinned = pinned;
+    return true;
+}
+
+void
+CacheRegion::flush(std::vector<Fragment> &evicted)
+{
+    std::vector<TraceId> victims;
+    victims.reserve(byAddr_.size());
+    for (const auto &[addr, frag] : byAddr_) {
+        if (!frag.pinned) {
+            victims.push_back(frag.id);
+        }
+    }
+    evictIds(victims, evicted);
+    pointer_ = 0;
+}
+
+void
+CacheRegion::forEach(
+    const std::function<void(const Fragment &)> &fn) const
+{
+    for (const auto &[addr, frag] : byAddr_) {
+        fn(frag);
+    }
+}
+
+FragmentationInfo
+CacheRegion::fragmentation() const
+{
+    FragmentationInfo info;
+    info.freeBytes = freeBytes();
+    std::uint64_t cursor = 0;
+    auto note_gap = [&](std::uint64_t gap) {
+        if (gap > 0) {
+            ++info.freeExtents;
+            if (gap > info.largestFreeExtent) {
+                info.largestFreeExtent = gap;
+            }
+        }
+    };
+    for (const auto &[addr, frag] : byAddr_) {
+        note_gap(addr - cursor);
+        cursor = addr + frag.sizeBytes;
+    }
+    note_gap(capacity_ - cursor);
+    return info;
+}
+
+void
+CacheRegion::validate() const
+{
+    std::uint64_t cursor = 0;
+    std::uint64_t used = 0;
+    for (const auto &[addr, frag] : byAddr_) {
+        if (addr != frag.addr) {
+            GENCACHE_PANIC("fragment {} addr mismatch: {} vs {}",
+                           frag.id, addr, frag.addr);
+        }
+        if (addr < cursor) {
+            GENCACHE_PANIC("fragment {} overlaps its predecessor",
+                           frag.id);
+        }
+        if (addr + frag.sizeBytes > capacity_) {
+            GENCACHE_PANIC("fragment {} exceeds region capacity",
+                           frag.id);
+        }
+        auto addr_it = addrOf_.find(frag.id);
+        if (addr_it == addrOf_.end() || addr_it->second != addr) {
+            GENCACHE_PANIC("fragment {} index entry missing or stale",
+                           frag.id);
+        }
+        cursor = addr + frag.sizeBytes;
+        used += frag.sizeBytes;
+    }
+    if (used != usedBytes_) {
+        GENCACHE_PANIC("usedBytes {} != sum of fragments {}",
+                       usedBytes_, used);
+    }
+    if (addrOf_.size() != byAddr_.size()) {
+        GENCACHE_PANIC("index size {} != fragment count {}",
+                       addrOf_.size(), byAddr_.size());
+    }
+    if (pointer_ >= capacity_) {
+        GENCACHE_PANIC("pointer {} outside region of {} bytes",
+                       pointer_, capacity_);
+    }
+}
+
+} // namespace gencache::cache

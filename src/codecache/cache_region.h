@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Byte-granular model of one contiguous code cache region with the
+ * paper's pseudo-circular placement policy (§4.3).
+ *
+ * Fragments of varying sizes are laid out at concrete byte offsets. A
+ * single allocation pointer marks both the insertion point and the next
+ * eviction victim, exactly as in a circular buffer. The policy deviates
+ * from a pure circular buffer in two ways the paper identifies:
+ *
+ *  - *Undeletable (pinned) traces*: when a pinned fragment appears among
+ *    the eviction candidates, the pointer resets to just after the
+ *    pinned fragment and the eviction scan restarts there.
+ *  - *Program-forced evictions*: removals due to unmapped memory leave
+ *    holes wherever they occur; the circular sweep reclaims them when
+ *    the pointer passes by (holes are never filled out of order).
+ *
+ * When an incoming fragment does not fit between the pointer and the
+ * region end, the unpinned occupants of that tail are evicted (they are
+ * the oldest survivors there), the tail bytes are counted as wrap waste,
+ * and placement continues from offset zero.
+ */
+
+#ifndef GENCACHE_CODECACHE_CACHE_REGION_H
+#define GENCACHE_CODECACHE_CACHE_REGION_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "codecache/fragment.h"
+
+namespace gencache::cache {
+
+/** Fragmentation snapshot of a region (see Region::fragmentation). */
+struct FragmentationInfo
+{
+    std::uint64_t freeBytes = 0;        ///< total unoccupied bytes
+    std::uint64_t freeExtents = 0;      ///< number of free gaps
+    std::uint64_t largestFreeExtent = 0; ///< size of the largest gap
+    /** 1 - largest/total free; 0 when free space is one extent. */
+    double index() const;
+};
+
+/** One contiguous code cache storage area. */
+class CacheRegion
+{
+  public:
+    /** @param capacity region size in bytes; must be positive. */
+    explicit CacheRegion(std::uint64_t capacity);
+
+    std::uint64_t capacity() const { return capacity_; }
+    std::uint64_t usedBytes() const { return usedBytes_; }
+    std::uint64_t freeBytes() const { return capacity_ - usedBytes_; }
+    std::size_t fragmentCount() const { return byAddr_.size(); }
+
+    /** Current allocation/eviction pointer offset. */
+    std::uint64_t pointer() const { return pointer_; }
+
+    /**
+     * Place @p frag using pseudo-circular replacement.
+     *
+     * @param frag fragment to insert (its addr field is overwritten).
+     * @param evicted receives capacity victims, in eviction order.
+     * @retval true on success.
+     * @retval false when the fragment cannot be placed: larger than the
+     *         region, or pinned fragments block every candidate window.
+     *         @p evicted is untouched on failure.
+     */
+    bool place(Fragment frag, std::vector<Fragment> &evicted);
+
+    /** Remove the fragment with identity @p id (program-forced).
+     *  @param out receives the removed fragment when non-null.
+     *  @return true when the fragment was present. */
+    bool remove(TraceId id, Fragment *out = nullptr);
+
+    /** @return the resident fragment with identity @p id, or nullptr. */
+    Fragment *find(TraceId id);
+    const Fragment *find(TraceId id) const;
+
+    /** Mark/unmark the fragment undeletable.
+     *  @return false when the fragment is not resident. */
+    bool setPinned(TraceId id, bool pinned);
+
+    /** Remove every unpinned fragment, appending them to @p evicted,
+     *  and reset the pointer to zero. */
+    void flush(std::vector<Fragment> &evicted);
+
+    /** Visit all resident fragments in address order. */
+    void forEach(const std::function<void(const Fragment &)> &fn) const;
+
+    /** @return a snapshot of the current free-space fragmentation. */
+    FragmentationInfo fragmentation() const;
+
+    /** Bytes abandoned at the region tail across all wraps so far. */
+    std::uint64_t wrapWasteBytes() const { return wrapWasteBytes_; }
+
+    /** Number of pointer resets caused by pinned fragments. */
+    std::uint64_t pinnedSkips() const { return pinnedSkips_; }
+
+    /** Internal consistency check (test support): verifies that the
+     *  fragment maps agree and no fragments overlap. Panics on
+     *  violation. */
+    void validate() const;
+
+  private:
+    /** Evict all unpinned fragments intersecting [begin, end).
+     *  @return false if a pinned fragment blocks the range, in which
+     *  case @p blocker is set to its end offset and nothing is
+     *  modified. */
+    bool scanRange(std::uint64_t begin, std::uint64_t end,
+                   std::vector<TraceId> &victims,
+                   std::uint64_t &blocker) const;
+
+    void evictIds(const std::vector<TraceId> &victims,
+                  std::vector<Fragment> &evicted);
+
+    std::uint64_t capacity_;
+    std::uint64_t pointer_ = 0;
+    std::uint64_t usedBytes_ = 0;
+    std::uint64_t wrapWasteBytes_ = 0;
+    std::uint64_t pinnedSkips_ = 0;
+    std::map<std::uint64_t, Fragment> byAddr_;
+    std::unordered_map<TraceId, std::uint64_t> addrOf_;
+};
+
+} // namespace gencache::cache
+
+#endif // GENCACHE_CODECACHE_CACHE_REGION_H

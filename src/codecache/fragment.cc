@@ -1,0 +1,38 @@
+#include "codecache/fragment.h"
+
+#include "support/logging.h"
+
+namespace gencache::cache {
+
+const char *
+generationName(Generation gen)
+{
+    switch (gen) {
+      case Generation::Unified: return "unified";
+      case Generation::Nursery: return "nursery";
+      case Generation::Probation: return "probation";
+      case Generation::Persistent: return "persistent";
+    }
+    GENCACHE_PANIC("unknown generation {}", static_cast<int>(gen));
+}
+
+const char *
+evictReasonName(EvictReason reason)
+{
+    switch (reason) {
+      case EvictReason::Capacity: return "capacity";
+      case EvictReason::Unmap: return "unmap";
+      case EvictReason::Flush: return "flush";
+      case EvictReason::PromotionMove: return "promotion-move";
+      case EvictReason::Rejected: return "rejected";
+    }
+    GENCACHE_PANIC("unknown evict reason {}", static_cast<int>(reason));
+}
+
+bool
+isDeletion(EvictReason reason)
+{
+    return reason != EvictReason::PromotionMove;
+}
+
+} // namespace gencache::cache

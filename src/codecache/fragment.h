@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Core value types of the code cache: fragments, generations, and
+ * eviction reasons.
+ *
+ * A fragment is one cached code trace (a superblock emitted by trace
+ * selection). The cache layer is deliberately independent of the guest
+ * ISA: it sees opaque trace identities, byte sizes, and module tags, so
+ * the same cache code serves both live execution (src/runtime) and
+ * trace-driven simulation (src/sim), exactly like the paper's
+ * DynamoRIO-log-driven cache simulator.
+ */
+
+#ifndef GENCACHE_CODECACHE_FRAGMENT_H
+#define GENCACHE_CODECACHE_FRAGMENT_H
+
+#include <cstdint>
+
+#include "support/units.h"
+
+namespace gencache::cache {
+
+/** Identity of a code trace, stable across eviction and regeneration. */
+using TraceId = std::uint64_t;
+
+/** Sentinel for "no trace". */
+constexpr TraceId kInvalidTrace = ~0ULL;
+
+/** Module tag used for program-forced eviction (unmapped memory). */
+using ModuleId = std::uint32_t;
+
+/** Sentinel for "no module". */
+constexpr ModuleId kNoModule = ~0U;
+
+/** Which cache of the hierarchy a fragment lives in. */
+enum class Generation : std::uint8_t {
+    Unified,    ///< the single cache of a non-generational manager
+    Nursery,    ///< newly created traces (paper §5)
+    Probation,  ///< victim filter between nursery and persistent
+    Persistent, ///< long-lived traces
+};
+
+/** @return a short printable name for @p gen. */
+const char *generationName(Generation gen);
+
+/** Why a fragment left a cache. */
+enum class EvictReason : std::uint8_t {
+    Capacity,      ///< displaced by the local replacement policy
+    Unmap,         ///< program-forced: its module was unmapped
+    Flush,         ///< whole-cache flush
+    PromotionMove, ///< moved to an older generation (not a deletion)
+    Rejected,      ///< left probation without earning promotion
+};
+
+/** @return a short printable name for @p reason. */
+const char *evictReasonName(EvictReason reason);
+
+/** @return true when @p reason destroys the cached code (the trace
+ *  must be regenerated if executed again). */
+bool isDeletion(EvictReason reason);
+
+/** One cached code trace. Plain value type owned by its cache. */
+struct Fragment
+{
+    TraceId id = kInvalidTrace;
+    std::uint32_t sizeBytes = 0;
+    ModuleId module = kNoModule;
+    bool pinned = false;          ///< undeletable (paper §4.2)
+    std::uint32_t accessCount = 0; ///< hits while in probation
+    TimeUs insertTime = 0;         ///< when it entered its current cache
+    std::uint64_t addr = 0;        ///< offset within its cache region
+};
+
+} // namespace gencache::cache
+
+#endif // GENCACHE_CODECACHE_FRAGMENT_H

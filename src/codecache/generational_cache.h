@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Generational code cache management (paper §5, Figures 7 and 8).
+ *
+ * Three separately managed caches per thread:
+ *
+ *   nursery    — every newly generated trace is inserted here.
+ *   probation  — victim filter: nursery evictees land here; hits while
+ *                on probation increment an access counter.
+ *   persistent — long-lived traces; probation evictees whose access
+ *                count reached the promotion threshold move here,
+ *                everything else is deleted.
+ *
+ * Figure 8's insertNewTrace is realized as a cascade: inserting into
+ * the nursery may evict victims, each of which is promoted into
+ * probation; each probation victim is then either promoted to the
+ * persistent cache or deleted; persistent victims are deleted.
+ *
+ * §5.3 also discusses an eager variant where reaching the threshold on
+ * a probation *hit* immediately triggers the upgrade instead of
+ * waiting for the probationary eviction; both variants are supported.
+ */
+
+#ifndef GENCACHE_CODECACHE_GENERATIONAL_CACHE_H
+#define GENCACHE_CODECACHE_GENERATIONAL_CACHE_H
+
+#include <memory>
+#include <unordered_map>
+
+#include "codecache/cache_manager.h"
+
+namespace gencache::cache {
+
+/** Sizing and policy knobs of the generational hierarchy. */
+struct GenerationalConfig
+{
+    std::uint64_t nurseryBytes = 0;
+    std::uint64_t probationBytes = 0;
+    std::uint64_t persistentBytes = 0;
+
+    /** Probation access count required for promotion (>= 1). */
+    std::uint32_t promotionThreshold = 1;
+
+    /** When true, a probation hit that reaches the threshold promotes
+     *  immediately (§5.3's counter-free single-hit policy uses
+     *  threshold 1 with this enabled). */
+    bool eagerPromotion = false;
+
+    /** Local replacement policy of all three caches. */
+    LocalPolicy policy = LocalPolicy::PseudoCircular;
+
+    std::uint64_t totalBytes() const
+    {
+        return nurseryBytes + probationBytes + persistentBytes;
+    }
+
+    /**
+     * Split @p total bytes by percentage, e.g. 45/10/45. Rounds the
+     * persistent cache up so the parts sum exactly to @p total.
+     */
+    static GenerationalConfig fromProportions(
+        std::uint64_t total, double nursery_frac, double probation_frac,
+        std::uint32_t threshold, bool eager = false,
+        LocalPolicy policy = LocalPolicy::PseudoCircular);
+};
+
+/** Per-generation counters beyond the local cache stats. */
+struct GenerationStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t promotionsIn = 0;   ///< fragments that moved in
+    std::uint64_t promotionsOut = 0;  ///< fragments that moved up
+    std::uint64_t deletions = 0;      ///< destroyed while resident here
+};
+
+/** The paper's proposed global management scheme. */
+class GenerationalCacheManager : public CacheManager
+{
+  public:
+    explicit GenerationalCacheManager(const GenerationalConfig &config);
+
+    std::string name() const override;
+    bool lookup(TraceId id, TimeUs now) override;
+    bool insert(TraceId id, std::uint32_t size_bytes, ModuleId module,
+                TimeUs now) override;
+    void invalidateModule(ModuleId module, TimeUs now) override;
+    bool setPinned(TraceId id, bool pinned) override;
+    bool contains(TraceId id) const override;
+    std::uint64_t totalCapacity() const override;
+    std::uint64_t usedBytes() const override;
+
+    const GenerationalConfig &config() const { return config_; }
+
+    /** Which cache currently holds @p id; panics when absent. */
+    Generation generationOf(TraceId id) const;
+
+    const LocalCache &localCache(Generation gen) const;
+    const GenerationStats &generationStats(Generation gen) const;
+
+    /** Internal consistency check (test support): the index and the
+     *  three local caches must agree. Panics on violation. */
+    void validate() const;
+
+  private:
+    LocalCache &cacheOf(Generation gen);
+    GenerationStats &statsOf(Generation gen);
+
+    /** Insert @p frag into @p gen and cascade its victims downstream
+     *  per Figure 8. @return false on placement failure. */
+    bool insertInto(Generation gen, Fragment frag, TimeUs now);
+
+    /** Handle a fragment evicted from @p gen for capacity. */
+    void cascadeVictim(Generation gen, Fragment victim, TimeUs now);
+
+    /** Destroy @p frag (it left the hierarchy). */
+    void destroy(const Fragment &frag, Generation gen,
+                 EvictReason reason, TimeUs now);
+
+    /** Move a probation-resident fragment to the persistent cache. */
+    void promoteToPersistent(Fragment frag, TimeUs now);
+
+    GenerationalConfig config_;
+    std::unique_ptr<LocalCache> nursery_;
+    std::unique_ptr<LocalCache> probation_;
+    std::unique_ptr<LocalCache> persistent_;
+    GenerationStats nurseryStats_;
+    GenerationStats probationStats_;
+    GenerationStats persistentStats_;
+    std::unordered_map<TraceId, Generation> where_;
+};
+
+} // namespace gencache::cache
+
+#endif // GENCACHE_CODECACHE_GENERATIONAL_CACHE_H

@@ -1,0 +1,230 @@
+#include "codecache/list_cache.h"
+
+#include "support/logging.h"
+
+namespace gencache::cache {
+
+Fragment *
+ListCache::find(TraceId id)
+{
+    auto it = index_.find(id);
+    return it == index_.end() ? nullptr : &*it->second;
+}
+
+bool
+ListCache::contains(TraceId id) const
+{
+    return index_.count(id) != 0;
+}
+
+bool
+ListCache::remove(TraceId id, Fragment *out)
+{
+    auto it = index_.find(id);
+    if (it == index_.end()) {
+        return false;
+    }
+    if (out != nullptr) {
+        *out = *it->second;
+    }
+    used_ -= it->second->sizeBytes;
+    ++stats_.removals;
+    stats_.removedBytes += it->second->sizeBytes;
+    order_.erase(it->second);
+    index_.erase(it);
+    return true;
+}
+
+bool
+ListCache::setPinned(TraceId id, bool pinned)
+{
+    Fragment *frag = find(id);
+    if (frag == nullptr) {
+        return false;
+    }
+    frag->pinned = pinned;
+    return true;
+}
+
+void
+ListCache::flush(std::vector<Fragment> &evicted)
+{
+    ++stats_.flushes;
+    for (auto it = order_.begin(); it != order_.end();) {
+        if (it->pinned) {
+            ++it;
+            continue;
+        }
+        evicted.push_back(*it);
+        used_ -= it->sizeBytes;
+        index_.erase(it->id);
+        it = order_.erase(it);
+    }
+}
+
+void
+ListCache::forEach(
+    const std::function<void(const Fragment &)> &fn) const
+{
+    for (const Fragment &frag : order_) {
+        fn(frag);
+    }
+}
+
+bool
+ListCache::insertWithEviction(const Fragment &frag,
+                              std::vector<Fragment> &evicted)
+{
+    if (index_.count(frag.id) != 0) {
+        GENCACHE_PANIC("fragment {} already resident", frag.id);
+    }
+    if (capacity_ != 0 && frag.sizeBytes > capacity_) {
+        ++stats_.placementFailures;
+        return false;
+    }
+
+    // Plan: how many front victims must go?
+    std::uint64_t reclaimed = 0;
+    std::vector<std::list<Fragment>::iterator> victims;
+    if (capacity_ != 0) {
+        auto it = order_.begin();
+        while (used_ - reclaimed + frag.sizeBytes > capacity_ &&
+               it != order_.end()) {
+            if (!it->pinned) {
+                reclaimed += it->sizeBytes;
+                victims.push_back(it);
+            }
+            ++it;
+        }
+        if (used_ - reclaimed + frag.sizeBytes > capacity_) {
+            ++stats_.placementFailures;
+            return false;
+        }
+    }
+
+    for (auto victim : victims) {
+        evicted.push_back(*victim);
+        used_ -= victim->sizeBytes;
+        ++stats_.capacityEvictions;
+        stats_.capacityEvictedBytes += victim->sizeBytes;
+        index_.erase(victim->id);
+        order_.erase(victim);
+    }
+
+    order_.push_back(frag);
+    index_.emplace(frag.id, std::prev(order_.end()));
+    used_ += frag.sizeBytes;
+    ++stats_.inserts;
+    stats_.insertedBytes += frag.sizeBytes;
+    return true;
+}
+
+FifoCache::FifoCache(std::uint64_t capacity)
+    : ListCache(capacity)
+{
+    if (capacity == 0) {
+        GENCACHE_PANIC("FifoCache requires a positive capacity");
+    }
+}
+
+bool
+FifoCache::insert(const Fragment &frag, std::vector<Fragment> &evicted)
+{
+    return insertWithEviction(frag, evicted);
+}
+
+LruCache::LruCache(std::uint64_t capacity)
+    : ListCache(capacity)
+{
+    if (capacity == 0) {
+        GENCACHE_PANIC("LruCache requires a positive capacity");
+    }
+}
+
+bool
+LruCache::insert(const Fragment &frag, std::vector<Fragment> &evicted)
+{
+    return insertWithEviction(frag, evicted);
+}
+
+void
+LruCache::touch(TraceId id, TimeUs now)
+{
+    (void)now;
+    auto it = index_.find(id);
+    if (it == index_.end()) {
+        return;
+    }
+    order_.splice(order_.end(), order_, it->second);
+    it->second = std::prev(order_.end());
+}
+
+FlushCache::FlushCache(std::uint64_t capacity)
+    : ListCache(capacity)
+{
+    if (capacity == 0) {
+        GENCACHE_PANIC("FlushCache requires a positive capacity");
+    }
+}
+
+bool
+FlushCache::insert(const Fragment &frag, std::vector<Fragment> &evicted)
+{
+    if (index_.count(frag.id) != 0) {
+        GENCACHE_PANIC("fragment {} already resident", frag.id);
+    }
+    if (frag.sizeBytes > capacity_) {
+        ++stats_.placementFailures;
+        return false;
+    }
+    if (used_ + frag.sizeBytes > capacity_) {
+        std::size_t before = evicted.size();
+        flush(evicted);
+        for (std::size_t i = before; i < evicted.size(); ++i) {
+            ++stats_.capacityEvictions;
+            stats_.capacityEvictedBytes += evicted[i].sizeBytes;
+        }
+        if (used_ + frag.sizeBytes > capacity_) {
+            // Pinned fragments alone exceed the budget.
+            ++stats_.placementFailures;
+            return false;
+        }
+    }
+    order_.push_back(frag);
+    index_.emplace(frag.id, std::prev(order_.end()));
+    used_ += frag.sizeBytes;
+    ++stats_.inserts;
+    stats_.insertedBytes += frag.sizeBytes;
+    return true;
+}
+
+UnboundedCache::UnboundedCache()
+    : ListCache(0)
+{
+}
+
+bool
+UnboundedCache::insert(const Fragment &frag,
+                       std::vector<Fragment> &evicted)
+{
+    bool ok = insertWithEviction(frag, evicted);
+    if (ok && used_ > peak_) {
+        peak_ = used_;
+    }
+    return ok;
+}
+
+const char *
+localPolicyName(LocalPolicy policy)
+{
+    switch (policy) {
+      case LocalPolicy::PseudoCircular: return "pseudo-circular";
+      case LocalPolicy::Fifo: return "fifo";
+      case LocalPolicy::Lru: return "lru";
+      case LocalPolicy::PreemptiveFlush: return "preemptive-flush";
+      case LocalPolicy::Unbounded: return "unbounded";
+    }
+    GENCACHE_PANIC("unknown local policy {}", static_cast<int>(policy));
+}
+
+} // namespace gencache::cache

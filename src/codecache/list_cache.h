@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Byte-budget local caches ordered by a victim list: idealized FIFO,
+ * LRU, preemptive flush, and unbounded.
+ *
+ * Unlike PseudoCircularCache these do not model byte-level placement —
+ * they charge each fragment against a byte budget and pick victims
+ * from an ordered list. This matches how prior-work policies (LRU,
+ * flush) are usually simulated and keeps the ablation comparisons
+ * focused on replacement order rather than layout.
+ */
+
+#ifndef GENCACHE_CODECACHE_LIST_CACHE_H
+#define GENCACHE_CODECACHE_LIST_CACHE_H
+
+#include <list>
+#include <unordered_map>
+
+#include "codecache/local_cache.h"
+
+namespace gencache::cache {
+
+/** Common machinery for list-ordered byte-budget caches. */
+class ListCache : public LocalCache
+{
+  public:
+    std::uint64_t usedBytes() const override { return used_; }
+    std::size_t fragmentCount() const override { return order_.size(); }
+    Fragment *find(TraceId id) override;
+    bool contains(TraceId id) const override;
+    bool remove(TraceId id, Fragment *out = nullptr) override;
+    bool setPinned(TraceId id, bool pinned) override;
+    void flush(std::vector<Fragment> &evicted) override;
+    void forEach(const std::function<void(const Fragment &)> &fn)
+        const override;
+
+  protected:
+    explicit ListCache(std::uint64_t capacity) : LocalCache(capacity) {}
+
+    /**
+     * Insert @p frag after evicting unpinned fragments from the front
+     * of the list until it fits. Plans victims before mutating, so
+     * failure (pinned congestion / oversized fragment) leaves the
+     * cache unchanged.
+     */
+    bool insertWithEviction(const Fragment &frag,
+                            std::vector<Fragment> &evicted);
+
+    std::list<Fragment> order_; ///< front = next victim
+    std::unordered_map<TraceId, std::list<Fragment>::iterator> index_;
+    std::uint64_t used_ = 0;
+};
+
+/** Idealized circular buffer: FIFO victim order, no layout modeling. */
+class FifoCache : public ListCache
+{
+  public:
+    explicit FifoCache(std::uint64_t capacity);
+
+    const char *policyName() const override { return "fifo"; }
+    bool insert(const Fragment &frag,
+                std::vector<Fragment> &evicted) override;
+};
+
+/** Least-recently-used replacement. */
+class LruCache : public ListCache
+{
+  public:
+    explicit LruCache(std::uint64_t capacity);
+
+    const char *policyName() const override { return "lru"; }
+    bool insert(const Fragment &frag,
+                std::vector<Fragment> &evicted) override;
+    void touch(TraceId id, TimeUs now) override;
+};
+
+/** Dynamo-style preemptive flush: empty the cache when it fills. */
+class FlushCache : public ListCache
+{
+  public:
+    explicit FlushCache(std::uint64_t capacity);
+
+    const char *policyName() const override
+    {
+        return "preemptive-flush";
+    }
+    bool insert(const Fragment &frag,
+                std::vector<Fragment> &evicted) override;
+};
+
+/** Unbounded cache: never evicts; records peak occupancy (§3.1). */
+class UnboundedCache : public ListCache
+{
+  public:
+    UnboundedCache();
+
+    const char *policyName() const override { return "unbounded"; }
+    bool insert(const Fragment &frag,
+                std::vector<Fragment> &evicted) override;
+
+    /** Highest usedBytes() ever observed. */
+    std::uint64_t peakBytes() const { return peak_; }
+
+  private:
+    std::uint64_t peak_ = 0;
+};
+
+} // namespace gencache::cache
+
+#endif // GENCACHE_CODECACHE_LIST_CACHE_H

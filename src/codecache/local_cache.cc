@@ -1,0 +1,34 @@
+#include "codecache/local_cache.h"
+
+#include "codecache/list_cache.h"
+#include "codecache/pseudo_circular_cache.h"
+#include "support/logging.h"
+
+namespace gencache::cache {
+
+void
+LocalCache::touch(TraceId id, TimeUs now)
+{
+    (void)id;
+    (void)now;
+}
+
+std::unique_ptr<LocalCache>
+makeLocalCache(LocalPolicy policy, std::uint64_t capacity)
+{
+    switch (policy) {
+      case LocalPolicy::PseudoCircular:
+        return std::make_unique<PseudoCircularCache>(capacity);
+      case LocalPolicy::Fifo:
+        return std::make_unique<FifoCache>(capacity);
+      case LocalPolicy::Lru:
+        return std::make_unique<LruCache>(capacity);
+      case LocalPolicy::PreemptiveFlush:
+        return std::make_unique<FlushCache>(capacity);
+      case LocalPolicy::Unbounded:
+        return std::make_unique<UnboundedCache>();
+    }
+    GENCACHE_PANIC("unknown local policy {}", static_cast<int>(policy));
+}
+
+} // namespace gencache::cache

@@ -1,0 +1,89 @@
+#include "codecache/pseudo_circular_cache.h"
+
+#include "support/logging.h"
+
+namespace gencache::cache {
+
+PseudoCircularCache::PseudoCircularCache(std::uint64_t capacity)
+    : LocalCache(capacity), region_(capacity)
+{
+}
+
+std::uint64_t
+PseudoCircularCache::usedBytes() const
+{
+    return region_.usedBytes();
+}
+
+std::size_t
+PseudoCircularCache::fragmentCount() const
+{
+    return region_.fragmentCount();
+}
+
+bool
+PseudoCircularCache::insert(const Fragment &frag,
+                            std::vector<Fragment> &evicted)
+{
+    std::size_t before = evicted.size();
+    if (!region_.place(frag, evicted)) {
+        ++stats_.placementFailures;
+        return false;
+    }
+    ++stats_.inserts;
+    stats_.insertedBytes += frag.sizeBytes;
+    for (std::size_t i = before; i < evicted.size(); ++i) {
+        ++stats_.capacityEvictions;
+        stats_.capacityEvictedBytes += evicted[i].sizeBytes;
+    }
+    return true;
+}
+
+Fragment *
+PseudoCircularCache::find(TraceId id)
+{
+    return region_.find(id);
+}
+
+bool
+PseudoCircularCache::contains(TraceId id) const
+{
+    return region_.find(id) != nullptr;
+}
+
+bool
+PseudoCircularCache::remove(TraceId id, Fragment *out)
+{
+    Fragment scratch;
+    if (!region_.remove(id, &scratch)) {
+        return false;
+    }
+    ++stats_.removals;
+    stats_.removedBytes += scratch.sizeBytes;
+    if (out != nullptr) {
+        *out = scratch;
+    }
+    return true;
+}
+
+bool
+PseudoCircularCache::setPinned(TraceId id, bool pinned)
+{
+    return region_.setPinned(id, pinned);
+}
+
+void
+PseudoCircularCache::flush(std::vector<Fragment> &evicted)
+{
+    ++stats_.flushes;
+    region_.flush(evicted);
+}
+
+void
+PseudoCircularCache::forEach(
+    const std::function<void(const Fragment &)> &fn) const
+{
+    region_.forEach(fn);
+}
+
+} // namespace gencache::cache

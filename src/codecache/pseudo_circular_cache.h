@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The paper's pseudo-circular local policy (§4.3) as a LocalCache,
+ * backed by the byte-granular CacheRegion.
+ */
+
+#ifndef GENCACHE_CODECACHE_PSEUDO_CIRCULAR_CACHE_H
+#define GENCACHE_CODECACHE_PSEUDO_CIRCULAR_CACHE_H
+
+#include "codecache/cache_region.h"
+#include "codecache/local_cache.h"
+
+namespace gencache::cache {
+
+/** Address-accurate pseudo-circular (FIFO + pinned skip) cache. */
+class PseudoCircularCache : public LocalCache
+{
+  public:
+    /** @param capacity cache size in bytes; must be positive. */
+    explicit PseudoCircularCache(std::uint64_t capacity);
+
+    const char *policyName() const override
+    {
+        return "pseudo-circular";
+    }
+
+    std::uint64_t usedBytes() const override;
+    std::size_t fragmentCount() const override;
+    bool insert(const Fragment &frag,
+                std::vector<Fragment> &evicted) override;
+    Fragment *find(TraceId id) override;
+    bool contains(TraceId id) const override;
+    bool remove(TraceId id, Fragment *out = nullptr) override;
+    bool setPinned(TraceId id, bool pinned) override;
+    void flush(std::vector<Fragment> &evicted) override;
+    void forEach(const std::function<void(const Fragment &)> &fn)
+        const override;
+
+    /** Direct access to the underlying region (stats, tests). */
+    const CacheRegion &region() const { return region_; }
+
+  private:
+    CacheRegion region_;
+};
+
+} // namespace gencache::cache
+
+#endif // GENCACHE_CODECACHE_PSEUDO_CIRCULAR_CACHE_H

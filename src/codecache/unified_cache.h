@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The baseline global scheme: one unified trace cache (paper §6's
+ * comparison baseline, sized at half the benchmark's maximum cache).
+ */
+
+#ifndef GENCACHE_CODECACHE_UNIFIED_CACHE_H
+#define GENCACHE_CODECACHE_UNIFIED_CACHE_H
+
+#include <memory>
+
+#include "codecache/cache_manager.h"
+
+namespace gencache::cache {
+
+/** A single local cache behind the CacheManager interface. */
+class UnifiedCacheManager : public CacheManager
+{
+  public:
+    /**
+     * @param capacity cache size in bytes (0 = unbounded).
+     * @param policy local replacement policy; Unbounded is implied
+     *        when capacity is 0.
+     */
+    explicit UnifiedCacheManager(
+        std::uint64_t capacity,
+        LocalPolicy policy = LocalPolicy::PseudoCircular);
+
+    std::string name() const override;
+    bool lookup(TraceId id, TimeUs now) override;
+    bool insert(TraceId id, std::uint32_t size_bytes, ModuleId module,
+                TimeUs now) override;
+    void invalidateModule(ModuleId module, TimeUs now) override;
+    bool setPinned(TraceId id, bool pinned) override;
+    bool contains(TraceId id) const override;
+    std::uint64_t totalCapacity() const override;
+    std::uint64_t usedBytes() const override;
+
+    /** The underlying local cache (stats, tests). */
+    const LocalCache &local() const { return *cache_; }
+
+    /** Peak occupancy; meaningful for the unbounded configuration. */
+    std::uint64_t peakBytes() const;
+
+  private:
+    std::unique_ptr<LocalCache> cache_;
+    LocalPolicy policy_;
+};
+
+} // namespace gencache::cache
+
+#endif // GENCACHE_CODECACHE_UNIFIED_CACHE_H

@@ -1,0 +1,105 @@
+#include "guest/address_space.h"
+
+#include "support/logging.h"
+
+namespace gencache::guest {
+
+void
+AddressSpace::map(const GuestModule &module)
+{
+    if (isMapped(module.id())) {
+        GENCACHE_PANIC("module '{}' already mapped", module.name());
+    }
+    isa::GuestAddr base = module.baseAddr();
+    isa::GuestAddr end = module.endAddr();
+    auto next = byBase_.lower_bound(base);
+    if (next != byBase_.end() && next->first < end) {
+        GENCACHE_PANIC("mapping '{}' overlaps '{}'", module.name(),
+                       next->second->name());
+    }
+    if (next != byBase_.begin()) {
+        auto prev = std::prev(next);
+        if (prev->second->endAddr() > base) {
+            GENCACHE_PANIC("mapping '{}' overlaps '{}'", module.name(),
+                           prev->second->name());
+        }
+    }
+    byBase_.emplace(base, &module);
+    for (const auto &observer : observers_) {
+        observer(module, true);
+    }
+}
+
+void
+AddressSpace::unmap(ModuleId id)
+{
+    for (auto it = byBase_.begin(); it != byBase_.end(); ++it) {
+        if (it->second->id() == id) {
+            const GuestModule &module = *it->second;
+            byBase_.erase(it);
+            for (const auto &observer : observers_) {
+                observer(module, false);
+            }
+            return;
+        }
+    }
+    GENCACHE_PANIC("unmap of module id {} that is not mapped", id);
+}
+
+bool
+AddressSpace::isMapped(ModuleId id) const
+{
+    for (const auto &[base, module] : byBase_) {
+        if (module->id() == id) {
+            return true;
+        }
+    }
+    return false;
+}
+
+const GuestModule *
+AddressSpace::moduleAt(isa::GuestAddr addr) const
+{
+    auto it = byBase_.upper_bound(addr);
+    if (it == byBase_.begin()) {
+        return nullptr;
+    }
+    --it;
+    return it->second->containsAddr(addr) ? it->second : nullptr;
+}
+
+const isa::BasicBlock *
+AddressSpace::blockAt(isa::GuestAddr addr) const
+{
+    const GuestModule *module = moduleAt(addr);
+    return module ? module->findBlock(addr) : nullptr;
+}
+
+void
+AddressSpace::addObserver(MapObserver observer)
+{
+    observers_.push_back(std::move(observer));
+}
+
+std::vector<const GuestModule *>
+AddressSpace::mappedModules() const
+{
+    std::vector<const GuestModule *> out;
+    out.reserve(byBase_.size());
+    for (const auto &[base, module] : byBase_) {
+        out.push_back(module);
+    }
+    return out;
+}
+
+std::uint64_t
+AddressSpace::mappedCodeBytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &[base, module] : byBase_) {
+        total += module->sizeBytes();
+    }
+    return total;
+}
+
+} // namespace gencache::guest

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The guest address space: which modules are currently mapped.
+ *
+ * Unmapping a module is the paper's §3.4 event: any code traces derived
+ * from the unmapped range become stale and must be deleted from the
+ * code cache immediately. Observers (the runtime, the simulator) can
+ * subscribe to map/unmap notifications.
+ */
+
+#ifndef GENCACHE_GUEST_ADDRESS_SPACE_H
+#define GENCACHE_GUEST_ADDRESS_SPACE_H
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "guest/module.h"
+
+namespace gencache::guest {
+
+/** Tracks the set of mapped modules and resolves code addresses. */
+class AddressSpace
+{
+  public:
+    /** Callback invoked on map/unmap; @p mapped is true for map. */
+    using MapObserver =
+        std::function<void(const GuestModule &, bool mapped)>;
+
+    AddressSpace() = default;
+
+    /** Map @p module; its range must not overlap any mapped module.
+     *  The module must outlive this address space. */
+    void map(const GuestModule &module);
+
+    /** Unmap the module with id @p id; no-op arguments panic. */
+    void unmap(ModuleId id);
+
+    /** @return true when module @p id is currently mapped. */
+    bool isMapped(ModuleId id) const;
+
+    /** @return the mapped module containing @p addr, or nullptr. */
+    const GuestModule *moduleAt(isa::GuestAddr addr) const;
+
+    /** @return the block starting at @p addr in a mapped module. */
+    const isa::BasicBlock *blockAt(isa::GuestAddr addr) const;
+
+    /** Register an observer for map/unmap events. */
+    void addObserver(MapObserver observer);
+
+    /** @return currently mapped modules in base-address order. */
+    std::vector<const GuestModule *> mappedModules() const;
+
+    /** @return total mapped code bytes. */
+    std::uint64_t mappedCodeBytes() const;
+
+  private:
+    std::map<isa::GuestAddr, const GuestModule *> byBase_;
+    std::vector<MapObserver> observers_;
+};
+
+} // namespace gencache::guest
+
+#endif // GENCACHE_GUEST_ADDRESS_SPACE_H

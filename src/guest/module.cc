@@ -1,0 +1,63 @@
+#include "guest/module.h"
+
+#include "support/logging.h"
+
+namespace gencache::guest {
+
+GuestModule::GuestModule(ModuleId id, std::string name,
+                         isa::GuestAddr base, bool transient)
+    : id_(id), name_(std::move(name)), base_(base), transient_(transient)
+{
+}
+
+void
+GuestModule::addBlock(isa::BasicBlock block)
+{
+    if (block.startAddr() < base_) {
+        GENCACHE_PANIC("block at {} precedes module '{}' base {}",
+                       block.startAddr(), name_, base_);
+    }
+    if (!block.isTerminated()) {
+        GENCACHE_PANIC("unterminated block at {} in module '{}'",
+                       block.startAddr(), name_);
+    }
+    isa::GuestAddr start = block.startAddr();
+    isa::GuestAddr end = block.endAddr();
+    auto next = blocks_.lower_bound(start);
+    if (next != blocks_.end() && next->second.startAddr() < end) {
+        GENCACHE_PANIC("block [{}, {}) overlaps block at {} in '{}'",
+                       start, end, next->second.startAddr(), name_);
+    }
+    if (next != blocks_.begin()) {
+        auto prev = std::prev(next);
+        if (prev->second.endAddr() > start) {
+            GENCACHE_PANIC("block [{}, {}) overlaps block at {} in '{}'",
+                           start, end, prev->second.startAddr(), name_);
+        }
+    }
+    blocks_.emplace(start, std::move(block));
+}
+
+const isa::BasicBlock *
+GuestModule::findBlock(isa::GuestAddr addr) const
+{
+    auto it = blocks_.find(addr);
+    return it == blocks_.end() ? nullptr : &it->second;
+}
+
+bool
+GuestModule::containsAddr(isa::GuestAddr addr) const
+{
+    return addr >= base_ && addr < endAddr();
+}
+
+std::uint64_t
+GuestModule::sizeBytes() const
+{
+    if (blocks_.empty()) {
+        return 0;
+    }
+    return blocks_.rbegin()->second.endAddr() - base_;
+}
+
+} // namespace gencache::guest

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Guest modules: the executable and its dynamically linked libraries.
+ *
+ * A module owns a set of basic blocks laid out in a contiguous guest
+ * address range. Modules marked transient model Windows DLLs that the
+ * application loads and unloads during execution — the behaviour that
+ * forces program-forced evictions from the code cache (paper §3.4).
+ */
+
+#ifndef GENCACHE_GUEST_MODULE_H
+#define GENCACHE_GUEST_MODULE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "isa/basic_block.h"
+
+namespace gencache::guest {
+
+/** Identifier of a guest module, unique within a program. */
+using ModuleId = std::uint32_t;
+
+/** Sentinel for "no module". */
+constexpr ModuleId kInvalidModule = ~0u;
+
+/** A contiguous range of guest code (EXE image or DLL). */
+class GuestModule
+{
+  public:
+    /**
+     * @param id unique module id
+     * @param name human-readable name (e.g. "user32.dll")
+     * @param base guest base address of the module's code
+     * @param transient true when the module may be unmapped at runtime
+     */
+    GuestModule(ModuleId id, std::string name, isa::GuestAddr base,
+                bool transient = false);
+
+    ModuleId id() const { return id_; }
+    const std::string &name() const { return name_; }
+    isa::GuestAddr baseAddr() const { return base_; }
+    bool transient() const { return transient_; }
+
+    /** Add a block; its address range must lie at/after the base and
+     *  must not overlap an existing block. */
+    void addBlock(isa::BasicBlock block);
+
+    /** @return the block starting exactly at @p addr, or nullptr. */
+    const isa::BasicBlock *findBlock(isa::GuestAddr addr) const;
+
+    /** @return true when @p addr falls inside this module's extent. */
+    bool containsAddr(isa::GuestAddr addr) const;
+
+    /** @return bytes from base to the end of the last block. */
+    std::uint64_t sizeBytes() const;
+
+    /** @return one-past-the-end address of the module's code. */
+    isa::GuestAddr endAddr() const { return base_ + sizeBytes(); }
+
+    std::size_t blockCount() const { return blocks_.size(); }
+
+    const std::map<isa::GuestAddr, isa::BasicBlock> &blocks() const
+    {
+        return blocks_;
+    }
+
+  private:
+    ModuleId id_;
+    std::string name_;
+    isa::GuestAddr base_;
+    bool transient_;
+    std::map<isa::GuestAddr, isa::BasicBlock> blocks_;
+};
+
+} // namespace gencache::guest
+
+#endif // GENCACHE_GUEST_MODULE_H

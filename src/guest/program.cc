@@ -1,0 +1,62 @@
+#include "guest/program.h"
+
+#include "support/logging.h"
+
+namespace gencache::guest {
+
+GuestModule &
+GuestProgram::addModule(std::string name, isa::GuestAddr base,
+                        bool transient)
+{
+    ModuleId id = static_cast<ModuleId>(modules_.size());
+    for (const auto &mod : modules_) {
+        if (mod->name() == name) {
+            GENCACHE_PANIC("duplicate module name '{}'", name);
+        }
+    }
+    modules_.push_back(
+        std::make_unique<GuestModule>(id, std::move(name), base,
+                                      transient));
+    return *modules_.back();
+}
+
+GuestModule *
+GuestProgram::findModule(ModuleId id)
+{
+    if (id >= modules_.size()) {
+        return nullptr;
+    }
+    return modules_[id].get();
+}
+
+const GuestModule *
+GuestProgram::findModule(ModuleId id) const
+{
+    if (id >= modules_.size()) {
+        return nullptr;
+    }
+    return modules_[id].get();
+}
+
+GuestModule *
+GuestProgram::findModule(const std::string &name)
+{
+    for (auto &mod : modules_) {
+        if (mod->name() == name) {
+            return mod.get();
+        }
+    }
+    return nullptr;
+}
+
+std::uint64_t
+GuestProgram::codeFootprintBytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &mod : modules_) {
+        total += mod->sizeBytes();
+    }
+    return total;
+}
+
+} // namespace gencache::guest

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * A guest program: a set of modules plus an entry point.
+ */
+
+#ifndef GENCACHE_GUEST_PROGRAM_H
+#define GENCACHE_GUEST_PROGRAM_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "guest/module.h"
+
+namespace gencache::guest {
+
+/** Owns the modules making up one guest application. */
+class GuestProgram
+{
+  public:
+    GuestProgram() = default;
+
+    GuestProgram(const GuestProgram &) = delete;
+    GuestProgram &operator=(const GuestProgram &) = delete;
+    GuestProgram(GuestProgram &&) = default;
+    GuestProgram &operator=(GuestProgram &&) = default;
+
+    /** Create a module owned by this program.
+     *  @return a stable reference (modules are never removed). */
+    GuestModule &addModule(std::string name, isa::GuestAddr base,
+                           bool transient = false);
+
+    /** @return the module with id @p id, or nullptr. */
+    GuestModule *findModule(ModuleId id);
+    const GuestModule *findModule(ModuleId id) const;
+
+    /** @return the module named @p name, or nullptr. */
+    GuestModule *findModule(const std::string &name);
+
+    std::size_t moduleCount() const { return modules_.size(); }
+
+    const std::vector<std::unique_ptr<GuestModule>> &modules() const
+    {
+        return modules_;
+    }
+
+    isa::GuestAddr entry() const { return entry_; }
+    void setEntry(isa::GuestAddr addr) { entry_ = addr; }
+
+    /** @return total code bytes across all modules (the application
+     *  footprint of paper §3.2). */
+    std::uint64_t codeFootprintBytes() const;
+
+  private:
+    std::vector<std::unique_ptr<GuestModule>> modules_;
+    isa::GuestAddr entry_ = 0;
+};
+
+} // namespace gencache::guest
+
+#endif // GENCACHE_GUEST_PROGRAM_H

@@ -1,0 +1,259 @@
+#include "guest/program_builder.h"
+
+#include "support/logging.h"
+
+namespace gencache::guest {
+
+ModuleBuilder::ModuleBuilder(GuestModule &module)
+    : module_(module)
+{
+    if (module_.blockCount() != 0) {
+        GENCACHE_PANIC("ModuleBuilder on non-empty module '{}'",
+                       module_.name());
+    }
+}
+
+BlockLabel
+ModuleBuilder::createBlock()
+{
+    blocks_.emplace_back();
+    BlockLabel label;
+    label.index = static_cast<std::uint32_t>(blocks_.size() - 1);
+    if (currentBlock_ == ~0u) {
+        currentBlock_ = label.index;
+    }
+    return label;
+}
+
+ModuleBuilder &
+ModuleBuilder::at(BlockLabel label)
+{
+    if (!label.valid() || label.index >= blocks_.size()) {
+        GENCACHE_PANIC("ModuleBuilder::at: invalid label");
+    }
+    currentBlock_ = label.index;
+    return *this;
+}
+
+isa::BasicBlock &
+ModuleBuilder::current()
+{
+    if (finalized_) {
+        GENCACHE_PANIC("ModuleBuilder used after finalize");
+    }
+    if (currentBlock_ == ~0u || currentBlock_ >= blocks_.size()) {
+        GENCACHE_PANIC("ModuleBuilder: no block selected");
+    }
+    return blocks_[currentBlock_];
+}
+
+void
+ModuleBuilder::emit(const isa::Instruction &inst)
+{
+    current().append(inst);
+}
+
+void
+ModuleBuilder::emitLabelTarget(isa::Instruction inst, BlockLabel target)
+{
+    if (!target.valid() || target.index >= blocks_.size()) {
+        GENCACHE_PANIC("ModuleBuilder: invalid target label");
+    }
+    isa::BasicBlock &block = current();
+    fixups_.push_back(
+        Fixup{currentBlock_,
+              static_cast<std::uint32_t>(block.instructionCount()),
+              target.index});
+    block.append(inst);
+}
+
+ModuleBuilder &
+ModuleBuilder::nop()
+{
+    emit(isa::makeNop());
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::add(unsigned dst, unsigned src1, unsigned src2)
+{
+    emit(isa::makeAdd(dst, src1, src2));
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::sub(unsigned dst, unsigned src1, unsigned src2)
+{
+    emit(isa::makeSub(dst, src1, src2));
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::mul(unsigned dst, unsigned src1, unsigned src2)
+{
+    emit(isa::makeMul(dst, src1, src2));
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::addi(unsigned dst, unsigned src1, std::int64_t imm)
+{
+    emit(isa::makeAddImm(dst, src1, imm));
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::movi(unsigned dst, std::int64_t imm)
+{
+    emit(isa::makeMovImm(dst, imm));
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::mov(unsigned dst, unsigned src1)
+{
+    emit(isa::makeMov(dst, src1));
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::load(unsigned dst, unsigned base, std::int64_t off)
+{
+    emit(isa::makeLoad(dst, base, off));
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::store(unsigned base, std::int64_t off, unsigned src)
+{
+    emit(isa::makeStore(base, off, src));
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::jump(BlockLabel target)
+{
+    emitLabelTarget(isa::makeJump(0), target);
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::branchNz(unsigned src, BlockLabel target)
+{
+    emitLabelTarget(isa::makeBranchNz(src, 0), target);
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::branchZ(unsigned src, BlockLabel target)
+{
+    emitLabelTarget(isa::makeBranchZ(src, 0), target);
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::call(BlockLabel target)
+{
+    emitLabelTarget(isa::makeCall(0), target);
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::jumpAbs(isa::GuestAddr target)
+{
+    emit(isa::makeJump(target));
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::callAbs(isa::GuestAddr target)
+{
+    emit(isa::makeCall(target));
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::jumpReg(unsigned src)
+{
+    emit(isa::makeJumpReg(src));
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::callReg(unsigned src)
+{
+    emit(isa::makeCallReg(src));
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::ret()
+{
+    emit(isa::makeReturn());
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::halt()
+{
+    emit(isa::makeHalt());
+    return *this;
+}
+
+std::vector<isa::GuestAddr>
+ModuleBuilder::finalize()
+{
+    if (finalized_) {
+        GENCACHE_PANIC("ModuleBuilder::finalize called twice");
+    }
+    finalized_ = true;
+
+    // Lay out blocks contiguously in creation order.
+    addrs_.resize(blocks_.size());
+    isa::GuestAddr addr = module_.baseAddr();
+    for (std::size_t i = 0; i < blocks_.size(); ++i) {
+        if (!blocks_[i].isTerminated()) {
+            GENCACHE_PANIC("unterminated block {} in module '{}'", i,
+                           module_.name());
+        }
+        blocks_[i].setStartAddr(addr);
+        addrs_[i] = addr;
+        addr += blocks_[i].sizeBytes();
+    }
+
+    // Patch label references now that addresses are known. Instructions
+    // are stored by value, so rebuild the patched blocks.
+    for (const Fixup &fixup : fixups_) {
+        isa::BasicBlock &block = blocks_[fixup.block];
+        isa::BasicBlock patched(block.startAddr());
+        std::uint32_t index = 0;
+        for (isa::Instruction inst : block.instructions()) {
+            if (index == fixup.inst) {
+                inst.target = addrs_[fixup.targetLabel];
+            }
+            patched.append(inst);
+            ++index;
+        }
+        block = std::move(patched);
+    }
+
+    for (auto &block : blocks_) {
+        module_.addBlock(std::move(block));
+    }
+    blocks_.clear();
+    return addrs_;
+}
+
+isa::GuestAddr
+ModuleBuilder::addrOf(BlockLabel label) const
+{
+    if (!finalized_) {
+        GENCACHE_PANIC("ModuleBuilder::addrOf before finalize");
+    }
+    if (!label.valid() || label.index >= addrs_.size()) {
+        GENCACHE_PANIC("ModuleBuilder::addrOf: invalid label");
+    }
+    return addrs_[label.index];
+}
+
+} // namespace gencache::guest

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * A small assembler-like API for constructing guest modules.
+ *
+ * Blocks are created with symbolic labels; control-flow instructions may
+ * target labels of blocks that do not yet have addresses. finalize()
+ * lays the blocks out contiguously from the module base (in creation
+ * order) and patches every label reference to its concrete address.
+ */
+
+#ifndef GENCACHE_GUEST_PROGRAM_BUILDER_H
+#define GENCACHE_GUEST_PROGRAM_BUILDER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "guest/module.h"
+
+namespace gencache::guest {
+
+/** Symbolic handle to a block under construction. */
+struct BlockLabel
+{
+    std::uint32_t index = ~0u;
+
+    bool valid() const { return index != ~0u; }
+};
+
+/**
+ * Builds the blocks of one module. Typical use:
+ *
+ * @code
+ * ModuleBuilder builder(module);
+ * BlockLabel head = builder.createBlock();
+ * BlockLabel body = builder.createBlock();
+ * builder.at(head).movi(0, 100).jump(body);
+ * builder.at(body).addi(0, 0, -1).branchNz(0, body);
+ * builder.finalize();
+ * @endcode
+ */
+class ModuleBuilder
+{
+  public:
+    /** Builds into @p module, which must currently be empty. */
+    explicit ModuleBuilder(GuestModule &module);
+
+    /** Create a new, empty block and return its label. */
+    BlockLabel createBlock();
+
+    /** Select the block that subsequent emit calls append to. */
+    ModuleBuilder &at(BlockLabel label);
+
+    /// @name Instruction emitters (append to the selected block).
+    /// @{
+    ModuleBuilder &nop();
+    ModuleBuilder &add(unsigned dst, unsigned src1, unsigned src2);
+    ModuleBuilder &sub(unsigned dst, unsigned src1, unsigned src2);
+    ModuleBuilder &mul(unsigned dst, unsigned src1, unsigned src2);
+    ModuleBuilder &addi(unsigned dst, unsigned src1, std::int64_t imm);
+    ModuleBuilder &movi(unsigned dst, std::int64_t imm);
+    ModuleBuilder &mov(unsigned dst, unsigned src1);
+    ModuleBuilder &load(unsigned dst, unsigned base, std::int64_t off);
+    ModuleBuilder &store(unsigned base, std::int64_t off, unsigned src);
+    /// @}
+
+    /// @name Terminators targeting labels in this module.
+    /// @{
+    ModuleBuilder &jump(BlockLabel target);
+    ModuleBuilder &branchNz(unsigned src, BlockLabel target);
+    ModuleBuilder &branchZ(unsigned src, BlockLabel target);
+    ModuleBuilder &call(BlockLabel target);
+    /// @}
+
+    /// @name Terminators targeting absolute guest addresses
+    /// (cross-module calls) or with no target.
+    /// @{
+    ModuleBuilder &jumpAbs(isa::GuestAddr target);
+    ModuleBuilder &callAbs(isa::GuestAddr target);
+    ModuleBuilder &jumpReg(unsigned src);
+    ModuleBuilder &callReg(unsigned src);
+    ModuleBuilder &ret();
+    ModuleBuilder &halt();
+    /// @}
+
+    /** Lay out all blocks, patch label targets, and add the blocks to
+     *  the module. The builder must not be reused afterwards.
+     *  @return the concrete start address of each created block. */
+    std::vector<isa::GuestAddr> finalize();
+
+    /** @return the concrete address of @p label; valid post-finalize. */
+    isa::GuestAddr addrOf(BlockLabel label) const;
+
+  private:
+    struct Fixup
+    {
+        std::uint32_t block;
+        std::uint32_t inst;
+        std::uint32_t targetLabel;
+    };
+
+    isa::BasicBlock &current();
+    void emit(const isa::Instruction &inst);
+    void emitLabelTarget(isa::Instruction inst, BlockLabel target);
+
+    GuestModule &module_;
+    std::vector<isa::BasicBlock> blocks_;
+    std::vector<Fixup> fixups_;
+    std::vector<isa::GuestAddr> addrs_;
+    std::uint32_t currentBlock_ = ~0u;
+    bool finalized_ = false;
+};
+
+} // namespace gencache::guest
+
+#endif // GENCACHE_GUEST_PROGRAM_BUILDER_H

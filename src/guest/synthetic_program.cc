@@ -1,0 +1,216 @@
+#include "guest/synthetic_program.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "guest/program_builder.h"
+#include "support/format.h"
+#include "support/logging.h"
+
+namespace gencache::guest {
+
+namespace {
+
+constexpr isa::GuestAddr kMainBase = 0x00400000;
+constexpr isa::GuestAddr kDllBase = 0x10000000;
+constexpr isa::GuestAddr kDllStride = 0x00100000;
+
+/** Registers reserved by the generated scaffolding. */
+constexpr unsigned kPhaseLoopReg = 14;  // phase iteration counter
+constexpr unsigned kInnerLoopReg = 12;  // function-local loop counter
+
+/**
+ * Emit one synthetic function into @p builder.
+ *
+ * Shape: entry sets up an inner loop; the body is a chain of blocks
+ * with mostly-straight-line flow plus one rarely-taken side block, so
+ * NET trace selection sees both hot paths and cold tails.
+ *
+ * Layout note: a conditional branch's not-taken successor is the block
+ * laid out immediately after it, so block creation order here encodes
+ * fall-through edges (the trampoline block catches the hot
+ * fall-through of the final body block's cold-path branch).
+ *
+ * @return the label of the function's entry block.
+ */
+BlockLabel
+emitFunction(ModuleBuilder &builder, Rng &rng, unsigned body_blocks,
+             unsigned iterations)
+{
+    BlockLabel entry = builder.createBlock();
+    BlockLabel head = builder.createBlock();
+    std::vector<BlockLabel> body(std::max(1u, body_blocks));
+    for (auto &label : body) {
+        label = builder.createBlock();
+    }
+    BlockLabel trampoline = builder.createBlock();
+    BlockLabel rare = builder.createBlock();
+    BlockLabel tail = builder.createBlock();
+    BlockLabel done = builder.createBlock();
+
+    builder.at(entry)
+        .movi(kInnerLoopReg, static_cast<std::int64_t>(iterations))
+        .jump(head);
+    builder.at(head).branchZ(kInnerLoopReg, done);
+
+    for (std::size_t i = 0; i < body.size(); ++i) {
+        builder.at(body[i]);
+        unsigned filler =
+            1 + static_cast<unsigned>(rng.uniformInt(1, 5));
+        for (unsigned k = 0; k < filler; ++k) {
+            unsigned dst = static_cast<unsigned>(rng.uniformInt(0, 7));
+            unsigned src = static_cast<unsigned>(rng.uniformInt(0, 7));
+            switch (rng.uniformInt(0, 3)) {
+              case 0:
+                builder.add(dst, src, dst);
+                break;
+              case 1:
+                builder.addi(dst, src, rng.uniformInt(-8, 8));
+                break;
+              case 2:
+                builder.mul(dst, src, dst);
+                break;
+              default:
+                builder.mov(dst, src);
+                break;
+            }
+        }
+        if (i + 1 < body.size()) {
+            builder.jump(body[i + 1]);
+        } else {
+            // Cold side exit, taken only on the final loop iteration.
+            builder.addi(8, kInnerLoopReg, -1).branchZ(8, rare);
+        }
+    }
+
+    builder.at(trampoline).jump(tail);
+    builder.at(rare).addi(9, 9, 1).jump(tail);
+    builder.at(tail)
+        .addi(kInnerLoopReg, kInnerLoopReg, -1)
+        .jump(head);
+    builder.at(done).ret();
+    return entry;
+}
+
+} // namespace
+
+SyntheticProgram
+generateSyntheticProgram(const SyntheticProgramConfig &config)
+{
+    if (config.phases == 0) {
+        fatal("synthetic program needs at least one phase");
+    }
+    Rng rng(config.seed);
+    SyntheticProgram result;
+    GuestProgram &program = result.program;
+
+    // --- DLL modules hosting phase-local functions -------------------
+    std::vector<GuestModule *> dllModules;
+    std::vector<std::unique_ptr<ModuleBuilder>> dllBuilders;
+    for (unsigned d = 0; d < config.dllCount; ++d) {
+        GuestModule &module = program.addModule(
+            format("phase{}.dll", d), kDllBase + d * kDllStride,
+            /*transient=*/true);
+        dllModules.push_back(&module);
+        dllBuilders.push_back(std::make_unique<ModuleBuilder>(module));
+    }
+    std::vector<unsigned> dllLastPhase(config.dllCount, 0);
+    std::vector<bool> dllUsed(config.dllCount, false);
+
+    struct PhaseFunction
+    {
+        unsigned dll = ~0u;
+        BlockLabel label;
+    };
+    std::vector<std::vector<PhaseFunction>> phaseFunctions(config.phases);
+    for (unsigned p = 0; p < config.phases; ++p) {
+        for (unsigned f = 0; f < config.functionsPerPhase; ++f) {
+            PhaseFunction fn;
+            if (config.dllCount > 0) {
+                fn.dll = (p * config.functionsPerPhase + f)
+                         % config.dllCount;
+                unsigned iters = config.innerIterations +
+                    static_cast<unsigned>(rng.uniformInt(0, 4));
+                fn.label = emitFunction(*dllBuilders[fn.dll], rng,
+                                        config.blocksPerFunction, iters);
+                dllLastPhase[fn.dll] =
+                    std::max(dllLastPhase[fn.dll], p);
+                dllUsed[fn.dll] = true;
+            }
+            phaseFunctions[p].push_back(fn);
+        }
+    }
+
+    // Finalize DLLs to learn the functions' entry addresses.
+    for (auto &builder : dllBuilders) {
+        builder->finalize();
+    }
+
+    // --- Main module --------------------------------------------------
+    GuestModule &main = program.addModule("main.exe", kMainBase);
+    ModuleBuilder mb(main);
+
+    // Shared hot functions live in the main module.
+    std::vector<BlockLabel> sharedFns;
+    for (unsigned f = 0; f < config.sharedFunctions; ++f) {
+        unsigned iters = config.innerIterations +
+            static_cast<unsigned>(rng.uniformInt(0, 4));
+        sharedFns.push_back(
+            emitFunction(mb, rng, config.blocksPerFunction, iters));
+    }
+
+    BlockLabel entry = mb.createBlock();
+    mb.at(entry).movi(9, 0); // r9 counts cold-path visits
+
+    // Each phase: publish the phase in r13, then loop over its calls.
+    BlockLabel prevTail = entry;
+    for (unsigned p = 0; p < config.phases; ++p) {
+        BlockLabel setup = mb.createBlock();
+        mb.at(prevTail).jump(setup);
+
+        BlockLabel loopHead = mb.createBlock();
+        mb.at(setup)
+            .movi(kPhaseRegister, static_cast<std::int64_t>(p))
+            .movi(kPhaseLoopReg,
+                  static_cast<std::int64_t>(config.phaseIterations))
+            .jump(loopHead);
+
+        // Chain of call blocks; a call's fall-through must be the next
+        // created block.
+        BlockLabel current = loopHead;
+        for (BlockLabel shared : sharedFns) {
+            mb.at(current).call(shared);
+            current = mb.createBlock();
+        }
+        for (const PhaseFunction &fn : phaseFunctions[p]) {
+            if (fn.dll != ~0u) {
+                mb.at(current).callAbs(
+                    dllBuilders[fn.dll]->addrOf(fn.label));
+                current = mb.createBlock();
+            }
+        }
+
+        mb.at(current)
+            .addi(kPhaseLoopReg, kPhaseLoopReg, -1)
+            .branchNz(kPhaseLoopReg, loopHead);
+        BlockLabel phaseDone = mb.createBlock(); // branch fall-through
+        mb.at(phaseDone).nop();
+        prevTail = phaseDone;
+    }
+    BlockLabel end = mb.createBlock();
+    mb.at(prevTail).jump(end);
+    mb.at(end).halt();
+
+    mb.finalize();
+    program.setEntry(mb.addrOf(entry));
+
+    for (unsigned d = 0; d < config.dllCount; ++d) {
+        if (dllUsed[d]) {
+            result.dllLastPhase.emplace_back(dllModules[d]->id(),
+                                             dllLastPhase[d]);
+        }
+    }
+    return result;
+}
+
+} // namespace gencache::guest

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Deterministic generation of synthetic guest programs.
+ *
+ * Generated programs exhibit the structure the paper's workloads have:
+ * phased execution (interactive "tasks"), hot shared functions that stay
+ * live for the whole run, phase-local functions that die with their
+ * phase, and transient DLL modules that can be unmapped once their last
+ * phase completes. Programs always terminate when interpreted.
+ *
+ * Convention: the guest writes the current phase number to register r13
+ * at every phase start, so harnesses can track phase boundaries and
+ * unmap DLLs whose last phase has passed.
+ */
+
+#ifndef GENCACHE_GUEST_SYNTHETIC_PROGRAM_H
+#define GENCACHE_GUEST_SYNTHETIC_PROGRAM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "guest/program.h"
+#include "support/rng.h"
+
+namespace gencache::guest {
+
+/** Register the generated guest uses to publish its current phase. */
+constexpr unsigned kPhaseRegister = 13;
+
+/** Tuning knobs for SyntheticProgramGenerator. */
+struct SyntheticProgramConfig
+{
+    std::uint64_t seed = 1;        ///< RNG seed; same seed => same program
+    unsigned phases = 3;           ///< number of execution phases
+    unsigned functionsPerPhase = 4; ///< phase-local functions per phase
+    unsigned sharedFunctions = 2;  ///< hot functions called in all phases
+    unsigned dllCount = 2;         ///< transient modules hosting phase code
+    unsigned blocksPerFunction = 4; ///< body blocks per function
+    unsigned phaseIterations = 10; ///< loop count of each phase
+    unsigned innerIterations = 8;  ///< loop count inside each function
+};
+
+/** Everything a harness needs to run a generated program. */
+struct SyntheticProgram
+{
+    GuestProgram program;
+    /** For each transient DLL module: the last phase (0-based) in which
+     *  any of its functions is called; safe to unmap afterwards. */
+    std::vector<std::pair<ModuleId, unsigned>> dllLastPhase;
+};
+
+/**
+ * Build a synthetic program from @p config. Deterministic in the seed.
+ */
+SyntheticProgram generateSyntheticProgram(
+    const SyntheticProgramConfig &config);
+
+} // namespace gencache::guest
+
+#endif // GENCACHE_GUEST_SYNTHETIC_PROGRAM_H

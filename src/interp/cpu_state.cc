@@ -1,0 +1,28 @@
+#include "interp/cpu_state.h"
+
+namespace gencache::interp {
+
+void
+CpuState::reset(isa::GuestAddr entry)
+{
+    regs.fill(0);
+    memory.clear();
+    callStack.clear();
+    pc = entry;
+    halted = false;
+}
+
+std::int64_t
+CpuState::loadMem(isa::GuestAddr addr) const
+{
+    auto it = memory.find(addr);
+    return it == memory.end() ? 0 : it->second;
+}
+
+void
+CpuState::storeMem(isa::GuestAddr addr, std::int64_t value)
+{
+    memory[addr] = value;
+}
+
+} // namespace gencache::interp

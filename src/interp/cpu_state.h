@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Architectural state of the synthetic guest CPU.
+ */
+
+#ifndef GENCACHE_INTERP_CPU_STATE_H
+#define GENCACHE_INTERP_CPU_STATE_H
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/instruction.h"
+
+namespace gencache::interp {
+
+/** Registers, sparse data memory, call stack, and the program counter. */
+struct CpuState
+{
+    std::array<std::int64_t, isa::kNumRegs> regs{};
+    std::unordered_map<isa::GuestAddr, std::int64_t> memory;
+    std::vector<isa::GuestAddr> callStack;
+    isa::GuestAddr pc = 0;
+    bool halted = false;
+
+    /** Reset everything and set the program counter to @p entry. */
+    void reset(isa::GuestAddr entry);
+
+    std::int64_t reg(unsigned index) const { return regs[index]; }
+    void setReg(unsigned index, std::int64_t value)
+    {
+        regs[index] = value;
+    }
+
+    /** Load from sparse memory; unwritten addresses read as zero. */
+    std::int64_t loadMem(isa::GuestAddr addr) const;
+    void storeMem(isa::GuestAddr addr, std::int64_t value);
+};
+
+} // namespace gencache::interp
+
+#endif // GENCACHE_INTERP_CPU_STATE_H

@@ -1,0 +1,137 @@
+#include "interp/interpreter.h"
+
+#include "support/logging.h"
+
+namespace gencache::interp {
+
+Interpreter::Interpreter(const guest::AddressSpace &space)
+    : space_(space)
+{
+}
+
+BlockResult
+Interpreter::executeBlock(CpuState &state)
+{
+    if (state.halted) {
+        GENCACHE_PANIC("executeBlock on a halted guest");
+    }
+    const isa::BasicBlock *block = space_.blockAt(state.pc);
+    if (block == nullptr) {
+        GENCACHE_PANIC("no mapped block at guest pc {}", state.pc);
+    }
+
+    BlockResult result;
+    isa::GuestAddr addr = state.pc;
+
+    for (const isa::Instruction &inst : block->instructions()) {
+        ++result.instructions;
+        isa::GuestAddr fall_through = addr + inst.sizeBytes();
+        switch (inst.opcode) {
+          case isa::Opcode::Nop:
+            break;
+          case isa::Opcode::Add:
+            state.regs[inst.dst] =
+                state.regs[inst.src1] + state.regs[inst.src2];
+            break;
+          case isa::Opcode::Sub:
+            state.regs[inst.dst] =
+                state.regs[inst.src1] - state.regs[inst.src2];
+            break;
+          case isa::Opcode::Mul:
+            state.regs[inst.dst] =
+                state.regs[inst.src1] * state.regs[inst.src2];
+            break;
+          case isa::Opcode::AddImm:
+            state.regs[inst.dst] = state.regs[inst.src1] + inst.imm;
+            break;
+          case isa::Opcode::MovImm:
+            state.regs[inst.dst] = inst.imm;
+            break;
+          case isa::Opcode::Mov:
+            state.regs[inst.dst] = state.regs[inst.src1];
+            break;
+          case isa::Opcode::Load:
+            state.regs[inst.dst] = state.loadMem(
+                static_cast<isa::GuestAddr>(
+                    state.regs[inst.src1] + inst.imm));
+            break;
+          case isa::Opcode::Store:
+            state.storeMem(
+                static_cast<isa::GuestAddr>(
+                    state.regs[inst.src1] + inst.imm),
+                state.regs[inst.src2]);
+            break;
+          case isa::Opcode::Jump:
+            result.next = inst.target;
+            result.takenBranch = true;
+            break;
+          case isa::Opcode::BranchNz:
+            if (state.regs[inst.src1] != 0) {
+                result.next = inst.target;
+                result.takenBranch = true;
+            } else {
+                result.next = fall_through;
+            }
+            break;
+          case isa::Opcode::BranchZ:
+            if (state.regs[inst.src1] == 0) {
+                result.next = inst.target;
+                result.takenBranch = true;
+            } else {
+                result.next = fall_through;
+            }
+            break;
+          case isa::Opcode::JumpReg:
+            result.next = static_cast<isa::GuestAddr>(
+                state.regs[inst.src1]);
+            result.takenBranch = true;
+            break;
+          case isa::Opcode::Call:
+            state.callStack.push_back(fall_through);
+            result.next = inst.target;
+            result.takenBranch = true;
+            break;
+          case isa::Opcode::CallReg:
+            state.callStack.push_back(fall_through);
+            result.next = static_cast<isa::GuestAddr>(
+                state.regs[inst.src1]);
+            result.takenBranch = true;
+            break;
+          case isa::Opcode::Return:
+            if (state.callStack.empty()) {
+                GENCACHE_PANIC("return with empty call stack at {}",
+                               addr);
+            }
+            result.next = state.callStack.back();
+            state.callStack.pop_back();
+            result.takenBranch = true;
+            break;
+          case isa::Opcode::Halt:
+            result.halted = true;
+            state.halted = true;
+            result.next = addr;
+            break;
+        }
+        addr = fall_through;
+    }
+
+    // A taken transfer to the block's own start (a self-loop) is a
+    // backward edge too, hence <= rather than <.
+    result.backwardTransfer = !result.halted && result.takenBranch &&
+                              result.next <= block->startAddr();
+    state.pc = result.next;
+    retired_ += result.instructions;
+    return result;
+}
+
+std::uint64_t
+Interpreter::run(CpuState &state, std::uint64_t max_blocks)
+{
+    std::uint64_t start = retired_;
+    for (std::uint64_t i = 0; i < max_blocks && !state.halted; ++i) {
+        executeBlock(state);
+    }
+    return retired_ - start;
+}
+
+} // namespace gencache::interp

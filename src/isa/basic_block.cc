@@ -1,0 +1,46 @@
+#include "isa/basic_block.h"
+
+#include "support/format.h"
+#include "support/logging.h"
+
+namespace gencache::isa {
+
+void
+BasicBlock::append(const Instruction &inst)
+{
+    if (isTerminated()) {
+        GENCACHE_PANIC("append to terminated block at {}", start_);
+    }
+    insts_.push_back(inst);
+    sizeBytes_ += inst.sizeBytes();
+}
+
+const Instruction &
+BasicBlock::terminator() const
+{
+    if (!isTerminated()) {
+        GENCACHE_PANIC("block at {} has no terminator", start_);
+    }
+    return insts_.back();
+}
+
+bool
+BasicBlock::isTerminated() const
+{
+    return !insts_.empty() && isControlFlow(insts_.back().opcode);
+}
+
+std::string
+BasicBlock::toString() const
+{
+    std::string out = format("block @{} ({} bytes):\n", start_,
+                             sizeBytes_);
+    GuestAddr addr = start_;
+    for (const Instruction &inst : insts_) {
+        out += format("  {}: {}\n", addr, inst.toString());
+        addr += inst.sizeBytes();
+    }
+    return out;
+}
+
+} // namespace gencache::isa

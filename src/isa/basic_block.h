@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Basic blocks of the synthetic guest ISA.
+ *
+ * A basic block is a single-entry single-exit instruction sequence: zero
+ * or more non-control-flow instructions followed by exactly one
+ * control-flow terminator. Blocks are the unit the dynamic optimizer
+ * copies into its basic-block cache and stitches into traces.
+ */
+
+#ifndef GENCACHE_ISA_BASIC_BLOCK_H
+#define GENCACHE_ISA_BASIC_BLOCK_H
+
+#include <string>
+#include <vector>
+
+#include "isa/instruction.h"
+
+namespace gencache::isa {
+
+/** A single-entry single-exit sequence of guest instructions. */
+class BasicBlock
+{
+  public:
+    BasicBlock() = default;
+
+    /** @param start the guest address of the first instruction. */
+    explicit BasicBlock(GuestAddr start) : start_(start) {}
+
+    GuestAddr startAddr() const { return start_; }
+    void setStartAddr(GuestAddr addr) { start_ = addr; }
+
+    /** Append an instruction; control flow must come last. */
+    void append(const Instruction &inst);
+
+    const std::vector<Instruction> &instructions() const { return insts_; }
+
+    std::size_t instructionCount() const { return insts_.size(); }
+
+    bool empty() const { return insts_.empty(); }
+
+    /** @return total encoded size of the block in bytes. */
+    unsigned sizeBytes() const { return sizeBytes_; }
+
+    /** @return the address just past the last instruction. */
+    GuestAddr endAddr() const { return start_ + sizeBytes_; }
+
+    /** @return the terminating instruction; panics when the block is
+     *  empty or unterminated. */
+    const Instruction &terminator() const;
+
+    /** @return true when the block ends in a control-flow instruction. */
+    bool isTerminated() const;
+
+    /** @return the fall-through address (address past the terminator);
+     *  only meaningful for conditional branches and calls. */
+    GuestAddr fallThroughAddr() const { return endAddr(); }
+
+    /** @return a multi-line disassembly of the block. */
+    std::string toString() const;
+
+  private:
+    GuestAddr start_ = 0;
+    unsigned sizeBytes_ = 0;
+    std::vector<Instruction> insts_;
+};
+
+} // namespace gencache::isa
+
+#endif // GENCACHE_ISA_BASIC_BLOCK_H

@@ -1,0 +1,303 @@
+#include "isa/instruction.h"
+
+#include "support/format.h"
+#include "support/logging.h"
+
+namespace gencache::isa {
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop: return "nop";
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::AddImm: return "addi";
+      case Opcode::MovImm: return "movi";
+      case Opcode::Mov: return "mov";
+      case Opcode::Load: return "load";
+      case Opcode::Store: return "store";
+      case Opcode::Jump: return "jmp";
+      case Opcode::BranchNz: return "bnz";
+      case Opcode::BranchZ: return "bz";
+      case Opcode::JumpReg: return "jmpr";
+      case Opcode::Call: return "call";
+      case Opcode::CallReg: return "callr";
+      case Opcode::Return: return "ret";
+      case Opcode::Halt: return "halt";
+    }
+    GENCACHE_PANIC("opcodeName: unknown opcode {}",
+                   static_cast<int>(op));
+}
+
+unsigned
+opcodeSize(Opcode op)
+{
+    // Variable-length encodings chosen to mimic the byte-size mix of
+    // IA-32 code (short register ops, longer immediates and transfers).
+    switch (op) {
+      case Opcode::Nop: return 1;
+      case Opcode::Add: return 3;
+      case Opcode::Sub: return 3;
+      case Opcode::Mul: return 3;
+      case Opcode::AddImm: return 5;
+      case Opcode::MovImm: return 6;
+      case Opcode::Mov: return 2;
+      case Opcode::Load: return 4;
+      case Opcode::Store: return 4;
+      case Opcode::Jump: return 5;
+      case Opcode::BranchNz: return 6;
+      case Opcode::BranchZ: return 6;
+      case Opcode::JumpReg: return 3;
+      case Opcode::Call: return 5;
+      case Opcode::CallReg: return 3;
+      case Opcode::Return: return 1;
+      case Opcode::Halt: return 1;
+    }
+    GENCACHE_PANIC("opcodeSize: unknown opcode {}",
+                   static_cast<int>(op));
+}
+
+bool
+isControlFlow(Opcode op)
+{
+    switch (op) {
+      case Opcode::Jump:
+      case Opcode::BranchNz:
+      case Opcode::BranchZ:
+      case Opcode::JumpReg:
+      case Opcode::Call:
+      case Opcode::CallReg:
+      case Opcode::Return:
+      case Opcode::Halt:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isConditionalBranch(Opcode op)
+{
+    return op == Opcode::BranchNz || op == Opcode::BranchZ;
+}
+
+bool
+isIndirect(Opcode op)
+{
+    return op == Opcode::JumpReg || op == Opcode::CallReg ||
+           op == Opcode::Return;
+}
+
+std::string
+Instruction::toString() const
+{
+    switch (opcode) {
+      case Opcode::Nop:
+      case Opcode::Return:
+      case Opcode::Halt:
+        return opcodeName(opcode);
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+        return format("{} r{}, r{}, r{}", opcodeName(opcode),
+                      int{dst}, int{src1}, int{src2});
+      case Opcode::AddImm:
+        return format("addi r{}, r{}, {}", int{dst}, int{src1}, imm);
+      case Opcode::MovImm:
+        return format("movi r{}, {}", int{dst}, imm);
+      case Opcode::Mov:
+        return format("mov r{}, r{}", int{dst}, int{src1});
+      case Opcode::Load:
+        return format("load r{}, [r{}+{}]", int{dst}, int{src1}, imm);
+      case Opcode::Store:
+        return format("store [r{}+{}], r{}", int{src1}, imm, int{src2});
+      case Opcode::Jump:
+        return format("jmp {}", target);
+      case Opcode::BranchNz:
+        return format("bnz r{}, {}", int{src1}, target);
+      case Opcode::BranchZ:
+        return format("bz r{}, {}", int{src1}, target);
+      case Opcode::JumpReg:
+        return format("jmpr r{}", int{src1});
+      case Opcode::Call:
+        return format("call {}", target);
+      case Opcode::CallReg:
+        return format("callr r{}", int{src1});
+    }
+    GENCACHE_PANIC("Instruction::toString: unknown opcode");
+}
+
+namespace {
+
+std::uint8_t
+checkReg(unsigned reg)
+{
+    if (reg >= kNumRegs) {
+        GENCACHE_PANIC("register r{} out of range", reg);
+    }
+    return static_cast<std::uint8_t>(reg);
+}
+
+} // namespace
+
+Instruction
+makeNop()
+{
+    return Instruction{};
+}
+
+Instruction
+makeAdd(unsigned dst, unsigned src1, unsigned src2)
+{
+    Instruction inst;
+    inst.opcode = Opcode::Add;
+    inst.dst = checkReg(dst);
+    inst.src1 = checkReg(src1);
+    inst.src2 = checkReg(src2);
+    return inst;
+}
+
+Instruction
+makeSub(unsigned dst, unsigned src1, unsigned src2)
+{
+    Instruction inst = makeAdd(dst, src1, src2);
+    inst.opcode = Opcode::Sub;
+    return inst;
+}
+
+Instruction
+makeMul(unsigned dst, unsigned src1, unsigned src2)
+{
+    Instruction inst = makeAdd(dst, src1, src2);
+    inst.opcode = Opcode::Mul;
+    return inst;
+}
+
+Instruction
+makeAddImm(unsigned dst, unsigned src1, std::int64_t imm)
+{
+    Instruction inst;
+    inst.opcode = Opcode::AddImm;
+    inst.dst = checkReg(dst);
+    inst.src1 = checkReg(src1);
+    inst.imm = imm;
+    return inst;
+}
+
+Instruction
+makeMovImm(unsigned dst, std::int64_t imm)
+{
+    Instruction inst;
+    inst.opcode = Opcode::MovImm;
+    inst.dst = checkReg(dst);
+    inst.imm = imm;
+    return inst;
+}
+
+Instruction
+makeMov(unsigned dst, unsigned src1)
+{
+    Instruction inst;
+    inst.opcode = Opcode::Mov;
+    inst.dst = checkReg(dst);
+    inst.src1 = checkReg(src1);
+    return inst;
+}
+
+Instruction
+makeLoad(unsigned dst, unsigned base, std::int64_t offset)
+{
+    Instruction inst;
+    inst.opcode = Opcode::Load;
+    inst.dst = checkReg(dst);
+    inst.src1 = checkReg(base);
+    inst.imm = offset;
+    return inst;
+}
+
+Instruction
+makeStore(unsigned base, std::int64_t offset, unsigned src)
+{
+    Instruction inst;
+    inst.opcode = Opcode::Store;
+    inst.src1 = checkReg(base);
+    inst.src2 = checkReg(src);
+    inst.imm = offset;
+    return inst;
+}
+
+Instruction
+makeJump(GuestAddr target)
+{
+    Instruction inst;
+    inst.opcode = Opcode::Jump;
+    inst.target = target;
+    return inst;
+}
+
+Instruction
+makeBranchNz(unsigned src, GuestAddr target)
+{
+    Instruction inst;
+    inst.opcode = Opcode::BranchNz;
+    inst.src1 = checkReg(src);
+    inst.target = target;
+    return inst;
+}
+
+Instruction
+makeBranchZ(unsigned src, GuestAddr target)
+{
+    Instruction inst;
+    inst.opcode = Opcode::BranchZ;
+    inst.src1 = checkReg(src);
+    inst.target = target;
+    return inst;
+}
+
+Instruction
+makeJumpReg(unsigned src)
+{
+    Instruction inst;
+    inst.opcode = Opcode::JumpReg;
+    inst.src1 = checkReg(src);
+    return inst;
+}
+
+Instruction
+makeCall(GuestAddr target)
+{
+    Instruction inst;
+    inst.opcode = Opcode::Call;
+    inst.target = target;
+    return inst;
+}
+
+Instruction
+makeCallReg(unsigned src)
+{
+    Instruction inst;
+    inst.opcode = Opcode::CallReg;
+    inst.src1 = checkReg(src);
+    return inst;
+}
+
+Instruction
+makeReturn()
+{
+    Instruction inst;
+    inst.opcode = Opcode::Return;
+    return inst;
+}
+
+Instruction
+makeHalt()
+{
+    Instruction inst;
+    inst.opcode = Opcode::Halt;
+    return inst;
+}
+
+} // namespace gencache::isa

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The synthetic guest instruction set.
+ *
+ * gencache does not execute IA-32; the cache-management problem only
+ * depends on the dynamic stream of basic blocks, so we define a compact
+ * RISC-like ISA with variable-length encodings (to model x86-like code
+ * footprints) that is rich enough to express loops, calls, indirect
+ * jumps, and module-crossing control flow.
+ */
+
+#ifndef GENCACHE_ISA_INSTRUCTION_H
+#define GENCACHE_ISA_INSTRUCTION_H
+
+#include <cstdint>
+#include <string>
+
+namespace gencache::isa {
+
+/** Guest virtual address. */
+using GuestAddr = std::uint64_t;
+
+/** Number of general-purpose guest registers. */
+constexpr unsigned kNumRegs = 16;
+
+/** Opcodes of the synthetic ISA. */
+enum class Opcode : std::uint8_t {
+    Nop,          ///< No operation.
+    Add,          ///< dst = src1 + src2
+    Sub,          ///< dst = src1 - src2
+    Mul,          ///< dst = src1 * src2
+    AddImm,       ///< dst = src1 + imm
+    MovImm,       ///< dst = imm
+    Mov,          ///< dst = src1
+    Load,         ///< dst = mem[src1 + imm]
+    Store,        ///< mem[src1 + imm] = src2
+    Jump,         ///< pc = target (unconditional, direct)
+    BranchNz,     ///< if (src1 != 0) pc = target, else fall through
+    BranchZ,      ///< if (src1 == 0) pc = target, else fall through
+    JumpReg,      ///< pc = src1 (indirect)
+    Call,         ///< push return address; pc = target
+    CallReg,      ///< push return address; pc = src1 (indirect)
+    Return,       ///< pc = pop()
+    Halt,         ///< stop the guest program
+};
+
+/** @return the mnemonic for @p op. */
+const char *opcodeName(Opcode op);
+
+/** @return the encoded size in bytes of @p op (variable-length model). */
+unsigned opcodeSize(Opcode op);
+
+/** @return true when @p op ends a basic block. */
+bool isControlFlow(Opcode op);
+
+/** @return true for conditional branches (two successors). */
+bool isConditionalBranch(Opcode op);
+
+/** @return true for indirect transfers (target unknown statically). */
+bool isIndirect(Opcode op);
+
+/**
+ * One decoded guest instruction. Plain value type; blocks own their
+ * instructions by value.
+ */
+struct Instruction
+{
+    Opcode opcode = Opcode::Nop;
+    std::uint8_t dst = 0;     ///< destination register
+    std::uint8_t src1 = 0;    ///< first source register
+    std::uint8_t src2 = 0;    ///< second source register
+    std::int64_t imm = 0;     ///< immediate operand
+    GuestAddr target = 0;     ///< direct control-flow target
+
+    /** @return encoded size in bytes. */
+    unsigned sizeBytes() const { return opcodeSize(opcode); }
+
+    /** @return a human-readable disassembly of this instruction. */
+    std::string toString() const;
+};
+
+/// @name Instruction constructors.
+/// @{
+Instruction makeNop();
+Instruction makeAdd(unsigned dst, unsigned src1, unsigned src2);
+Instruction makeSub(unsigned dst, unsigned src1, unsigned src2);
+Instruction makeMul(unsigned dst, unsigned src1, unsigned src2);
+Instruction makeAddImm(unsigned dst, unsigned src1, std::int64_t imm);
+Instruction makeMovImm(unsigned dst, std::int64_t imm);
+Instruction makeMov(unsigned dst, unsigned src1);
+Instruction makeLoad(unsigned dst, unsigned base, std::int64_t offset);
+Instruction makeStore(unsigned base, std::int64_t offset, unsigned src);
+Instruction makeJump(GuestAddr target);
+Instruction makeBranchNz(unsigned src, GuestAddr target);
+Instruction makeBranchZ(unsigned src, GuestAddr target);
+Instruction makeJumpReg(unsigned src);
+Instruction makeCall(GuestAddr target);
+Instruction makeCallReg(unsigned src);
+Instruction makeReturn();
+Instruction makeHalt();
+/// @}
+
+} // namespace gencache::isa
+
+#endif // GENCACHE_ISA_INSTRUCTION_H

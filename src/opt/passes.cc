@@ -1,0 +1,262 @@
+#include "opt/passes.h"
+
+#include <optional>
+
+#include "support/logging.h"
+
+namespace gencache::opt {
+
+namespace {
+
+/** Registers read by @p inst. */
+std::vector<unsigned>
+readsOf(const isa::Instruction &inst)
+{
+    using isa::Opcode;
+    switch (inst.opcode) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+        return {inst.src1, inst.src2};
+      case Opcode::AddImm:
+      case Opcode::Mov:
+      case Opcode::Load:
+        return {inst.src1};
+      case Opcode::Store:
+        return {inst.src1, inst.src2};
+      case Opcode::BranchNz:
+      case Opcode::BranchZ:
+      case Opcode::JumpReg:
+      case Opcode::CallReg:
+        return {inst.src1};
+      default:
+        return {};
+    }
+}
+
+/** The register written by @p inst, or -1. */
+int
+writeOf(const isa::Instruction &inst)
+{
+    using isa::Opcode;
+    switch (inst.opcode) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::AddImm:
+      case Opcode::MovImm:
+      case Opcode::Mov:
+      case Opcode::Load:
+        return inst.dst;
+      default:
+        return -1;
+    }
+}
+
+} // namespace
+
+bool
+NopElimination::run(Superblock &sb)
+{
+    std::vector<SbInst> &insts = sb.insts();
+    std::size_t before = insts.size();
+    std::erase_if(insts, [](const SbInst &entry) {
+        return entry.inst.opcode == isa::Opcode::Nop;
+    });
+    return insts.size() != before;
+}
+
+bool
+RedundantMoveElimination::run(Superblock &sb)
+{
+    std::vector<SbInst> &insts = sb.insts();
+    std::size_t before = insts.size();
+    std::erase_if(insts, [](const SbInst &entry) {
+        return entry.inst.opcode == isa::Opcode::Mov &&
+               entry.inst.dst == entry.inst.src1;
+    });
+
+    // Identical consecutive re-materializations of the same constant
+    // into the same register (the second movi is redundant).
+    for (std::size_t i = 1; i < insts.size();) {
+        const isa::Instruction &prev = insts[i - 1].inst;
+        const isa::Instruction &cur = insts[i].inst;
+        if (prev.opcode == isa::Opcode::MovImm &&
+            cur.opcode == isa::Opcode::MovImm &&
+            prev.dst == cur.dst && prev.imm == cur.imm) {
+            insts.erase(insts.begin() +
+                        static_cast<std::ptrdiff_t>(i));
+        } else {
+            ++i;
+        }
+    }
+    return insts.size() != before;
+}
+
+bool
+ConstantFolding::run(Superblock &sb)
+{
+    std::array<std::optional<std::int64_t>, isa::kNumRegs> known{};
+    bool changed = false;
+
+    for (SbInst &entry : sb.insts()) {
+        isa::Instruction &inst = entry.inst;
+        using isa::Opcode;
+        switch (inst.opcode) {
+          case Opcode::MovImm:
+            known[inst.dst] = inst.imm;
+            break;
+          case Opcode::Mov:
+            known[inst.dst] = known[inst.src1];
+            break;
+          case Opcode::AddImm:
+            if (known[inst.src1]) {
+                std::int64_t value = *known[inst.src1] + inst.imm;
+                inst = isa::makeMovImm(inst.dst, value);
+                known[inst.dst] = value;
+                changed = true;
+            } else {
+                known[inst.dst].reset();
+            }
+            break;
+          case Opcode::Add:
+          case Opcode::Sub:
+          case Opcode::Mul:
+            if (known[inst.src1] && known[inst.src2]) {
+                std::int64_t a = *known[inst.src1];
+                std::int64_t b = *known[inst.src2];
+                std::int64_t value = inst.opcode == Opcode::Add
+                                         ? a + b
+                                         : inst.opcode == Opcode::Sub
+                                               ? a - b
+                                               : a * b;
+                inst = isa::makeMovImm(inst.dst, value);
+                known[inst.dst] = value;
+                changed = true;
+            } else {
+                known[inst.dst].reset();
+            }
+            break;
+          case Opcode::Load:
+            known[inst.dst].reset();
+            break;
+          default:
+            // Stores and control flow neither define registers nor
+            // invalidate the constants we track.
+            break;
+        }
+    }
+    return changed;
+}
+
+bool
+DeadWriteElimination::run(Superblock &sb)
+{
+    std::vector<SbInst> &insts = sb.insts();
+    // Backward liveness. At the trace end everything is live (the
+    // code after the trace may read any register); likewise across
+    // any side exit or control transfer.
+    std::array<bool, isa::kNumRegs> live;
+    live.fill(true);
+
+    std::vector<bool> dead(insts.size(), false);
+    bool changed = false;
+
+    for (std::size_t n = insts.size(); n-- > 0;) {
+        const SbInst &entry = insts[n];
+        const isa::Instruction &inst = entry.inst;
+        if (entry.sideExit || isa::isControlFlow(inst.opcode)) {
+            live.fill(true);
+            // Control flow may still read a register (bnz, jmpr).
+            for (unsigned reg : readsOf(inst)) {
+                live[reg] = true;
+            }
+            continue;
+        }
+        int write = writeOf(inst);
+        // Loads are kept even when dead: in a real ISA they may
+        // fault, and the conservatism is cheap.
+        if (write >= 0 && !live[static_cast<unsigned>(write)] &&
+            inst.opcode != isa::Opcode::Load) {
+            dead[n] = true;
+            changed = true;
+            continue;
+        }
+        if (write >= 0) {
+            live[static_cast<unsigned>(write)] = false;
+        }
+        for (unsigned reg : readsOf(inst)) {
+            live[reg] = true;
+        }
+    }
+
+    if (changed) {
+        std::vector<SbInst> kept;
+        kept.reserve(insts.size());
+        for (std::size_t i = 0; i < insts.size(); ++i) {
+            if (!dead[i]) {
+                kept.push_back(insts[i]);
+            }
+        }
+        insts.swap(kept);
+    }
+    return changed;
+}
+
+void
+PassManager::addPass(std::unique_ptr<Pass> pass)
+{
+    passes_.push_back(std::move(pass));
+}
+
+OptResult
+PassManager::optimize(Superblock &sb, unsigned max_iterations) const
+{
+    OptResult result;
+    result.bytesBefore = sb.codeBytes();
+    result.instsBefore = sb.size();
+    result.passStats.reserve(passes_.size());
+    for (const auto &pass : passes_) {
+        result.passStats.push_back(PassStats{pass->name(), 0});
+    }
+
+    // Folding may temporarily grow code (MovImm is wider than the ALU
+    // op it replaces); keep the smallest version seen.
+    Superblock best = sb;
+
+    for (unsigned iter = 0; iter < max_iterations; ++iter) {
+        bool changed = false;
+        for (std::size_t i = 0; i < passes_.size(); ++i) {
+            if (passes_[i]->run(sb)) {
+                ++result.passStats[i].applications;
+                changed = true;
+            }
+        }
+        ++result.iterations;
+        if (sb.codeBytes() < best.codeBytes()) {
+            best = sb;
+        }
+        if (!changed) {
+            break;
+        }
+    }
+    if (best.codeBytes() < sb.codeBytes()) {
+        sb = best;
+    }
+    result.bytesAfter = sb.codeBytes();
+    result.instsAfter = sb.size();
+    return result;
+}
+
+PassManager
+makeDefaultPipeline()
+{
+    PassManager manager;
+    manager.addPass(std::make_unique<NopElimination>());
+    manager.addPass(std::make_unique<RedundantMoveElimination>());
+    manager.addPass(std::make_unique<ConstantFolding>());
+    manager.addPass(std::make_unique<DeadWriteElimination>());
+    return manager;
+}
+
+} // namespace gencache::opt

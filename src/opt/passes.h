@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Trace optimization passes (paper §1: "applies optimizations and/or
+ * transformations to the generated code traces").
+ *
+ * Superblocks are ideal for low-overhead optimization (§3.2): a
+ * single entry means straight-line dataflow, with side exits as the
+ * only barriers. The pipeline here implements the classic
+ * trace-cache-friendly passes:
+ *
+ *  - nop elimination,
+ *  - redundant-move elimination (self moves, re-materialized
+ *    constants),
+ *  - constant folding and propagation (MovImm feeding ALU ops),
+ *  - dead-write elimination (registers overwritten before any read,
+ *    with side exits treated as full liveness barriers).
+ *
+ * The PassManager iterates to a fixpoint and keeps the smallest
+ * version it saw (folding can temporarily grow code: on this ISA a
+ * MovImm is wider than the ALU op it replaces, and pays off only when
+ * it makes producers dead).
+ */
+
+#ifndef GENCACHE_OPT_PASSES_H
+#define GENCACHE_OPT_PASSES_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "opt/superblock.h"
+
+namespace gencache::opt {
+
+/** One rewrite over a superblock. */
+class Pass
+{
+  public:
+    virtual ~Pass() = default;
+
+    /** Short pass name for reports. */
+    virtual const char *name() const = 0;
+
+    /** Rewrite @p sb in place.
+     *  @return true when anything changed. */
+    virtual bool run(Superblock &sb) = 0;
+};
+
+/** Removes Nop instructions. */
+class NopElimination : public Pass
+{
+  public:
+    const char *name() const override { return "nop-elim"; }
+    bool run(Superblock &sb) override;
+};
+
+/** Removes self-moves (mov rX, rX) and identical re-materializations
+ *  (movi rX, k immediately redefined by the same movi). */
+class RedundantMoveElimination : public Pass
+{
+  public:
+    const char *name() const override { return "move-elim"; }
+    bool run(Superblock &sb) override;
+};
+
+/**
+ * Forward constant propagation and folding: registers defined by
+ * MovImm are tracked; ALU operations whose inputs are all known
+ * become MovImm of the folded value. Side exits do not invalidate
+ * constants (the folded value equals the architectural value), but
+ * Load results are unknown.
+ */
+class ConstantFolding : public Pass
+{
+  public:
+    const char *name() const override { return "const-fold"; }
+    bool run(Superblock &sb) override;
+};
+
+/**
+ * Backward dead-write elimination: a register write is removed when
+ * the register is rewritten before any read, with no intervening
+ * side exit (every register is live on the off-trace path) and no
+ * side effect. Stores and control flow are never removed.
+ */
+class DeadWriteElimination : public Pass
+{
+  public:
+    const char *name() const override { return "dead-write"; }
+    bool run(Superblock &sb) override;
+};
+
+/** Per-pass change counters of one optimization run. */
+struct PassStats
+{
+    std::string pass;
+    unsigned applications = 0; ///< iterations in which it changed sb
+};
+
+/** Outcome of PassManager::optimize. */
+struct OptResult
+{
+    std::uint32_t bytesBefore = 0;
+    std::uint32_t bytesAfter = 0;
+    std::size_t instsBefore = 0;
+    std::size_t instsAfter = 0;
+    unsigned iterations = 0;
+    std::vector<PassStats> passStats;
+
+    std::uint32_t bytesSaved() const
+    {
+        return bytesBefore > bytesAfter ? bytesBefore - bytesAfter : 0;
+    }
+};
+
+/** Runs a pass pipeline to fixpoint, keeping the smallest version. */
+class PassManager
+{
+  public:
+    PassManager() = default;
+
+    /** Append @p pass to the pipeline (order preserved). */
+    void addPass(std::unique_ptr<Pass> pass);
+
+    std::size_t passCount() const { return passes_.size(); }
+
+    /** Optimize @p sb in place; at most @p max_iterations rounds. */
+    OptResult optimize(Superblock &sb,
+                       unsigned max_iterations = 8) const;
+
+  private:
+    std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+/** The standard pipeline described in the file comment. */
+PassManager makeDefaultPipeline();
+
+} // namespace gencache::opt
+
+#endif // GENCACHE_OPT_PASSES_H

@@ -1,0 +1,155 @@
+#include "opt/superblock.h"
+
+#include "support/format.h"
+#include "support/logging.h"
+
+namespace gencache::opt {
+
+void
+Superblock::append(const isa::Instruction &inst, bool side_exit)
+{
+    if (side_exit && !isa::isConditionalBranch(inst.opcode)) {
+        GENCACHE_PANIC("only conditional branches can be side exits");
+    }
+    insts_.push_back(SbInst{inst, side_exit});
+}
+
+std::uint32_t
+Superblock::codeBytes() const
+{
+    std::uint32_t bytes = 0;
+    for (const SbInst &entry : insts_) {
+        bytes += entry.inst.sizeBytes();
+    }
+    return bytes;
+}
+
+std::size_t
+Superblock::sideExitCount() const
+{
+    std::size_t count = 0;
+    for (const SbInst &entry : insts_) {
+        if (entry.sideExit) {
+            ++count;
+        }
+    }
+    return count;
+}
+
+std::string
+Superblock::toString() const
+{
+    std::string out = format("superblock @{} ({} insts, {} bytes):\n",
+                             entry_, insts_.size(), codeBytes());
+    for (const SbInst &entry : insts_) {
+        out += format("  {}{}\n", entry.inst.toString(),
+                      entry.sideExit ? "   ; side exit" : "");
+    }
+    return out;
+}
+
+Superblock
+buildSuperblock(const std::vector<const isa::BasicBlock *> &blocks)
+{
+    if (blocks.empty()) {
+        GENCACHE_PANIC("buildSuperblock on empty path");
+    }
+    Superblock sb(blocks.front()->startAddr());
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+        const isa::BasicBlock *block = blocks[i];
+        const isa::BasicBlock *next =
+            i + 1 < blocks.size() ? blocks[i + 1] : nullptr;
+        const std::vector<isa::Instruction> &insts =
+            block->instructions();
+        for (std::size_t k = 0; k + 1 < insts.size(); ++k) {
+            sb.append(insts[k]);
+        }
+        const isa::Instruction &term = insts.back();
+        if (next == nullptr) {
+            // Final terminator always kept (trace exit).
+            sb.append(term, isa::isConditionalBranch(term.opcode));
+            continue;
+        }
+        if (term.opcode == isa::Opcode::Jump &&
+            term.target == next->startAddr()) {
+            // Jump straightening: the successor is laid out directly
+            // after this code inside the trace.
+            continue;
+        }
+        if (isa::isConditionalBranch(term.opcode)) {
+            // The recorded path continues on-trace; the other arm is
+            // a side exit stub. If the *taken* arm is the on-trace
+            // successor the branch sense is logically inverted in a
+            // real code cache; byte size is identical either way, so
+            // the IR keeps the original instruction.
+            sb.append(term, true);
+            continue;
+        }
+        // Calls and other terminators stay (the path continues at
+        // the callee or the return target).
+        sb.append(term);
+    }
+    return sb;
+}
+
+SbMachineState
+evaluateStraightLine(const Superblock &sb, SbMachineState state)
+{
+    auto memLoad = [&state](std::int64_t addr) {
+        for (auto it = state.stores.rbegin(); it != state.stores.rend();
+             ++it) {
+            if (it->first == addr) {
+                return it->second;
+            }
+        }
+        return std::int64_t{0};
+    };
+
+    for (const SbInst &entry : sb.insts()) {
+        const isa::Instruction &inst = entry.inst;
+        switch (inst.opcode) {
+          case isa::Opcode::Nop:
+            break;
+          case isa::Opcode::Add:
+            state.regs[inst.dst] =
+                state.regs[inst.src1] + state.regs[inst.src2];
+            break;
+          case isa::Opcode::Sub:
+            state.regs[inst.dst] =
+                state.regs[inst.src1] - state.regs[inst.src2];
+            break;
+          case isa::Opcode::Mul:
+            state.regs[inst.dst] =
+                state.regs[inst.src1] * state.regs[inst.src2];
+            break;
+          case isa::Opcode::AddImm:
+            state.regs[inst.dst] = state.regs[inst.src1] + inst.imm;
+            break;
+          case isa::Opcode::MovImm:
+            state.regs[inst.dst] = inst.imm;
+            break;
+          case isa::Opcode::Mov:
+            state.regs[inst.dst] = state.regs[inst.src1];
+            break;
+          case isa::Opcode::Load:
+            state.regs[inst.dst] =
+                memLoad(state.regs[inst.src1] + inst.imm);
+            break;
+          case isa::Opcode::Store:
+            state.stores.emplace_back(
+                state.regs[inst.src1] + inst.imm,
+                state.regs[inst.src2]);
+            break;
+          case isa::Opcode::BranchNz:
+          case isa::Opcode::BranchZ:
+            // Straight-line evaluation: side exits not taken.
+            break;
+          default:
+            // Unconditional transfer: end of straight-line region.
+            return state;
+        }
+    }
+    return state;
+}
+
+} // namespace gencache::opt

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Superblocks as an optimization IR.
+ *
+ * A dynamic optimizer's unit of optimization is the superblock: the
+ * single-entry multiple-exit instruction sequence produced by trace
+ * selection (paper §1, §4.1). This module gives the runtime a linear
+ * IR for that sequence: straight-line instructions interspersed with
+ * *side exits* (conditional branches whose taken/not-taken path leaves
+ * the trace). Optimization passes (opt/passes.h) rewrite the IR; the
+ * optimized byte size is what the code cache stores.
+ */
+
+#ifndef GENCACHE_OPT_SUPERBLOCK_H
+#define GENCACHE_OPT_SUPERBLOCK_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/basic_block.h"
+
+namespace gencache::opt {
+
+/** One instruction of a superblock. */
+struct SbInst
+{
+    isa::Instruction inst;
+    /** True when this is a conditional branch that may leave the
+     *  trace (a side exit). Side exits are optimization barriers:
+     *  every architectural register is live across them. */
+    bool sideExit = false;
+};
+
+/** Linear single-entry multiple-exit instruction sequence. */
+class Superblock
+{
+  public:
+    Superblock() = default;
+
+    explicit Superblock(isa::GuestAddr entry) : entry_(entry) {}
+
+    isa::GuestAddr entry() const { return entry_; }
+
+    void append(const isa::Instruction &inst, bool side_exit = false);
+
+    const std::vector<SbInst> &insts() const { return insts_; }
+    std::vector<SbInst> &insts() { return insts_; }
+
+    std::size_t size() const { return insts_.size(); }
+    bool empty() const { return insts_.empty(); }
+
+    /** Total encoded bytes of the current instruction sequence. */
+    std::uint32_t codeBytes() const;
+
+    /** Number of side exits (each costs an exit stub). */
+    std::size_t sideExitCount() const;
+
+    /** Multi-line disassembly (side exits are annotated). */
+    std::string toString() const;
+
+  private:
+    isa::GuestAddr entry_ = 0;
+    std::vector<SbInst> insts_;
+};
+
+/**
+ * Build a superblock from the blocks of a recorded trace path.
+ *
+ * Performs *jump straightening* during construction: an unconditional
+ * jump whose target is the next block on the path is dropped (the
+ * blocks become physically adjacent in the trace), and a conditional
+ * branch that continues on-trace is kept as a side exit.
+ *
+ * @param blocks the executed path, in order.
+ * @param taken_on_trace for each block i < blocks.size()-1, nothing
+ *        is needed: adjacency is inferred from the next block's
+ *        start address. The final block's terminator is always kept.
+ */
+Superblock buildSuperblock(
+    const std::vector<const isa::BasicBlock *> &blocks);
+
+/**
+ * Reference evaluator for straight-line superblock semantics (test
+ * support): executes the instruction sequence assuming no side exit
+ * is taken, returning the final register file. Loads read from
+ * @p memory; stores write to it. Stops at the first unconditional
+ * control transfer or at the end.
+ */
+struct SbMachineState
+{
+    std::array<std::int64_t, isa::kNumRegs> regs{};
+    std::vector<std::pair<std::int64_t, std::int64_t>> stores;
+};
+
+SbMachineState evaluateStraightLine(const Superblock &sb,
+                                    SbMachineState initial);
+
+} // namespace gencache::opt
+
+#endif // GENCACHE_OPT_SUPERBLOCK_H

@@ -1,0 +1,46 @@
+#include "runtime/bb_cache.h"
+
+namespace gencache::runtime {
+
+const isa::BasicBlock *
+BasicBlockCache::fetch(isa::GuestAddr addr,
+                       const isa::BasicBlock &source,
+                       guest::ModuleId module)
+{
+    auto it = blocks_.find(addr);
+    if (it != blocks_.end()) {
+        ++stats_.hits;
+        return &it->second.block;
+    }
+    Entry entry;
+    entry.block = source; // the copy into the software code cache
+    entry.module = module;
+    ++stats_.copies;
+    stats_.copiedBytes += source.sizeBytes();
+    usedBytes_ += source.sizeBytes();
+    auto [pos, inserted] = blocks_.emplace(addr, std::move(entry));
+    return &pos->second.block;
+}
+
+const isa::BasicBlock *
+BasicBlockCache::lookup(isa::GuestAddr addr) const
+{
+    auto it = blocks_.find(addr);
+    return it == blocks_.end() ? nullptr : &it->second.block;
+}
+
+void
+BasicBlockCache::invalidateModule(guest::ModuleId module)
+{
+    for (auto it = blocks_.begin(); it != blocks_.end();) {
+        if (it->second.module == module) {
+            usedBytes_ -= it->second.block.sizeBytes();
+            ++stats_.invalidations;
+            it = blocks_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+} // namespace gencache::runtime

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The basic-block cache (paper §4.1).
+ *
+ * Rather than interpreting cold code, DynamoRIO copies every executed
+ * basic block into a basic-block cache before running it. We model the
+ * same structure: a map from guest start address to a private copy of
+ * the block, with per-module indexing so unmapped modules can be
+ * invalidated, plus copy statistics for the cost accounting.
+ */
+
+#ifndef GENCACHE_RUNTIME_BB_CACHE_H
+#define GENCACHE_RUNTIME_BB_CACHE_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "guest/module.h"
+#include "isa/basic_block.h"
+
+namespace gencache::runtime {
+
+/** Statistics of the basic-block cache. */
+struct BbCacheStats
+{
+    std::uint64_t copies = 0;       ///< blocks copied in
+    std::uint64_t copiedBytes = 0;
+    std::uint64_t hits = 0;         ///< lookups served from the cache
+    std::uint64_t invalidations = 0; ///< blocks dropped by unmap
+};
+
+/** Software cache of copied basic blocks. */
+class BasicBlockCache
+{
+  public:
+    BasicBlockCache() = default;
+
+    /**
+     * @return the cached copy of the block at @p addr, copying it in
+     * from @p source on first use (the returned pointer is stable
+     * until the block is invalidated).
+     */
+    const isa::BasicBlock *fetch(isa::GuestAddr addr,
+                                 const isa::BasicBlock &source,
+                                 guest::ModuleId module);
+
+    /** @return the cached copy, or nullptr when absent. */
+    const isa::BasicBlock *lookup(isa::GuestAddr addr) const;
+
+    /** Drop every block belonging to @p module. */
+    void invalidateModule(guest::ModuleId module);
+
+    /** @return number of resident blocks. */
+    std::size_t blockCount() const { return blocks_.size(); }
+
+    /** @return total bytes of resident blocks. */
+    std::uint64_t usedBytes() const { return usedBytes_; }
+
+    const BbCacheStats &stats() const { return stats_; }
+
+  private:
+    struct Entry
+    {
+        isa::BasicBlock block;
+        guest::ModuleId module = guest::kInvalidModule;
+    };
+
+    std::unordered_map<isa::GuestAddr, Entry> blocks_;
+    std::uint64_t usedBytes_ = 0;
+    BbCacheStats stats_;
+};
+
+} // namespace gencache::runtime
+
+#endif // GENCACHE_RUNTIME_BB_CACHE_H

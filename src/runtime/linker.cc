@@ -1,0 +1,112 @@
+#include "runtime/linker.h"
+
+#include "support/logging.h"
+
+namespace gencache::runtime {
+
+void
+TraceLinker::onTraceInserted(const Trace &trace)
+{
+    if (nodes_.count(trace.id) != 0) {
+        GENCACHE_PANIC("trace {} already known to the linker",
+                       trace.id);
+    }
+    Node node;
+    node.entry = trace.entry;
+    node.exitTargets = trace.exitTargets;
+    auto [pos, inserted] = nodes_.emplace(trace.id, std::move(node));
+    byEntry_.emplace(trace.entry, trace.id);
+
+    // Outgoing: patch this trace's exits to resident entries. The
+    // trace itself is already registered, so loop traces whose exit
+    // returns to their own entry are self-linked (as DynamoRIO links
+    // loops), avoiding a dispatcher round trip per iteration.
+    for (isa::GuestAddr target : pos->second.exitTargets) {
+        auto it = byEntry_.find(target);
+        if (it != byEntry_.end() &&
+            pos->second.outgoing.insert(it->second).second) {
+            nodes_[it->second].incoming.insert(trace.id);
+            ++stats_.linksPatched;
+        }
+    }
+
+    // Incoming: patch resident exits that target our entry.
+    for (auto &[other_id, other] : nodes_) {
+        if (other_id == trace.id) {
+            continue;
+        }
+        for (isa::GuestAddr target : other.exitTargets) {
+            if (target == trace.entry &&
+                other.outgoing.insert(trace.id).second) {
+                nodes_[trace.id].incoming.insert(other_id);
+                ++stats_.linksPatched;
+            }
+        }
+    }
+}
+
+void
+TraceLinker::onTraceEvicted(cache::TraceId id)
+{
+    auto it = nodes_.find(id);
+    if (it == nodes_.end()) {
+        GENCACHE_PANIC("evicting trace {} unknown to the linker", id);
+    }
+    Node &node = it->second;
+    for (cache::TraceId in : node.incoming) {
+        auto other = nodes_.find(in);
+        if (other != nodes_.end()) {
+            other->second.outgoing.erase(id);
+            ++stats_.linksUnpatched;
+        }
+    }
+    for (cache::TraceId out : node.outgoing) {
+        auto other = nodes_.find(out);
+        if (other != nodes_.end()) {
+            other->second.incoming.erase(id);
+            ++stats_.linksUnpatched;
+        }
+    }
+    byEntry_.erase(node.entry);
+    nodes_.erase(it);
+}
+
+void
+TraceLinker::onTraceMoved(cache::TraceId id)
+{
+    auto it = nodes_.find(id);
+    if (it == nodes_.end()) {
+        GENCACHE_PANIC("moving trace {} unknown to the linker", id);
+    }
+    ++stats_.relocations;
+    // Every patched edge touching the trace is re-patched to the new
+    // address: count but keep the graph.
+    stats_.linksPatched +=
+        it->second.incoming.size() + it->second.outgoing.size();
+}
+
+bool
+TraceLinker::linked(cache::TraceId from, cache::TraceId to) const
+{
+    auto it = nodes_.find(from);
+    return it != nodes_.end() && it->second.outgoing.count(to) != 0;
+}
+
+std::size_t
+TraceLinker::linkCount() const
+{
+    std::size_t count = 0;
+    for (const auto &[id, node] : nodes_) {
+        count += node.outgoing.size();
+    }
+    return count;
+}
+
+cache::TraceId
+TraceLinker::traceAt(isa::GuestAddr addr) const
+{
+    auto it = byEntry_.find(addr);
+    return it == byEntry_.end() ? cache::kInvalidTrace : it->second;
+}
+
+} // namespace gencache::runtime

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Trace linking (paper §5.4's code relocation support).
+ *
+ * When a trace's exit target is the entry of another resident trace,
+ * the dynamic optimizer patches the exit stub to jump there directly,
+ * avoiding a context switch. Evicting or moving a trace requires
+ * unlinking every incoming patched exit. This module tracks the link
+ * graph and counts the patch/unpatch operations so promotion costs
+ * (Table 2) rest on real mechanics.
+ */
+
+#ifndef GENCACHE_RUNTIME_LINKER_H
+#define GENCACHE_RUNTIME_LINKER_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "runtime/trace.h"
+
+namespace gencache::runtime {
+
+/** Link graph statistics. */
+struct LinkerStats
+{
+    std::uint64_t linksPatched = 0;
+    std::uint64_t linksUnpatched = 0;
+    std::uint64_t relocations = 0; ///< traces moved between caches
+};
+
+/** Tracks direct links between resident traces. */
+class TraceLinker
+{
+  public:
+    TraceLinker() = default;
+
+    /**
+     * Register @p trace as resident and patch links in both
+     * directions: its exits to resident entries, and resident exits
+     * targeting its entry.
+     */
+    void onTraceInserted(const Trace &trace);
+
+    /** Unpatch every link touching @p id and forget it. */
+    void onTraceEvicted(cache::TraceId id);
+
+    /** A promotion moved the trace: all links into and out of it must
+     *  be re-patched at the new location (counted as a relocation plus
+     *  re-patches). The link graph itself is unchanged. */
+    void onTraceMoved(cache::TraceId id);
+
+    /** @return true when @p from has a patched link to @p to. */
+    bool linked(cache::TraceId from, cache::TraceId to) const;
+
+    /** Number of patched link edges. */
+    std::size_t linkCount() const;
+
+    /** @return resident trace id whose entry is @p addr, or
+     *  cache::kInvalidTrace. */
+    cache::TraceId traceAt(isa::GuestAddr addr) const;
+
+    const LinkerStats &stats() const { return stats_; }
+
+  private:
+    struct Node
+    {
+        isa::GuestAddr entry = 0;
+        std::vector<isa::GuestAddr> exitTargets;
+        std::unordered_set<cache::TraceId> outgoing;
+        std::unordered_set<cache::TraceId> incoming;
+    };
+
+    std::unordered_map<cache::TraceId, Node> nodes_;
+    std::unordered_map<isa::GuestAddr, cache::TraceId> byEntry_;
+    LinkerStats stats_;
+};
+
+} // namespace gencache::runtime
+
+#endif // GENCACHE_RUNTIME_LINKER_H

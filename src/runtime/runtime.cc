@@ -1,0 +1,341 @@
+#include "runtime/runtime.h"
+
+#include "support/logging.h"
+
+namespace gencache::runtime {
+
+Runtime::Runtime(guest::AddressSpace &space,
+                 cache::CacheManager &manager,
+                 std::uint32_t trace_threshold)
+    : space_(space), manager_(manager), interp_(space),
+      heads_(trace_threshold)
+{
+    manager_.setListener(this);
+    std::uint64_t footprint = 0;
+    for (const guest::GuestModule *module : space_.mappedModules()) {
+        log_.append(tracelog::Event::moduleLoad(0, module->id()));
+        footprint += module->sizeBytes();
+    }
+    log_.setFootprintBytes(footprint);
+}
+
+void
+Runtime::loadModule(const guest::GuestModule &module)
+{
+    space_.map(module);
+    log_.append(tracelog::Event::moduleLoad(now(), module.id()));
+    log_.setFootprintBytes(log_.footprintBytes() + module.sizeBytes());
+}
+
+void
+Runtime::unloadModule(guest::ModuleId module)
+{
+    // Order matters: the manager's invalidation fires onEvict events
+    // that unlink evicted traces, so the linker must still know them.
+    manager_.invalidateModule(module, now());
+
+    for (auto it = traces_.begin(); it != traces_.end();) {
+        if (it->second.module == module) {
+            traceIdOfEntry_.erase(it->second.entry);
+            it = traces_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    bbCache_.invalidateModule(module);
+    space_.unmap(module);
+    log_.append(tracelog::Event::moduleUnload(now(), module));
+}
+
+void
+Runtime::start(isa::GuestAddr entry)
+{
+    state_.reset(entry);
+    started_ = true;
+}
+
+std::uint64_t
+Runtime::run(std::uint64_t max_instructions)
+{
+    if (!started_) {
+        GENCACHE_PANIC("Runtime::run before start()");
+    }
+    std::uint64_t begin = interp_.instructionsRetired();
+    while (!state_.halted &&
+           interp_.instructionsRetired() - begin < max_instructions) {
+        dispatch();
+    }
+    log_.setDuration(now());
+    return interp_.instructionsRetired() - begin;
+}
+
+void
+Runtime::dispatch()
+{
+    isa::GuestAddr pc = state_.pc;
+    auto it = traceIdOfEntry_.find(pc);
+    if (it != traceIdOfEntry_.end()) {
+        cache::TraceId tid = it->second;
+        if (!manager_.lookup(tid, now())) {
+            // Code cache miss: regenerate the trace (§6.2's miss cost:
+            // two context switches, a regeneration, and a copy).
+            if (regenerate(tid)) {
+                ++stats_.traceRegenerations;
+            } else {
+                // Cannot be cached right now: fall back to the
+                // interpreter for this block.
+                interpretBlock();
+                return;
+            }
+        }
+        ++stats_.contextSwitches; // dispatcher -> code cache
+        cache::TraceId current = tid;
+        while (current != cache::kInvalidTrace && !state_.halted) {
+            current = executeTrace(current);
+        }
+        ++stats_.contextSwitches; // code cache -> dispatcher
+        return;
+    }
+    interpretBlock();
+}
+
+cache::TraceId
+Runtime::executeTrace(cache::TraceId id)
+{
+    auto it = traces_.find(id);
+    if (it == traces_.end()) {
+        GENCACHE_PANIC("executing unknown trace {}", id);
+    }
+    const Trace &trace = it->second;
+    if (state_.pc != trace.entry) {
+        GENCACHE_PANIC("trace {} entered at {} (entry {})", id,
+                       state_.pc, trace.entry);
+    }
+    ++stats_.traceExecutions;
+    log_.append(tracelog::Event::traceExec(now(), id));
+
+    std::size_t index = 0;
+    while (index < trace.blockAddrs.size()) {
+        interp::BlockResult result = interp_.executeBlock(state_);
+        stats_.instructionsInTraces += result.instructions;
+        if (result.halted) {
+            return cache::kInvalidTrace;
+        }
+        if (index + 1 < trace.blockAddrs.size() &&
+            result.next == trace.blockAddrs[index + 1]) {
+            ++index;
+            continue;
+        }
+        break;
+    }
+
+    // Trace exit. Tail-chain into a linked resident trace, otherwise
+    // return to the dispatcher and mark the exit as a trace head.
+    isa::GuestAddr target = state_.pc;
+    cache::TraceId next = linker_.traceAt(target);
+    if (next != cache::kInvalidTrace && linker_.linked(id, next)) {
+        if (manager_.lookup(next, now())) {
+            return next;
+        }
+    }
+    if (space_.blockAt(target) != nullptr &&
+        traceIdOfEntry_.count(target) == 0) {
+        heads_.markHead(target, TraceHeadKind::TraceExit);
+    }
+    return cache::kInvalidTrace;
+}
+
+void
+Runtime::interpretBlock()
+{
+    isa::GuestAddr pc = state_.pc;
+    const guest::GuestModule *module = space_.moduleAt(pc);
+    if (module == nullptr) {
+        GENCACHE_PANIC("guest pc {} is not in any mapped module", pc);
+    }
+    const isa::BasicBlock *source = space_.blockAt(pc);
+    if (source == nullptr) {
+        GENCACHE_PANIC("guest pc {} is not a block start", pc);
+    }
+    bbCache_.fetch(pc, *source, module->id());
+
+    if (heads_.isHead(pc) && heads_.recordExecution(pc)) {
+        buildTrace(pc);
+        return;
+    }
+
+    interp::BlockResult result = interp_.executeBlock(state_);
+    stats_.instructionsInterpreted += result.instructions;
+    ++stats_.blocksInterpreted;
+    if (!result.halted && result.backwardTransfer) {
+        // Target of a backward branch: candidate loop head (§4.1).
+        if (traceIdOfEntry_.count(result.next) == 0) {
+            heads_.markHead(result.next,
+                            TraceHeadKind::BackwardBranchTarget);
+        }
+    }
+}
+
+void
+Runtime::buildTrace(isa::GuestAddr entry)
+{
+    heads_.clearHead(entry);
+
+    auto known = traceIdOfEntry_.find(entry);
+    if (known != traceIdOfEntry_.end()) {
+        // The trace exists but may have been evicted; reinstall it.
+        if (!manager_.contains(known->second)) {
+            if (regenerate(known->second)) {
+                ++stats_.traceRegenerations;
+            }
+        }
+        return;
+    }
+
+    const guest::GuestModule *module = space_.moduleAt(entry);
+    if (module == nullptr) {
+        GENCACHE_PANIC("trace head {} is not mapped", entry);
+    }
+    cache::TraceId tid = nextTraceId_++;
+    builder_.begin(tid, entry, module->id());
+    std::vector<const isa::BasicBlock *> path;
+
+    // Trace generation mode: execute and record until a stop
+    // condition (§4.1): backward branch, existing trace (head),
+    // indirect transfer, module boundary, or the block cap.
+    while (true) {
+        isa::GuestAddr pc = state_.pc;
+        const isa::BasicBlock *source = space_.blockAt(pc);
+        if (source == nullptr) {
+            GENCACHE_PANIC("trace generation at unmapped pc {}", pc);
+        }
+        bbCache_.fetch(pc, *source, module->id());
+        interp::BlockResult result = interp_.executeBlock(state_);
+        stats_.instructionsInterpreted += result.instructions;
+        ++stats_.blocksInterpreted;
+        builder_.append(*source, result.next);
+        path.push_back(source);
+
+        if (result.halted) {
+            break;
+        }
+        if (isa::isIndirect(source->terminator().opcode)) {
+            break;
+        }
+        if (result.backwardTransfer) {
+            break;
+        }
+        if (traceIdOfEntry_.count(result.next) != 0 ||
+            heads_.isHead(result.next)) {
+            break;
+        }
+        const guest::GuestModule *next_module =
+            space_.moduleAt(result.next);
+        if (next_module == nullptr ||
+            next_module->id() != module->id()) {
+            break;
+        }
+        if (builder_.blockCount() >= kMaxTraceBlocks) {
+            break;
+        }
+    }
+
+    Trace trace = builder_.finish();
+
+    if (optimizeTraces_) {
+        // Optimize the superblock; the cache stores the optimized
+        // code, so the fragment size is the optimized size (plus the
+        // unchanged exit stubs).
+        opt::Superblock superblock = opt::buildSuperblock(path);
+        opt::OptResult opt_result = optimizer_.optimize(superblock);
+        ++stats_.tracesOptimized;
+        stats_.optimizerBytesSaved += opt_result.bytesSaved();
+        stats_.optimizerInstsRemoved +=
+            opt_result.instsBefore - opt_result.instsAfter;
+        // One stub per side exit plus the fall-off-the-end stub,
+        // mirroring TraceBuilder's accounting.
+        std::uint32_t stubs =
+            kExitStubBytes *
+            static_cast<std::uint32_t>(
+                superblock.sideExitCount() + 1);
+        trace.sizeBytes = superblock.codeBytes() + stubs;
+    }
+
+    traces_.emplace(tid, trace);
+    traceIdOfEntry_.emplace(entry, tid);
+    ++stats_.tracesBuilt;
+    log_.append(tracelog::Event::traceCreate(now(), tid,
+                                             trace.sizeBytes,
+                                             trace.module));
+    installTrace(trace);
+}
+
+bool
+Runtime::regenerate(cache::TraceId id)
+{
+    auto it = traces_.find(id);
+    if (it == traces_.end()) {
+        return false;
+    }
+    return installTrace(it->second);
+}
+
+bool
+Runtime::installTrace(const Trace &trace)
+{
+    if (!manager_.insert(trace.id, trace.sizeBytes, trace.module,
+                         now())) {
+        return false;
+    }
+    linker_.onTraceInserted(trace);
+    return true;
+}
+
+void
+Runtime::onMiss(cache::TraceId id, TimeUs time)
+{
+    if (chained_ != nullptr) {
+        chained_->onMiss(id, time);
+    }
+}
+
+void
+Runtime::onHit(cache::TraceId id, cache::Generation gen, TimeUs time)
+{
+    if (chained_ != nullptr) {
+        chained_->onHit(id, gen, time);
+    }
+}
+
+void
+Runtime::onInsert(const cache::Fragment &frag, cache::Generation gen,
+                  TimeUs time)
+{
+    if (chained_ != nullptr) {
+        chained_->onInsert(frag, gen, time);
+    }
+}
+
+void
+Runtime::onEvict(const cache::Fragment &frag, cache::Generation gen,
+                 cache::EvictReason reason, TimeUs time)
+{
+    if (cache::isDeletion(reason)) {
+        linker_.onTraceEvicted(frag.id);
+    }
+    if (chained_ != nullptr) {
+        chained_->onEvict(frag, gen, reason, time);
+    }
+}
+
+void
+Runtime::onPromote(const cache::Fragment &frag, cache::Generation from,
+                   cache::Generation to, TimeUs time)
+{
+    linker_.onTraceMoved(frag.id);
+    if (chained_ != nullptr) {
+        chained_->onPromote(frag, from, to, time);
+    }
+}
+
+} // namespace gencache::runtime

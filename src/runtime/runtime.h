@@ -1,0 +1,205 @@
+/**
+ * @file
+ * The dynamic optimizer runtime: a DynamoRIO-like execution engine for
+ * synthetic guest programs.
+ *
+ * Execution alternates between:
+ *  - the *basic-block path*: blocks are copied into the basic-block
+ *    cache and interpreted, while trace-head counters accumulate;
+ *  - *trace generation mode*: once a head crosses the threshold, the
+ *    executed path is recorded into a superblock (NET) and inserted
+ *    into the managed trace cache; and
+ *  - *trace execution*: resident traces run from the code cache,
+ *    tail-chaining through patched links without dispatcher round
+ *    trips.
+ *
+ * Every trace creation, execution, and module load/unload is appended
+ * to an AccessLog, making live runs replayable by the trace-driven
+ * simulator (src/sim) — the same structure as the paper's
+ * DynamoRIO-log-plus-cache-simulator methodology.
+ *
+ * Simplification vs. DynamoRIO (documented in DESIGN.md): on a code
+ * cache miss the trace is regenerated immediately rather than
+ * re-warming its head counter, matching the cost composition of §6.2
+ * (a conflict miss costs two context switches, one regeneration, one
+ * copy); and traces stop at module boundaries so a fragment always
+ * belongs to exactly one module.
+ */
+
+#ifndef GENCACHE_RUNTIME_RUNTIME_H
+#define GENCACHE_RUNTIME_RUNTIME_H
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "codecache/cache_manager.h"
+#include "guest/address_space.h"
+#include "interp/interpreter.h"
+#include "opt/passes.h"
+#include "runtime/bb_cache.h"
+#include "runtime/linker.h"
+#include "runtime/trace.h"
+#include "runtime/trace_head.h"
+#include "tracelog/event.h"
+
+namespace gencache::runtime {
+
+/** Where the guest's retired instructions were executed. */
+struct RuntimeStats
+{
+    std::uint64_t instructionsInterpreted = 0; ///< bb-cache path
+    std::uint64_t instructionsInTraces = 0;    ///< trace cache path
+    std::uint64_t contextSwitches = 0;
+    std::uint64_t tracesBuilt = 0;
+    std::uint64_t traceRegenerations = 0;
+    std::uint64_t traceExecutions = 0;
+    std::uint64_t blocksInterpreted = 0;
+    std::uint64_t tracesOptimized = 0;
+    std::uint64_t optimizerBytesSaved = 0;
+    std::uint64_t optimizerInstsRemoved = 0;
+
+    std::uint64_t totalInstructions() const
+    {
+        return instructionsInterpreted + instructionsInTraces;
+    }
+
+    /** Fraction of execution spent inside the trace cache. */
+    double cacheResidency() const
+    {
+        std::uint64_t total = totalInstructions();
+        return total == 0 ? 0.0
+                          : static_cast<double>(instructionsInTraces) /
+                                static_cast<double>(total);
+    }
+};
+
+/** The dynamic optimizer. */
+class Runtime : public cache::CacheEventListener
+{
+  public:
+    /**
+     * @param space the guest address space (modules must already be
+     *        mapped or mapped later via loadModule)
+     * @param manager the global code cache manager under test
+     * @param trace_threshold trace-head executions before generation
+     */
+    Runtime(guest::AddressSpace &space, cache::CacheManager &manager,
+            std::uint32_t trace_threshold = kDefaultTraceThreshold);
+
+    Runtime(const Runtime &) = delete;
+    Runtime &operator=(const Runtime &) = delete;
+
+    /** Map @p module and log the load event. */
+    void loadModule(const guest::GuestModule &module);
+
+    /** Unmap @p module: invalidates its basic blocks and traces
+     *  everywhere and logs the unload event. */
+    void unloadModule(guest::ModuleId module);
+
+    /** Begin guest execution at @p entry. */
+    void start(isa::GuestAddr entry);
+
+    /** @return true when the guest has executed Halt. */
+    bool finished() const { return state_.halted; }
+
+    /**
+     * Run until the guest halts or @p max_instructions more
+     * instructions retire.
+     * @return instructions retired by this call.
+     */
+    std::uint64_t run(std::uint64_t max_instructions = ~0ULL);
+
+    /** Virtual time: total instructions retired so far. */
+    TimeUs now() const { return interp_.instructionsRetired(); }
+
+    const RuntimeStats &stats() const { return stats_; }
+    const BbCacheStats &bbCacheStats() const
+    {
+        return bbCache_.stats();
+    }
+    const TraceLinker &linker() const { return linker_; }
+    const tracelog::AccessLog &log() const { return log_; }
+    const interp::CpuState &cpu() const { return state_; }
+
+    /** Read a guest register (phase tracking in harnesses). */
+    std::int64_t guestReg(unsigned index) const
+    {
+        return state_.regs[index];
+    }
+
+    /** Number of distinct traces ever built. */
+    std::size_t traceCount() const { return traces_.size(); }
+
+    /** Forward cache events to @p listener as well (cost model). */
+    void chainListener(cache::CacheEventListener *listener)
+    {
+        chained_ = listener;
+    }
+
+    /** Enable/disable trace optimization (default: enabled). When
+     *  enabled, freshly selected superblocks run through the opt
+     *  pipeline and the *optimized* size is what the code cache
+     *  stores. */
+    void setOptimizeTraces(bool enabled)
+    {
+        optimizeTraces_ = enabled;
+    }
+
+    /// @name CacheEventListener (keeps linker and maps in sync).
+    /// @{
+    void onMiss(cache::TraceId id, TimeUs time) override;
+    void onHit(cache::TraceId id, cache::Generation gen,
+               TimeUs time) override;
+    void onInsert(const cache::Fragment &frag, cache::Generation gen,
+                  TimeUs time) override;
+    void onEvict(const cache::Fragment &frag, cache::Generation gen,
+                 cache::EvictReason reason, TimeUs time) override;
+    void onPromote(const cache::Fragment &frag, cache::Generation from,
+                   cache::Generation to, TimeUs time) override;
+    /// @}
+
+  private:
+    /** One dispatcher iteration: run a trace or interpret a block. */
+    void dispatch();
+
+    /** Execute the resident trace @p id from its entry.
+     *  @return the trace id tail-chained into, or kInvalidTrace when
+     *  control returned to the dispatcher. */
+    cache::TraceId executeTrace(cache::TraceId id);
+
+    /** Interpret one block through the bb cache, maintaining trace
+     *  head counters and possibly entering trace generation. */
+    void interpretBlock();
+
+    /** Record a new trace starting at the hot head @p entry. */
+    void buildTrace(isa::GuestAddr entry);
+
+    /** Re-insert a previously built trace after a cache miss. */
+    bool regenerate(cache::TraceId id);
+
+    /** Insert @p trace into the managed cache and link it. */
+    bool installTrace(const Trace &trace);
+
+    guest::AddressSpace &space_;
+    cache::CacheManager &manager_;
+    interp::Interpreter interp_;
+    interp::CpuState state_;
+    BasicBlockCache bbCache_;
+    TraceHeadTable heads_;
+    TraceBuilder builder_;
+    TraceLinker linker_;
+    opt::PassManager optimizer_ = opt::makeDefaultPipeline();
+    bool optimizeTraces_ = true;
+    tracelog::AccessLog log_;
+    RuntimeStats stats_;
+    cache::CacheEventListener *chained_ = nullptr;
+
+    std::unordered_map<cache::TraceId, Trace> traces_;
+    std::unordered_map<isa::GuestAddr, cache::TraceId> traceIdOfEntry_;
+    cache::TraceId nextTraceId_ = 1;
+    bool started_ = false;
+};
+
+} // namespace gencache::runtime
+
+#endif // GENCACHE_RUNTIME_RUNTIME_H

@@ -1,0 +1,71 @@
+#include "runtime/trace.h"
+
+#include "support/logging.h"
+
+namespace gencache::runtime {
+
+void
+TraceBuilder::begin(cache::TraceId id, isa::GuestAddr entry,
+                    guest::ModuleId module)
+{
+    if (active_) {
+        GENCACHE_PANIC("TraceBuilder::begin while already recording");
+    }
+    trace_ = Trace{};
+    trace_.id = id;
+    trace_.entry = entry;
+    trace_.module = module;
+    active_ = true;
+}
+
+void
+TraceBuilder::append(const isa::BasicBlock &block, isa::GuestAddr next)
+{
+    if (!active_) {
+        GENCACHE_PANIC("TraceBuilder::append while not recording");
+    }
+    trace_.blockAddrs.push_back(block.startAddr());
+    trace_.sizeBytes += block.sizeBytes();
+
+    // Record side exits: for a conditional branch, whichever successor
+    // the recorded path does NOT take becomes an exit stub target.
+    const isa::Instruction &term = block.terminator();
+    if (isa::isConditionalBranch(term.opcode)) {
+        isa::GuestAddr fall_through = block.fallThroughAddr();
+        isa::GuestAddr other =
+            (next == term.target) ? fall_through : term.target;
+        trace_.exitTargets.push_back(other);
+        trace_.sizeBytes += kExitStubBytes;
+    }
+    lastNext_ = next;
+    lastIndirect_ = isa::isIndirect(term.opcode);
+}
+
+Trace
+TraceBuilder::finish()
+{
+    if (!active_) {
+        GENCACHE_PANIC("TraceBuilder::finish while not recording");
+    }
+    active_ = false;
+    if (trace_.blockAddrs.empty()) {
+        GENCACHE_PANIC("finishing empty trace {}", trace_.id);
+    }
+    // The fall-off-the-end exit routes back through the dispatcher;
+    // its target is statically known (and thus linkable) unless the
+    // final terminator was indirect.
+    trace_.sizeBytes += kExitStubBytes;
+    if (!lastIndirect_) {
+        trace_.exitTargets.push_back(lastNext_);
+    }
+    return trace_;
+}
+
+void
+TraceBuilder::abort()
+{
+    active_ = false;
+    trace_ = Trace{};
+}
+
+} // namespace gencache::runtime

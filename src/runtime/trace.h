@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Code traces (superblocks) and Next-Executed-Tail construction
+ * (paper §4.1, following Duesterwald and Bala's NET policy).
+ */
+
+#ifndef GENCACHE_RUNTIME_TRACE_H
+#define GENCACHE_RUNTIME_TRACE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "codecache/fragment.h"
+#include "guest/module.h"
+#include "isa/basic_block.h"
+
+namespace gencache::runtime {
+
+/**
+ * A superblock: single-entry, multiple-exit sequence of basic blocks
+ * stitched along the executed path.
+ */
+struct Trace
+{
+    cache::TraceId id = cache::kInvalidTrace;
+    isa::GuestAddr entry = 0;
+    guest::ModuleId module = guest::kInvalidModule;
+    std::vector<isa::GuestAddr> blockAddrs; ///< path, in order
+    std::uint32_t sizeBytes = 0;            ///< code + exit stubs
+
+    /** Guest addresses control can leave the trace to: every side exit
+     *  of a conditional plus the final fall-off target. Indirect exits
+     *  are not included (they go through the dispatcher). */
+    std::vector<isa::GuestAddr> exitTargets;
+
+    std::size_t blockCount() const { return blockAddrs.size(); }
+};
+
+/** Bytes of the exit stub emitted per trace exit (models the code a
+ *  dynamic optimizer appends to route exits back to the dispatcher). */
+constexpr std::uint32_t kExitStubBytes = 16;
+
+/** Hard cap on blocks per trace (matches DynamoRIO's bounded traces). */
+constexpr std::size_t kMaxTraceBlocks = 64;
+
+/**
+ * Incrementally builds a trace while the runtime is in trace
+ * generation mode: blocks are appended along the executed path until a
+ * stop condition (backward taken branch, existing trace head / trace
+ * entry, indirect transfer, or the block cap) is met.
+ */
+class TraceBuilder
+{
+  public:
+    /** Begin a trace at @p entry inside @p module. */
+    void begin(cache::TraceId id, isa::GuestAddr entry,
+               guest::ModuleId module);
+
+    /** @return true while a trace is being recorded. */
+    bool active() const { return active_; }
+
+    /**
+     * Append @p block (just executed) with the resolved successor
+     * @p next.
+     */
+    void append(const isa::BasicBlock &block, isa::GuestAddr next);
+
+    /** Blocks recorded so far. */
+    std::size_t blockCount() const { return trace_.blockAddrs.size(); }
+
+    /** Finish and return the trace; the builder resets. */
+    Trace finish();
+
+    /** Abandon the recording (e.g. guest halted mid-trace). */
+    void abort();
+
+  private:
+    Trace trace_;
+    bool active_ = false;
+    isa::GuestAddr lastNext_ = 0;   ///< continuation of the last block
+    bool lastIndirect_ = false;     ///< last terminator was indirect
+};
+
+} // namespace gencache::runtime
+
+#endif // GENCACHE_RUNTIME_TRACE_H

@@ -1,0 +1,49 @@
+#include "runtime/trace_head.h"
+
+namespace gencache::runtime {
+
+TraceHeadTable::TraceHeadTable(std::uint32_t threshold)
+    : threshold_(threshold)
+{
+}
+
+void
+TraceHeadTable::markHead(isa::GuestAddr addr, TraceHeadKind kind)
+{
+    auto [it, inserted] = counters_.emplace(addr, HeadInfo{});
+    if (inserted) {
+        it->second.kind = kind;
+    }
+}
+
+bool
+TraceHeadTable::isHead(isa::GuestAddr addr) const
+{
+    return counters_.count(addr) != 0;
+}
+
+bool
+TraceHeadTable::recordExecution(isa::GuestAddr addr)
+{
+    auto it = counters_.find(addr);
+    if (it == counters_.end()) {
+        return false;
+    }
+    ++it->second.count;
+    return it->second.count == threshold_;
+}
+
+void
+TraceHeadTable::clearHead(isa::GuestAddr addr)
+{
+    counters_.erase(addr);
+}
+
+std::uint32_t
+TraceHeadTable::count(isa::GuestAddr addr) const
+{
+    auto it = counters_.find(addr);
+    return it == counters_.end() ? 0 : it->second.count;
+}
+
+} // namespace gencache::runtime

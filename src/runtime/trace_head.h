@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Trace-head detection and hotness counters (paper §4.1).
+ *
+ * Blocks become trace heads when they are (a) the target of a backward
+ * branch, or (b) an exit from an existing trace. Each execution of a
+ * trace head increments a counter; crossing the trace creation
+ * threshold (50 executions, matching DynamoRIO) triggers trace
+ * generation mode.
+ */
+
+#ifndef GENCACHE_RUNTIME_TRACE_HEAD_H
+#define GENCACHE_RUNTIME_TRACE_HEAD_H
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "isa/instruction.h"
+
+namespace gencache::runtime {
+
+/** DynamoRIO's default trace creation threshold. */
+constexpr std::uint32_t kDefaultTraceThreshold = 50;
+
+/** Why an address became a trace head. */
+enum class TraceHeadKind : std::uint8_t {
+    BackwardBranchTarget,
+    TraceExit,
+};
+
+/** Counter table for candidate trace heads. */
+class TraceHeadTable
+{
+  public:
+    explicit TraceHeadTable(
+        std::uint32_t threshold = kDefaultTraceThreshold);
+
+    std::uint32_t threshold() const { return threshold_; }
+
+    /** Register @p addr as a trace head (idempotent). */
+    void markHead(isa::GuestAddr addr, TraceHeadKind kind);
+
+    /** @return true when @p addr is a registered trace head. */
+    bool isHead(isa::GuestAddr addr) const;
+
+    /**
+     * Count one execution of trace head @p addr.
+     * @return true when the counter just reached the threshold (the
+     * caller should enter trace generation mode).
+     */
+    bool recordExecution(isa::GuestAddr addr);
+
+    /** Remove the head (after its trace was built) so the counter
+     *  stops; re-marking later restarts from zero. */
+    void clearHead(isa::GuestAddr addr);
+
+    /** Current counter value; 0 when not a head. */
+    std::uint32_t count(isa::GuestAddr addr) const;
+
+    std::size_t headCount() const { return counters_.size(); }
+
+  private:
+    struct HeadInfo
+    {
+        std::uint32_t count = 0;
+        TraceHeadKind kind = TraceHeadKind::BackwardBranchTarget;
+    };
+
+    std::uint32_t threshold_;
+    std::unordered_map<isa::GuestAddr, HeadInfo> counters_;
+};
+
+} // namespace gencache::runtime
+
+#endif // GENCACHE_RUNTIME_TRACE_HEAD_H

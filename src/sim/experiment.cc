@@ -1,0 +1,134 @@
+#include "sim/experiment.h"
+
+#include <cmath>
+
+#include "codecache/unified_cache.h"
+#include "support/format.h"
+#include "support/logging.h"
+#include "workload/generator.h"
+
+namespace gencache::sim {
+
+cache::GenerationalConfig
+GenerationalLayout::toConfig(std::uint64_t total_bytes) const
+{
+    return cache::GenerationalConfig::fromProportions(
+        total_bytes, nurseryFrac, probationFrac, promotionThreshold,
+        eagerPromotion);
+}
+
+std::vector<GenerationalLayout>
+paperLayouts()
+{
+    return {
+        {"33-33-33 thr 10", 1.0 / 3.0, 1.0 / 3.0, 10, false},
+        {"40-20-40 thr 5", 0.40, 0.20, 5, false},
+        {"45-10-45 thr 1", 0.45, 0.10, 1, false},
+    };
+}
+
+double
+BenchmarkComparison::missRateReductionPct(std::size_t i) const
+{
+    double base = unified.missRate();
+    if (base <= 0.0) {
+        return 0.0;
+    }
+    return (1.0 - generational.at(i).missRate() / base) * 100.0;
+}
+
+std::int64_t
+BenchmarkComparison::missesEliminated(std::size_t i) const
+{
+    return static_cast<std::int64_t>(unified.misses) -
+           static_cast<std::int64_t>(generational.at(i).misses);
+}
+
+double
+BenchmarkComparison::overheadRatioPct(std::size_t i) const
+{
+    double base = static_cast<double>(unified.overhead.total());
+    if (base <= 0.0) {
+        return 100.0;
+    }
+    return static_cast<double>(generational.at(i).overhead.total()) /
+           base * 100.0;
+}
+
+ExperimentRunner::ExperimentRunner(workload::BenchmarkProfile profile)
+    : profile_(std::move(profile))
+{
+}
+
+const tracelog::AccessLog &
+ExperimentRunner::log()
+{
+    if (!generated_) {
+        log_ = workload::generateWorkload(profile_);
+        generated_ = true;
+    }
+    return log_;
+}
+
+SimResult
+ExperimentRunner::runUnbounded()
+{
+    cache::UnifiedCacheManager manager(0);
+    CacheSimulator simulator(manager);
+    SimResult result = simulator.run(log());
+    // The list cache tracks its own peak; prefer it (it includes the
+    // occupancy between simulator samples).
+    result.peakBytes = std::max(result.peakBytes, manager.peakBytes());
+    return result;
+}
+
+SimResult
+ExperimentRunner::runUnified(std::uint64_t capacity_bytes)
+{
+    if (capacity_bytes == 0) {
+        fatal("unified baseline requires a positive capacity");
+    }
+    cache::UnifiedCacheManager manager(
+        capacity_bytes, cache::LocalPolicy::PseudoCircular);
+    CacheSimulator simulator(manager);
+    return simulator.run(log());
+}
+
+SimResult
+ExperimentRunner::runGenerational(std::uint64_t total_bytes,
+                                  const GenerationalLayout &layout)
+{
+    cache::GenerationalCacheManager manager(
+        layout.toConfig(total_bytes));
+    CacheSimulator simulator(manager);
+    SimResult result = simulator.run(log());
+    result.manager = layout.label;
+    return result;
+}
+
+BenchmarkComparison
+ExperimentRunner::compare(
+    const std::vector<GenerationalLayout> &layouts)
+{
+    BenchmarkComparison comparison;
+    comparison.benchmark = profile_.name;
+    comparison.suite = profile_.suite;
+
+    comparison.unbounded = runUnbounded();
+    comparison.maxCacheBytes = comparison.unbounded.peakBytes;
+    comparison.capacityBytes = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(comparison.maxCacheBytes) *
+                     kCachePressureFactor));
+    if (comparison.capacityBytes < 4096) {
+        comparison.capacityBytes = 4096;
+    }
+
+    comparison.unified = runUnified(comparison.capacityBytes);
+    for (const GenerationalLayout &layout : layouts) {
+        comparison.generational.push_back(
+            runGenerational(comparison.capacityBytes, layout));
+    }
+    return comparison;
+}
+
+} // namespace gencache::sim

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The paper's experimental methodology (§6), packaged:
+ *
+ *  1. replay the benchmark's log against an *unbounded* cache to find
+ *     maxCache, the size that avoids all cache management;
+ *  2. the baseline is a single pseudo-circular cache sized at
+ *     maxCache * 0.5;
+ *  3. generational configurations split the *same total* between
+ *     nursery, probation, and persistent caches;
+ *  4. compare miss rates (Fig 9), eliminated misses (Fig 10), and
+ *     Table 2 instruction overheads (Fig 11).
+ */
+
+#ifndef GENCACHE_SIM_EXPERIMENT_H
+#define GENCACHE_SIM_EXPERIMENT_H
+
+#include <string>
+#include <vector>
+
+#include "codecache/generational_cache.h"
+#include "sim/simulator.h"
+#include "workload/profile.h"
+
+namespace gencache::sim {
+
+/** A named generational layout, e.g. "45-10-45 thr 1". */
+struct GenerationalLayout
+{
+    std::string label;
+    double nurseryFrac = 1.0 / 3.0;
+    double probationFrac = 1.0 / 3.0;
+    std::uint32_t promotionThreshold = 1;
+    bool eagerPromotion = false;
+
+    cache::GenerationalConfig toConfig(std::uint64_t total_bytes) const;
+};
+
+/** The three layouts Figure 9 evaluates. The paper names the first
+ *  two explicitly (33-33-33 with threshold 10, and the overall winner
+ *  45-10-45 with single-hit promotion); the middle point of the swept
+ *  space is represented by 40-20-40 with threshold 5. */
+std::vector<GenerationalLayout> paperLayouts();
+
+/** The paper's fraction of maxCache given to managed caches. */
+constexpr double kCachePressureFactor = 0.5;
+
+/** All per-benchmark results of the §6 methodology. */
+struct BenchmarkComparison
+{
+    std::string benchmark;
+    workload::Suite suite = workload::Suite::SpecInt;
+
+    std::uint64_t maxCacheBytes = 0; ///< unbounded peak (Fig 1)
+    std::uint64_t capacityBytes = 0; ///< managed size (0.5 * max)
+
+    SimResult unbounded;
+    SimResult unified;
+    std::vector<SimResult> generational; ///< one per layout
+
+    /** Fig 9: miss rate reduction (%) of layout @p i vs unified;
+     *  positive is better. */
+    double missRateReductionPct(std::size_t i) const;
+
+    /** Fig 10: absolute misses eliminated by layout @p i (can be
+     *  negative when the layout loses). */
+    std::int64_t missesEliminated(std::size_t i) const;
+
+    /** Fig 11: total instruction overhead of layout @p i as a
+     *  percentage of the unified overhead (smaller is better). */
+    double overheadRatioPct(std::size_t i) const;
+};
+
+/** Runs the full methodology for one benchmark profile. */
+class ExperimentRunner
+{
+  public:
+    explicit ExperimentRunner(workload::BenchmarkProfile profile);
+
+    /** Generate (once) and return the benchmark's access log. */
+    const tracelog::AccessLog &log();
+
+    /** Step 1: unbounded replay; returns peak occupancy. */
+    SimResult runUnbounded();
+
+    /** Replay against a unified pseudo-circular cache of
+     *  @p capacity_bytes. */
+    SimResult runUnified(std::uint64_t capacity_bytes);
+
+    /** Replay against a generational hierarchy splitting
+     *  @p total_bytes per @p layout. */
+    SimResult runGenerational(std::uint64_t total_bytes,
+                              const GenerationalLayout &layout);
+
+    /** The whole §6 pipeline with the given layouts. */
+    BenchmarkComparison compare(
+        const std::vector<GenerationalLayout> &layouts);
+
+    const workload::BenchmarkProfile &profile() const
+    {
+        return profile_;
+    }
+
+  private:
+    workload::BenchmarkProfile profile_;
+    tracelog::AccessLog log_;
+    bool generated_ = false;
+};
+
+} // namespace gencache::sim
+
+#endif // GENCACHE_SIM_EXPERIMENT_H

@@ -1,0 +1,101 @@
+#include "sim/simulator.h"
+
+#include "support/logging.h"
+
+namespace gencache::sim {
+
+CacheSimulator::CacheSimulator(cache::CacheManager &manager,
+                               cost::CostModel model)
+    : manager_(manager), account_(model)
+{
+    manager_.setListener(&account_);
+}
+
+SimResult
+CacheSimulator::run(const tracelog::AccessLog &log)
+{
+    std::unordered_map<cache::TraceId, TraceInfo> registry;
+    SimResult result;
+    result.benchmark = log.benchmark();
+    result.manager = manager_.name();
+
+    auto note_peak = [&]() {
+        std::uint64_t used = manager_.usedBytes();
+        if (used > result.peakBytes) {
+            result.peakBytes = used;
+        }
+    };
+
+    for (const tracelog::Event &event : log.events()) {
+        switch (event.type) {
+          case tracelog::EventType::TraceCreate: {
+            TraceInfo info;
+            info.sizeBytes = event.sizeBytes;
+            info.module = event.module;
+            auto [it, fresh] = registry.emplace(event.trace, info);
+            if (!fresh) {
+                GENCACHE_PANIC("trace {} created twice in log",
+                               event.trace);
+            }
+            ++result.createdTraces;
+            result.createdBytes += event.sizeBytes;
+            manager_.insert(event.trace, event.sizeBytes, event.module,
+                            event.time);
+            note_peak();
+            break;
+          }
+          case tracelog::EventType::TraceExec: {
+            auto it = registry.find(event.trace);
+            if (it == registry.end()) {
+                GENCACHE_PANIC("execution of unknown trace {}",
+                               event.trace);
+            }
+            ++result.lookups;
+            if (manager_.lookup(event.trace, event.time)) {
+                ++result.hits;
+            } else {
+                ++result.misses;
+                // Conflict miss: the optimizer regenerates the trace
+                // and re-inserts it (§6.2).
+                if (manager_.insert(event.trace,
+                                    it->second.sizeBytes,
+                                    it->second.module, event.time)) {
+                    ++result.regenerations;
+                    if (it->second.pinnedWanted) {
+                        manager_.setPinned(event.trace, true);
+                    }
+                }
+                note_peak();
+            }
+            break;
+          }
+          case tracelog::EventType::ModuleLoad:
+            break;
+          case tracelog::EventType::ModuleUnload:
+            manager_.invalidateModule(event.module, event.time);
+            break;
+          case tracelog::EventType::Pin: {
+            auto it = registry.find(event.trace);
+            if (it != registry.end()) {
+                it->second.pinnedWanted = true;
+            }
+            manager_.setPinned(event.trace, true);
+            break;
+          }
+          case tracelog::EventType::Unpin: {
+            auto it = registry.find(event.trace);
+            if (it != registry.end()) {
+                it->second.pinnedWanted = false;
+            }
+            manager_.setPinned(event.trace, false);
+            break;
+          }
+        }
+    }
+
+    result.managerStats = manager_.stats();
+    result.overhead = account_.breakdown();
+    return result;
+}
+
+} // namespace gencache::sim

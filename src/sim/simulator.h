@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The trace-driven code cache simulator (paper §6).
+ *
+ * "DynamoRIO executed our benchmarks using an unbounded code cache,
+ *  and we used the verbose log of cache accesses to drive our cache
+ *  simulator."
+ *
+ * CacheSimulator replays an AccessLog against any CacheManager:
+ * creations insert, executions look up (a miss regenerates and
+ * re-inserts, paying the Table 2 costs through the attached
+ * OverheadAccount), module unloads force invalidations, and pin/unpin
+ * events toggle undeletability.
+ */
+
+#ifndef GENCACHE_SIM_SIMULATOR_H
+#define GENCACHE_SIM_SIMULATOR_H
+
+#include <string>
+#include <unordered_map>
+
+#include "codecache/cache_manager.h"
+#include "costmodel/cost_model.h"
+#include "tracelog/event.h"
+
+namespace gencache::sim {
+
+/** Everything one simulation run produces. */
+struct SimResult
+{
+    std::string benchmark;
+    std::string manager;
+
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t regenerations = 0;   ///< misses that re-inserted
+    std::uint64_t peakBytes = 0;       ///< peak cache occupancy
+    std::uint64_t createdTraces = 0;
+    std::uint64_t createdBytes = 0;
+
+    cache::ManagerStats managerStats;
+    cost::OverheadBreakdown overhead;
+
+    double missRate() const
+    {
+        return lookups == 0 ? 0.0
+                            : static_cast<double>(misses) /
+                                  static_cast<double>(lookups);
+    }
+};
+
+/** Replays an access log against a cache manager. */
+class CacheSimulator
+{
+  public:
+    /**
+     * @param manager the global scheme under test; the simulator
+     *        installs itself as the manager's event listener.
+     * @param model cost model for overhead accounting.
+     */
+    explicit CacheSimulator(cache::CacheManager &manager,
+                            cost::CostModel model = cost::CostModel{});
+
+    /** Replay @p log from the beginning and return the results. */
+    SimResult run(const tracelog::AccessLog &log);
+
+  private:
+    struct TraceInfo
+    {
+        std::uint32_t sizeBytes = 0;
+        cache::ModuleId module = cache::kNoModule;
+        bool pinnedWanted = false;
+    };
+
+    cache::CacheManager &manager_;
+    cost::OverheadAccount account_;
+};
+
+} // namespace gencache::sim
+
+#endif // GENCACHE_SIM_SIMULATOR_H

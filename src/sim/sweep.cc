@@ -1,0 +1,113 @@
+#include "sim/sweep.h"
+
+#include <cmath>
+
+#include "support/format.h"
+#include "support/logging.h"
+
+namespace gencache::sim {
+
+std::string
+SweepPoint::label() const
+{
+    int nursery = static_cast<int>(std::llround(nurseryFrac * 100));
+    int probation =
+        static_cast<int>(std::llround(probationFrac * 100));
+    return format("{}-{}-{}", nursery, probation,
+                  100 - nursery - probation);
+}
+
+const SweepCell &
+SweepResult::best() const
+{
+    if (cells.empty()) {
+        GENCACHE_PANIC("best() on an empty sweep");
+    }
+    const SweepCell *winner = &cells.front();
+    for (const SweepCell &cell : cells) {
+        if (cell.missRateReductionPct >
+            winner->missRateReductionPct) {
+            winner = &cell;
+        }
+    }
+    return *winner;
+}
+
+const SweepCell &
+SweepResult::at(std::size_t point_index, std::size_t threshold_index,
+                std::size_t threshold_count) const
+{
+    std::size_t index =
+        point_index * threshold_count + threshold_index;
+    if (index >= cells.size()) {
+        GENCACHE_PANIC("sweep cell ({}, {}) out of range",
+                       point_index, threshold_index);
+    }
+    return cells[index];
+}
+
+std::vector<SweepPoint>
+defaultSweepPoints()
+{
+    return {
+        {1.0 / 3.0, 1.0 / 3.0}, {0.45, 0.10}, {0.40, 0.20},
+        {0.25, 0.50},           {0.60, 0.10}, {0.10, 0.45},
+    };
+}
+
+std::vector<std::uint32_t>
+defaultSweepThresholds()
+{
+    return {1, 5, 10, 50};
+}
+
+SweepResult
+runSweep(const workload::BenchmarkProfile &profile,
+         const std::vector<SweepPoint> &points,
+         const std::vector<std::uint32_t> &thresholds)
+{
+    if (points.empty() || thresholds.empty()) {
+        fatal("sweep needs at least one point and one threshold");
+    }
+    ExperimentRunner runner(profile);
+    SimResult unbounded = runner.runUnbounded();
+
+    SweepResult result;
+    result.benchmark = profile.name;
+    result.capacityBytes = std::max<std::uint64_t>(
+        4096, static_cast<std::uint64_t>(std::llround(
+                  static_cast<double>(unbounded.peakBytes) *
+                  kCachePressureFactor)));
+
+    SimResult unified = runner.runUnified(result.capacityBytes);
+    result.unifiedMissRate = unified.missRate();
+
+    result.cells.reserve(points.size() * thresholds.size());
+    for (const SweepPoint &point : points) {
+        for (std::uint32_t threshold : thresholds) {
+            GenerationalLayout layout;
+            layout.label = format("{} thr {}", point.label(),
+                                  threshold);
+            layout.nurseryFrac = point.nurseryFrac;
+            layout.probationFrac = point.probationFrac;
+            layout.promotionThreshold = threshold;
+            SimResult sim =
+                runner.runGenerational(result.capacityBytes, layout);
+
+            SweepCell cell;
+            cell.point = point;
+            cell.threshold = threshold;
+            cell.missRate = sim.missRate();
+            cell.promotions = sim.managerStats.promotions;
+            cell.missRateReductionPct =
+                unified.missRate() > 0.0
+                    ? (1.0 - sim.missRate() / unified.missRate()) *
+                          100.0
+                    : 0.0;
+            result.cells.push_back(cell);
+        }
+    }
+    return result;
+}
+
+} // namespace gencache::sim

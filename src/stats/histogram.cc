@@ -1,0 +1,79 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+
+#include "support/format.h"
+#include "support/logging.h"
+
+namespace gencache {
+
+Histogram::Histogram(std::vector<double> edges)
+    : edges_(std::move(edges))
+{
+    if (edges_.size() < 2) {
+        GENCACHE_PANIC("Histogram needs at least two edges");
+    }
+    for (std::size_t i = 1; i < edges_.size(); ++i) {
+        if (edges_[i] <= edges_[i - 1]) {
+            GENCACHE_PANIC("Histogram edges must be strictly increasing");
+        }
+    }
+    counts_.assign(edges_.size() - 1, 0);
+}
+
+std::size_t
+Histogram::binIndex(double value) const
+{
+    if (value < edges_.front()) {
+        return 0;
+    }
+    if (value >= edges_.back()) {
+        return counts_.size() - 1;
+    }
+    auto it = std::upper_bound(edges_.begin(), edges_.end(), value);
+    return static_cast<std::size_t>(it - edges_.begin()) - 1;
+}
+
+void
+Histogram::add(double value)
+{
+    addWeighted(value, 1);
+}
+
+void
+Histogram::addWeighted(double value, std::uint64_t weight)
+{
+    counts_[binIndex(value)] += weight;
+    total_ += weight;
+}
+
+double
+Histogram::binFraction(std::size_t bin) const
+{
+    if (total_ == 0) {
+        return 0.0;
+    }
+    return static_cast<double>(counts_[bin]) / static_cast<double>(total_);
+}
+
+std::string
+Histogram::binLabel(std::size_t bin) const
+{
+    bool last = (bin == counts_.size() - 1);
+    return format("[{}, {}{}", edges_[bin], edges_[bin + 1],
+                  last ? "]" : ")");
+}
+
+Histogram
+makeLifetimeHistogram()
+{
+    return Histogram({0.0, 0.2, 0.4, 0.6, 0.8, 1.0 + 1e-12});
+}
+
+std::vector<std::string>
+lifetimeBucketLabels()
+{
+    return {"<20%", "20-40%", "40-60%", "60-80%", ">80%"};
+}
+
+} // namespace gencache

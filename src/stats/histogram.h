@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fixed-bin histograms, including the five-bucket lifetime histogram the
+ * paper uses in Figure 6.
+ */
+
+#ifndef GENCACHE_STATS_HISTOGRAM_H
+#define GENCACHE_STATS_HISTOGRAM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gencache {
+
+/**
+ * Histogram over explicit, sorted bin edges. A sample v falls into bin i
+ * when edges[i] <= v < edges[i+1]; samples below the first edge clamp
+ * into bin 0 and samples at/above the last edge clamp into the last bin.
+ */
+class Histogram
+{
+  public:
+    /** @param edges strictly increasing, at least two entries. */
+    explicit Histogram(std::vector<double> edges);
+
+    /** Record one sample. */
+    void add(double value);
+
+    /** Record @p weight samples' worth at @p value. */
+    void addWeighted(double value, std::uint64_t weight);
+
+    std::size_t binCount() const { return counts_.size(); }
+
+    std::uint64_t binTotal(std::size_t bin) const { return counts_[bin]; }
+
+    std::uint64_t total() const { return total_; }
+
+    /** @return fraction of all samples in @p bin (0 when empty). */
+    double binFraction(std::size_t bin) const;
+
+    /** @return human-readable label, e.g. "[0.2, 0.4)". */
+    std::string binLabel(std::size_t bin) const;
+
+    const std::vector<double> &edges() const { return edges_; }
+
+  private:
+    std::size_t binIndex(double value) const;
+
+    std::vector<double> edges_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * The paper's Figure 6 lifetime buckets: [0,20%), [20,40%), [40,60%),
+ * [60,80%), [80,100%]. Lifetimes are fractions of total execution time.
+ */
+Histogram makeLifetimeHistogram();
+
+/** Bucket labels matching Figure 6 ("<20%", "20-40%", ... ">80%"). */
+std::vector<std::string> lifetimeBucketLabels();
+
+} // namespace gencache
+
+#endif // GENCACHE_STATS_HISTOGRAM_H

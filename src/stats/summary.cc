@@ -1,0 +1,112 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace gencache {
+
+void
+SummaryStats::add(double value)
+{
+    samples_.push_back(value);
+}
+
+double
+SummaryStats::sum() const
+{
+    double total = 0.0;
+    for (double v : samples_) {
+        total += v;
+    }
+    return total;
+}
+
+double
+SummaryStats::mean() const
+{
+    if (samples_.empty()) {
+        GENCACHE_PANIC("SummaryStats::mean on empty sample set");
+    }
+    return sum() / static_cast<double>(samples_.size());
+}
+
+double
+SummaryStats::geomean() const
+{
+    if (samples_.empty()) {
+        GENCACHE_PANIC("SummaryStats::geomean on empty sample set");
+    }
+    double logSum = 0.0;
+    for (double v : samples_) {
+        if (v <= 0.0) {
+            GENCACHE_PANIC("SummaryStats::geomean with non-positive "
+                           "sample {}", v);
+        }
+        logSum += std::log(v);
+    }
+    return std::exp(logSum / static_cast<double>(samples_.size()));
+}
+
+double
+SummaryStats::stddev() const
+{
+    if (samples_.size() < 2) {
+        return 0.0;
+    }
+    double m = mean();
+    double accum = 0.0;
+    for (double v : samples_) {
+        accum += (v - m) * (v - m);
+    }
+    return std::sqrt(accum / static_cast<double>(samples_.size() - 1));
+}
+
+double
+SummaryStats::median() const
+{
+    return percentile(50.0);
+}
+
+double
+SummaryStats::percentile(double p) const
+{
+    if (samples_.empty()) {
+        GENCACHE_PANIC("SummaryStats::percentile on empty sample set");
+    }
+    if (p < 0.0 || p > 100.0) {
+        GENCACHE_PANIC("SummaryStats::percentile out of range: {}", p);
+    }
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    if (p == 50.0 && sorted.size() % 2 == 0) {
+        std::size_t hi = sorted.size() / 2;
+        return 0.5 * (sorted[hi - 1] + sorted[hi]);
+    }
+    double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(rank);
+    std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double
+SummaryStats::min() const
+{
+    if (samples_.empty()) {
+        GENCACHE_PANIC("SummaryStats::min on empty sample set");
+    }
+    return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double
+SummaryStats::max() const
+{
+    if (samples_.empty()) {
+        GENCACHE_PANIC("SummaryStats::max on empty sample set");
+    }
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+} // namespace gencache

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Streaming summary statistics used to aggregate benchmark results.
+ */
+
+#ifndef GENCACHE_STATS_SUMMARY_H
+#define GENCACHE_STATS_SUMMARY_H
+
+#include <cstddef>
+#include <vector>
+
+namespace gencache {
+
+/**
+ * Accumulates a set of samples and reports the aggregate measures the
+ * paper uses: unweighted arithmetic mean (Figure 9), geometric mean
+ * (Figure 11), standard deviation (Figure 2), median, min, and max.
+ *
+ * Samples are retained, so median and percentiles are exact.
+ */
+class SummaryStats
+{
+  public:
+    /** Add one sample. */
+    void add(double value);
+
+    std::size_t count() const { return samples_.size(); }
+
+    /** @return sum of all samples (0 when empty). */
+    double sum() const;
+
+    /** @return arithmetic mean; panics when empty. */
+    double mean() const;
+
+    /**
+     * @return geometric mean of the samples; panics when empty or when
+     * any sample is non-positive (the geomean is undefined there).
+     */
+    double geomean() const;
+
+    /** @return sample standard deviation (n-1); 0 for fewer than 2. */
+    double stddev() const;
+
+    /** @return exact median (average of middle two when even). */
+    double median() const;
+
+    /** @return p-th percentile via nearest-rank, p in [0, 100]. */
+    double percentile(double p) const;
+
+    double min() const;
+    double max() const;
+
+    /** @return all samples in insertion order. */
+    const std::vector<double> &samples() const { return samples_; }
+
+  private:
+    std::vector<double> samples_;
+};
+
+} // namespace gencache
+
+#endif // GENCACHE_STATS_SUMMARY_H

@@ -1,0 +1,94 @@
+#include "stats/table.h"
+
+#include <algorithm>
+
+#include "support/format.h"
+#include "support/logging.h"
+
+namespace gencache {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    if (headers_.empty()) {
+        GENCACHE_PANIC("TextTable needs at least one column");
+    }
+    aligns_.assign(headers_.size(), Align::Right);
+    aligns_[0] = Align::Left;
+}
+
+void
+TextTable::setAlign(std::size_t col, Align align)
+{
+    if (col >= aligns_.size()) {
+        GENCACHE_PANIC("TextTable::setAlign: column {} out of range", col);
+    }
+    aligns_[col] = align;
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size()) {
+        GENCACHE_PANIC("TextTable::addRow: {} cells, expected {}",
+                       cells.size(), headers_.size());
+    }
+    rows_.push_back(Row{false, std::move(cells)});
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.push_back(Row{true, {}});
+}
+
+std::string
+TextTable::toString() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+    }
+    for (const Row &row : rows_) {
+        if (row.separator) {
+            continue;
+        }
+        for (std::size_t c = 0; c < row.cells.size(); ++c) {
+            widths[c] = std::max(widths[c], row.cells[c].size());
+        }
+    }
+
+    auto renderRow = [&](const std::vector<std::string> &cells) {
+        std::string line;
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c > 0) {
+                line += "  ";
+            }
+            line += aligns_[c] == Align::Left
+                        ? padRight(cells[c], widths[c])
+                        : padLeft(cells[c], widths[c]);
+        }
+        // Trim trailing spaces for diff-friendliness.
+        while (!line.empty() && line.back() == ' ') {
+            line.pop_back();
+        }
+        return line + "\n";
+    };
+
+    std::size_t totalWidth = 0;
+    for (std::size_t w : widths) {
+        totalWidth += w;
+    }
+    totalWidth += 2 * (widths.size() - 1);
+    std::string separator(totalWidth, '-');
+    separator += "\n";
+
+    std::string out = renderRow(headers_);
+    out += separator;
+    for (const Row &row : rows_) {
+        out += row.separator ? separator : renderRow(row.cells);
+    }
+    return out;
+}
+
+} // namespace gencache

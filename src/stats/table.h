@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Plain-text table rendering shared by all benchmark binaries, so every
+ * reproduced table and figure prints in a uniform, diff-friendly format.
+ */
+
+#ifndef GENCACHE_STATS_TABLE_H
+#define GENCACHE_STATS_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace gencache {
+
+/** Per-column alignment for TextTable. */
+enum class Align { Left, Right };
+
+/**
+ * A simple monospace table: header row, alignment per column, optional
+ * separator rows, rendered with per-column width computation.
+ */
+class TextTable
+{
+  public:
+    /** Define the columns. Defaults to right alignment for all but the
+     *  first column, which is left aligned (typical benchmark layout). */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Override the alignment of column @p col. */
+    void setAlign(std::size_t col, Align align);
+
+    /** Append a data row; must match the header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator at the current position. */
+    void addSeparator();
+
+    /** @return the rendered table, trailing newline included. */
+    std::string toString() const;
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    struct Row
+    {
+        bool separator = false;
+        std::vector<std::string> cells;
+    };
+
+    std::vector<std::string> headers_;
+    std::vector<Align> aligns_;
+    std::vector<Row> rows_;
+};
+
+} // namespace gencache
+
+#endif // GENCACHE_STATS_TABLE_H

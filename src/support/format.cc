@@ -1,0 +1,101 @@
+#include "support/format.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace gencache {
+
+namespace detail {
+
+std::size_t
+appendUntilPlaceholder(std::string &out, std::string_view spec,
+                       std::size_t pos)
+{
+    while (pos < spec.size()) {
+        std::size_t brace = spec.find("{}", pos);
+        if (brace == std::string_view::npos) {
+            out.append(spec.substr(pos));
+            return std::string_view::npos;
+        }
+        out.append(spec.substr(pos, brace - pos));
+        return brace + 2;
+    }
+    return std::string_view::npos;
+}
+
+} // namespace detail
+
+std::string
+withCommas(std::int64_t value)
+{
+    bool negative = value < 0;
+    std::string digits = std::to_string(negative ? -value : value);
+    std::string out;
+    out.reserve(digits.size() + digits.size() / 3 + 1);
+    std::size_t leading = digits.size() % 3;
+    if (leading == 0) {
+        leading = 3;
+    }
+    out.append(digits.substr(0, leading));
+    for (std::size_t i = leading; i < digits.size(); i += 3) {
+        out.push_back(',');
+        out.append(digits.substr(i, 3));
+    }
+    if (negative) {
+        out.insert(out.begin(), '-');
+    }
+    return out;
+}
+
+std::string
+fixed(double value, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+    return buf;
+}
+
+std::string
+percent(double fraction, int digits)
+{
+    return fixed(fraction * 100.0, digits) + "%";
+}
+
+std::string
+humanBytes(std::uint64_t bytes)
+{
+    static const char *units[] = {"B", "KB", "MB", "GB", "TB"};
+    double value = static_cast<double>(bytes);
+    int unit = 0;
+    while (value >= 1024.0 && unit < 4) {
+        value /= 1024.0;
+        ++unit;
+    }
+    if (unit == 0) {
+        return std::to_string(bytes) + " B";
+    }
+    return fixed(value, value < 10.0 ? 2 : 1) + " " + units[unit];
+}
+
+std::string
+padLeft(std::string_view text, std::size_t width)
+{
+    std::string out;
+    if (text.size() < width) {
+        out.append(width - text.size(), ' ');
+    }
+    out.append(text);
+    return out;
+}
+
+std::string
+padRight(std::string_view text, std::size_t width)
+{
+    std::string out(text);
+    if (out.size() < width) {
+        out.append(width - out.size(), ' ');
+    }
+    return out;
+}
+
+} // namespace gencache

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Minimal brace-style string formatting used throughout gencache.
+ *
+ * GCC 12 ships C++20 without <format>, so we provide a small, dependency
+ * free substitute: each "{}" in the format string is replaced, in order,
+ * with the ostream rendering of the corresponding argument. Unmatched
+ * placeholders are kept verbatim; extra arguments are appended.
+ */
+
+#ifndef GENCACHE_SUPPORT_FORMAT_H
+#define GENCACHE_SUPPORT_FORMAT_H
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace gencache {
+
+namespace detail {
+
+/** Append the literal text of @p spec up to the next "{}" placeholder.
+ *  @return the offset just past the placeholder, or npos when none left. */
+std::size_t appendUntilPlaceholder(std::string &out, std::string_view spec,
+                                   std::size_t pos);
+
+inline void
+formatRec(std::string &out, std::string_view spec, std::size_t pos)
+{
+    out.append(spec.substr(pos));
+}
+
+template <typename T, typename... Rest>
+void
+formatRec(std::string &out, std::string_view spec, std::size_t pos,
+          const T &value, const Rest &...rest)
+{
+    std::size_t next = appendUntilPlaceholder(out, spec, pos);
+    std::ostringstream oss;
+    oss << value;
+    out += oss.str();
+    if (next == std::string_view::npos) {
+        return;
+    }
+    formatRec(out, spec, next, rest...);
+}
+
+} // namespace detail
+
+/**
+ * Render @p spec, substituting successive "{}" placeholders with @p args.
+ *
+ * @param spec Format string containing zero or more "{}" placeholders.
+ * @param args Values substituted in order of appearance.
+ * @return The formatted string.
+ */
+template <typename... Args>
+std::string
+format(std::string_view spec, const Args &...args)
+{
+    std::string out;
+    out.reserve(spec.size() + sizeof...(args) * 8);
+    detail::formatRec(out, spec, 0, args...);
+    return out;
+}
+
+/** Render an integer with thousands separators, e.g. 1234567 -> 1,234,567. */
+std::string withCommas(std::int64_t value);
+
+/** Render @p value with @p digits digits after the decimal point. */
+std::string fixed(double value, int digits);
+
+/** Render @p fraction (0..1) as a percentage string, e.g. 0.182 -> 18.2%. */
+std::string percent(double fraction, int digits = 1);
+
+/** Render a byte count using a human unit (B, KB, MB, GB), base 1024. */
+std::string humanBytes(std::uint64_t bytes);
+
+/** Left-pad @p text with spaces to at least @p width characters. */
+std::string padLeft(std::string_view text, std::size_t width);
+
+/** Right-pad @p text with spaces to at least @p width characters. */
+std::string padRight(std::string_view text, std::size_t width);
+
+} // namespace gencache
+
+#endif // GENCACHE_SUPPORT_FORMAT_H

@@ -1,0 +1,60 @@
+#include "support/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gencache {
+
+namespace {
+
+LogLevel globalLevel = LogLevel::Inform;
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const std::string &message)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", message.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const std::string &message)
+{
+    std::fprintf(stderr, "fatal: %s\n", message.c_str());
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &message)
+{
+    if (globalLevel >= LogLevel::Warn) {
+        std::fprintf(stderr, "warn: %s\n", message.c_str());
+    }
+}
+
+void
+informImpl(const std::string &message)
+{
+    if (globalLevel >= LogLevel::Inform) {
+        std::fprintf(stderr, "info: %s\n", message.c_str());
+    }
+}
+
+} // namespace detail
+
+} // namespace gencache

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Status and error reporting in the gem5 idiom.
+ *
+ * panic()  — an internal invariant was violated (a gencache bug); aborts.
+ * fatal()  — the user asked for something impossible (bad configuration);
+ *            exits with status 1.
+ * warn()   — something works but may not behave as the user expects.
+ * inform() — purely informational status output.
+ *
+ * All functions accept a brace-style format string (see support/format.h).
+ */
+
+#ifndef GENCACHE_SUPPORT_LOGGING_H
+#define GENCACHE_SUPPORT_LOGGING_H
+
+#include <string_view>
+
+#include "support/format.h"
+
+namespace gencache {
+
+/** Verbosity levels for the global logger. */
+enum class LogLevel {
+    Silent,   ///< Suppress warn() and inform() output.
+    Warn,     ///< Emit warn() only.
+    Inform,   ///< Emit warn() and inform().
+};
+
+/** Set the global logging verbosity. Thread-unsafe by design (set once). */
+void setLogLevel(LogLevel level);
+
+/** @return the current global logging verbosity. */
+LogLevel logLevel();
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &message);
+[[noreturn]] void fatalImpl(const std::string &message);
+void warnImpl(const std::string &message);
+void informImpl(const std::string &message);
+
+} // namespace detail
+
+/** Abort with a message: an internal invariant was violated. */
+#define GENCACHE_PANIC(...)                                                 \
+    ::gencache::detail::panicImpl(__FILE__, __LINE__,                       \
+                                  ::gencache::format(__VA_ARGS__))
+
+/** Report an unrecoverable user/configuration error and exit(1). */
+template <typename... Args>
+[[noreturn]] void
+fatal(std::string_view spec, const Args &...args)
+{
+    detail::fatalImpl(format(spec, args...));
+}
+
+/** Report a suspicious-but-survivable condition. */
+template <typename... Args>
+void
+warn(std::string_view spec, const Args &...args)
+{
+    detail::warnImpl(format(spec, args...));
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(std::string_view spec, const Args &...args)
+{
+    detail::informImpl(format(spec, args...));
+}
+
+} // namespace gencache
+
+#endif // GENCACHE_SUPPORT_LOGGING_H

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Common unit constants and virtual-time typedefs.
+ *
+ * gencache has no dependence on wall-clock time: all timestamps are
+ * virtual microseconds carried by workload logs and simulator events.
+ */
+
+#ifndef GENCACHE_SUPPORT_UNITS_H
+#define GENCACHE_SUPPORT_UNITS_H
+
+#include <cstdint>
+
+namespace gencache {
+
+/** Virtual time in microseconds since workload start. */
+using TimeUs = std::uint64_t;
+
+/** Instruction counts used by the cost model. */
+using InstrCount = std::uint64_t;
+
+constexpr std::uint64_t kKiB = 1024;
+constexpr std::uint64_t kMiB = 1024 * kKiB;
+
+constexpr TimeUs kUsPerMs = 1000;
+constexpr TimeUs kUsPerSec = 1000 * 1000;
+
+/** Convert seconds (double) to virtual microseconds. */
+constexpr TimeUs
+secondsToUs(double seconds)
+{
+    return static_cast<TimeUs>(seconds * static_cast<double>(kUsPerSec));
+}
+
+/** Convert virtual microseconds to seconds. */
+constexpr double
+usToSeconds(TimeUs us)
+{
+    return static_cast<double>(us) / static_cast<double>(kUsPerSec);
+}
+
+} // namespace gencache
+
+#endif // GENCACHE_SUPPORT_UNITS_H

@@ -1,0 +1,145 @@
+#include "tracelog/event.h"
+
+#include <unordered_set>
+
+#include "support/logging.h"
+
+namespace gencache::tracelog {
+
+const char *
+eventTypeName(EventType type)
+{
+    switch (type) {
+      case EventType::TraceCreate: return "create";
+      case EventType::TraceExec: return "exec";
+      case EventType::ModuleLoad: return "load";
+      case EventType::ModuleUnload: return "unload";
+      case EventType::Pin: return "pin";
+      case EventType::Unpin: return "unpin";
+    }
+    GENCACHE_PANIC("unknown event type {}", static_cast<int>(type));
+}
+
+Event
+Event::traceCreate(TimeUs time, cache::TraceId trace,
+                   std::uint32_t size_bytes, cache::ModuleId module)
+{
+    Event event;
+    event.type = EventType::TraceCreate;
+    event.time = time;
+    event.trace = trace;
+    event.sizeBytes = size_bytes;
+    event.module = module;
+    return event;
+}
+
+Event
+Event::traceExec(TimeUs time, cache::TraceId trace)
+{
+    Event event;
+    event.type = EventType::TraceExec;
+    event.time = time;
+    event.trace = trace;
+    return event;
+}
+
+Event
+Event::moduleLoad(TimeUs time, cache::ModuleId module)
+{
+    Event event;
+    event.type = EventType::ModuleLoad;
+    event.time = time;
+    event.module = module;
+    return event;
+}
+
+Event
+Event::moduleUnload(TimeUs time, cache::ModuleId module)
+{
+    Event event;
+    event.type = EventType::ModuleUnload;
+    event.time = time;
+    event.module = module;
+    return event;
+}
+
+Event
+Event::pin(TimeUs time, cache::TraceId trace)
+{
+    Event event;
+    event.type = EventType::Pin;
+    event.time = time;
+    event.trace = trace;
+    return event;
+}
+
+Event
+Event::unpin(TimeUs time, cache::TraceId trace)
+{
+    Event event;
+    event.type = EventType::Unpin;
+    event.time = time;
+    event.trace = trace;
+    return event;
+}
+
+void
+AccessLog::append(const Event &event)
+{
+    if (!events_.empty() && event.time < events_.back().time) {
+        GENCACHE_PANIC("log time moved backwards: {} after {}",
+                       event.time, events_.back().time);
+    }
+    if (event.type == EventType::TraceCreate) {
+        createdBytes_ += event.sizeBytes;
+        ++createdCount_;
+    }
+    events_.push_back(event);
+}
+
+void
+AccessLog::validate() const
+{
+    std::unordered_set<cache::TraceId> created;
+    std::unordered_set<cache::ModuleId> loaded;
+    TimeUs last = 0;
+    for (const Event &event : events_) {
+        if (event.time < last) {
+            GENCACHE_PANIC("unsorted log at t={}", event.time);
+        }
+        last = event.time;
+        switch (event.type) {
+          case EventType::TraceCreate:
+            if (!created.insert(event.trace).second) {
+                GENCACHE_PANIC("duplicate creation of trace {}",
+                               event.trace);
+            }
+            if (event.sizeBytes == 0) {
+                GENCACHE_PANIC("trace {} created with zero size",
+                               event.trace);
+            }
+            break;
+          case EventType::TraceExec:
+          case EventType::Pin:
+          case EventType::Unpin:
+            if (created.count(event.trace) == 0) {
+                GENCACHE_PANIC("trace {} used before creation",
+                               event.trace);
+            }
+            break;
+          case EventType::ModuleLoad:
+            if (!loaded.insert(event.module).second) {
+                GENCACHE_PANIC("module {} loaded twice", event.module);
+            }
+            break;
+          case EventType::ModuleUnload:
+            if (loaded.erase(event.module) == 0) {
+                GENCACHE_PANIC("module {} unloaded while not loaded",
+                               event.module);
+            }
+            break;
+        }
+    }
+}
+
+} // namespace gencache::tracelog

@@ -1,0 +1,90 @@
+#include "tracelog/lifetime.h"
+
+#include "support/logging.h"
+
+namespace gencache::tracelog {
+
+double
+TraceLifetime::fraction(TimeUs total_time) const
+{
+    if (total_time == 0) {
+        return 0.0;
+    }
+    return static_cast<double>(lastExec - firstExec) /
+           static_cast<double>(total_time);
+}
+
+LifetimeAnalyzer::LifetimeAnalyzer(const AccessLog &log)
+{
+    std::unordered_map<cache::TraceId, std::size_t> index;
+    totalTime_ = log.duration();
+
+    for (const Event &event : log.events()) {
+        if (totalTime_ < event.time) {
+            totalTime_ = event.time;
+        }
+        if (event.type == EventType::TraceCreate) {
+            TraceLifetime lifetime;
+            lifetime.trace = event.trace;
+            lifetime.firstExec = event.time;
+            lifetime.lastExec = event.time;
+            lifetime.executions = 1;
+            lifetime.sizeBytes = event.sizeBytes;
+            index.emplace(event.trace, lifetimes_.size());
+            lifetimes_.push_back(lifetime);
+        } else if (event.type == EventType::TraceExec) {
+            auto it = index.find(event.trace);
+            if (it == index.end()) {
+                GENCACHE_PANIC("execution of unknown trace {}",
+                               event.trace);
+            }
+            TraceLifetime &lifetime = lifetimes_[it->second];
+            lifetime.lastExec = event.time;
+            ++lifetime.executions;
+        }
+    }
+}
+
+Histogram
+LifetimeAnalyzer::lifetimeHistogram() const
+{
+    Histogram histogram = makeLifetimeHistogram();
+    for (const TraceLifetime &lifetime : lifetimes_) {
+        histogram.add(lifetime.fraction(totalTime_));
+    }
+    return histogram;
+}
+
+double
+LifetimeAnalyzer::shortLivedFraction() const
+{
+    if (lifetimes_.empty()) {
+        return 0.0;
+    }
+    std::size_t count = 0;
+    for (const TraceLifetime &lifetime : lifetimes_) {
+        if (lifetime.fraction(totalTime_) < 0.2) {
+            ++count;
+        }
+    }
+    return static_cast<double>(count) /
+           static_cast<double>(lifetimes_.size());
+}
+
+double
+LifetimeAnalyzer::longLivedFraction() const
+{
+    if (lifetimes_.empty()) {
+        return 0.0;
+    }
+    std::size_t count = 0;
+    for (const TraceLifetime &lifetime : lifetimes_) {
+        if (lifetime.fraction(totalTime_) >= 0.8) {
+            ++count;
+        }
+    }
+    return static_cast<double>(count) /
+           static_cast<double>(lifetimes_.size());
+}
+
+} // namespace gencache::tracelog

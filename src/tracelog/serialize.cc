@@ -1,0 +1,243 @@
+#include "tracelog/serialize.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace gencache::tracelog {
+
+namespace {
+
+constexpr char kTextMagic[] = "gclog";
+constexpr std::uint32_t kTextVersion = 1;
+constexpr char kBinaryMagic[4] = {'G', 'C', 'L', '1'};
+
+const char *
+typeToken(EventType type)
+{
+    return eventTypeName(type);
+}
+
+bool
+tokenToType(const std::string &token, EventType &type)
+{
+    static const EventType all[] = {
+        EventType::TraceCreate, EventType::TraceExec,
+        EventType::ModuleLoad,  EventType::ModuleUnload,
+        EventType::Pin,         EventType::Unpin,
+    };
+    for (EventType candidate : all) {
+        if (token == eventTypeName(candidate)) {
+            type = candidate;
+            return true;
+        }
+    }
+    return false;
+}
+
+template <typename T>
+void
+writeLe(std::ostream &out, T value)
+{
+    unsigned char bytes[sizeof(T)];
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+        bytes[i] = static_cast<unsigned char>(
+            (value >> (8 * i)) & 0xff);
+    }
+    out.write(reinterpret_cast<const char *>(bytes), sizeof(T));
+}
+
+template <typename T>
+T
+readLe(std::istream &in)
+{
+    unsigned char bytes[sizeof(T)];
+    in.read(reinterpret_cast<char *>(bytes), sizeof(T));
+    if (!in) {
+        fatal("truncated binary access log");
+    }
+    T value = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+        value |= static_cast<T>(bytes[i]) << (8 * i);
+    }
+    return value;
+}
+
+} // namespace
+
+void
+writeText(const AccessLog &log, std::ostream &out)
+{
+    out << kTextMagic << ' ' << kTextVersion << '\n';
+    out << "benchmark " << (log.benchmark().empty() ? "-"
+                                                    : log.benchmark())
+        << '\n';
+    out << "duration_us " << log.duration() << '\n';
+    out << "footprint_bytes " << log.footprintBytes() << '\n';
+    out << "events " << log.size() << '\n';
+    for (const Event &event : log.events()) {
+        out << typeToken(event.type) << ' ' << event.time << ' '
+            << event.trace << ' ' << event.sizeBytes << ' '
+            << event.module << '\n';
+    }
+}
+
+AccessLog
+readText(std::istream &in)
+{
+    std::string magic;
+    std::uint32_t version = 0;
+    in >> magic >> version;
+    if (magic != kTextMagic || version != kTextVersion) {
+        fatal("not a gclog text file (magic '{}', version {})", magic,
+              version);
+    }
+
+    AccessLog log;
+    std::string key;
+    std::string benchmark;
+    TimeUs duration = 0;
+    std::uint64_t footprint = 0;
+    std::uint64_t count = 0;
+
+    in >> key >> benchmark;
+    if (key != "benchmark") {
+        fatal("gclog: expected 'benchmark', got '{}'", key);
+    }
+    in >> key >> duration;
+    if (key != "duration_us") {
+        fatal("gclog: expected 'duration_us', got '{}'", key);
+    }
+    in >> key >> footprint;
+    if (key != "footprint_bytes") {
+        fatal("gclog: expected 'footprint_bytes', got '{}'", key);
+    }
+    in >> key >> count;
+    if (key != "events") {
+        fatal("gclog: expected 'events', got '{}'", key);
+    }
+    if (benchmark != "-") {
+        log.setBenchmark(benchmark);
+    }
+    log.setDuration(duration);
+    log.setFootprintBytes(footprint);
+
+    for (std::uint64_t i = 0; i < count; ++i) {
+        std::string token;
+        Event event;
+        in >> token >> event.time >> event.trace >> event.sizeBytes >>
+            event.module;
+        if (!in) {
+            fatal("gclog: truncated after {} of {} events", i, count);
+        }
+        if (!tokenToType(token, event.type)) {
+            fatal("gclog: unknown event type '{}'", token);
+        }
+        log.append(event);
+    }
+    return log;
+}
+
+void
+writeBinary(const AccessLog &log, std::ostream &out)
+{
+    out.write(kBinaryMagic, sizeof(kBinaryMagic));
+    writeLe<std::uint32_t>(
+        out, static_cast<std::uint32_t>(log.benchmark().size()));
+    out.write(log.benchmark().data(),
+              static_cast<std::streamsize>(log.benchmark().size()));
+    writeLe<std::uint64_t>(out, log.duration());
+    writeLe<std::uint64_t>(out, log.footprintBytes());
+    writeLe<std::uint64_t>(out, log.size());
+    for (const Event &event : log.events()) {
+        writeLe<std::uint8_t>(out,
+                              static_cast<std::uint8_t>(event.type));
+        writeLe<std::uint64_t>(out, event.time);
+        writeLe<std::uint64_t>(out, event.trace);
+        writeLe<std::uint32_t>(out, event.sizeBytes);
+        writeLe<std::uint32_t>(out, event.module);
+    }
+}
+
+AccessLog
+readBinary(std::istream &in)
+{
+    char magic[4];
+    in.read(magic, sizeof(magic));
+    if (!in || std::memcmp(magic, kBinaryMagic, sizeof(magic)) != 0) {
+        fatal("not a gclog binary file");
+    }
+    AccessLog log;
+    auto name_len = readLe<std::uint32_t>(in);
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    if (!in) {
+        fatal("truncated binary access log header");
+    }
+    log.setBenchmark(name);
+    log.setDuration(readLe<std::uint64_t>(in));
+    log.setFootprintBytes(readLe<std::uint64_t>(in));
+    auto count = readLe<std::uint64_t>(in);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        Event event;
+        auto type = readLe<std::uint8_t>(in);
+        if (type > static_cast<std::uint8_t>(EventType::Unpin)) {
+            fatal("binary gclog: bad event type {}", int{type});
+        }
+        event.type = static_cast<EventType>(type);
+        event.time = readLe<std::uint64_t>(in);
+        event.trace = readLe<std::uint64_t>(in);
+        event.sizeBytes = readLe<std::uint32_t>(in);
+        event.module = readLe<std::uint32_t>(in);
+        log.append(event);
+    }
+    return log;
+}
+
+namespace {
+
+bool
+endsWith(const std::string &text, const std::string &suffix)
+{
+    return text.size() >= suffix.size() &&
+           text.compare(text.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+} // namespace
+
+void
+saveLog(const AccessLog &log, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+        fatal("cannot open '{}' for writing", path);
+    }
+    if (endsWith(path, ".gclogb")) {
+        writeBinary(log, out);
+    } else {
+        writeText(log, out);
+    }
+    if (!out) {
+        fatal("write to '{}' failed", path);
+    }
+}
+
+AccessLog
+loadLog(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        fatal("cannot open '{}' for reading", path);
+    }
+    if (endsWith(path, ".gclogb")) {
+        return readBinary(in);
+    }
+    return readText(in);
+}
+
+} // namespace gencache::tracelog

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Access-log serialization: a line-oriented text format (readable,
+ * diffable) and a compact binary format (large logs).
+ */
+
+#ifndef GENCACHE_TRACELOG_SERIALIZE_H
+#define GENCACHE_TRACELOG_SERIALIZE_H
+
+#include <iosfwd>
+#include <string>
+
+#include "tracelog/event.h"
+
+namespace gencache::tracelog {
+
+/**
+ * Text format:
+ * @code
+ * gclog 1
+ * benchmark <name>
+ * duration_us <n>
+ * footprint_bytes <n>
+ * events <count>
+ * <type> <time> <trace> <size> <module>
+ * ...
+ * @endcode
+ */
+void writeText(const AccessLog &log, std::ostream &out);
+
+/** Parse the text format. Calls fatal() on malformed input (these are
+ *  user-supplied files). */
+AccessLog readText(std::istream &in);
+
+/** Binary format: magic "GCL1", metadata, then packed LE records. */
+void writeBinary(const AccessLog &log, std::ostream &out);
+
+/** Parse the binary format. Calls fatal() on malformed input. */
+AccessLog readBinary(std::istream &in);
+
+/** Convenience file helpers; format chosen by extension ".gclog"
+ *  (text) vs ".gclogb" (binary). fatal() on I/O failure. */
+void saveLog(const AccessLog &log, const std::string &path);
+AccessLog loadLog(const std::string &path);
+
+} // namespace gencache::tracelog
+
+#endif // GENCACHE_TRACELOG_SERIALIZE_H

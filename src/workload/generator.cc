@@ -1,0 +1,342 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.h"
+#include "support/units.h"
+
+namespace gencache::workload {
+
+namespace {
+
+using tracelog::Event;
+using tracelog::EventType;
+
+/** Sort rank so simultaneous events land in a legal order. */
+int
+eventRank(EventType type)
+{
+    switch (type) {
+      case EventType::ModuleLoad: return 0;
+      case EventType::TraceCreate: return 1;
+      case EventType::TraceExec: return 2;
+      case EventType::Pin: return 3;
+      case EventType::Unpin: return 4;
+      case EventType::ModuleUnload: return 5;
+    }
+    return 6;
+}
+
+/** Lifetime classes drawn from the profile's mixture. */
+enum class LifeClass { Short, Mid, Long };
+
+LifeClass
+sampleLifeClass(Rng &rng, const LifetimeMix &mix)
+{
+    double draw = rng.uniform01();
+    if (draw < mix.shortFrac) {
+        return LifeClass::Short;
+    }
+    if (draw < mix.shortFrac + mix.midFrac) {
+        return LifeClass::Mid;
+    }
+    return LifeClass::Long;
+}
+
+/** Emission context shared by the helpers below. */
+struct GenContext
+{
+    const BenchmarkProfile &profile;
+    Rng &rng;
+    std::vector<Event> &events;
+    TimeUs total;              ///< duration in virtual microseconds
+    cache::TraceId nextId = 1;
+};
+
+/**
+ * Emit one trace: creation, clustered executions across its activity
+ * window, and (rarely) a pin/unpin pair.
+ */
+void
+emitTrace(GenContext &ctx, std::uint32_t size, cache::ModuleId module,
+          TimeUs create, TimeUs last, LifeClass cls)
+{
+    const BenchmarkProfile &p = ctx.profile;
+    bool is_long = cls == LifeClass::Long;
+    cache::TraceId id = ctx.nextId++;
+    ctx.events.push_back(Event::traceCreate(create, id, size, module));
+
+    double execs =
+        p.execsPerTraceMean * std::exp(ctx.rng.normal(0.0, 0.9));
+    if (is_long) {
+        execs *= p.hotMultiplier;
+    }
+    auto count = static_cast<std::uint64_t>(std::llround(
+        std::clamp(execs, 1.0, 100000.0)));
+
+    if (last > create && count > 1) {
+        TimeUs window = last - create;
+        // Working-set clustering: executions gather around a handful
+        // of centers inside the window. Long-lived traces are the
+        // program's core loops, so their executions must recur
+        // *steadily* across the whole window (at least several
+        // centers), not in one burst — this steady re-reference is
+        // exactly what a unified FIFO keeps evicting (§5.1).
+        std::size_t centers = 1 + static_cast<std::size_t>(count / 40);
+        if (is_long) {
+            // Dense enough that re-reference gaps stay well below a
+            // probation-cache transit, so a hot trace always earns
+            // its promotion hit on the first pass.
+            centers = std::max<std::size_t>(centers, 24);
+        }
+        std::vector<double> centerTimes;
+        if (cls == LifeClass::Mid && p.pollutingMid) {
+            // Phase-structured reuse (a solver time step, a renderer
+            // scene): two sustained plateaus at the window ends. Each
+            // plateau outlasts a nursery+probation transit, so the
+            // trace re-earns a full promotion per phase; the gap
+            // between phases exceeds a persistent-cache transit, so
+            // the promotion buys nothing. Plateau lengths are
+            // fractions of *total* time because cache transit times
+            // scale with the run, not with a trace's window.
+            double plateau_span = std::min(
+                0.45 * static_cast<double>(window),
+                0.20 * static_cast<double>(ctx.total));
+            std::size_t per_plateau = std::max<std::size_t>(
+                4, static_cast<std::size_t>(count / 16));
+            centerTimes.reserve(2 * per_plateau);
+            for (std::size_t k = 0; k < per_plateau; ++k) {
+                double offset = (static_cast<double>(k) + 0.5) /
+                                static_cast<double>(per_plateau) *
+                                plateau_span;
+                centerTimes.push_back(static_cast<double>(create) +
+                                      offset);
+                centerTimes.push_back(static_cast<double>(last) -
+                                      plateau_span + offset);
+            }
+        } else {
+            centerTimes.resize(centers);
+            for (double &center : centerTimes) {
+                center = ctx.rng.uniform(static_cast<double>(create),
+                                         static_cast<double>(last));
+            }
+        }
+        double spread =
+            static_cast<double>(window) * p.clusterSpreadFrac;
+        for (std::uint64_t k = 0; k + 2 <= count; ++k) {
+            double center = centerTimes[static_cast<std::size_t>(
+                ctx.rng.uniformInt(0,
+                    static_cast<std::int64_t>(centerTimes.size()) -
+                        1))];
+            double t = std::clamp(ctx.rng.normal(center, spread),
+                                  static_cast<double>(create),
+                                  static_cast<double>(last));
+            ctx.events.push_back(
+                Event::traceExec(static_cast<TimeUs>(t), id));
+        }
+        // Guarantee the window endpoint so measured lifetimes match.
+        ctx.events.push_back(Event::traceExec(last, id));
+    }
+
+    if (p.pinFrac > 0.0 && last > create + 4 &&
+        ctx.rng.bernoulli(p.pinFrac)) {
+        TimeUs pin_at = create + static_cast<TimeUs>(
+            ctx.rng.uniform(0.0,
+                static_cast<double>(last - create - 2)));
+        TimeUs unpin_at = std::min<TimeUs>(
+            last,
+            pin_at + std::max<TimeUs>(1, (last - create) / 50));
+        ctx.events.push_back(Event::pin(pin_at, id));
+        ctx.events.push_back(Event::unpin(unpin_at, id));
+    }
+}
+
+/** Window of a main-module trace for a lifetime class. */
+void
+mainWindow(GenContext &ctx, LifeClass cls, TimeUs &create, TimeUs &last)
+{
+    double total = static_cast<double>(ctx.total);
+    Rng &rng = ctx.rng;
+    double begin = 0.0;
+    double frac = 0.0;
+    switch (cls) {
+      case LifeClass::Short:
+        // Well under the 20% bucket edge: short-lived traces go cold
+        // quickly (a dialog dismissed, a one-off code path), which is
+        // what lets the probation cache filter them out (§5.3).
+        begin = rng.uniform(0.0, 0.93);
+        frac = rng.uniform(0.002, 0.08);
+        break;
+      case LifeClass::Mid:
+        if (ctx.profile.pollutingMid) {
+            // Wide window: the single post-plateau touch lands long
+            // after the persistent cache has churned the trace out.
+            begin = rng.uniform(0.0, 0.20);
+            frac = rng.uniform(0.60, 0.78);
+        } else {
+            begin = rng.uniform(0.0, 0.45);
+            frac = rng.uniform(0.22, 0.72);
+        }
+        break;
+      case LifeClass::Long:
+        begin = rng.uniform(0.0, 0.10);
+        frac = rng.uniform(0.82, 0.99);
+        break;
+    }
+    create = static_cast<TimeUs>(begin * total);
+    last = static_cast<TimeUs>(
+        std::min(1.0, begin + frac) * total);
+    if (last <= create) {
+        last = create + 1;
+    }
+    if (last > ctx.total) {
+        last = ctx.total;
+    }
+}
+
+} // namespace
+
+std::uint32_t
+sampleTraceSize(Rng &rng, const TraceSizeModel &model)
+{
+    double size = rng.lognormal(std::log(model.medianBytes),
+                                model.sigma);
+    return static_cast<std::uint32_t>(
+        std::clamp(size, static_cast<double>(model.minBytes),
+                   static_cast<double>(model.maxBytes)));
+}
+
+tracelog::AccessLog
+generateWorkload(const BenchmarkProfile &profile)
+{
+    if (profile.durationSec <= 0.0 || profile.finalCacheKb <= 0.0) {
+        fatal("profile '{}' has a non-positive duration or size",
+              profile.name);
+    }
+    if (profile.unmapFrac < 0.0 || profile.unmapFrac >= 0.9) {
+        fatal("profile '{}' unmapFrac {} out of range", profile.name,
+              profile.unmapFrac);
+    }
+
+    Rng rng(profile.seed);
+    std::vector<Event> events;
+    TimeUs total = secondsToUs(profile.durationSec);
+    GenContext ctx{profile, rng, events, total};
+
+    double created_target = profile.finalCacheKb * 1024.0 /
+                            (1.0 - profile.unmapFrac);
+    TraceSizeModel size_model;
+
+    // Main executable is module 0, mapped for the entire run.
+    events.push_back(Event::moduleLoad(0, 0));
+
+    // Transient DLL modules with load/unload windows (Fig 4).
+    struct Dll
+    {
+        cache::ModuleId id;
+        TimeUs load;
+        TimeUs unload;
+    };
+    std::vector<Dll> dlls;
+    double dll_bytes_total = profile.unmapFrac * created_target;
+    for (unsigned d = 0; d < profile.dllCount; ++d) {
+        Dll dll;
+        dll.id = d + 1;
+        double begin = rng.uniform(0.03, 0.55);
+        double length = rng.uniform(0.12, 0.33);
+        dll.load = static_cast<TimeUs>(
+            begin * static_cast<double>(total));
+        dll.unload = static_cast<TimeUs>(
+            std::min(0.96, begin + length) *
+            static_cast<double>(total));
+        dlls.push_back(dll);
+        events.push_back(Event::moduleLoad(dll.load, dll.id));
+        events.push_back(Event::moduleUnload(dll.unload, dll.id));
+    }
+
+    // DLL-hosted traces: windows inside their module's mapping, so
+    // their code dies by unmapping (program-forced eviction).
+    double dll_bytes_emitted = 0.0;
+    if (!dlls.empty()) {
+        double budget_per_dll =
+            dll_bytes_total / static_cast<double>(dlls.size());
+        for (const Dll &dll : dlls) {
+            double used = 0.0;
+            TimeUs margin = std::max<TimeUs>(1, total / 1000);
+            TimeUs window_begin = dll.load + margin;
+            TimeUs window_end =
+                dll.unload > margin ? dll.unload - margin : dll.load;
+            if (window_end <= window_begin) {
+                continue;
+            }
+            while (used < budget_per_dll) {
+                std::uint32_t size = sampleTraceSize(rng, size_model);
+                TimeUs create = static_cast<TimeUs>(rng.uniform(
+                    static_cast<double>(window_begin),
+                    static_cast<double>(window_end)));
+                TimeUs last = create + static_cast<TimeUs>(
+                    rng.uniform(0.05, 0.95) *
+                    static_cast<double>(window_end - create));
+                emitTrace(ctx, size, dll.id, create,
+                          std::max(last, create + 1),
+                          LifeClass::Short);
+                used += size;
+                dll_bytes_emitted += size;
+            }
+        }
+    }
+
+    // Main-module traces, with the lifetime mixture adjusted so the
+    // *overall* population (DLL traces are short-lived by
+    // construction) matches the profile's mix.
+    double dll_frac = created_target > 0.0
+                          ? dll_bytes_emitted / created_target
+                          : 0.0;
+    LifetimeMix main_mix;
+    double remaining = std::max(0.05, 1.0 - dll_frac);
+    main_mix.shortFrac = std::max(
+        0.02, (profile.mix.shortFrac - dll_frac) / remaining);
+    main_mix.midFrac =
+        std::max(0.02, profile.mix.midFrac / remaining);
+    main_mix.longFrac =
+        std::max(0.02, profile.mix.longFrac / remaining);
+    double norm = main_mix.shortFrac + main_mix.midFrac +
+                  main_mix.longFrac;
+    main_mix.shortFrac /= norm;
+    main_mix.midFrac /= norm;
+    main_mix.longFrac /= norm;
+
+    double main_target = created_target - dll_bytes_emitted;
+    double main_emitted = 0.0;
+    while (main_emitted < main_target) {
+        std::uint32_t size = sampleTraceSize(rng, size_model);
+        LifeClass cls = sampleLifeClass(rng, main_mix);
+        TimeUs create = 0;
+        TimeUs last = 0;
+        mainWindow(ctx, cls, create, last);
+        emitTrace(ctx, size, 0, create, last, cls);
+        main_emitted += size;
+    }
+
+    std::stable_sort(events.begin(), events.end(),
+                     [](const Event &a, const Event &b) {
+                         if (a.time != b.time) {
+                             return a.time < b.time;
+                         }
+                         return eventRank(a.type) < eventRank(b.type);
+                     });
+
+    tracelog::AccessLog log;
+    log.setBenchmark(profile.name);
+    log.setDuration(total);
+    log.setFootprintBytes(static_cast<std::uint64_t>(
+        profile.finalCacheKb * 1024.0 * 100.0 /
+        profile.codeExpansionPct));
+    for (const Event &event : events) {
+        log.append(event);
+    }
+    return log;
+}
+
+} // namespace gencache::workload

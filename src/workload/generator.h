@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Statistical access-log generation from benchmark profiles.
+ *
+ * The generator turns a BenchmarkProfile into a concrete, time-ordered
+ * AccessLog with the same structure DynamoRIO's verbose logs gave the
+ * paper's cache simulator:
+ *
+ *  - trace sizes are lognormal around the paper's 242-byte median;
+ *  - trace creations stream in until the created-byte volume implied
+ *    by the profile's unbounded-cache target is reached;
+ *  - each trace receives a lifetime class (short / mid / long, Fig 6)
+ *    determining its activity window, and a heavy-tailed execution
+ *    count (long-lived loop traces execute hotMultiplier times more);
+ *  - executions cluster around working-set centers inside the window,
+ *    giving the temporal locality real programs exhibit;
+ *  - interactive profiles host part of their traces in transient DLL
+ *    modules with load/unload windows, producing the program-forced
+ *    evictions of Fig 4;
+ *  - a small fraction of traces is pinned briefly (undeletable
+ *    traces, §4.2).
+ *
+ * Deterministic: a profile (including its seed) always yields the
+ * identical log.
+ */
+
+#ifndef GENCACHE_WORKLOAD_GENERATOR_H
+#define GENCACHE_WORKLOAD_GENERATOR_H
+
+#include "support/rng.h"
+#include "tracelog/event.h"
+#include "workload/profile.h"
+
+namespace gencache::workload {
+
+/** Generate the access log of @p profile. */
+tracelog::AccessLog generateWorkload(const BenchmarkProfile &profile);
+
+/** Trace-size distribution parameters (lognormal, byte clamps). */
+struct TraceSizeModel
+{
+    double medianBytes = 242.0; ///< paper's cross-benchmark median
+    double sigma = 0.55;
+    std::uint32_t minBytes = 48;
+    std::uint32_t maxBytes = 8192;
+};
+
+/** Draw one trace size. Exposed for tests. */
+std::uint32_t sampleTraceSize(Rng &rng, const TraceSizeModel &model);
+
+} // namespace gencache::workload
+
+#endif // GENCACHE_WORKLOAD_GENERATOR_H

@@ -1,0 +1,216 @@
+#include "workload/profile.h"
+
+#include "support/logging.h"
+
+namespace gencache::workload {
+
+const char *
+suiteName(Suite suite)
+{
+    switch (suite) {
+      case Suite::SpecInt: return "SPECint2000";
+      case Suite::SpecFp: return "SPECfp2000";
+      case Suite::Interactive: return "Interactive";
+    }
+    GENCACHE_PANIC("unknown suite {}", static_cast<int>(suite));
+}
+
+namespace {
+
+BenchmarkProfile
+spec(const char *name, Suite suite, double duration_sec,
+     double final_kb, double expansion_pct, LifetimeMix mix,
+     double execs_per_trace, double hot_multiplier,
+     std::uint64_t seed)
+{
+    BenchmarkProfile profile;
+    profile.name = name;
+    profile.description = "SPEC CPU2000";
+    profile.suite = suite;
+    profile.durationSec = duration_sec;
+    profile.finalCacheKb = final_kb;
+    profile.codeExpansionPct = expansion_pct;
+    profile.unmapFrac = 0.0;
+    profile.dllCount = 0;
+    profile.mix = mix;
+    profile.execsPerTraceMean = execs_per_trace;
+    profile.hotMultiplier = hot_multiplier;
+    profile.seed = seed;
+    return profile;
+}
+
+BenchmarkProfile
+interactive(const char *name, const char *description,
+            double duration_sec, double final_mb, double expansion_pct,
+            double unmap_frac, unsigned dll_count, LifetimeMix mix,
+            double execs_per_trace, std::uint64_t seed)
+{
+    BenchmarkProfile profile;
+    profile.name = name;
+    profile.description = description;
+    profile.suite = Suite::Interactive;
+    profile.durationSec = duration_sec;
+    profile.finalCacheKb = final_mb * 1024.0;
+    profile.codeExpansionPct = expansion_pct;
+    profile.unmapFrac = unmap_frac;
+    profile.dllCount = dll_count;
+    profile.mix = mix;
+    profile.execsPerTraceMean = execs_per_trace;
+    profile.hotMultiplier = 8.0;
+    profile.seed = seed;
+    return profile;
+}
+
+// Lifetime mixtures. The U-shape (Fig 6) is the default; a few
+// benchmarks deviate to reproduce the paper's outliers: eon, vpr and
+// applu prefer larger probation caches (mid-lived-heavy populations),
+// and art is dominated by one long-lived loop nest.
+constexpr LifetimeMix kSpecMix{0.42, 0.13, 0.45};
+constexpr LifetimeMix kMidHeavyMix{0.27, 0.70, 0.03};
+constexpr LifetimeMix kArtMix{0.06, 0.04, 0.90};
+// Interactive populations are dominated by one-off UI paths (short)
+// plus a core of GUI/event-loop traces that live for the whole
+// session; the long-lived byte volume sits just inside the persistent
+// cache share, which is what lets promotion stabilize (§6.1).
+constexpr LifetimeMix kInteractiveMix{0.78, 0.04, 0.18};
+
+} // namespace
+
+std::vector<BenchmarkProfile>
+spec2000Profiles()
+{
+    std::vector<BenchmarkProfile> profiles;
+    const Suite I = Suite::SpecInt;
+    const Suite F = Suite::SpecFp;
+
+    // SPECint2000. Durations are free parameters (the paper reports
+    // none for SPEC); they are chosen so size/duration reproduces the
+    // Figure 3 insertion rates (gcc ~232 KB/s, perlbmk ~89 KB/s, the
+    // rest below 5 KB/s).
+    profiles.push_back(spec("gzip", I, 95, 180, 420,
+                            {0.62, 0.02, 0.36}, 120, 12, 101));
+    profiles.push_back(spec("vpr", I, 180, 420, 510, kMidHeavyMix,
+                            12, 30, 102));
+    profiles.back().pollutingMid = true;
+    profiles.push_back(spec("gcc", I, 18.5, 4300, 640, kSpecMix,
+                            25, 5, 103));
+    profiles.push_back(spec("mcf", I, 130, 150, 380, kSpecMix,
+                            60, 8, 104));
+    profiles.push_back(spec("crafty", I, 250, 1100, 520,
+                            {0.40, 0.12, 0.48}, 150, 10, 105));
+    profiles.push_back(spec("parser", I, 200, 800, 460, kSpecMix,
+                            50, 6, 106));
+    profiles.push_back(spec("eon", I, 200, 900, 560, kMidHeavyMix,
+                            12, 30, 107));
+    profiles.back().pollutingMid = true;
+    profiles.push_back(spec("perlbmk", I, 17, 1500, 700, kSpecMix,
+                            25, 5, 108));
+    profiles.push_back(spec("gap", I, 200, 900, 490, kSpecMix,
+                            45, 6, 109));
+    profiles.push_back(spec("vortex", I, 330, 1600, 610, kSpecMix,
+                            40, 6, 110));
+    profiles.push_back(spec("bzip2", I, 110, 160, 350, kSpecMix,
+                            80, 10, 111));
+    profiles.push_back(spec("twolf", I, 210, 480, 440, kSpecMix,
+                            55, 8, 112));
+
+    // SPECfp2000.
+    profiles.push_back(spec("wupwise", F, 140, 260, 420, kSpecMix,
+                            55, 8, 113));
+    profiles.push_back(spec("swim", F, 120, 120, 300, kSpecMix,
+                            70, 10, 114));
+    profiles.push_back(spec("mgrid", F, 130, 140, 310, kSpecMix,
+                            70, 10, 115));
+    profiles.push_back(spec("applu", F, 160, 330, 450, kMidHeavyMix,
+                            12, 30, 116));
+    profiles.back().pollutingMid = true;
+    profiles.push_back(spec("mesa", F, 220, 1000, 540, kSpecMix,
+                            40, 6, 117));
+    profiles.push_back(spec("galgel", F, 170, 420, 470, kSpecMix,
+                            50, 8, 118));
+    profiles.push_back(spec("art", F, 140, 80, 280, kArtMix,
+                            120, 3, 119));
+    profiles.push_back(spec("equake", F, 130, 200, 390, kSpecMix,
+                            60, 8, 120));
+    profiles.push_back(spec("facerec", F, 150, 380, 430, kSpecMix,
+                            50, 8, 121));
+    profiles.push_back(spec("ammp", F, 180, 350, 410, kSpecMix,
+                            50, 8, 122));
+    profiles.push_back(spec("lucas", F, 140, 180, 360, kSpecMix,
+                            60, 8, 123));
+    profiles.push_back(spec("fma3d", F, 260, 1200, 580, kSpecMix,
+                            40, 6, 124));
+    profiles.push_back(spec("sixtrack", F, 200, 900, 530, kSpecMix,
+                            45, 7, 125));
+    profiles.push_back(spec("apsi", F, 160, 690, 480, kSpecMix,
+                            45, 7, 126));
+    return profiles;
+}
+
+std::vector<BenchmarkProfile>
+interactiveProfiles()
+{
+    // Table 1 of the paper: name, seconds, description. Cache-size
+    // targets reproduce Figure 1b (average ~16 MB, word 34.2 MB);
+    // unmap fractions reproduce Figure 4 (average ~15%).
+    std::vector<BenchmarkProfile> profiles;
+    profiles.push_back(interactive("access", "Database App", 202, 16.0,
+                                   520, 0.14, 6, kInteractiveMix, 9,
+                                   201));
+    profiles.push_back(interactive("acroread", "PDF Viewer", 376, 26.0,
+                                   560, 0.17, 8, kInteractiveMix, 9,
+                                   202));
+    profiles.push_back(interactive("defrag", "System Util", 46, 3.5,
+                                   430, 0.12, 3, kInteractiveMix, 11,
+                                   203));
+    profiles.push_back(interactive("excel", "Spreadsheet App", 208,
+                                   21.0, 540, 0.15, 7, kInteractiveMix,
+                                   9, 204));
+    profiles.push_back(interactive("iexplore", "Web Browser", 247,
+                                   23.0, 580, 0.18, 8, kInteractiveMix,
+                                   9, 205));
+    profiles.push_back(interactive("mpeg", "Media Player", 257, 10.0,
+                                   460, 0.10, 4, kInteractiveMix, 11,
+                                   206));
+    profiles.push_back(interactive("outlook", "E-Mail App", 196, 18.0,
+                                   530, 0.16, 7, kInteractiveMix, 9,
+                                   207));
+    profiles.push_back(interactive("pinball", "3D Game Demo", 372,
+                                   14.0, 470, 0.12, 5, kInteractiveMix,
+                                   10, 208));
+    profiles.push_back(interactive("powerpoint", "Presentation", 173,
+                                   19.0, 550, 0.15, 6, kInteractiveMix,
+                                   9, 209));
+    profiles.push_back(interactive("solitaire", "Game", 335, 1.5, 400,
+                                   0.08, 2, kInteractiveMix, 15, 210));
+    profiles.push_back(interactive("winzip", "Compression", 92, 6.0,
+                                   450, 0.13, 4, kInteractiveMix, 11,
+                                   211));
+    profiles.push_back(interactive("word", "Word Processor", 212, 34.2,
+                                   590, 0.19, 9, kInteractiveMix, 9,
+                                   212));
+    return profiles;
+}
+
+std::vector<BenchmarkProfile>
+allProfiles()
+{
+    std::vector<BenchmarkProfile> profiles = spec2000Profiles();
+    std::vector<BenchmarkProfile> interactives = interactiveProfiles();
+    profiles.insert(profiles.end(), interactives.begin(),
+                    interactives.end());
+    return profiles;
+}
+
+BenchmarkProfile
+findProfile(const std::string &name)
+{
+    for (const BenchmarkProfile &profile : allProfiles()) {
+        if (profile.name == name) {
+            return profile;
+        }
+    }
+    fatal("unknown benchmark profile '{}'", name);
+}
+
+} // namespace gencache::workload

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Benchmark profiles: the statistical workload models standing in for
+ * the paper's SPEC2000 reference runs and interactive Windows sessions
+ * (Table 1).
+ *
+ * The original logs cannot be reproduced (2003-era Windows binaries,
+ * manual user interaction, DynamoRIO on IA-32), so each benchmark is
+ * described by the characteristics the paper publishes — unbounded
+ * cache size (Fig 1), code expansion (Fig 2), trace insertion rate
+ * (Fig 3, implied by size/duration), unmapped-memory fraction (Fig 4),
+ * and trace lifetime mixture (Fig 6) — plus execution-volume knobs.
+ * The generator (workload/generator.h) turns a profile into a concrete
+ * access log; all headline numbers are then *measured* from that log,
+ * never read back from the profile.
+ */
+
+#ifndef GENCACHE_WORKLOAD_PROFILE_H
+#define GENCACHE_WORKLOAD_PROFILE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gencache::workload {
+
+/** Which benchmark suite a profile belongs to. */
+enum class Suite {
+    SpecInt,     ///< SPEC CPU2000 integer
+    SpecFp,      ///< SPEC CPU2000 floating point
+    Interactive, ///< large interactive Windows applications (Table 1)
+};
+
+/** @return printable suite name. */
+const char *suiteName(Suite suite);
+
+/** Fractions of traces in each lifetime class (must sum to 1). */
+struct LifetimeMix
+{
+    double shortFrac = 0.45; ///< lifetime < 20% of execution
+    double midFrac = 0.13;   ///< lifetime in [20%, 80%)
+    double longFrac = 0.42;  ///< lifetime >= 80% of execution
+};
+
+/** Statistical model of one benchmark's cache-access behaviour. */
+struct BenchmarkProfile
+{
+    std::string name;
+    std::string description; ///< Table 1 "Description" column
+    Suite suite = Suite::SpecInt;
+
+    double durationSec = 100.0;   ///< execution time (Table 1)
+    double finalCacheKb = 500.0;  ///< unbounded-cache target (Fig 1)
+    double codeExpansionPct = 500.0; ///< Fig 2 target
+    double unmapFrac = 0.0;       ///< fraction of trace bytes in
+                                  ///< transient DLLs (Fig 4)
+    unsigned dllCount = 0;        ///< transient modules
+
+    LifetimeMix mix;              ///< Fig 6 target shape
+
+    double execsPerTraceMean = 60.0; ///< mean executions per trace
+    double hotMultiplier = 8.0;   ///< long-lived traces execute this
+                                  ///< many times more
+    double clusterSpreadFrac = 0.02; ///< temporal locality tightness
+
+    /** When true, mid-lived traces execute in one sustained plateau
+     *  that outlasts a nursery+probation transit, then go cold. Such
+     *  traces *earn* their promotion, then sit dead in the persistent
+     *  cache, evicting genuinely long-lived code — promotion becomes
+     *  pure overhead. This is the behaviour behind the paper's
+     *  eon/vpr/applu outliers (§6.2). */
+    bool pollutingMid = false;
+
+    double pinFrac = 0.001;       ///< traces pinned briefly (§4.2)
+    std::uint64_t seed = 1;       ///< generator seed
+};
+
+/** @return the 26 SPEC CPU2000 benchmark profiles. */
+std::vector<BenchmarkProfile> spec2000Profiles();
+
+/** @return the 12 interactive Windows application profiles (Table 1). */
+std::vector<BenchmarkProfile> interactiveProfiles();
+
+/** @return SPEC2000 followed by the interactive profiles. */
+std::vector<BenchmarkProfile> allProfiles();
+
+/** @return the profile named @p name; fatal() when unknown. */
+BenchmarkProfile findProfile(const std::string &name);
+
+} // namespace gencache::workload
+
+#endif // GENCACHE_WORKLOAD_PROFILE_H

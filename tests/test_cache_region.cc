@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Unit tests for the byte-granular CacheRegion and its pseudo-circular
+ * placement policy: FIFO order, wrap behaviour, pinned-skip resets,
+ * holes from program-forced eviction, and fragmentation accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codecache/cache_region.h"
+
+namespace gencache::cache {
+namespace {
+
+Fragment
+frag(TraceId id, std::uint32_t size, ModuleId module = 0)
+{
+    Fragment fragment;
+    fragment.id = id;
+    fragment.sizeBytes = size;
+    fragment.module = module;
+    return fragment;
+}
+
+TEST(CacheRegion, PlacesSequentially)
+{
+    CacheRegion region(100);
+    std::vector<Fragment> evicted;
+    ASSERT_TRUE(region.place(frag(1, 30), evicted));
+    ASSERT_TRUE(region.place(frag(2, 30), evicted));
+    EXPECT_TRUE(evicted.empty());
+    EXPECT_EQ(region.usedBytes(), 60u);
+    EXPECT_EQ(region.find(1)->addr, 0u);
+    EXPECT_EQ(region.find(2)->addr, 30u);
+    EXPECT_EQ(region.pointer(), 60u);
+    region.validate();
+}
+
+TEST(CacheRegion, EvictsInFifoOrderOnWrap)
+{
+    CacheRegion region(100);
+    std::vector<Fragment> evicted;
+    ASSERT_TRUE(region.place(frag(1, 40), evicted));
+    ASSERT_TRUE(region.place(frag(2, 40), evicted));
+    // 20 bytes left at the tail; a 30-byte fragment wraps: the tail
+    // is abandoned and the oldest fragment (id 1) is the victim.
+    ASSERT_TRUE(region.place(frag(3, 30), evicted));
+    ASSERT_EQ(evicted.size(), 1u);
+    EXPECT_EQ(evicted[0].id, 1u);
+    EXPECT_EQ(region.find(3)->addr, 0u);
+    EXPECT_EQ(region.wrapWasteBytes(), 20u);
+    region.validate();
+}
+
+TEST(CacheRegion, EvictsMultipleVictimsWhenNeeded)
+{
+    CacheRegion region(100);
+    std::vector<Fragment> evicted;
+    for (TraceId id = 1; id <= 5; ++id) {
+        ASSERT_TRUE(region.place(frag(id, 20), evicted));
+    }
+    EXPECT_TRUE(evicted.empty());
+    // Full; pointer wrapped to 0. A 50-byte fragment evicts 1, 2, 3.
+    ASSERT_TRUE(region.place(frag(6, 50), evicted));
+    ASSERT_EQ(evicted.size(), 3u);
+    EXPECT_EQ(evicted[0].id, 1u);
+    EXPECT_EQ(evicted[1].id, 2u);
+    EXPECT_EQ(evicted[2].id, 3u);
+    EXPECT_EQ(region.pointer(), 50u);
+    region.validate();
+}
+
+TEST(CacheRegion, RejectsOversizedFragment)
+{
+    CacheRegion region(100);
+    std::vector<Fragment> evicted;
+    EXPECT_FALSE(region.place(frag(1, 101), evicted));
+    EXPECT_TRUE(evicted.empty());
+    EXPECT_EQ(region.usedBytes(), 0u);
+}
+
+TEST(CacheRegion, PinnedFragmentSkipsEviction)
+{
+    CacheRegion region(100);
+    std::vector<Fragment> evicted;
+    ASSERT_TRUE(region.place(frag(1, 30), evicted)); // [0, 30)
+    ASSERT_TRUE(region.place(frag(2, 30), evicted)); // [30, 60)
+    ASSERT_TRUE(region.place(frag(3, 40), evicted)); // [60, 100)
+    ASSERT_TRUE(region.setPinned(1, true));
+    // Pointer wrapped to 0; fragment 1 is pinned, so placement resets
+    // past it and evicts fragment 2 instead.
+    ASSERT_TRUE(region.place(frag(4, 30), evicted));
+    ASSERT_EQ(evicted.size(), 1u);
+    EXPECT_EQ(evicted[0].id, 2u);
+    EXPECT_NE(region.find(1), nullptr);
+    EXPECT_EQ(region.find(4)->addr, 30u);
+    EXPECT_EQ(region.pinnedSkips(), 1u);
+    region.validate();
+}
+
+TEST(CacheRegion, FailsWhenPinnedCongestionBlocksAll)
+{
+    CacheRegion region(100);
+    std::vector<Fragment> evicted;
+    ASSERT_TRUE(region.place(frag(1, 50), evicted));
+    ASSERT_TRUE(region.place(frag(2, 50), evicted));
+    region.setPinned(1, true);
+    region.setPinned(2, true);
+    std::uint64_t used_before = region.usedBytes();
+    EXPECT_FALSE(region.place(frag(3, 60), evicted));
+    EXPECT_TRUE(evicted.empty());
+    EXPECT_EQ(region.usedBytes(), used_before);
+    EXPECT_NE(region.find(1), nullptr);
+    EXPECT_NE(region.find(2), nullptr);
+    region.validate();
+}
+
+TEST(CacheRegion, PlacementFitsBetweenPinnedFragments)
+{
+    CacheRegion region(100);
+    std::vector<Fragment> evicted;
+    ASSERT_TRUE(region.place(frag(1, 20), evicted)); // [0,20)
+    ASSERT_TRUE(region.place(frag(2, 30), evicted)); // [20,50)
+    ASSERT_TRUE(region.place(frag(3, 50), evicted)); // [50,100)
+    region.setPinned(1, true);
+    region.setPinned(3, true);
+    // Wraps to 0, skips pinned 1, evicts 2, places at 20.
+    ASSERT_TRUE(region.place(frag(4, 25), evicted));
+    ASSERT_EQ(evicted.size(), 1u);
+    EXPECT_EQ(evicted[0].id, 2u);
+    EXPECT_EQ(region.find(4)->addr, 20u);
+    region.validate();
+}
+
+TEST(CacheRegion, RemoveLeavesHole)
+{
+    CacheRegion region(100);
+    std::vector<Fragment> evicted;
+    ASSERT_TRUE(region.place(frag(1, 30), evicted));
+    ASSERT_TRUE(region.place(frag(2, 30), evicted));
+    ASSERT_TRUE(region.place(frag(3, 30), evicted));
+    Fragment removed;
+    ASSERT_TRUE(region.remove(2, &removed));
+    EXPECT_EQ(removed.id, 2u);
+    EXPECT_EQ(region.usedBytes(), 60u);
+    FragmentationInfo info = region.fragmentation();
+    EXPECT_EQ(info.freeBytes, 40u);
+    EXPECT_EQ(info.freeExtents, 2u); // the hole + region tail
+    EXPECT_EQ(info.largestFreeExtent, 30u);
+    EXPECT_GT(info.index(), 0.0);
+    region.validate();
+}
+
+TEST(CacheRegion, RemoveAbsentReturnsFalse)
+{
+    CacheRegion region(100);
+    EXPECT_FALSE(region.remove(42));
+}
+
+TEST(CacheRegion, CircularSweepReclaimsHoles)
+{
+    CacheRegion region(90);
+    std::vector<Fragment> evicted;
+    ASSERT_TRUE(region.place(frag(1, 30), evicted));
+    ASSERT_TRUE(region.place(frag(2, 30), evicted));
+    ASSERT_TRUE(region.place(frag(3, 30), evicted));
+    region.remove(1); // hole at [0, 30)
+    // Pointer is at 0 (wrapped); next insertion reuses the hole
+    // without evicting anyone.
+    ASSERT_TRUE(region.place(frag(4, 30), evicted));
+    EXPECT_TRUE(evicted.empty());
+    EXPECT_EQ(region.find(4)->addr, 0u);
+    region.validate();
+}
+
+TEST(CacheRegion, FlushKeepsPinned)
+{
+    CacheRegion region(100);
+    std::vector<Fragment> evicted;
+    ASSERT_TRUE(region.place(frag(1, 20), evicted));
+    ASSERT_TRUE(region.place(frag(2, 20), evicted));
+    ASSERT_TRUE(region.place(frag(3, 20), evicted));
+    region.setPinned(2, true);
+    std::vector<Fragment> flushed;
+    region.flush(flushed);
+    EXPECT_EQ(flushed.size(), 2u);
+    EXPECT_EQ(region.fragmentCount(), 1u);
+    EXPECT_NE(region.find(2), nullptr);
+    EXPECT_EQ(region.pointer(), 0u);
+    region.validate();
+}
+
+TEST(CacheRegion, SetPinnedOnAbsentFragment)
+{
+    CacheRegion region(100);
+    EXPECT_FALSE(region.setPinned(9, true));
+}
+
+TEST(CacheRegionDeath, DuplicateIdPanics)
+{
+    CacheRegion region(100);
+    std::vector<Fragment> evicted;
+    ASSERT_TRUE(region.place(frag(1, 10), evicted));
+    EXPECT_DEATH(region.place(frag(1, 10), evicted),
+                 "already resident");
+}
+
+TEST(CacheRegionDeath, ZeroSizePanics)
+{
+    CacheRegion region(100);
+    std::vector<Fragment> evicted;
+    EXPECT_DEATH(region.place(frag(1, 0), evicted), "zero-sized");
+}
+
+TEST(CacheRegion, FragmentationIndexZeroWhenContiguous)
+{
+    CacheRegion region(100);
+    std::vector<Fragment> evicted;
+    ASSERT_TRUE(region.place(frag(1, 60), evicted));
+    FragmentationInfo info = region.fragmentation();
+    EXPECT_EQ(info.freeExtents, 1u);
+    EXPECT_DOUBLE_EQ(info.index(), 0.0);
+}
+
+TEST(CacheRegion, LongChurnKeepsInvariants)
+{
+    CacheRegion region(1000);
+    std::vector<Fragment> evicted;
+    for (TraceId id = 1; id <= 500; ++id) {
+        std::uint32_t size =
+            static_cast<std::uint32_t>(17 + (id * 37) % 120);
+        ASSERT_TRUE(region.place(frag(id, size), evicted));
+        if (id % 7 == 0) {
+            region.remove(id - 3);
+        }
+        region.validate();
+        ASSERT_LE(region.usedBytes(), region.capacity());
+    }
+    EXPECT_GT(evicted.size(), 0u);
+}
+
+} // namespace
+} // namespace gencache::cache

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Unit tests for the generational cache manager: the Figure 8
+ * algorithm (nursery -> probation -> persistent cascade), promotion
+ * thresholds, eager promotion, unmap handling, and invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codecache/generational_cache.h"
+
+namespace gencache::cache {
+namespace {
+
+GenerationalConfig
+smallConfig(std::uint32_t threshold = 1, bool eager = false)
+{
+    GenerationalConfig config;
+    config.nurseryBytes = 100;
+    config.probationBytes = 100;
+    config.persistentBytes = 100;
+    config.promotionThreshold = threshold;
+    config.eagerPromotion = eager;
+    return config;
+}
+
+TEST(GenerationalConfig, FromProportionsSumsExactly)
+{
+    GenerationalConfig config = GenerationalConfig::fromProportions(
+        1'000'000, 0.45, 0.10, 1);
+    EXPECT_EQ(config.nurseryBytes, 450'000u);
+    EXPECT_EQ(config.probationBytes, 100'000u);
+    EXPECT_EQ(config.persistentBytes, 450'000u);
+    EXPECT_EQ(config.totalBytes(), 1'000'000u);
+}
+
+TEST(GenerationalConfig, FromProportionsOddTotal)
+{
+    GenerationalConfig config = GenerationalConfig::fromProportions(
+        999'999, 1.0 / 3.0, 1.0 / 3.0, 10);
+    EXPECT_EQ(config.totalBytes(), 999'999u);
+}
+
+TEST(Generational, NewTracesEnterNursery)
+{
+    GenerationalCacheManager manager(smallConfig());
+    ASSERT_TRUE(manager.insert(1, 40, 0, 0));
+    EXPECT_EQ(manager.generationOf(1), Generation::Nursery);
+    EXPECT_TRUE(manager.lookup(1, 1));
+    manager.validate();
+}
+
+TEST(Generational, NurseryEvictionPromotesToProbation)
+{
+    GenerationalCacheManager manager(smallConfig());
+    manager.insert(1, 60, 0, 0);
+    manager.insert(2, 60, 0, 1); // evicts 1 from the nursery
+    EXPECT_EQ(manager.generationOf(1), Generation::Probation);
+    EXPECT_EQ(manager.generationOf(2), Generation::Nursery);
+    EXPECT_EQ(manager.stats().promotions, 1u);
+    EXPECT_TRUE(manager.lookup(1, 2)); // still a hit: it lives on
+    manager.validate();
+}
+
+TEST(Generational, ColdProbationVictimIsDeleted)
+{
+    // Threshold 1: a probation victim with zero hits is rejected.
+    GenerationalCacheManager manager(smallConfig(1));
+    manager.insert(1, 60, 0, 0);
+    manager.insert(2, 60, 0, 1); // 1 -> probation (0 hits there)
+    manager.insert(3, 60, 0, 2); // 2 -> probation, 1 evicted: rejected
+    EXPECT_FALSE(manager.contains(1));
+    EXPECT_EQ(manager.stats().probationRejections, 1u);
+    manager.validate();
+}
+
+TEST(Generational, HotProbationVictimIsPromoted)
+{
+    GenerationalCacheManager manager(smallConfig(1));
+    manager.insert(1, 60, 0, 0);
+    manager.insert(2, 60, 0, 1); // 1 -> probation
+    EXPECT_TRUE(manager.lookup(1, 2)); // one probation hit
+    manager.insert(3, 60, 0, 3); // probation eviction: 1 promoted
+    EXPECT_EQ(manager.generationOf(1), Generation::Persistent);
+    EXPECT_TRUE(manager.contains(1));
+    EXPECT_EQ(manager.stats().promotions, 3u); // 1->P twice, 2->prob
+    manager.validate();
+}
+
+TEST(Generational, ThresholdGatesPromotion)
+{
+    GenerationalCacheManager manager(smallConfig(3));
+    manager.insert(1, 60, 0, 0);
+    manager.insert(2, 60, 0, 1); // 1 -> probation
+    manager.lookup(1, 2);
+    manager.lookup(1, 3); // two hits < threshold 3
+    manager.insert(3, 60, 0, 4);
+    EXPECT_FALSE(manager.contains(1)); // rejected
+    manager.validate();
+}
+
+TEST(Generational, EagerPromotionOnHit)
+{
+    GenerationalCacheManager manager(smallConfig(1, /*eager=*/true));
+    manager.insert(1, 60, 0, 0);
+    manager.insert(2, 60, 0, 1); // 1 -> probation
+    EXPECT_TRUE(manager.lookup(1, 2)); // single hit promotes at once
+    EXPECT_EQ(manager.generationOf(1), Generation::Persistent);
+    manager.validate();
+}
+
+TEST(Generational, PersistentEvictionDeletes)
+{
+    GenerationalCacheManager manager(smallConfig(1, true));
+    // Fill the persistent cache through eager promotion.
+    TimeUs t = 0;
+    for (TraceId id = 1; id <= 3; ++id) {
+        manager.insert(id, 60, 0, ++t);
+        manager.insert(id + 100, 60, 0, ++t); // push id to probation
+        manager.lookup(id, ++t);              // promote id
+    }
+    // Persistent holds 100 bytes: only one 60-byte trace fits; the
+    // earlier ones were deleted on eviction.
+    std::size_t persistent = 0;
+    for (TraceId id = 1; id <= 3; ++id) {
+        if (manager.contains(id) &&
+            manager.generationOf(id) == Generation::Persistent) {
+            ++persistent;
+        }
+    }
+    EXPECT_EQ(persistent, 1u);
+    EXPECT_GT(manager.stats().deletions, 0u);
+    manager.validate();
+}
+
+TEST(Generational, LookupMissReported)
+{
+    GenerationalCacheManager manager(smallConfig());
+    EXPECT_FALSE(manager.lookup(42, 0));
+    EXPECT_EQ(manager.stats().misses, 1u);
+}
+
+TEST(Generational, InvalidateModuleSweepsAllGenerations)
+{
+    GenerationalCacheManager manager(smallConfig(1));
+    manager.insert(1, 60, /*module=*/5, 0);
+    manager.insert(2, 60, /*module=*/5, 1); // 1 -> probation
+    manager.lookup(1, 2);
+    manager.insert(3, 60, /*module=*/5, 3); // 1 -> persistent
+    ASSERT_EQ(manager.generationOf(1), Generation::Persistent);
+    ASSERT_EQ(manager.generationOf(2), Generation::Probation);
+    ASSERT_EQ(manager.generationOf(3), Generation::Nursery);
+
+    manager.invalidateModule(5, 4);
+    EXPECT_FALSE(manager.contains(1));
+    EXPECT_FALSE(manager.contains(2));
+    EXPECT_FALSE(manager.contains(3));
+    EXPECT_EQ(manager.stats().unmapDeletions, 3u);
+    EXPECT_EQ(manager.usedBytes(), 0u);
+    manager.validate();
+}
+
+TEST(Generational, AccessCountResetsOnProbationEntry)
+{
+    GenerationalCacheManager manager(smallConfig(2));
+    manager.insert(1, 60, 0, 0);
+    manager.lookup(1, 1); // nursery hits do not count (no counters)
+    manager.lookup(1, 2);
+    manager.insert(2, 60, 0, 3); // 1 -> probation with count 0
+    manager.insert(3, 60, 0, 4); // 1 evicted: count 0 < 2 -> rejected
+    EXPECT_FALSE(manager.contains(1));
+    manager.validate();
+}
+
+TEST(Generational, PinnedTraceNotEvictedFromNursery)
+{
+    GenerationalCacheManager manager(smallConfig());
+    manager.insert(1, 60, 0, 0);
+    ASSERT_TRUE(manager.setPinned(1, true));
+    manager.insert(2, 30, 0, 1);
+    manager.insert(3, 30, 0, 2);
+    manager.insert(4, 30, 0, 3);
+    EXPECT_EQ(manager.generationOf(1), Generation::Nursery);
+    manager.validate();
+}
+
+TEST(Generational, GenerationStatsTrackFlows)
+{
+    GenerationalCacheManager manager(smallConfig(1));
+    manager.insert(1, 60, 0, 0);
+    manager.insert(2, 60, 0, 1);
+    manager.lookup(1, 2);
+    manager.insert(3, 60, 0, 3);
+    const GenerationStats &nursery =
+        manager.generationStats(Generation::Nursery);
+    const GenerationStats &probation =
+        manager.generationStats(Generation::Probation);
+    const GenerationStats &persistent =
+        manager.generationStats(Generation::Persistent);
+    EXPECT_EQ(nursery.promotionsOut, 2u);
+    EXPECT_EQ(probation.promotionsIn, 2u);
+    EXPECT_EQ(probation.promotionsOut, 1u);
+    EXPECT_EQ(persistent.promotionsIn, 1u);
+    EXPECT_EQ(probation.hits, 1u);
+}
+
+TEST(Generational, UsedBytesSumsGenerations)
+{
+    GenerationalCacheManager manager(smallConfig());
+    manager.insert(1, 60, 0, 0);
+    manager.insert(2, 60, 0, 1);
+    EXPECT_EQ(manager.usedBytes(), 120u);
+    EXPECT_EQ(manager.totalCapacity(), 300u);
+}
+
+TEST(Generational, NameEncodesLayout)
+{
+    GenerationalConfig config = GenerationalConfig::fromProportions(
+        1'000'000, 0.45, 0.10, 1);
+    GenerationalCacheManager manager(config);
+    EXPECT_EQ(manager.name(), "generational 45-10-45 thr=1");
+    GenerationalConfig eager_config =
+        GenerationalConfig::fromProportions(1'000'000, 0.45, 0.10, 1,
+                                            true);
+    GenerationalCacheManager eager_manager(eager_config);
+    EXPECT_EQ(eager_manager.name(), "generational 45-10-45 thr=1 eager");
+}
+
+TEST(GenerationalDeath, GenerationOfAbsentTrace)
+{
+    GenerationalCacheManager manager(smallConfig());
+    EXPECT_DEATH(manager.generationOf(9), "not resident");
+}
+
+TEST(GenerationalDeath, DoubleInsert)
+{
+    GenerationalCacheManager manager(smallConfig());
+    manager.insert(1, 10, 0, 0);
+    EXPECT_DEATH(manager.insert(1, 10, 0, 1), "resident");
+}
+
+TEST(Generational, OversizedTraceFailsPlacement)
+{
+    GenerationalCacheManager manager(smallConfig());
+    EXPECT_FALSE(manager.insert(1, 150, 0, 0)); // > nursery capacity
+    EXPECT_EQ(manager.stats().placementFailures, 1u);
+    manager.validate();
+}
+
+} // namespace
+} // namespace gencache::cache

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Unit tests for guest modules, the address space, the program
+ * builder, and the synthetic program generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "guest/address_space.h"
+#include "guest/program.h"
+#include "guest/program_builder.h"
+#include "guest/synthetic_program.h"
+
+namespace gencache::guest {
+namespace {
+
+isa::BasicBlock
+makeBlock(isa::GuestAddr start, isa::GuestAddr target)
+{
+    isa::BasicBlock block(start);
+    block.append(isa::makeNop());
+    block.append(isa::makeJump(target));
+    return block;
+}
+
+TEST(GuestModule, TracksBlocksAndExtent)
+{
+    GuestModule module(0, "main.exe", 0x1000);
+    module.addBlock(makeBlock(0x1000, 0x2000)); // 6 bytes
+    module.addBlock(makeBlock(0x1010, 0x2000));
+    EXPECT_EQ(module.blockCount(), 2u);
+    EXPECT_EQ(module.sizeBytes(), 0x16u);
+    EXPECT_NE(module.findBlock(0x1000), nullptr);
+    EXPECT_EQ(module.findBlock(0x1001), nullptr);
+    EXPECT_TRUE(module.containsAddr(0x1015));
+    EXPECT_FALSE(module.containsAddr(0x1016));
+}
+
+TEST(GuestModuleDeath, RejectsOverlappingBlocks)
+{
+    GuestModule module(0, "main.exe", 0x1000);
+    module.addBlock(makeBlock(0x1000, 0));
+    EXPECT_DEATH(module.addBlock(makeBlock(0x1003, 0)), "overlaps");
+}
+
+TEST(GuestModuleDeath, RejectsBlockBeforeBase)
+{
+    GuestModule module(0, "main.exe", 0x1000);
+    EXPECT_DEATH(module.addBlock(makeBlock(0x500, 0)), "precedes");
+}
+
+TEST(GuestProgram, ModuleLookup)
+{
+    GuestProgram program;
+    GuestModule &main = program.addModule("main.exe", 0x1000);
+    GuestModule &dll = program.addModule("a.dll", 0x8000, true);
+    EXPECT_EQ(program.moduleCount(), 2u);
+    EXPECT_EQ(program.findModule(main.id()), &main);
+    EXPECT_EQ(program.findModule("a.dll"), &dll);
+    EXPECT_EQ(program.findModule(99u), nullptr);
+    EXPECT_TRUE(dll.transient());
+    EXPECT_FALSE(main.transient());
+}
+
+TEST(GuestProgram, FootprintSumsModules)
+{
+    GuestProgram program;
+    GuestModule &main = program.addModule("main.exe", 0x1000);
+    main.addBlock(makeBlock(0x1000, 0));
+    GuestModule &dll = program.addModule("a.dll", 0x8000);
+    dll.addBlock(makeBlock(0x8000, 0));
+    EXPECT_EQ(program.codeFootprintBytes(),
+              main.sizeBytes() + dll.sizeBytes());
+}
+
+TEST(AddressSpace, MapUnmapLookup)
+{
+    GuestProgram program;
+    GuestModule &main = program.addModule("main.exe", 0x1000);
+    main.addBlock(makeBlock(0x1000, 0));
+
+    AddressSpace space;
+    space.map(main);
+    EXPECT_TRUE(space.isMapped(main.id()));
+    EXPECT_EQ(space.moduleAt(0x1001), &main);
+    EXPECT_NE(space.blockAt(0x1000), nullptr);
+    EXPECT_EQ(space.blockAt(0x9999), nullptr);
+
+    space.unmap(main.id());
+    EXPECT_FALSE(space.isMapped(main.id()));
+    EXPECT_EQ(space.blockAt(0x1000), nullptr);
+}
+
+TEST(AddressSpace, NotifiesObservers)
+{
+    GuestProgram program;
+    GuestModule &main = program.addModule("main.exe", 0x1000);
+    main.addBlock(makeBlock(0x1000, 0));
+
+    AddressSpace space;
+    int loads = 0;
+    int unloads = 0;
+    space.addObserver([&](const GuestModule &module, bool mapped) {
+        EXPECT_EQ(module.id(), main.id());
+        mapped ? ++loads : ++unloads;
+    });
+    space.map(main);
+    space.unmap(main.id());
+    EXPECT_EQ(loads, 1);
+    EXPECT_EQ(unloads, 1);
+}
+
+TEST(AddressSpaceDeath, RejectsOverlappingMappings)
+{
+    GuestProgram program;
+    GuestModule &a = program.addModule("a", 0x1000);
+    a.addBlock(makeBlock(0x1000, 0));
+    GuestModule &b = program.addModule("b", 0x1004);
+    b.addBlock(makeBlock(0x1004, 0));
+
+    AddressSpace space;
+    space.map(a);
+    EXPECT_DEATH(space.map(b), "overlaps");
+}
+
+TEST(ModuleBuilder, ResolvesLabelTargets)
+{
+    GuestProgram program;
+    GuestModule &main = program.addModule("main.exe", 0x400);
+    ModuleBuilder builder(main);
+    BlockLabel first = builder.createBlock();
+    BlockLabel second = builder.createBlock();
+    builder.at(first).movi(0, 3).jump(second);
+    builder.at(second).addi(0, 0, -1).branchNz(0, second);
+    builder.finalize();
+
+    const isa::BasicBlock *block = main.findBlock(builder.addrOf(first));
+    ASSERT_NE(block, nullptr);
+    EXPECT_EQ(block->terminator().target, builder.addrOf(second));
+
+    const isa::BasicBlock *loop =
+        main.findBlock(builder.addrOf(second));
+    ASSERT_NE(loop, nullptr);
+    EXPECT_EQ(loop->terminator().target, builder.addrOf(second));
+}
+
+TEST(ModuleBuilder, LaysOutBlocksContiguously)
+{
+    GuestProgram program;
+    GuestModule &main = program.addModule("main.exe", 0x400);
+    ModuleBuilder builder(main);
+    BlockLabel a = builder.createBlock();
+    BlockLabel b = builder.createBlock();
+    builder.at(a).nop().jump(b);
+    builder.at(b).halt();
+    std::vector<isa::GuestAddr> addrs = builder.finalize();
+    ASSERT_EQ(addrs.size(), 2u);
+    EXPECT_EQ(addrs[0], 0x400u);
+    const isa::BasicBlock *first = main.findBlock(addrs[0]);
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(addrs[1], first->endAddr());
+}
+
+TEST(ModuleBuilderDeath, UnterminatedBlock)
+{
+    GuestProgram program;
+    GuestModule &main = program.addModule("main.exe", 0x400);
+    ModuleBuilder builder(main);
+    BlockLabel open = builder.createBlock();
+    builder.at(open).nop();
+    EXPECT_DEATH(builder.finalize(), "unterminated");
+}
+
+TEST(SyntheticProgram, DeterministicForSeed)
+{
+    SyntheticProgramConfig config;
+    config.seed = 99;
+    SyntheticProgram a = generateSyntheticProgram(config);
+    SyntheticProgram b = generateSyntheticProgram(config);
+    EXPECT_EQ(a.program.codeFootprintBytes(),
+              b.program.codeFootprintBytes());
+    EXPECT_EQ(a.program.entry(), b.program.entry());
+    EXPECT_EQ(a.dllLastPhase, b.dllLastPhase);
+}
+
+TEST(SyntheticProgram, HasTransientDlls)
+{
+    SyntheticProgramConfig config;
+    config.dllCount = 3;
+    SyntheticProgram result = generateSyntheticProgram(config);
+    unsigned transient = 0;
+    for (const auto &module : result.program.modules()) {
+        if (module->transient()) {
+            ++transient;
+        }
+    }
+    EXPECT_EQ(transient, 3u);
+    EXPECT_FALSE(result.dllLastPhase.empty());
+}
+
+TEST(SyntheticProgram, EntryIsInMainModule)
+{
+    SyntheticProgramConfig config;
+    SyntheticProgram result = generateSyntheticProgram(config);
+    GuestModule *main = result.program.findModule("main.exe");
+    ASSERT_NE(main, nullptr);
+    EXPECT_TRUE(main->containsAddr(result.program.entry()));
+    EXPECT_NE(main->findBlock(result.program.entry()), nullptr);
+}
+
+} // namespace
+} // namespace gencache::guest

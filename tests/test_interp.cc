@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Unit tests for the interpreter: arithmetic, memory, control flow,
+ * calls, and full synthetic program execution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "guest/address_space.h"
+#include "guest/program.h"
+#include "guest/program_builder.h"
+#include "guest/synthetic_program.h"
+#include "interp/interpreter.h"
+
+namespace gencache::interp {
+namespace {
+
+using guest::AddressSpace;
+using guest::BlockLabel;
+using guest::GuestProgram;
+using guest::ModuleBuilder;
+
+struct Fixture
+{
+    GuestProgram program;
+    AddressSpace space;
+};
+
+TEST(CpuState, ResetClearsEverything)
+{
+    CpuState state;
+    state.regs[3] = 7;
+    state.storeMem(100, 42);
+    state.callStack.push_back(5);
+    state.halted = true;
+    state.reset(0x400);
+    EXPECT_EQ(state.regs[3], 0);
+    EXPECT_EQ(state.loadMem(100), 0);
+    EXPECT_TRUE(state.callStack.empty());
+    EXPECT_EQ(state.pc, 0x400u);
+    EXPECT_FALSE(state.halted);
+}
+
+TEST(Interpreter, ArithmeticAndHalt)
+{
+    Fixture fx;
+    guest::GuestModule &main = fx.program.addModule("main.exe", 0x400);
+    ModuleBuilder mb(main);
+    BlockLabel entry = mb.createBlock();
+    mb.at(entry)
+        .movi(1, 6)
+        .movi(2, 7)
+        .mul(3, 1, 2)
+        .sub(4, 3, 1)
+        .addi(5, 4, 10)
+        .halt();
+    mb.finalize();
+    fx.space.map(main);
+
+    Interpreter interp(fx.space);
+    CpuState state;
+    state.reset(mb.addrOf(entry));
+    BlockResult result = interp.executeBlock(state);
+    EXPECT_TRUE(result.halted);
+    EXPECT_TRUE(state.halted);
+    EXPECT_EQ(state.regs[3], 42);
+    EXPECT_EQ(state.regs[4], 36);
+    EXPECT_EQ(state.regs[5], 46);
+    EXPECT_EQ(result.instructions, 6u);
+}
+
+TEST(Interpreter, LoadStoreRoundTrip)
+{
+    Fixture fx;
+    guest::GuestModule &main = fx.program.addModule("main.exe", 0x400);
+    ModuleBuilder mb(main);
+    BlockLabel entry = mb.createBlock();
+    mb.at(entry)
+        .movi(1, 0x9000)
+        .movi(2, 1234)
+        .store(1, 8, 2)
+        .load(3, 1, 8)
+        .load(4, 1, 16) // never written: reads as zero
+        .halt();
+    mb.finalize();
+    fx.space.map(main);
+
+    Interpreter interp(fx.space);
+    CpuState state;
+    state.reset(mb.addrOf(entry));
+    interp.executeBlock(state);
+    EXPECT_EQ(state.regs[3], 1234);
+    EXPECT_EQ(state.regs[4], 0);
+}
+
+TEST(Interpreter, LoopExecutesExactCount)
+{
+    Fixture fx;
+    guest::GuestModule &main = fx.program.addModule("main.exe", 0x400);
+    ModuleBuilder mb(main);
+    BlockLabel entry = mb.createBlock();
+    BlockLabel loop = mb.createBlock();
+    BlockLabel done = mb.createBlock();
+    mb.at(entry).movi(1, 5).movi(2, 0).jump(loop);
+    mb.at(loop)
+        .addi(2, 2, 1)
+        .addi(1, 1, -1)
+        .branchNz(1, loop);
+    mb.at(done).halt();
+    mb.finalize();
+    fx.space.map(main);
+
+    Interpreter interp(fx.space);
+    CpuState state;
+    state.reset(mb.addrOf(entry));
+    interp.run(state, 1000);
+    EXPECT_TRUE(state.halted);
+    EXPECT_EQ(state.regs[2], 5);
+}
+
+TEST(Interpreter, BackwardTransferFlagOnLoopEdge)
+{
+    Fixture fx;
+    guest::GuestModule &main = fx.program.addModule("main.exe", 0x400);
+    ModuleBuilder mb(main);
+    BlockLabel entry = mb.createBlock();
+    BlockLabel loop = mb.createBlock();
+    BlockLabel done = mb.createBlock();
+    mb.at(entry).movi(1, 2).jump(loop);
+    mb.at(loop).addi(1, 1, -1).branchNz(1, loop);
+    mb.at(done).halt();
+    mb.finalize();
+    fx.space.map(main);
+
+    Interpreter interp(fx.space);
+    CpuState state;
+    state.reset(mb.addrOf(entry));
+    BlockResult entry_result = interp.executeBlock(state);
+    EXPECT_FALSE(entry_result.backwardTransfer);
+    BlockResult loop_result = interp.executeBlock(state);
+    EXPECT_TRUE(loop_result.backwardTransfer); // taken back edge
+    BlockResult exit_result = interp.executeBlock(state);
+    EXPECT_FALSE(exit_result.backwardTransfer); // fall through
+}
+
+TEST(Interpreter, CallAndReturn)
+{
+    Fixture fx;
+    guest::GuestModule &main = fx.program.addModule("main.exe", 0x400);
+    ModuleBuilder mb(main);
+    BlockLabel fn = mb.createBlock();
+    BlockLabel entry = mb.createBlock();
+    BlockLabel after = mb.createBlock();
+    mb.at(fn).movi(7, 99).ret();
+    mb.at(entry).call(fn);
+    mb.at(after).halt();
+    mb.finalize();
+    fx.space.map(main);
+
+    Interpreter interp(fx.space);
+    CpuState state;
+    state.reset(mb.addrOf(entry));
+    interp.executeBlock(state); // call
+    EXPECT_EQ(state.callStack.size(), 1u);
+    interp.executeBlock(state); // function body + ret
+    EXPECT_TRUE(state.callStack.empty());
+    EXPECT_EQ(state.pc, mb.addrOf(after));
+    EXPECT_EQ(state.regs[7], 99);
+}
+
+TEST(Interpreter, IndirectJump)
+{
+    // The indirect target address must be known when the movi is
+    // emitted: entry = movi (6 bytes) + jmpr (3 bytes) = 9 bytes, so
+    // the second block starts at 0x400 + 9 = 0x409.
+    Fixture fx;
+    guest::GuestModule &main = fx.program.addModule("main.exe", 0x400);
+    ModuleBuilder mb(main);
+    BlockLabel entry = mb.createBlock();
+    BlockLabel target = mb.createBlock();
+    mb.at(entry).movi(1, 0x409).jumpReg(1);
+    mb.at(target).movi(2, 5).halt();
+    std::vector<isa::GuestAddr> addrs = mb.finalize();
+    ASSERT_EQ(addrs[1], 0x409u);
+    fx.space.map(main);
+
+    Interpreter interp(fx.space);
+    CpuState state;
+    state.reset(addrs[0]);
+    interp.run(state, 10);
+    EXPECT_TRUE(state.halted);
+    EXPECT_EQ(state.regs[2], 5);
+}
+
+TEST(InterpreterDeath, ReturnWithEmptyStack)
+{
+    Fixture fx;
+    guest::GuestModule &main = fx.program.addModule("main.exe", 0x400);
+    ModuleBuilder mb(main);
+    BlockLabel entry = mb.createBlock();
+    mb.at(entry).ret();
+    mb.finalize();
+    fx.space.map(main);
+
+    Interpreter interp(fx.space);
+    CpuState state;
+    state.reset(mb.addrOf(entry));
+    EXPECT_DEATH(interp.executeBlock(state), "empty call stack");
+}
+
+TEST(InterpreterDeath, UnmappedPc)
+{
+    guest::GuestProgram program;
+    AddressSpace space;
+    Interpreter interp(space);
+    CpuState state;
+    state.reset(0xdead);
+    EXPECT_DEATH(interp.executeBlock(state), "no mapped block");
+}
+
+TEST(Interpreter, SyntheticProgramRunsToCompletion)
+{
+    guest::SyntheticProgramConfig config;
+    config.seed = 5;
+    config.phases = 2;
+    config.phaseIterations = 3;
+    config.innerIterations = 4;
+    guest::SyntheticProgram synthetic =
+        generateSyntheticProgram(config);
+
+    AddressSpace space;
+    for (const auto &module : synthetic.program.modules()) {
+        space.map(*module);
+    }
+    Interpreter interp(space);
+    CpuState state;
+    state.reset(synthetic.program.entry());
+    std::uint64_t retired = interp.run(state, 1'000'000);
+    EXPECT_TRUE(state.halted);
+    EXPECT_GT(retired, 100u);
+    // Phase register saw the final phase.
+    EXPECT_EQ(state.regs[guest::kPhaseRegister],
+              static_cast<std::int64_t>(config.phases - 1));
+}
+
+TEST(Interpreter, SyntheticProgramDeterministicInstructionCount)
+{
+    guest::SyntheticProgramConfig config;
+    config.seed = 12;
+    std::uint64_t counts[2];
+    for (int round = 0; round < 2; ++round) {
+        guest::SyntheticProgram synthetic =
+            generateSyntheticProgram(config);
+        AddressSpace space;
+        for (const auto &module : synthetic.program.modules()) {
+            space.map(*module);
+        }
+        Interpreter interp(space);
+        CpuState state;
+        state.reset(synthetic.program.entry());
+        counts[round] = interp.run(state, 10'000'000);
+        EXPECT_TRUE(state.halted);
+    }
+    EXPECT_EQ(counts[0], counts[1]);
+}
+
+} // namespace
+} // namespace gencache::interp

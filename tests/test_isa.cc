@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests for the synthetic ISA: encodings, classification, basic
+ * blocks, and disassembly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/basic_block.h"
+#include "isa/instruction.h"
+
+namespace gencache::isa {
+namespace {
+
+TEST(Instruction, SizesAreVariableLength)
+{
+    EXPECT_EQ(makeNop().sizeBytes(), 1u);
+    EXPECT_EQ(makeMov(0, 1).sizeBytes(), 2u);
+    EXPECT_EQ(makeAdd(0, 1, 2).sizeBytes(), 3u);
+    EXPECT_EQ(makeMovImm(0, 7).sizeBytes(), 6u);
+    EXPECT_EQ(makeBranchNz(1, 100).sizeBytes(), 6u);
+    EXPECT_EQ(makeReturn().sizeBytes(), 1u);
+}
+
+TEST(Instruction, ControlFlowClassification)
+{
+    EXPECT_TRUE(isControlFlow(Opcode::Jump));
+    EXPECT_TRUE(isControlFlow(Opcode::BranchNz));
+    EXPECT_TRUE(isControlFlow(Opcode::Call));
+    EXPECT_TRUE(isControlFlow(Opcode::Return));
+    EXPECT_TRUE(isControlFlow(Opcode::Halt));
+    EXPECT_FALSE(isControlFlow(Opcode::Add));
+    EXPECT_FALSE(isControlFlow(Opcode::Load));
+}
+
+TEST(Instruction, ConditionalBranchClassification)
+{
+    EXPECT_TRUE(isConditionalBranch(Opcode::BranchNz));
+    EXPECT_TRUE(isConditionalBranch(Opcode::BranchZ));
+    EXPECT_FALSE(isConditionalBranch(Opcode::Jump));
+    EXPECT_FALSE(isConditionalBranch(Opcode::Call));
+}
+
+TEST(Instruction, IndirectClassification)
+{
+    EXPECT_TRUE(isIndirect(Opcode::JumpReg));
+    EXPECT_TRUE(isIndirect(Opcode::CallReg));
+    EXPECT_TRUE(isIndirect(Opcode::Return));
+    EXPECT_FALSE(isIndirect(Opcode::Jump));
+    EXPECT_FALSE(isIndirect(Opcode::BranchNz));
+}
+
+TEST(Instruction, Disassembly)
+{
+    EXPECT_EQ(makeAdd(1, 2, 3).toString(), "add r1, r2, r3");
+    EXPECT_EQ(makeMovImm(4, -9).toString(), "movi r4, -9");
+    EXPECT_EQ(makeBranchZ(5, 4096).toString(), "bz r5, 4096");
+    EXPECT_EQ(makeReturn().toString(), "ret");
+}
+
+TEST(InstructionDeath, RegisterOutOfRange)
+{
+    EXPECT_DEATH(makeAdd(16, 0, 0), "out of range");
+}
+
+TEST(BasicBlock, AccumulatesSize)
+{
+    BasicBlock block(1000);
+    block.append(makeMovImm(0, 1)); // 6
+    block.append(makeAdd(0, 0, 0)); // 3
+    block.append(makeJump(2000));   // 5
+    EXPECT_EQ(block.sizeBytes(), 14u);
+    EXPECT_EQ(block.startAddr(), 1000u);
+    EXPECT_EQ(block.endAddr(), 1014u);
+    EXPECT_EQ(block.instructionCount(), 3u);
+}
+
+TEST(BasicBlock, TerminatorDetection)
+{
+    BasicBlock block(0);
+    block.append(makeNop());
+    EXPECT_FALSE(block.isTerminated());
+    block.append(makeHalt());
+    EXPECT_TRUE(block.isTerminated());
+    EXPECT_EQ(block.terminator().opcode, Opcode::Halt);
+}
+
+TEST(BasicBlockDeath, AppendAfterTerminator)
+{
+    BasicBlock block(0);
+    block.append(makeJump(8));
+    EXPECT_DEATH(block.append(makeNop()), "terminated");
+}
+
+TEST(BasicBlockDeath, TerminatorOfOpenBlock)
+{
+    BasicBlock block(0);
+    block.append(makeNop());
+    EXPECT_DEATH(block.terminator(), "terminator");
+}
+
+TEST(BasicBlock, FallThroughAddr)
+{
+    BasicBlock block(100);
+    block.append(makeBranchNz(0, 50)); // 6 bytes
+    EXPECT_EQ(block.fallThroughAddr(), 106u);
+}
+
+TEST(BasicBlock, DisassemblyListsInstructions)
+{
+    BasicBlock block(64);
+    block.append(makeMovImm(1, 5));
+    block.append(makeHalt());
+    std::string text = block.toString();
+    EXPECT_NE(text.find("movi r1, 5"), std::string::npos);
+    EXPECT_NE(text.find("halt"), std::string::npos);
+}
+
+} // namespace
+} // namespace gencache::isa

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Unit tests for the list-based local caches (FIFO, LRU, preemptive
+ * flush, unbounded), the pseudo-circular wrapper, and the factory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codecache/list_cache.h"
+#include "codecache/local_cache.h"
+#include "codecache/pseudo_circular_cache.h"
+
+namespace gencache::cache {
+namespace {
+
+Fragment
+frag(TraceId id, std::uint32_t size, ModuleId module = 0)
+{
+    Fragment fragment;
+    fragment.id = id;
+    fragment.sizeBytes = size;
+    fragment.module = module;
+    return fragment;
+}
+
+TEST(FifoCache, EvictsOldestFirst)
+{
+    FifoCache cache(100);
+    std::vector<Fragment> evicted;
+    ASSERT_TRUE(cache.insert(frag(1, 40), evicted));
+    ASSERT_TRUE(cache.insert(frag(2, 40), evicted));
+    ASSERT_TRUE(cache.insert(frag(3, 40), evicted));
+    ASSERT_EQ(evicted.size(), 1u);
+    EXPECT_EQ(evicted[0].id, 1u);
+    EXPECT_EQ(cache.usedBytes(), 80u);
+    EXPECT_TRUE(cache.contains(2));
+    EXPECT_FALSE(cache.contains(1));
+}
+
+TEST(FifoCache, TouchDoesNotChangeOrder)
+{
+    FifoCache cache(100);
+    std::vector<Fragment> evicted;
+    cache.insert(frag(1, 40), evicted);
+    cache.insert(frag(2, 40), evicted);
+    cache.touch(1, 10);
+    cache.insert(frag(3, 40), evicted);
+    EXPECT_FALSE(cache.contains(1)); // still evicted first
+}
+
+TEST(LruCache, TouchProtectsRecentlyUsed)
+{
+    LruCache cache(100);
+    std::vector<Fragment> evicted;
+    cache.insert(frag(1, 40), evicted);
+    cache.insert(frag(2, 40), evicted);
+    cache.touch(1, 10); // 1 becomes most recently used
+    cache.insert(frag(3, 40), evicted);
+    ASSERT_EQ(evicted.size(), 1u);
+    EXPECT_EQ(evicted[0].id, 2u);
+    EXPECT_TRUE(cache.contains(1));
+}
+
+TEST(LruCache, PinnedFragmentsSkipped)
+{
+    LruCache cache(100);
+    std::vector<Fragment> evicted;
+    cache.insert(frag(1, 50), evicted);
+    cache.insert(frag(2, 50), evicted);
+    cache.setPinned(1, true);
+    ASSERT_TRUE(cache.insert(frag(3, 50), evicted));
+    ASSERT_EQ(evicted.size(), 1u);
+    EXPECT_EQ(evicted[0].id, 2u);
+    EXPECT_TRUE(cache.contains(1));
+}
+
+TEST(LruCache, FailsWhenAllPinned)
+{
+    LruCache cache(100);
+    std::vector<Fragment> evicted;
+    cache.insert(frag(1, 60), evicted);
+    cache.setPinned(1, true);
+    EXPECT_FALSE(cache.insert(frag(2, 60), evicted));
+    EXPECT_EQ(cache.stats().placementFailures, 1u);
+    EXPECT_TRUE(cache.contains(1));
+    EXPECT_FALSE(cache.contains(2));
+}
+
+TEST(FlushCache, FlushesEverythingWhenFull)
+{
+    FlushCache cache(100);
+    std::vector<Fragment> evicted;
+    cache.insert(frag(1, 40), evicted);
+    cache.insert(frag(2, 40), evicted);
+    EXPECT_TRUE(evicted.empty());
+    ASSERT_TRUE(cache.insert(frag(3, 40), evicted));
+    EXPECT_EQ(evicted.size(), 2u);
+    EXPECT_EQ(cache.fragmentCount(), 1u);
+    EXPECT_TRUE(cache.contains(3));
+    EXPECT_EQ(cache.stats().flushes, 1u);
+}
+
+TEST(FlushCache, KeepsPinnedAcrossFlush)
+{
+    FlushCache cache(100);
+    std::vector<Fragment> evicted;
+    cache.insert(frag(1, 40), evicted);
+    cache.setPinned(1, true);
+    cache.insert(frag(2, 40), evicted);
+    ASSERT_TRUE(cache.insert(frag(3, 40), evicted));
+    EXPECT_TRUE(cache.contains(1));
+    EXPECT_FALSE(cache.contains(2));
+    EXPECT_TRUE(cache.contains(3));
+}
+
+TEST(UnboundedCache, NeverEvictsAndTracksPeak)
+{
+    UnboundedCache cache;
+    std::vector<Fragment> evicted;
+    for (TraceId id = 1; id <= 100; ++id) {
+        ASSERT_TRUE(cache.insert(frag(id, 100), evicted));
+    }
+    EXPECT_TRUE(evicted.empty());
+    EXPECT_EQ(cache.peakBytes(), 10'000u);
+    Fragment out;
+    cache.remove(50, &out);
+    EXPECT_EQ(cache.usedBytes(), 9'900u);
+    EXPECT_EQ(cache.peakBytes(), 10'000u); // peak survives removal
+}
+
+TEST(ListCache, RemoveUpdatesBytes)
+{
+    FifoCache cache(100);
+    std::vector<Fragment> evicted;
+    cache.insert(frag(1, 30), evicted);
+    Fragment out;
+    ASSERT_TRUE(cache.remove(1, &out));
+    EXPECT_EQ(out.sizeBytes, 30u);
+    EXPECT_EQ(cache.usedBytes(), 0u);
+    EXPECT_FALSE(cache.remove(1));
+    EXPECT_EQ(cache.stats().removals, 1u);
+}
+
+TEST(ListCache, ForEachVisitsAll)
+{
+    FifoCache cache(1000);
+    std::vector<Fragment> evicted;
+    for (TraceId id = 1; id <= 5; ++id) {
+        cache.insert(frag(id, 10), evicted);
+    }
+    std::size_t visited = 0;
+    cache.forEach([&](const Fragment &) { ++visited; });
+    EXPECT_EQ(visited, 5u);
+}
+
+TEST(PseudoCircularCache, BehavesLikeRegion)
+{
+    PseudoCircularCache cache(100);
+    std::vector<Fragment> evicted;
+    ASSERT_TRUE(cache.insert(frag(1, 60), evicted));
+    ASSERT_TRUE(cache.insert(frag(2, 60), evicted));
+    ASSERT_EQ(evicted.size(), 1u);
+    EXPECT_EQ(evicted[0].id, 1u);
+    EXPECT_EQ(cache.stats().capacityEvictions, 1u);
+    EXPECT_EQ(cache.stats().inserts, 2u);
+}
+
+TEST(PseudoCircularCache, PlacementFailureCounted)
+{
+    PseudoCircularCache cache(50);
+    std::vector<Fragment> evicted;
+    EXPECT_FALSE(cache.insert(frag(1, 60), evicted));
+    EXPECT_EQ(cache.stats().placementFailures, 1u);
+}
+
+TEST(LocalCacheFactory, CreatesEveryPolicy)
+{
+    EXPECT_STREQ(
+        makeLocalCache(LocalPolicy::PseudoCircular, 100)->policyName(),
+        "pseudo-circular");
+    EXPECT_STREQ(makeLocalCache(LocalPolicy::Fifo, 100)->policyName(),
+                 "fifo");
+    EXPECT_STREQ(makeLocalCache(LocalPolicy::Lru, 100)->policyName(),
+                 "lru");
+    EXPECT_STREQ(
+        makeLocalCache(LocalPolicy::PreemptiveFlush, 100)->policyName(),
+        "preemptive-flush");
+    EXPECT_STREQ(
+        makeLocalCache(LocalPolicy::Unbounded, 0)->policyName(),
+        "unbounded");
+}
+
+TEST(LocalCacheFactory, PolicyNames)
+{
+    EXPECT_STREQ(localPolicyName(LocalPolicy::PseudoCircular),
+                 "pseudo-circular");
+    EXPECT_STREQ(localPolicyName(LocalPolicy::Unbounded), "unbounded");
+}
+
+TEST(ListCacheDeath, DuplicateInsertPanics)
+{
+    FifoCache cache(100);
+    std::vector<Fragment> evicted;
+    cache.insert(frag(1, 10), evicted);
+    EXPECT_DEATH(cache.insert(frag(1, 10), evicted),
+                 "already resident");
+}
+
+} // namespace
+} // namespace gencache::cache

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Unit and property tests for the trace optimizer: superblock
+ * construction (jump straightening), each pass, the pass manager's
+ * profitability guard, and semantic preservation on randomized
+ * straight-line code.
+ */
+
+#include <gtest/gtest.h>
+
+#include "opt/passes.h"
+#include "opt/superblock.h"
+#include "support/rng.h"
+
+namespace gencache::opt {
+namespace {
+
+Superblock
+makeSb(std::initializer_list<isa::Instruction> insts)
+{
+    Superblock sb(0x400);
+    for (const isa::Instruction &inst : insts) {
+        sb.append(inst, isa::isConditionalBranch(inst.opcode));
+    }
+    return sb;
+}
+
+TEST(Superblock, TracksBytesAndExits)
+{
+    Superblock sb = makeSb({
+        isa::makeMovImm(1, 5),     // 6
+        isa::makeBranchNz(1, 0x500), // 6, side exit
+        isa::makeAdd(2, 1, 1),     // 3
+        isa::makeJump(0x600),      // 5
+    });
+    EXPECT_EQ(sb.codeBytes(), 20u);
+    EXPECT_EQ(sb.sideExitCount(), 1u);
+    EXPECT_NE(sb.toString().find("side exit"), std::string::npos);
+}
+
+TEST(SuperblockDeath, NonBranchSideExit)
+{
+    Superblock sb(0);
+    EXPECT_DEATH(sb.append(isa::makeNop(), true),
+                 "conditional branches");
+}
+
+TEST(BuildSuperblock, StraightensJumps)
+{
+    // Block A ends with jump to B; B follows on the path: the jump
+    // disappears. B's conditional continues on-trace as a side exit.
+    isa::BasicBlock a(0x400);
+    a.append(isa::makeMovImm(1, 3));
+    a.append(isa::makeJump(0x500));
+    isa::BasicBlock b(0x500);
+    b.append(isa::makeAddImm(1, 1, -1));
+    b.append(isa::makeBranchNz(1, 0x500)); // loop edge: side exit
+    isa::BasicBlock c(0x50B); // fall-through of b
+    c.append(isa::makeReturn());
+
+    Superblock sb = buildSuperblock({&a, &b, &c});
+    ASSERT_EQ(sb.size(), 4u); // movi, addi, bnz, ret (jump dropped)
+    EXPECT_EQ(sb.insts()[0].inst.opcode, isa::Opcode::MovImm);
+    EXPECT_EQ(sb.insts()[1].inst.opcode, isa::Opcode::AddImm);
+    EXPECT_EQ(sb.insts()[2].inst.opcode, isa::Opcode::BranchNz);
+    EXPECT_TRUE(sb.insts()[2].sideExit);
+    EXPECT_EQ(sb.insts()[3].inst.opcode, isa::Opcode::Return);
+    EXPECT_EQ(sb.entry(), 0x400u);
+}
+
+TEST(BuildSuperblock, KeepsNonAdjacentJump)
+{
+    isa::BasicBlock a(0x400);
+    a.append(isa::makeJump(0x900)); // target != next block start
+    isa::BasicBlock b(0x900);
+    b.append(isa::makeHalt());
+    Superblock sb = buildSuperblock({&a, &b});
+    // Jump target is the next path block... adjacency is by address,
+    // and 0x900 == b.startAddr(), so it IS straightened.
+    EXPECT_EQ(sb.size(), 1u);
+
+    isa::BasicBlock c(0x700);
+    c.append(isa::makeCall(0x900)); // calls are never dropped
+    Superblock sb2 = buildSuperblock({&c, &b});
+    EXPECT_EQ(sb2.size(), 2u);
+}
+
+TEST(NopElimination, RemovesAllNops)
+{
+    Superblock sb = makeSb({isa::makeNop(), isa::makeMovImm(1, 2),
+                            isa::makeNop(), isa::makeHalt()});
+    NopElimination pass;
+    EXPECT_TRUE(pass.run(sb));
+    EXPECT_EQ(sb.size(), 2u);
+    EXPECT_FALSE(pass.run(sb)); // fixpoint
+}
+
+TEST(RedundantMoveElimination, DropsSelfMovesAndRemat)
+{
+    Superblock sb = makeSb({isa::makeMov(3, 3),
+                            isa::makeMovImm(1, 7),
+                            isa::makeMovImm(1, 7),
+                            isa::makeHalt()});
+    RedundantMoveElimination pass;
+    EXPECT_TRUE(pass.run(sb));
+    EXPECT_EQ(sb.size(), 2u);
+}
+
+TEST(ConstantFolding, FoldsImmediateChains)
+{
+    Superblock sb = makeSb({isa::makeMovImm(1, 6),
+                            isa::makeMovImm(2, 7),
+                            isa::makeMul(3, 1, 2),
+                            isa::makeAddImm(4, 3, 8),
+                            isa::makeHalt()});
+    ConstantFolding pass;
+    EXPECT_TRUE(pass.run(sb));
+    EXPECT_EQ(sb.insts()[2].inst.opcode, isa::Opcode::MovImm);
+    EXPECT_EQ(sb.insts()[2].inst.imm, 42);
+    EXPECT_EQ(sb.insts()[3].inst.opcode, isa::Opcode::MovImm);
+    EXPECT_EQ(sb.insts()[3].inst.imm, 50);
+}
+
+TEST(ConstantFolding, LoadKillsConstant)
+{
+    Superblock sb = makeSb({isa::makeMovImm(1, 6),
+                            isa::makeLoad(1, 2, 0),
+                            isa::makeAddImm(3, 1, 1),
+                            isa::makeHalt()});
+    ConstantFolding pass;
+    EXPECT_FALSE(pass.run(sb)); // nothing foldable
+    EXPECT_EQ(sb.insts()[2].inst.opcode, isa::Opcode::AddImm);
+}
+
+TEST(DeadWriteElimination, RemovesOverwrittenValue)
+{
+    Superblock sb = makeSb({isa::makeMovImm(1, 6),  // dead
+                            isa::makeMovImm(1, 7),
+                            isa::makeHalt()});
+    DeadWriteElimination pass;
+    EXPECT_TRUE(pass.run(sb));
+    ASSERT_EQ(sb.size(), 2u);
+    EXPECT_EQ(sb.insts()[0].inst.imm, 7);
+}
+
+TEST(DeadWriteElimination, SideExitKeepsValueAlive)
+{
+    Superblock sb = makeSb({isa::makeMovImm(1, 6), // live off-trace!
+                            isa::makeBranchNz(2, 0x999),
+                            isa::makeMovImm(1, 7),
+                            isa::makeHalt()});
+    DeadWriteElimination pass;
+    EXPECT_FALSE(pass.run(sb));
+    EXPECT_EQ(sb.size(), 4u);
+}
+
+TEST(DeadWriteElimination, ReadKeepsValueAlive)
+{
+    Superblock sb = makeSb({isa::makeMovImm(1, 6),
+                            isa::makeAdd(2, 1, 1),
+                            isa::makeMovImm(1, 7),
+                            isa::makeHalt()});
+    DeadWriteElimination pass;
+    EXPECT_FALSE(pass.run(sb));
+}
+
+TEST(DeadWriteElimination, KeepsDeadLoads)
+{
+    Superblock sb = makeSb({isa::makeLoad(1, 2, 0), // dead but kept
+                            isa::makeMovImm(1, 7),
+                            isa::makeHalt()});
+    DeadWriteElimination pass;
+    EXPECT_FALSE(pass.run(sb));
+}
+
+TEST(PassManager, PipelineShrinksTypicalTrace)
+{
+    Superblock sb = makeSb({isa::makeNop(),
+                            isa::makeMovImm(1, 10),
+                            isa::makeMovImm(2, 32),
+                            isa::makeAdd(3, 1, 2),   // foldable: 42
+                            isa::makeMov(4, 4),      // self move
+                            isa::makeMovImm(1, 0),   // kills 1
+                            isa::makeMovImm(2, 0),   // kills 2
+                            isa::makeHalt()});
+    PassManager pipeline = makeDefaultPipeline();
+    std::uint32_t before = sb.codeBytes();
+    OptResult result = pipeline.optimize(sb);
+    EXPECT_EQ(result.bytesBefore, before);
+    EXPECT_LT(result.bytesAfter, before);
+    EXPECT_GT(result.bytesSaved(), 0u);
+    EXPECT_GE(result.iterations, 1u);
+
+    // Semantics: r3 must still be 42 and r1/r2 zero.
+    SbMachineState final_state =
+        evaluateStraightLine(sb, SbMachineState{});
+    EXPECT_EQ(final_state.regs[3], 42);
+    EXPECT_EQ(final_state.regs[1], 0);
+    EXPECT_EQ(final_state.regs[2], 0);
+}
+
+TEST(PassManager, NeverGrowsCode)
+{
+    // Folding alone can grow code (movi wider than add); the manager
+    // must keep the smallest version.
+    Superblock sb = makeSb({isa::makeMovImm(1, 1),
+                            isa::makeMovImm(2, 2),
+                            isa::makeAdd(3, 1, 2),
+                            isa::makeAdd(4, 1, 2),
+                            isa::makeStore(5, 0, 3),
+                            isa::makeStore(5, 8, 4),
+                            isa::makeStore(5, 16, 1),
+                            isa::makeStore(5, 24, 2),
+                            isa::makeHalt()});
+    std::uint32_t before = sb.codeBytes();
+    PassManager pipeline = makeDefaultPipeline();
+    OptResult result = pipeline.optimize(sb);
+    EXPECT_LE(result.bytesAfter, before);
+    EXPECT_LE(sb.codeBytes(), before);
+}
+
+// ---------------------------------------------------------------
+// Property: optimization preserves straight-line semantics on random
+// register-only superblocks (final register file and store stream).
+// ---------------------------------------------------------------
+
+class OptSemanticsProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(OptSemanticsProperty, RandomProgramsUnchanged)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+    for (int round = 0; round < 50; ++round) {
+        Superblock sb(0x400);
+        int length = static_cast<int>(rng.uniformInt(5, 60));
+        for (int i = 0; i < length; ++i) {
+            unsigned dst =
+                static_cast<unsigned>(rng.uniformInt(0, 7));
+            unsigned s1 = static_cast<unsigned>(rng.uniformInt(0, 7));
+            unsigned s2 = static_cast<unsigned>(rng.uniformInt(0, 7));
+            switch (rng.uniformInt(0, 7)) {
+              case 0:
+                sb.append(isa::makeNop());
+                break;
+              case 1:
+                sb.append(isa::makeMovImm(dst,
+                                          rng.uniformInt(-50, 50)));
+                break;
+              case 2:
+                sb.append(isa::makeMov(dst, s1));
+                break;
+              case 3:
+                sb.append(isa::makeAdd(dst, s1, s2));
+                break;
+              case 4:
+                sb.append(isa::makeSub(dst, s1, s2));
+                break;
+              case 5:
+                sb.append(
+                    isa::makeAddImm(dst, s1, rng.uniformInt(-9, 9)));
+                break;
+              case 6:
+                sb.append(isa::makeStore(s1,
+                                         rng.uniformInt(0, 64), s2));
+                break;
+              default:
+                sb.append(isa::makeBranchNz(
+                              s1, 0x900 + static_cast<isa::GuestAddr>(
+                                              i)),
+                          true);
+                break;
+            }
+        }
+        sb.append(isa::makeHalt());
+
+        SbMachineState initial;
+        for (auto &reg : initial.regs) {
+            reg = rng.uniformInt(-100, 100);
+        }
+
+        SbMachineState expected = evaluateStraightLine(sb, initial);
+        Superblock optimized = sb;
+        PassManager pipeline = makeDefaultPipeline();
+        pipeline.optimize(optimized);
+        SbMachineState actual =
+            evaluateStraightLine(optimized, initial);
+
+        ASSERT_EQ(actual.regs, expected.regs) << sb.toString();
+        ASSERT_EQ(actual.stores, expected.stores) << sb.toString();
+        ASSERT_LE(optimized.codeBytes(), sb.codeBytes());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptSemanticsProperty,
+                         ::testing::Range(1, 9));
+
+} // namespace
+} // namespace gencache::opt

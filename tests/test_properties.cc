@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Property-based tests: parameterized sweeps asserting invariants of
+ * the cache layer under randomized churn, across policies, capacities,
+ * generational layouts, and promotion thresholds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "codecache/generational_cache.h"
+#include "codecache/list_cache.h"
+#include "codecache/local_cache.h"
+#include "codecache/pseudo_circular_cache.h"
+#include "codecache/unified_cache.h"
+#include "support/rng.h"
+
+namespace gencache::cache {
+namespace {
+
+// ---------------------------------------------------------------
+// Property: every local cache policy respects its byte budget, never
+// loses track of fragments, and survives arbitrary interleavings of
+// insert / remove / pin / flush.
+// ---------------------------------------------------------------
+
+using PolicyCapacity = std::tuple<LocalPolicy, std::uint64_t>;
+
+class LocalCacheProperty
+    : public ::testing::TestWithParam<PolicyCapacity>
+{
+};
+
+TEST_P(LocalCacheProperty, ChurnKeepsInvariants)
+{
+    auto [policy, capacity] = GetParam();
+    std::unique_ptr<LocalCache> cache =
+        makeLocalCache(policy, capacity);
+    Rng rng(capacity * 31 + static_cast<std::uint64_t>(policy));
+
+    std::vector<TraceId> live;
+    std::vector<TraceId> pinned;
+    TraceId next = 1;
+    std::vector<Fragment> evicted;
+
+    for (int step = 0; step < 2000; ++step) {
+        evicted.clear();
+        double action = rng.uniform01();
+        if (action < 0.6) {
+            Fragment frag;
+            frag.id = next++;
+            frag.sizeBytes = static_cast<std::uint32_t>(
+                rng.uniformInt(16, 512));
+            frag.module = static_cast<ModuleId>(rng.uniformInt(0, 3));
+            if (cache->insert(frag, evicted)) {
+                live.push_back(frag.id);
+            }
+        } else if (action < 0.75 && !live.empty()) {
+            TraceId victim = live[static_cast<std::size_t>(
+                rng.uniformInt(0,
+                    static_cast<std::int64_t>(live.size()) - 1))];
+            cache->remove(victim);
+        } else if (action < 0.9 && !live.empty()) {
+            TraceId target = live[static_cast<std::size_t>(
+                rng.uniformInt(0,
+                    static_cast<std::int64_t>(live.size()) - 1))];
+            if (cache->setPinned(target, true)) {
+                pinned.push_back(target);
+            }
+            // Unpin an earlier one so pins do not accumulate forever.
+            if (pinned.size() > 2) {
+                cache->setPinned(pinned.front(), false);
+                pinned.erase(pinned.begin());
+            }
+        } else if (action < 0.92) {
+            cache->flush(evicted);
+        }
+
+        // Invariants.
+        if (cache->capacity() != 0) {
+            ASSERT_LE(cache->usedBytes(), cache->capacity());
+        }
+        std::uint64_t bytes = 0;
+        std::size_t count = 0;
+        cache->forEach([&](const Fragment &frag) {
+            bytes += frag.sizeBytes;
+            ++count;
+            ASSERT_TRUE(cache->contains(frag.id));
+        });
+        ASSERT_EQ(bytes, cache->usedBytes());
+        ASSERT_EQ(count, cache->fragmentCount());
+
+        // Evicted fragments are really gone.
+        for (const Fragment &gone : evicted) {
+            ASSERT_FALSE(cache->contains(gone.id)) << gone.id;
+        }
+
+        // Keep the live list in sync (drop stale ids lazily).
+        if (live.size() > 400) {
+            std::vector<TraceId> still;
+            for (TraceId id : live) {
+                if (cache->contains(id)) {
+                    still.push_back(id);
+                }
+            }
+            live.swap(still);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesAndCapacities, LocalCacheProperty,
+    ::testing::Combine(
+        ::testing::Values(LocalPolicy::PseudoCircular,
+                          LocalPolicy::Fifo, LocalPolicy::Lru,
+                          LocalPolicy::PreemptiveFlush),
+        ::testing::Values(1024ULL, 4096ULL, 65536ULL)),
+    [](const ::testing::TestParamInfo<PolicyCapacity> &info) {
+        std::string name =
+            localPolicyName(std::get<0>(info.param));
+        for (char &c : name) {
+            if (c == '-') {
+                c = '_';
+            }
+        }
+        return name + "_" + std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------
+// Property: the pseudo-circular region never overlaps fragments and
+// never exceeds capacity, under every capacity in a sweep.
+// ---------------------------------------------------------------
+
+class RegionProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RegionProperty, RandomChurnValidates)
+{
+    std::uint64_t capacity = GetParam();
+    CacheRegion region(capacity);
+    Rng rng(capacity);
+    TraceId next = 1;
+    std::vector<Fragment> evicted;
+    for (int step = 0; step < 3000; ++step) {
+        evicted.clear();
+        Fragment frag;
+        frag.id = next++;
+        frag.sizeBytes =
+            static_cast<std::uint32_t>(rng.uniformInt(8, 300));
+        region.place(frag, evicted);
+        if (step % 5 == 0 && next > 4) {
+            region.remove(static_cast<TraceId>(
+                rng.uniformInt(1, static_cast<std::int64_t>(next) - 1)));
+        }
+        region.validate();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, RegionProperty,
+                         ::testing::Values(512ULL, 1000ULL, 4096ULL,
+                                           10000ULL, 262144ULL));
+
+// ---------------------------------------------------------------
+// Property: under any layout and threshold, the generational manager
+// keeps each trace in exactly one cache, conserves capacity, and its
+// promotion/deletion accounting balances.
+// ---------------------------------------------------------------
+
+struct GenerationalParam
+{
+    double nurseryFrac;
+    double probationFrac;
+    std::uint32_t threshold;
+    bool eager;
+};
+
+class GenerationalProperty
+    : public ::testing::TestWithParam<GenerationalParam>
+{
+};
+
+TEST_P(GenerationalProperty, RandomWorkloadKeepsInvariants)
+{
+    GenerationalParam param = GetParam();
+    GenerationalConfig config = GenerationalConfig::fromProportions(
+        64 * 1024, param.nurseryFrac, param.probationFrac,
+        param.threshold, param.eager);
+    GenerationalCacheManager manager(config);
+    Rng rng(param.threshold * 977 + (param.eager ? 1 : 0));
+
+    TraceId next = 1;
+    std::vector<TraceId> known;
+    for (int step = 0; step < 4000; ++step) {
+        double action = rng.uniform01();
+        TimeUs now = static_cast<TimeUs>(step);
+        if (action < 0.35 || known.empty()) {
+            TraceId id = next++;
+            std::uint32_t size = static_cast<std::uint32_t>(
+                rng.uniformInt(32, 1024));
+            ModuleId module =
+                static_cast<ModuleId>(rng.uniformInt(0, 4));
+            if (!manager.contains(id)) {
+                if (manager.insert(id, size, module, now)) {
+                    known.push_back(id);
+                }
+            }
+        } else if (action < 0.85) {
+            TraceId id = known[static_cast<std::size_t>(
+                rng.uniformInt(0,
+                    static_cast<std::int64_t>(known.size()) - 1))];
+            manager.lookup(id, now);
+        } else if (action < 0.95) {
+            manager.lookup(next + 1'000'000, now); // guaranteed miss
+        } else {
+            ModuleId module =
+                static_cast<ModuleId>(rng.uniformInt(0, 4));
+            manager.invalidateModule(module, now);
+        }
+
+        if (step % 64 == 0) {
+            manager.validate();
+            ASSERT_LE(manager.usedBytes(), manager.totalCapacity());
+        }
+    }
+    manager.validate();
+
+    const ManagerStats &stats = manager.stats();
+    EXPECT_EQ(stats.lookups, stats.hits + stats.misses);
+    // Conservation: everything inserted either still resides in a
+    // cache, was deleted, was unmapped, or is gone forever.
+    std::uint64_t resident = 0;
+    for (Generation gen : {Generation::Nursery, Generation::Probation,
+                           Generation::Persistent}) {
+        resident += manager.localCache(gen).fragmentCount();
+    }
+    EXPECT_EQ(stats.inserts,
+              resident + stats.deletions + stats.unmapDeletions);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LayoutsAndThresholds, GenerationalProperty,
+    ::testing::Values(
+        GenerationalParam{1.0 / 3.0, 1.0 / 3.0, 10, false},
+        GenerationalParam{0.45, 0.10, 1, false},
+        GenerationalParam{0.45, 0.10, 1, true},
+        GenerationalParam{0.40, 0.20, 5, false},
+        GenerationalParam{0.25, 0.50, 3, false},
+        GenerationalParam{0.60, 0.10, 2, true},
+        GenerationalParam{0.10, 0.10, 1, false}),
+    [](const ::testing::TestParamInfo<GenerationalParam> &info) {
+        const GenerationalParam &param = info.param;
+        return "n" +
+               std::to_string(
+                   static_cast<int>(param.nurseryFrac * 100)) +
+               "_p" +
+               std::to_string(
+                   static_cast<int>(param.probationFrac * 100)) +
+               "_t" + std::to_string(param.threshold) +
+               (param.eager ? "_eager" : "");
+    });
+
+// ---------------------------------------------------------------
+// Property: with uniform fragment sizes that divide the capacity
+// evenly (no wrap waste, no holes, no pins), the address-accurate
+// pseudo-circular cache IS a FIFO: it evicts the identical victim
+// sequence as the idealized FIFO queue. Cross-validates the layout
+// model against the abstract policy.
+// ---------------------------------------------------------------
+
+class CircularFifoEquivalence
+    : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(CircularFifoEquivalence, IdenticalVictimSequences)
+{
+    std::uint32_t size = GetParam();
+    std::uint64_t capacity = 8ULL * size;
+    PseudoCircularCache circular(capacity);
+    FifoCache fifo(capacity);
+
+    Fragment frag;
+    frag.sizeBytes = size;
+    std::vector<Fragment> evicted_a;
+    std::vector<Fragment> evicted_b;
+    for (TraceId id = 1; id <= 200; ++id) {
+        frag.id = id;
+        evicted_a.clear();
+        evicted_b.clear();
+        ASSERT_TRUE(circular.insert(frag, evicted_a));
+        ASSERT_TRUE(fifo.insert(frag, evicted_b));
+        ASSERT_EQ(evicted_a.size(), evicted_b.size()) << id;
+        for (std::size_t i = 0; i < evicted_a.size(); ++i) {
+            EXPECT_EQ(evicted_a[i].id, evicted_b[i].id) << id;
+        }
+        EXPECT_EQ(circular.usedBytes(), fifo.usedBytes());
+    }
+    EXPECT_EQ(circular.region().wrapWasteBytes(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(UniformSizes, CircularFifoEquivalence,
+                         ::testing::Values(32u, 100u, 256u, 4096u));
+
+// ---------------------------------------------------------------
+// Property: the unified manager's miss accounting is exact for every
+// capacity in a sweep (misses == lookups - hits, inserts >= creates).
+// ---------------------------------------------------------------
+
+class UnifiedProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(UnifiedProperty, AccountingBalances)
+{
+    UnifiedCacheManager manager(GetParam());
+    Rng rng(GetParam() * 3);
+    TraceId next = 1;
+    for (int step = 0; step < 3000; ++step) {
+        TimeUs now = static_cast<TimeUs>(step);
+        if (rng.uniform01() < 0.4) {
+            TraceId id = next++;
+            manager.insert(id,
+                           static_cast<std::uint32_t>(
+                               rng.uniformInt(16, 700)),
+                           0, now);
+        } else if (next > 1) {
+            manager.lookup(static_cast<TraceId>(rng.uniformInt(
+                               1, static_cast<std::int64_t>(next) - 1)),
+                           now);
+        }
+    }
+    const ManagerStats &stats = manager.stats();
+    EXPECT_EQ(stats.lookups, stats.hits + stats.misses);
+    EXPECT_LE(manager.usedBytes(), manager.totalCapacity());
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, UnifiedProperty,
+                         ::testing::Values(2048ULL, 16384ULL,
+                                           131072ULL));
+
+} // namespace
+} // namespace gencache::cache

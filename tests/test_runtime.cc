@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Unit tests for the dynamic optimizer runtime: bb cache, trace-head
+ * counters, NET trace construction, linking, and execution residency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codecache/generational_cache.h"
+#include "codecache/unified_cache.h"
+#include "guest/program_builder.h"
+#include "guest/synthetic_program.h"
+#include "runtime/bb_cache.h"
+#include "runtime/linker.h"
+#include "runtime/runtime.h"
+#include "runtime/trace_head.h"
+
+namespace gencache::runtime {
+namespace {
+
+TEST(BasicBlockCache, CopiesOnceThenHits)
+{
+    BasicBlockCache cache;
+    isa::BasicBlock block(0x400);
+    block.append(isa::makeNop());
+    block.append(isa::makeHalt());
+    const isa::BasicBlock *first = cache.fetch(0x400, block, 0);
+    const isa::BasicBlock *second = cache.fetch(0x400, block, 0);
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(cache.stats().copies, 1u);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.usedBytes(), block.sizeBytes());
+}
+
+TEST(BasicBlockCache, InvalidateByModule)
+{
+    BasicBlockCache cache;
+    isa::BasicBlock block(0x400);
+    block.append(isa::makeHalt());
+    isa::BasicBlock other(0x800);
+    other.append(isa::makeHalt());
+    cache.fetch(0x400, block, /*module=*/1);
+    cache.fetch(0x800, other, /*module=*/2);
+    cache.invalidateModule(1);
+    EXPECT_EQ(cache.lookup(0x400), nullptr);
+    EXPECT_NE(cache.lookup(0x800), nullptr);
+    EXPECT_EQ(cache.stats().invalidations, 1u);
+}
+
+TEST(TraceHeadTable, ThresholdFires)
+{
+    TraceHeadTable heads(3);
+    heads.markHead(0x400, TraceHeadKind::BackwardBranchTarget);
+    EXPECT_TRUE(heads.isHead(0x400));
+    EXPECT_FALSE(heads.recordExecution(0x400)); // 1
+    EXPECT_FALSE(heads.recordExecution(0x400)); // 2
+    EXPECT_TRUE(heads.recordExecution(0x400));  // 3: fire
+    EXPECT_FALSE(heads.recordExecution(0x400)); // only fires once
+}
+
+TEST(TraceHeadTable, NonHeadsNeverFire)
+{
+    TraceHeadTable heads(1);
+    EXPECT_FALSE(heads.recordExecution(0x999));
+    EXPECT_EQ(heads.count(0x999), 0u);
+}
+
+TEST(TraceHeadTable, ClearHeadResets)
+{
+    TraceHeadTable heads(2);
+    heads.markHead(0x400, TraceHeadKind::TraceExit);
+    heads.recordExecution(0x400);
+    heads.clearHead(0x400);
+    EXPECT_FALSE(heads.isHead(0x400));
+    heads.markHead(0x400, TraceHeadKind::TraceExit);
+    EXPECT_EQ(heads.count(0x400), 0u);
+}
+
+TEST(TraceBuilder, RecordsPathAndExits)
+{
+    TraceBuilder builder;
+    builder.begin(1, 0x400, 0);
+    ASSERT_TRUE(builder.active());
+
+    isa::BasicBlock a(0x400);
+    a.append(isa::makeBranchNz(1, 0x500)); // taken path goes to 0x500
+    builder.append(a, 0x500);
+
+    isa::BasicBlock b(0x500);
+    b.append(isa::makeJump(0x400));
+    builder.append(b, 0x400);
+
+    Trace trace = builder.finish();
+    EXPECT_EQ(trace.blockCount(), 2u);
+    // Side exit: the not-taken fall-through of block a (0x406), plus
+    // the final continuation (0x400).
+    ASSERT_EQ(trace.exitTargets.size(), 2u);
+    EXPECT_EQ(trace.exitTargets[0], 0x406u);
+    EXPECT_EQ(trace.exitTargets[1], 0x400u);
+    // Size: code bytes + one stub per conditional + final stub.
+    EXPECT_EQ(trace.sizeBytes,
+              a.sizeBytes() + b.sizeBytes() + 2 * kExitStubBytes);
+}
+
+TEST(TraceBuilder, IndirectFinalExitNotRecorded)
+{
+    TraceBuilder builder;
+    builder.begin(2, 0x400, 0);
+    isa::BasicBlock a(0x400);
+    a.append(isa::makeReturn());
+    builder.append(a, 0x999);
+    Trace trace = builder.finish();
+    EXPECT_TRUE(trace.exitTargets.empty());
+}
+
+TEST(TraceLinker, LinksBothDirections)
+{
+    TraceLinker linker;
+    Trace first;
+    first.id = 1;
+    first.entry = 0x400;
+    first.exitTargets = {0x500};
+    Trace second;
+    second.id = 2;
+    second.entry = 0x500;
+    second.exitTargets = {0x400};
+
+    linker.onTraceInserted(first);
+    EXPECT_EQ(linker.linkCount(), 0u); // 0x500 not resident yet
+    linker.onTraceInserted(second);
+    EXPECT_TRUE(linker.linked(1, 2));
+    EXPECT_TRUE(linker.linked(2, 1));
+    EXPECT_EQ(linker.linkCount(), 2u);
+    EXPECT_EQ(linker.traceAt(0x400), 1u);
+
+    linker.onTraceEvicted(1);
+    EXPECT_FALSE(linker.linked(2, 1));
+    EXPECT_EQ(linker.traceAt(0x400), cache::kInvalidTrace);
+    EXPECT_EQ(linker.stats().linksUnpatched, 2u);
+}
+
+TEST(TraceLinker, SelfLinkForLoopTraces)
+{
+    // A loop trace whose exit returns to its own entry must be
+    // self-linked, so iteration does not round-trip the dispatcher.
+    TraceLinker linker;
+    Trace loop;
+    loop.id = 9;
+    loop.entry = 0x400;
+    loop.exitTargets = {0x400};
+    linker.onTraceInserted(loop);
+    EXPECT_TRUE(linker.linked(9, 9));
+    EXPECT_EQ(linker.linkCount(), 1u);
+    linker.onTraceEvicted(9);
+    EXPECT_EQ(linker.linkCount(), 0u);
+}
+
+TEST(TraceLinker, MoveCountsRelocation)
+{
+    TraceLinker linker;
+    Trace first;
+    first.id = 1;
+    first.entry = 0x400;
+    first.exitTargets = {0x500};
+    Trace second;
+    second.id = 2;
+    second.entry = 0x500;
+    linker.onTraceInserted(first);
+    linker.onTraceInserted(second);
+    std::uint64_t patched_before = linker.stats().linksPatched;
+    linker.onTraceMoved(2);
+    EXPECT_EQ(linker.stats().relocations, 1u);
+    EXPECT_GT(linker.stats().linksPatched, patched_before);
+}
+
+class RuntimeFixture : public ::testing::Test
+{
+  protected:
+    void
+    buildAndRun(cache::CacheManager &manager,
+                std::uint32_t threshold = 10)
+    {
+        guest::SyntheticProgramConfig config;
+        config.seed = 21;
+        config.phases = 2;
+        config.phaseIterations = 30;
+        config.innerIterations = 20;
+        config.dllCount = 2;
+        synthetic_ = guest::generateSyntheticProgram(config);
+        for (const auto &module : synthetic_.program.modules()) {
+            space_.map(*module);
+        }
+        runtime_ =
+            std::make_unique<Runtime>(space_, manager, threshold);
+        runtime_->start(synthetic_.program.entry());
+        runtime_->run();
+        ASSERT_TRUE(runtime_->finished());
+    }
+
+    guest::SyntheticProgram synthetic_;
+    guest::AddressSpace space_;
+    std::unique_ptr<Runtime> runtime_;
+};
+
+TEST_F(RuntimeFixture, BuildsTracesAndExecutesFromCache)
+{
+    cache::UnifiedCacheManager manager(256 * kKiB);
+    buildAndRun(manager);
+    const RuntimeStats &stats = runtime_->stats();
+    EXPECT_GT(stats.tracesBuilt, 0u);
+    EXPECT_GT(stats.traceExecutions, 0u);
+    EXPECT_GT(stats.instructionsInTraces, 0u);
+    // "The vast majority of the program's execution should occur in
+    // the code cache": with a roomy cache and hot loops, most retired
+    // instructions come from traces.
+    EXPECT_GT(stats.cacheResidency(), 0.5);
+}
+
+TEST_F(RuntimeFixture, LogIsReplayableAndValid)
+{
+    cache::UnifiedCacheManager manager(256 * kKiB);
+    buildAndRun(manager);
+    runtime_->log().validate();
+    EXPECT_GT(runtime_->log().createdTraceCount(), 0u);
+    EXPECT_EQ(runtime_->log().createdTraceCount(),
+              runtime_->stats().tracesBuilt);
+}
+
+TEST_F(RuntimeFixture, WorksWithGenerationalManager)
+{
+    cache::GenerationalConfig config =
+        cache::GenerationalConfig::fromProportions(64 * kKiB, 0.45,
+                                                   0.10, 1);
+    cache::GenerationalCacheManager manager(config);
+    buildAndRun(manager);
+    EXPECT_GT(runtime_->stats().traceExecutions, 0u);
+    manager.validate();
+}
+
+TEST_F(RuntimeFixture, TinyCacheForcesRegenerations)
+{
+    // A cache far smaller than the trace volume must thrash.
+    cache::UnifiedCacheManager manager(2 * kKiB);
+    buildAndRun(manager);
+    EXPECT_GT(manager.stats().misses, 0u);
+    EXPECT_GT(runtime_->stats().traceRegenerations, 0u);
+}
+
+TEST_F(RuntimeFixture, ModuleUnloadEvictsTraces)
+{
+    cache::UnifiedCacheManager manager(256 * kKiB);
+    guest::SyntheticProgramConfig config;
+    config.seed = 33;
+    config.phases = 2;
+    config.phaseIterations = 30;
+    config.innerIterations = 20;
+    config.dllCount = 1;
+    synthetic_ = guest::generateSyntheticProgram(config);
+    for (const auto &module : synthetic_.program.modules()) {
+        space_.map(*module);
+    }
+    Runtime runtime(space_, manager, 10);
+    runtime.start(synthetic_.program.entry());
+    runtime.run();
+    ASSERT_TRUE(runtime.finished());
+    ASSERT_FALSE(synthetic_.dllLastPhase.empty());
+
+    guest::ModuleId dll = synthetic_.dllLastPhase[0].first;
+    std::uint64_t before = manager.stats().unmapDeletions;
+    runtime.unloadModule(dll);
+    EXPECT_GT(manager.stats().unmapDeletions, before);
+    // All events (including the unload) still form a valid log.
+    runtime.log().validate();
+}
+
+TEST_F(RuntimeFixture, LoopsTailChainWithoutDispatch)
+{
+    // With self-linked loop traces, trace executions should vastly
+    // outnumber dispatcher round trips (context switches).
+    cache::UnifiedCacheManager manager(256 * kKiB);
+    buildAndRun(manager);
+    const RuntimeStats &stats = runtime_->stats();
+    ASSERT_GT(stats.traceExecutions, 100u);
+    EXPECT_LT(stats.contextSwitches, stats.traceExecutions / 2);
+}
+
+TEST_F(RuntimeFixture, DeterministicAcrossRuns)
+{
+    std::uint64_t first_instructions = 0;
+    std::uint64_t first_traces = 0;
+    for (int round = 0; round < 2; ++round) {
+        guest::AddressSpace space;
+        guest::SyntheticProgramConfig config;
+        config.seed = 77;
+        guest::SyntheticProgram synthetic =
+            guest::generateSyntheticProgram(config);
+        for (const auto &module : synthetic.program.modules()) {
+            space.map(*module);
+        }
+        cache::UnifiedCacheManager manager(64 * kKiB);
+        Runtime runtime(space, manager, 10);
+        runtime.start(synthetic.program.entry());
+        runtime.run();
+        if (round == 0) {
+            first_instructions = runtime.stats().totalInstructions();
+            first_traces = runtime.stats().tracesBuilt;
+        } else {
+            EXPECT_EQ(runtime.stats().totalInstructions(),
+                      first_instructions);
+            EXPECT_EQ(runtime.stats().tracesBuilt, first_traces);
+        }
+    }
+}
+
+} // namespace
+} // namespace gencache::runtime

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Unit tests for histograms, summary statistics, and table rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/histogram.h"
+#include "stats/summary.h"
+#include "stats/table.h"
+
+namespace gencache {
+namespace {
+
+TEST(SummaryStats, MeanAndSum)
+{
+    SummaryStats stats;
+    stats.add(1.0);
+    stats.add(2.0);
+    stats.add(3.0);
+    EXPECT_DOUBLE_EQ(stats.sum(), 6.0);
+    EXPECT_DOUBLE_EQ(stats.mean(), 2.0);
+    EXPECT_EQ(stats.count(), 3u);
+}
+
+TEST(SummaryStats, Geomean)
+{
+    SummaryStats stats;
+    stats.add(1.0);
+    stats.add(100.0);
+    EXPECT_NEAR(stats.geomean(), 10.0, 1e-9);
+}
+
+TEST(SummaryStats, GeomeanMatchesPaperStyleRatios)
+{
+    // Figure 11 averages ratios geometrically; sanity-check the form.
+    SummaryStats stats;
+    stats.add(0.511);
+    stats.add(1.062);
+    EXPECT_NEAR(stats.geomean(), std::sqrt(0.511 * 1.062), 1e-12);
+}
+
+TEST(SummaryStats, Stddev)
+{
+    SummaryStats stats;
+    stats.add(2.0);
+    stats.add(4.0);
+    stats.add(4.0);
+    stats.add(4.0);
+    stats.add(5.0);
+    stats.add(5.0);
+    stats.add(7.0);
+    stats.add(9.0);
+    EXPECT_NEAR(stats.stddev(), 2.1380899, 1e-6);
+}
+
+TEST(SummaryStats, MedianOddAndEven)
+{
+    SummaryStats odd;
+    odd.add(3.0);
+    odd.add(1.0);
+    odd.add(2.0);
+    EXPECT_DOUBLE_EQ(odd.median(), 2.0);
+
+    SummaryStats even;
+    even.add(1.0);
+    even.add(2.0);
+    even.add(3.0);
+    even.add(4.0);
+    EXPECT_DOUBLE_EQ(even.median(), 2.5);
+}
+
+TEST(SummaryStats, MinMaxPercentile)
+{
+    SummaryStats stats;
+    for (int i = 1; i <= 100; ++i) {
+        stats.add(static_cast<double>(i));
+    }
+    EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 100.0);
+    EXPECT_NEAR(stats.percentile(90), 90.1, 0.2);
+}
+
+TEST(SummaryStats, StddevOfFewerThanTwoIsZero)
+{
+    SummaryStats stats;
+    stats.add(5.0);
+    EXPECT_DOUBLE_EQ(stats.stddev(), 0.0);
+}
+
+TEST(Histogram, BinsValues)
+{
+    Histogram histogram({0.0, 1.0, 2.0, 3.0});
+    histogram.add(0.5);
+    histogram.add(1.5);
+    histogram.add(1.7);
+    histogram.add(2.9);
+    EXPECT_EQ(histogram.binTotal(0), 1u);
+    EXPECT_EQ(histogram.binTotal(1), 2u);
+    EXPECT_EQ(histogram.binTotal(2), 1u);
+    EXPECT_EQ(histogram.total(), 4u);
+}
+
+TEST(Histogram, ClampsOutOfRange)
+{
+    Histogram histogram({0.0, 1.0, 2.0});
+    histogram.add(-5.0);
+    histogram.add(99.0);
+    EXPECT_EQ(histogram.binTotal(0), 1u);
+    EXPECT_EQ(histogram.binTotal(1), 1u);
+}
+
+TEST(Histogram, Fractions)
+{
+    Histogram histogram({0.0, 1.0, 2.0});
+    histogram.addWeighted(0.5, 3);
+    histogram.addWeighted(1.5, 1);
+    EXPECT_DOUBLE_EQ(histogram.binFraction(0), 0.75);
+    EXPECT_DOUBLE_EQ(histogram.binFraction(1), 0.25);
+}
+
+TEST(Histogram, LifetimeBucketsMatchFigure6)
+{
+    Histogram histogram = makeLifetimeHistogram();
+    EXPECT_EQ(histogram.binCount(), 5u);
+    histogram.add(0.1);  // <20%
+    histogram.add(0.35); // 20-40
+    histogram.add(0.5);  // 40-60
+    histogram.add(0.7);  // 60-80
+    histogram.add(0.95); // >80
+    histogram.add(1.0);  // exactly 100% still lands in the top bucket
+    for (std::size_t bin = 0; bin < 4; ++bin) {
+        EXPECT_EQ(histogram.binTotal(bin), 1u) << "bin " << bin;
+    }
+    EXPECT_EQ(histogram.binTotal(4), 2u);
+    EXPECT_EQ(lifetimeBucketLabels().size(), 5u);
+}
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable table({"name", "value"});
+    table.addRow({"gzip", "51.1%"});
+    table.addRow({"longer-name", "106.2%"});
+    std::string out = table.toString();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer-name"), std::string::npos);
+    // Right-aligned numeric column: the shorter number is padded.
+    EXPECT_NE(out.find(" 51.1%"), std::string::npos);
+}
+
+TEST(TextTable, SeparatorRows)
+{
+    TextTable table({"a"});
+    table.addRow({"1"});
+    table.addSeparator();
+    table.addRow({"2"});
+    std::string out = table.toString();
+    // Header separator + explicit separator.
+    std::size_t dashes = 0;
+    for (char c : out) {
+        if (c == '-') {
+            ++dashes;
+        }
+    }
+    EXPECT_GE(dashes, 2u);
+}
+
+TEST(TextTableDeath, RowWidthMismatchPanics)
+{
+    TextTable table({"a", "b"});
+    EXPECT_DEATH(table.addRow({"only-one"}), "cells");
+}
+
+} // namespace
+} // namespace gencache

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Unit tests for the support library: formatting, RNG determinism,
+ * distribution sanity, and samplers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "support/format.h"
+#include "support/rng.h"
+#include "support/units.h"
+
+namespace gencache {
+namespace {
+
+TEST(Format, SubstitutesPlaceholdersInOrder)
+{
+    EXPECT_EQ(format("a={} b={}", 1, "two"), "a=1 b=two");
+}
+
+TEST(Format, KeepsUnmatchedPlaceholders)
+{
+    EXPECT_EQ(format("x={} y={}", 7), "x=7 y={}");
+}
+
+TEST(Format, AppendsNothingForNoArgs)
+{
+    EXPECT_EQ(format("plain text"), "plain text");
+}
+
+TEST(Format, WithCommas)
+{
+    EXPECT_EQ(withCommas(0), "0");
+    EXPECT_EQ(withCommas(999), "999");
+    EXPECT_EQ(withCommas(1000), "1,000");
+    EXPECT_EQ(withCommas(1234567), "1,234,567");
+    EXPECT_EQ(withCommas(-1234567), "-1,234,567");
+}
+
+TEST(Format, Fixed)
+{
+    EXPECT_EQ(fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(fixed(1.0, 0), "1");
+}
+
+TEST(Format, Percent)
+{
+    EXPECT_EQ(percent(0.182), "18.2%");
+    EXPECT_EQ(percent(1.0, 0), "100%");
+}
+
+TEST(Format, HumanBytes)
+{
+    EXPECT_EQ(humanBytes(512), "512 B");
+    EXPECT_EQ(humanBytes(4 * kKiB), "4.00 KB");
+    EXPECT_EQ(humanBytes(34 * kMiB + 200 * kKiB), "34.2 MB");
+}
+
+TEST(Format, Padding)
+{
+    EXPECT_EQ(padLeft("ab", 4), "  ab");
+    EXPECT_EQ(padRight("ab", 4), "ab  ");
+    EXPECT_EQ(padLeft("abcd", 2), "abcd");
+}
+
+TEST(Units, SecondsRoundTrip)
+{
+    EXPECT_EQ(secondsToUs(2.5), 2'500'000ULL);
+    EXPECT_DOUBLE_EQ(usToSeconds(secondsToUs(123.0)), 123.0);
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.bits(), b.bits());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.bits() == b.bits()) {
+            ++equal;
+        }
+    }
+    EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng a(7);
+    Rng child = a.fork();
+    EXPECT_NE(a.bits(), child.bits());
+}
+
+TEST(Rng, Uniform01InRange)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        double value = rng.uniform01();
+        ASSERT_GE(value, 0.0);
+        ASSERT_LT(value, 1.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive)
+{
+    Rng rng(11);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        std::int64_t value = rng.uniformInt(-2, 3);
+        ASSERT_GE(value, -2);
+        ASSERT_LE(value, 3);
+        seen.insert(value);
+    }
+    EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Rng, NormalMeanAndSpread)
+{
+    Rng rng(5);
+    double sum = 0.0;
+    double sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double value = rng.normal();
+        sum += value;
+        sq += value * value;
+    }
+    double mean = sum / n;
+    double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.05);
+    EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(Rng, LognormalMedian)
+{
+    Rng rng(9);
+    std::vector<double> values;
+    const int n = 20001;
+    values.reserve(n);
+    for (int i = 0; i < n; ++i) {
+        values.push_back(rng.lognormal(std::log(242.0), 0.5));
+    }
+    std::sort(values.begin(), values.end());
+    // Median of exp(N(mu, s)) is exp(mu) = 242.
+    EXPECT_NEAR(values[n / 2], 242.0, 20.0);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        sum += rng.exponential(5.0);
+    }
+    EXPECT_NEAR(sum / n, 5.0, 0.25);
+}
+
+TEST(Rng, BernoulliRate)
+{
+    Rng rng(17);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(DiscreteSampler, MatchesWeights)
+{
+    Rng rng(23);
+    DiscreteSampler sampler({1.0, 3.0, 6.0});
+    std::array<int, 3> counts{};
+    const int n = 30000;
+    for (int i = 0; i < n; ++i) {
+        ++counts[sampler.sample(rng)];
+    }
+    EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.02);
+    EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.02);
+    EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.02);
+}
+
+TEST(DiscreteSampler, NormalizedProbabilities)
+{
+    DiscreteSampler sampler({2.0, 2.0, 4.0});
+    EXPECT_DOUBLE_EQ(sampler.probability(0), 0.25);
+    EXPECT_DOUBLE_EQ(sampler.probability(2), 0.5);
+}
+
+TEST(ZipfSampler, RankOneDominates)
+{
+    Rng rng(29);
+    ZipfSampler zipf(100, 1.0);
+    std::uint64_t first = 0;
+    std::uint64_t tail = 0;
+    const int n = 30000;
+    for (int i = 0; i < n; ++i) {
+        std::size_t rank = zipf.sample(rng);
+        ASSERT_GE(rank, 1u);
+        ASSERT_LE(rank, 100u);
+        if (rank == 1) {
+            ++first;
+        } else if (rank > 50) {
+            ++tail;
+        }
+    }
+    EXPECT_GT(first, tail);
+    EXPECT_GT(zipf.probability(1), zipf.probability(2));
+}
+
+} // namespace
+} // namespace gencache

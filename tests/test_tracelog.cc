@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Unit tests for the access log: event construction, validation,
+ * text/binary round trips, and lifetime analysis (Equation 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "tracelog/event.h"
+#include "tracelog/lifetime.h"
+#include "tracelog/serialize.h"
+
+namespace gencache::tracelog {
+namespace {
+
+AccessLog
+sampleLog()
+{
+    AccessLog log;
+    log.setBenchmark("sample");
+    log.setDuration(1000);
+    log.setFootprintBytes(4096);
+    log.append(Event::moduleLoad(0, 0));
+    log.append(Event::moduleLoad(0, 1));
+    log.append(Event::traceCreate(10, 1, 100, 0));
+    log.append(Event::traceExec(20, 1));
+    log.append(Event::traceCreate(30, 2, 200, 1));
+    log.append(Event::pin(40, 2));
+    log.append(Event::unpin(50, 2));
+    log.append(Event::traceExec(900, 1));
+    log.append(Event::moduleUnload(950, 1));
+    return log;
+}
+
+TEST(AccessLog, TracksCreatedVolume)
+{
+    AccessLog log = sampleLog();
+    EXPECT_EQ(log.createdTraceCount(), 2u);
+    EXPECT_EQ(log.createdTraceBytes(), 300u);
+    EXPECT_EQ(log.size(), 9u);
+}
+
+TEST(AccessLog, ValidatePassesOnWellFormedLog)
+{
+    sampleLog().validate();
+}
+
+TEST(AccessLogDeath, RejectsTimeTravel)
+{
+    AccessLog log;
+    log.append(Event::traceCreate(10, 1, 100, 0));
+    EXPECT_DEATH(log.append(Event::traceExec(5, 1)), "backwards");
+}
+
+TEST(AccessLogDeath, ValidateCatchesUseBeforeCreate)
+{
+    AccessLog log;
+    log.append(Event::traceExec(5, 1));
+    EXPECT_DEATH(log.validate(), "before creation");
+}
+
+TEST(AccessLogDeath, ValidateCatchesDuplicateCreate)
+{
+    AccessLog log;
+    log.append(Event::traceCreate(1, 1, 10, 0));
+    log.append(Event::traceCreate(2, 1, 10, 0));
+    EXPECT_DEATH(log.validate(), "duplicate");
+}
+
+TEST(AccessLogDeath, ValidateCatchesUnloadWithoutLoad)
+{
+    AccessLog log;
+    log.append(Event::moduleUnload(1, 3));
+    EXPECT_DEATH(log.validate(), "not loaded");
+}
+
+TEST(AccessLog, ModuleReloadIsLegal)
+{
+    AccessLog log;
+    log.append(Event::moduleLoad(0, 1));
+    log.append(Event::moduleUnload(10, 1));
+    log.append(Event::moduleLoad(20, 1));
+    log.validate();
+}
+
+TEST(Serialize, TextRoundTrip)
+{
+    AccessLog original = sampleLog();
+    std::stringstream stream;
+    writeText(original, stream);
+    AccessLog loaded = readText(stream);
+
+    EXPECT_EQ(loaded.benchmark(), original.benchmark());
+    EXPECT_EQ(loaded.duration(), original.duration());
+    EXPECT_EQ(loaded.footprintBytes(), original.footprintBytes());
+    ASSERT_EQ(loaded.size(), original.size());
+    for (std::size_t i = 0; i < loaded.size(); ++i) {
+        EXPECT_EQ(loaded[i].type, original[i].type) << i;
+        EXPECT_EQ(loaded[i].time, original[i].time) << i;
+        EXPECT_EQ(loaded[i].trace, original[i].trace) << i;
+        EXPECT_EQ(loaded[i].sizeBytes, original[i].sizeBytes) << i;
+        EXPECT_EQ(loaded[i].module, original[i].module) << i;
+    }
+}
+
+TEST(Serialize, BinaryRoundTrip)
+{
+    AccessLog original = sampleLog();
+    std::stringstream stream;
+    writeBinary(original, stream);
+    AccessLog loaded = readBinary(stream);
+    EXPECT_EQ(loaded.benchmark(), original.benchmark());
+    ASSERT_EQ(loaded.size(), original.size());
+    for (std::size_t i = 0; i < loaded.size(); ++i) {
+        EXPECT_EQ(loaded[i].type, original[i].type) << i;
+        EXPECT_EQ(loaded[i].time, original[i].time) << i;
+        EXPECT_EQ(loaded[i].trace, original[i].trace) << i;
+    }
+}
+
+TEST(Serialize, FileRoundTripBothFormats)
+{
+    AccessLog original = sampleLog();
+    for (const char *name : {"/tmp/gencache_test.gclog",
+                             "/tmp/gencache_test.gclogb"}) {
+        saveLog(original, name);
+        AccessLog loaded = loadLog(name);
+        EXPECT_EQ(loaded.size(), original.size()) << name;
+        EXPECT_EQ(loaded.benchmark(), original.benchmark()) << name;
+        std::remove(name);
+    }
+}
+
+TEST(SerializeDeath, MissingFileIsFatal)
+{
+    EXPECT_EXIT(loadLog("/nonexistent/path.gclog"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(SerializeDeath, GarbageTextIsFatal)
+{
+    std::stringstream stream("not a log at all");
+    EXPECT_EXIT(readText(stream), ::testing::ExitedWithCode(1),
+                "not a gclog");
+}
+
+TEST(SerializeDeath, GarbageBinaryIsFatal)
+{
+    std::stringstream stream("XXXXXXXXXXXXXXXX");
+    EXPECT_EXIT(readBinary(stream), ::testing::ExitedWithCode(1),
+                "not a gclog");
+}
+
+TEST(SerializeDeath, TruncatedBinaryIsFatal)
+{
+    AccessLog original = sampleLog();
+    std::stringstream stream;
+    writeBinary(original, stream);
+    std::string bytes = stream.str();
+    std::stringstream truncated(
+        bytes.substr(0, bytes.size() / 2));
+    EXPECT_EXIT(readBinary(truncated), ::testing::ExitedWithCode(1),
+                "truncated");
+}
+
+TEST(EventType, Names)
+{
+    EXPECT_STREQ(eventTypeName(EventType::TraceCreate), "create");
+    EXPECT_STREQ(eventTypeName(EventType::ModuleUnload), "unload");
+}
+
+TEST(Lifetime, Equation2)
+{
+    // lifetime = (last - first) / total
+    AccessLog log;
+    log.setDuration(1000);
+    log.append(Event::traceCreate(100, 1, 50, 0));
+    log.append(Event::traceExec(600, 1));
+    LifetimeAnalyzer analyzer(log);
+    ASSERT_EQ(analyzer.lifetimes().size(), 1u);
+    const TraceLifetime &lifetime = analyzer.lifetimes()[0];
+    EXPECT_EQ(lifetime.firstExec, 100u);
+    EXPECT_EQ(lifetime.lastExec, 600u);
+    EXPECT_EQ(lifetime.executions, 2u);
+    EXPECT_DOUBLE_EQ(lifetime.fraction(analyzer.totalTime()), 0.5);
+}
+
+TEST(Lifetime, HistogramBuckets)
+{
+    AccessLog log;
+    log.setDuration(1000);
+    log.append(Event::traceCreate(0, 1, 10, 0));   // long-lived
+    log.append(Event::traceCreate(0, 2, 10, 0));   // short-lived
+    log.append(Event::traceExec(100, 2));
+    log.append(Event::traceExec(990, 1));
+    LifetimeAnalyzer analyzer(log);
+    Histogram histogram = analyzer.lifetimeHistogram();
+    EXPECT_EQ(histogram.binTotal(0), 1u); // trace 2: 0.1
+    EXPECT_EQ(histogram.binTotal(4), 1u); // trace 1: 0.99
+    EXPECT_DOUBLE_EQ(analyzer.shortLivedFraction(), 0.5);
+    EXPECT_DOUBLE_EQ(analyzer.longLivedFraction(), 0.5);
+}
+
+TEST(Lifetime, NeverExecutedAgainIsZeroLength)
+{
+    AccessLog log;
+    log.setDuration(1000);
+    log.append(Event::traceCreate(500, 7, 10, 0));
+    LifetimeAnalyzer analyzer(log);
+    EXPECT_DOUBLE_EQ(
+        analyzer.lifetimes()[0].fraction(analyzer.totalTime()), 0.0);
+    EXPECT_DOUBLE_EQ(analyzer.shortLivedFraction(), 1.0);
+}
+
+} // namespace
+} // namespace gencache::tracelog

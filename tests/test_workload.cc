@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Unit tests for benchmark profiles and the statistical workload
+ * generator: determinism, structural validity, and that measured log
+ * properties track the profile's targets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/units.h"
+#include "tracelog/lifetime.h"
+#include "workload/generator.h"
+#include "workload/profile.h"
+
+namespace gencache::workload {
+namespace {
+
+BenchmarkProfile
+tinyProfile()
+{
+    BenchmarkProfile profile;
+    profile.name = "tiny";
+    profile.suite = Suite::SpecInt;
+    profile.durationSec = 2.0;
+    profile.finalCacheKb = 64.0;
+    profile.codeExpansionPct = 500.0;
+    profile.execsPerTraceMean = 10.0;
+    profile.seed = 7;
+    return profile;
+}
+
+BenchmarkProfile
+tinyInteractiveProfile()
+{
+    BenchmarkProfile profile = tinyProfile();
+    profile.name = "tiny-gui";
+    profile.suite = Suite::Interactive;
+    profile.unmapFrac = 0.2;
+    profile.dllCount = 2;
+    return profile;
+}
+
+TEST(Profiles, CatalogsHaveExpectedSizes)
+{
+    EXPECT_EQ(spec2000Profiles().size(), 26u);
+    EXPECT_EQ(interactiveProfiles().size(), 12u);
+    EXPECT_EQ(allProfiles().size(), 38u);
+}
+
+TEST(Profiles, Table1DurationsMatchPaper)
+{
+    // Table 1 of the paper.
+    EXPECT_DOUBLE_EQ(findProfile("access").durationSec, 202.0);
+    EXPECT_DOUBLE_EQ(findProfile("acroread").durationSec, 376.0);
+    EXPECT_DOUBLE_EQ(findProfile("defrag").durationSec, 46.0);
+    EXPECT_DOUBLE_EQ(findProfile("excel").durationSec, 208.0);
+    EXPECT_DOUBLE_EQ(findProfile("iexplore").durationSec, 247.0);
+    EXPECT_DOUBLE_EQ(findProfile("mpeg").durationSec, 257.0);
+    EXPECT_DOUBLE_EQ(findProfile("outlook").durationSec, 196.0);
+    EXPECT_DOUBLE_EQ(findProfile("pinball").durationSec, 372.0);
+    EXPECT_DOUBLE_EQ(findProfile("powerpoint").durationSec, 173.0);
+    EXPECT_DOUBLE_EQ(findProfile("solitaire").durationSec, 335.0);
+    EXPECT_DOUBLE_EQ(findProfile("winzip").durationSec, 92.0);
+    EXPECT_DOUBLE_EQ(findProfile("word").durationSec, 212.0);
+}
+
+TEST(Profiles, WordIsLargestInteractive)
+{
+    double word_kb = findProfile("word").finalCacheKb;
+    for (const BenchmarkProfile &profile : interactiveProfiles()) {
+        EXPECT_LE(profile.finalCacheKb, word_kb) << profile.name;
+    }
+    EXPECT_NEAR(word_kb, 34.2 * 1024.0, 1.0);
+}
+
+TEST(Profiles, GccIsLargestSpec)
+{
+    double gcc_kb = findProfile("gcc").finalCacheKb;
+    for (const BenchmarkProfile &profile : spec2000Profiles()) {
+        EXPECT_LE(profile.finalCacheKb, gcc_kb) << profile.name;
+    }
+    EXPECT_NEAR(gcc_kb, 4300.0, 1.0);
+}
+
+TEST(Profiles, MixesSumToOne)
+{
+    for (const BenchmarkProfile &profile : allProfiles()) {
+        double sum = profile.mix.shortFrac + profile.mix.midFrac +
+                     profile.mix.longFrac;
+        EXPECT_NEAR(sum, 1.0, 1e-9) << profile.name;
+    }
+}
+
+TEST(ProfilesDeath, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(findProfile("no-such-benchmark"),
+                ::testing::ExitedWithCode(1), "unknown benchmark");
+}
+
+TEST(TraceSize, MedianNear242)
+{
+    Rng rng(3);
+    TraceSizeModel model;
+    std::vector<std::uint32_t> sizes;
+    for (int i = 0; i < 10001; ++i) {
+        sizes.push_back(sampleTraceSize(rng, model));
+    }
+    std::sort(sizes.begin(), sizes.end());
+    EXPECT_NEAR(static_cast<double>(sizes[sizes.size() / 2]), 242.0,
+                25.0);
+    EXPECT_GE(sizes.front(), model.minBytes);
+    EXPECT_LE(sizes.back(), model.maxBytes);
+}
+
+TEST(Generator, DeterministicForSeed)
+{
+    tracelog::AccessLog a = generateWorkload(tinyProfile());
+    tracelog::AccessLog b = generateWorkload(tinyProfile());
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); i += 37) {
+        EXPECT_EQ(a[i].time, b[i].time) << i;
+        EXPECT_EQ(a[i].trace, b[i].trace) << i;
+        EXPECT_EQ(a[i].type, b[i].type) << i;
+    }
+}
+
+TEST(Generator, ProducesStructurallyValidLog)
+{
+    tracelog::AccessLog log = generateWorkload(tinyProfile());
+    log.validate();
+    EXPECT_GT(log.createdTraceCount(), 10u);
+    EXPECT_EQ(log.duration(), secondsToUs(2.0));
+}
+
+TEST(Generator, CreatedBytesNearTarget)
+{
+    BenchmarkProfile profile = tinyProfile();
+    tracelog::AccessLog log = generateWorkload(profile);
+    double target = profile.finalCacheKb * 1024.0;
+    EXPECT_NEAR(static_cast<double>(log.createdTraceBytes()), target,
+                target * 0.15);
+}
+
+TEST(Generator, InteractiveLogHasUnloadEvents)
+{
+    tracelog::AccessLog log =
+        generateWorkload(tinyInteractiveProfile());
+    log.validate();
+    std::size_t unloads = 0;
+    std::uint64_t dll_bytes = 0;
+    for (const tracelog::Event &event : log.events()) {
+        if (event.type == tracelog::EventType::ModuleUnload) {
+            ++unloads;
+        }
+        if (event.type == tracelog::EventType::TraceCreate &&
+            event.module != 0) {
+            dll_bytes += event.sizeBytes;
+        }
+    }
+    EXPECT_EQ(unloads, 2u);
+    double frac = static_cast<double>(dll_bytes) /
+                  static_cast<double>(log.createdTraceBytes());
+    EXPECT_NEAR(frac, 0.2, 0.06);
+}
+
+TEST(Generator, SpecLogHasNoUnloads)
+{
+    tracelog::AccessLog log = generateWorkload(tinyProfile());
+    for (const tracelog::Event &event : log.events()) {
+        EXPECT_NE(event.type, tracelog::EventType::ModuleUnload);
+    }
+}
+
+TEST(Generator, NoExecutionAfterModuleUnload)
+{
+    tracelog::AccessLog log =
+        generateWorkload(tinyInteractiveProfile());
+    std::unordered_map<cache::ModuleId, TimeUs> unload_time;
+    std::unordered_map<cache::TraceId, cache::ModuleId> module_of;
+    for (const tracelog::Event &event : log.events()) {
+        if (event.type == tracelog::EventType::ModuleUnload) {
+            unload_time[event.module] = event.time;
+        }
+    }
+    for (const tracelog::Event &event : log.events()) {
+        if (event.type == tracelog::EventType::TraceCreate) {
+            module_of[event.trace] = event.module;
+        }
+        if (event.type == tracelog::EventType::TraceExec) {
+            auto mod = module_of.find(event.trace);
+            ASSERT_NE(mod, module_of.end());
+            auto unload = unload_time.find(mod->second);
+            if (unload != unload_time.end()) {
+                EXPECT_LE(event.time, unload->second)
+                    << "trace " << event.trace;
+            }
+        }
+    }
+}
+
+TEST(Generator, LifetimeShapeTracksMix)
+{
+    BenchmarkProfile profile = tinyProfile();
+    profile.mix = {0.1, 0.1, 0.8};
+    profile.seed = 11;
+    tracelog::AccessLog log = generateWorkload(profile);
+    tracelog::LifetimeAnalyzer analyzer(log);
+    EXPECT_GT(analyzer.longLivedFraction(), 0.6);
+    EXPECT_LT(analyzer.shortLivedFraction(), 0.3);
+}
+
+TEST(Generator, UShapedLifetimesForDefaults)
+{
+    BenchmarkProfile profile = tinyProfile();
+    profile.finalCacheKb = 128.0;
+    tracelog::AccessLog log = generateWorkload(profile);
+    tracelog::LifetimeAnalyzer analyzer(log);
+    Histogram histogram = analyzer.lifetimeHistogram();
+    // The extreme buckets dominate the middle ones (Figure 6).
+    double extremes =
+        histogram.binFraction(0) + histogram.binFraction(4);
+    double middle = histogram.binFraction(1) +
+                    histogram.binFraction(2) +
+                    histogram.binFraction(3);
+    EXPECT_GT(extremes, middle);
+}
+
+TEST(Generator, PinEventsComeInPairsWithinWindows)
+{
+    BenchmarkProfile profile = tinyProfile();
+    profile.pinFrac = 0.2; // exaggerate to get plenty of pins
+    profile.seed = 19;
+    tracelog::AccessLog log = generateWorkload(profile);
+    log.validate();
+    std::size_t pins = 0;
+    std::size_t unpins = 0;
+    std::unordered_map<cache::TraceId, TimeUs> pinned_at;
+    for (const tracelog::Event &event : log.events()) {
+        if (event.type == tracelog::EventType::Pin) {
+            ++pins;
+            pinned_at[event.trace] = event.time;
+        } else if (event.type == tracelog::EventType::Unpin) {
+            ++unpins;
+            auto it = pinned_at.find(event.trace);
+            ASSERT_NE(it, pinned_at.end());
+            EXPECT_GE(event.time, it->second);
+        }
+    }
+    EXPECT_GT(pins, 0u);
+    EXPECT_EQ(pins, unpins);
+}
+
+TEST(Generator, PollutingMidProducesTwoPlateaus)
+{
+    BenchmarkProfile profile = tinyProfile();
+    profile.mix = {0.0 + 1e-9, 1.0 - 2e-9, 0.0 + 1e-9};
+    profile.pollutingMid = true;
+    profile.execsPerTraceMean = 40.0;
+    profile.seed = 23;
+    tracelog::AccessLog log = generateWorkload(profile);
+    tracelog::LifetimeAnalyzer analyzer(log);
+
+    // Collect the execution times of one reasonably hot trace and
+    // verify a dead middle third (the inter-phase gap).
+    const tracelog::TraceLifetime *victim = nullptr;
+    for (const auto &lifetime : analyzer.lifetimes()) {
+        if (lifetime.executions > 20 &&
+            lifetime.fraction(analyzer.totalTime()) > 0.55) {
+            victim = &lifetime;
+            break;
+        }
+    }
+    ASSERT_NE(victim, nullptr);
+    std::uint64_t middle = 0;
+    std::uint64_t total = 0;
+    TimeUs window = victim->lastExec - victim->firstExec;
+    for (const tracelog::Event &event : log.events()) {
+        if (event.type == tracelog::EventType::TraceExec &&
+            event.trace == victim->trace) {
+            ++total;
+            double pos = static_cast<double>(
+                             event.time - victim->firstExec) /
+                         static_cast<double>(window);
+            if (pos > 0.40 && pos < 0.60) {
+                ++middle;
+            }
+        }
+    }
+    ASSERT_GT(total, 10u);
+    // The middle fifth of the window holds (almost) no executions.
+    EXPECT_LT(static_cast<double>(middle) /
+                  static_cast<double>(total),
+              0.05);
+}
+
+TEST(Generator, FootprintImpliesCodeExpansion)
+{
+    BenchmarkProfile profile = tinyProfile();
+    tracelog::AccessLog log = generateWorkload(profile);
+    double expansion = static_cast<double>(log.createdTraceBytes()) /
+                       static_cast<double>(log.footprintBytes()) *
+                       100.0;
+    EXPECT_NEAR(expansion, profile.codeExpansionPct,
+                profile.codeExpansionPct * 0.2);
+}
+
+} // namespace
+} // namespace gencache::workload

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_eager.dir/ablation_eager.cc.o"
+  "CMakeFiles/ablation_eager.dir/ablation_eager.cc.o.d"
+  "ablation_eager"
+  "ablation_eager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_eager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

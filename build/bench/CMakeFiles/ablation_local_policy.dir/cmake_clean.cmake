@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_local_policy.dir/ablation_local_policy.cc.o"
+  "CMakeFiles/ablation_local_policy.dir/ablation_local_policy.cc.o.d"
+  "ablation_local_policy"
+  "ablation_local_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_local_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pressure.dir/ablation_pressure.cc.o"
+  "CMakeFiles/ablation_pressure.dir/ablation_pressure.cc.o.d"
+  "ablation_pressure"
+  "ablation_pressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

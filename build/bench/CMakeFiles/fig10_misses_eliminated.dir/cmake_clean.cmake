@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_misses_eliminated.dir/fig10_misses_eliminated.cc.o"
+  "CMakeFiles/fig10_misses_eliminated.dir/fig10_misses_eliminated.cc.o.d"
+  "fig10_misses_eliminated"
+  "fig10_misses_eliminated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_misses_eliminated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig11_overhead_ratio.cc" "bench/CMakeFiles/fig11_overhead_ratio.dir/fig11_overhead_ratio.cc.o" "gcc" "bench/CMakeFiles/fig11_overhead_ratio.dir/fig11_overhead_ratio.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/gencache_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/gencache_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/gencache_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/gencache_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/gencache_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gencache_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gencache_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracelog/CMakeFiles/gencache_tracelog.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/gencache_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/gencache_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/codecache/CMakeFiles/gencache_codecache.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gencache_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_overhead_ratio.dir/fig11_overhead_ratio.cc.o"
+  "CMakeFiles/fig11_overhead_ratio.dir/fig11_overhead_ratio.cc.o.d"
+  "fig11_overhead_ratio"
+  "fig11_overhead_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_overhead_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_max_cache_size.dir/fig1_max_cache_size.cc.o"
+  "CMakeFiles/fig1_max_cache_size.dir/fig1_max_cache_size.cc.o.d"
+  "fig1_max_cache_size"
+  "fig1_max_cache_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_max_cache_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

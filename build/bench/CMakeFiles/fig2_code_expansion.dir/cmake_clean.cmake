@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_code_expansion.dir/fig2_code_expansion.cc.o"
+  "CMakeFiles/fig2_code_expansion.dir/fig2_code_expansion.cc.o.d"
+  "fig2_code_expansion"
+  "fig2_code_expansion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_code_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_insertion_rate.dir/fig3_insertion_rate.cc.o"
+  "CMakeFiles/fig3_insertion_rate.dir/fig3_insertion_rate.cc.o.d"
+  "fig3_insertion_rate"
+  "fig3_insertion_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_insertion_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_unmapped.dir/fig4_unmapped.cc.o"
+  "CMakeFiles/fig4_unmapped.dir/fig4_unmapped.cc.o.d"
+  "fig4_unmapped"
+  "fig4_unmapped.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_unmapped.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_lifetimes.dir/fig6_lifetimes.cc.o"
+  "CMakeFiles/fig6_lifetimes.dir/fig6_lifetimes.cc.o.d"
+  "fig6_lifetimes"
+  "fig6_lifetimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_lifetimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

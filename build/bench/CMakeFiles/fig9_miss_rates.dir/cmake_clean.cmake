@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_miss_rates.dir/fig9_miss_rates.cc.o"
+  "CMakeFiles/fig9_miss_rates.dir/fig9_miss_rates.cc.o.d"
+  "fig9_miss_rates"
+  "fig9_miss_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_miss_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fragmentation_study.dir/fragmentation_study.cc.o"
+  "CMakeFiles/fragmentation_study.dir/fragmentation_study.cc.o.d"
+  "fragmentation_study"
+  "fragmentation_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fragmentation_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_codecache.dir/microbench_codecache.cc.o"
+  "CMakeFiles/microbench_codecache.dir/microbench_codecache.cc.o.d"
+  "microbench_codecache"
+  "microbench_codecache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_codecache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_proportions.dir/sweep_proportions.cc.o"
+  "CMakeFiles/sweep_proportions.dir/sweep_proportions.cc.o.d"
+  "sweep_proportions"
+  "sweep_proportions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_proportions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sweep_proportions.
+# This may be replaced when dependencies are built.

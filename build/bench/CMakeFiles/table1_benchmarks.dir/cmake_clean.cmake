@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_benchmarks.dir/table1_benchmarks.cc.o"
+  "CMakeFiles/table1_benchmarks.dir/table1_benchmarks.cc.o.d"
+  "table1_benchmarks"
+  "table1_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

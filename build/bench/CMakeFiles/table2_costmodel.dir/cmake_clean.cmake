@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_costmodel.dir/table2_costmodel.cc.o"
+  "CMakeFiles/table2_costmodel.dir/table2_costmodel.cc.o.d"
+  "table2_costmodel"
+  "table2_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

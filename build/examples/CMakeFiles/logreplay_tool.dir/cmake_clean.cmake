@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logreplay_tool.dir/logreplay_tool.cpp.o"
+  "CMakeFiles/logreplay_tool.dir/logreplay_tool.cpp.o.d"
+  "logreplay_tool"
+  "logreplay_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logreplay_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

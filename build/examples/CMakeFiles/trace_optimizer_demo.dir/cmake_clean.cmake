@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_optimizer_demo.dir/trace_optimizer_demo.cpp.o"
+  "CMakeFiles/trace_optimizer_demo.dir/trace_optimizer_demo.cpp.o.d"
+  "trace_optimizer_demo"
+  "trace_optimizer_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_optimizer_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

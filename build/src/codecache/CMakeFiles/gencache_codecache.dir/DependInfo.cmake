@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codecache/cache_region.cc" "src/codecache/CMakeFiles/gencache_codecache.dir/cache_region.cc.o" "gcc" "src/codecache/CMakeFiles/gencache_codecache.dir/cache_region.cc.o.d"
+  "/root/repo/src/codecache/fragment.cc" "src/codecache/CMakeFiles/gencache_codecache.dir/fragment.cc.o" "gcc" "src/codecache/CMakeFiles/gencache_codecache.dir/fragment.cc.o.d"
+  "/root/repo/src/codecache/generational_cache.cc" "src/codecache/CMakeFiles/gencache_codecache.dir/generational_cache.cc.o" "gcc" "src/codecache/CMakeFiles/gencache_codecache.dir/generational_cache.cc.o.d"
+  "/root/repo/src/codecache/list_cache.cc" "src/codecache/CMakeFiles/gencache_codecache.dir/list_cache.cc.o" "gcc" "src/codecache/CMakeFiles/gencache_codecache.dir/list_cache.cc.o.d"
+  "/root/repo/src/codecache/local_cache.cc" "src/codecache/CMakeFiles/gencache_codecache.dir/local_cache.cc.o" "gcc" "src/codecache/CMakeFiles/gencache_codecache.dir/local_cache.cc.o.d"
+  "/root/repo/src/codecache/pseudo_circular_cache.cc" "src/codecache/CMakeFiles/gencache_codecache.dir/pseudo_circular_cache.cc.o" "gcc" "src/codecache/CMakeFiles/gencache_codecache.dir/pseudo_circular_cache.cc.o.d"
+  "/root/repo/src/codecache/unified_cache.cc" "src/codecache/CMakeFiles/gencache_codecache.dir/unified_cache.cc.o" "gcc" "src/codecache/CMakeFiles/gencache_codecache.dir/unified_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/gencache_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

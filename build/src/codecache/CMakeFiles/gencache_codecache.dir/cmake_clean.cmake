@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gencache_codecache.dir/cache_region.cc.o"
+  "CMakeFiles/gencache_codecache.dir/cache_region.cc.o.d"
+  "CMakeFiles/gencache_codecache.dir/fragment.cc.o"
+  "CMakeFiles/gencache_codecache.dir/fragment.cc.o.d"
+  "CMakeFiles/gencache_codecache.dir/generational_cache.cc.o"
+  "CMakeFiles/gencache_codecache.dir/generational_cache.cc.o.d"
+  "CMakeFiles/gencache_codecache.dir/list_cache.cc.o"
+  "CMakeFiles/gencache_codecache.dir/list_cache.cc.o.d"
+  "CMakeFiles/gencache_codecache.dir/local_cache.cc.o"
+  "CMakeFiles/gencache_codecache.dir/local_cache.cc.o.d"
+  "CMakeFiles/gencache_codecache.dir/pseudo_circular_cache.cc.o"
+  "CMakeFiles/gencache_codecache.dir/pseudo_circular_cache.cc.o.d"
+  "CMakeFiles/gencache_codecache.dir/unified_cache.cc.o"
+  "CMakeFiles/gencache_codecache.dir/unified_cache.cc.o.d"
+  "libgencache_codecache.a"
+  "libgencache_codecache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gencache_codecache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gencache_costmodel.dir/cost_model.cc.o"
+  "CMakeFiles/gencache_costmodel.dir/cost_model.cc.o.d"
+  "libgencache_costmodel.a"
+  "libgencache_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gencache_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/guest/address_space.cc" "src/guest/CMakeFiles/gencache_guest.dir/address_space.cc.o" "gcc" "src/guest/CMakeFiles/gencache_guest.dir/address_space.cc.o.d"
+  "/root/repo/src/guest/module.cc" "src/guest/CMakeFiles/gencache_guest.dir/module.cc.o" "gcc" "src/guest/CMakeFiles/gencache_guest.dir/module.cc.o.d"
+  "/root/repo/src/guest/program.cc" "src/guest/CMakeFiles/gencache_guest.dir/program.cc.o" "gcc" "src/guest/CMakeFiles/gencache_guest.dir/program.cc.o.d"
+  "/root/repo/src/guest/program_builder.cc" "src/guest/CMakeFiles/gencache_guest.dir/program_builder.cc.o" "gcc" "src/guest/CMakeFiles/gencache_guest.dir/program_builder.cc.o.d"
+  "/root/repo/src/guest/synthetic_program.cc" "src/guest/CMakeFiles/gencache_guest.dir/synthetic_program.cc.o" "gcc" "src/guest/CMakeFiles/gencache_guest.dir/synthetic_program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/gencache_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gencache_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

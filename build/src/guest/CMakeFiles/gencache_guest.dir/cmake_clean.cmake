@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gencache_guest.dir/address_space.cc.o"
+  "CMakeFiles/gencache_guest.dir/address_space.cc.o.d"
+  "CMakeFiles/gencache_guest.dir/module.cc.o"
+  "CMakeFiles/gencache_guest.dir/module.cc.o.d"
+  "CMakeFiles/gencache_guest.dir/program.cc.o"
+  "CMakeFiles/gencache_guest.dir/program.cc.o.d"
+  "CMakeFiles/gencache_guest.dir/program_builder.cc.o"
+  "CMakeFiles/gencache_guest.dir/program_builder.cc.o.d"
+  "CMakeFiles/gencache_guest.dir/synthetic_program.cc.o"
+  "CMakeFiles/gencache_guest.dir/synthetic_program.cc.o.d"
+  "libgencache_guest.a"
+  "libgencache_guest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gencache_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

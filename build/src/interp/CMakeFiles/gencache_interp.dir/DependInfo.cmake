@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interp/cpu_state.cc" "src/interp/CMakeFiles/gencache_interp.dir/cpu_state.cc.o" "gcc" "src/interp/CMakeFiles/gencache_interp.dir/cpu_state.cc.o.d"
+  "/root/repo/src/interp/interpreter.cc" "src/interp/CMakeFiles/gencache_interp.dir/interpreter.cc.o" "gcc" "src/interp/CMakeFiles/gencache_interp.dir/interpreter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/guest/CMakeFiles/gencache_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/gencache_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gencache_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

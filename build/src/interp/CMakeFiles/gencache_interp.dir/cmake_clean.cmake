@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gencache_interp.dir/cpu_state.cc.o"
+  "CMakeFiles/gencache_interp.dir/cpu_state.cc.o.d"
+  "CMakeFiles/gencache_interp.dir/interpreter.cc.o"
+  "CMakeFiles/gencache_interp.dir/interpreter.cc.o.d"
+  "libgencache_interp.a"
+  "libgencache_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gencache_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

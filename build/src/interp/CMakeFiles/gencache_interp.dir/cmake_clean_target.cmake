@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgencache_interp.a"
+)

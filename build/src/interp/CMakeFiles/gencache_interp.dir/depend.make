@@ -1,0 +1,2 @@
+# Empty dependencies file for gencache_interp.
+# This may be replaced when dependencies are built.

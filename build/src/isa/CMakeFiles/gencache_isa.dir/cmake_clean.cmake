@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gencache_isa.dir/basic_block.cc.o"
+  "CMakeFiles/gencache_isa.dir/basic_block.cc.o.d"
+  "CMakeFiles/gencache_isa.dir/instruction.cc.o"
+  "CMakeFiles/gencache_isa.dir/instruction.cc.o.d"
+  "libgencache_isa.a"
+  "libgencache_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gencache_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

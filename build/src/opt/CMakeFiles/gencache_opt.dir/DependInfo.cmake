@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/passes.cc" "src/opt/CMakeFiles/gencache_opt.dir/passes.cc.o" "gcc" "src/opt/CMakeFiles/gencache_opt.dir/passes.cc.o.d"
+  "/root/repo/src/opt/superblock.cc" "src/opt/CMakeFiles/gencache_opt.dir/superblock.cc.o" "gcc" "src/opt/CMakeFiles/gencache_opt.dir/superblock.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/gencache_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gencache_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

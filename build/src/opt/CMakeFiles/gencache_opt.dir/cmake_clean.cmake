@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gencache_opt.dir/passes.cc.o"
+  "CMakeFiles/gencache_opt.dir/passes.cc.o.d"
+  "CMakeFiles/gencache_opt.dir/superblock.cc.o"
+  "CMakeFiles/gencache_opt.dir/superblock.cc.o.d"
+  "libgencache_opt.a"
+  "libgencache_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gencache_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

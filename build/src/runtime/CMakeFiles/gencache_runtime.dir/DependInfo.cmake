@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/bb_cache.cc" "src/runtime/CMakeFiles/gencache_runtime.dir/bb_cache.cc.o" "gcc" "src/runtime/CMakeFiles/gencache_runtime.dir/bb_cache.cc.o.d"
+  "/root/repo/src/runtime/linker.cc" "src/runtime/CMakeFiles/gencache_runtime.dir/linker.cc.o" "gcc" "src/runtime/CMakeFiles/gencache_runtime.dir/linker.cc.o.d"
+  "/root/repo/src/runtime/runtime.cc" "src/runtime/CMakeFiles/gencache_runtime.dir/runtime.cc.o" "gcc" "src/runtime/CMakeFiles/gencache_runtime.dir/runtime.cc.o.d"
+  "/root/repo/src/runtime/trace.cc" "src/runtime/CMakeFiles/gencache_runtime.dir/trace.cc.o" "gcc" "src/runtime/CMakeFiles/gencache_runtime.dir/trace.cc.o.d"
+  "/root/repo/src/runtime/trace_head.cc" "src/runtime/CMakeFiles/gencache_runtime.dir/trace_head.cc.o" "gcc" "src/runtime/CMakeFiles/gencache_runtime.dir/trace_head.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codecache/CMakeFiles/gencache_codecache.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/gencache_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/gencache_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/gencache_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/gencache_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracelog/CMakeFiles/gencache_tracelog.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gencache_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/gencache_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gencache_runtime.dir/bb_cache.cc.o"
+  "CMakeFiles/gencache_runtime.dir/bb_cache.cc.o.d"
+  "CMakeFiles/gencache_runtime.dir/linker.cc.o"
+  "CMakeFiles/gencache_runtime.dir/linker.cc.o.d"
+  "CMakeFiles/gencache_runtime.dir/runtime.cc.o"
+  "CMakeFiles/gencache_runtime.dir/runtime.cc.o.d"
+  "CMakeFiles/gencache_runtime.dir/trace.cc.o"
+  "CMakeFiles/gencache_runtime.dir/trace.cc.o.d"
+  "CMakeFiles/gencache_runtime.dir/trace_head.cc.o"
+  "CMakeFiles/gencache_runtime.dir/trace_head.cc.o.d"
+  "libgencache_runtime.a"
+  "libgencache_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gencache_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

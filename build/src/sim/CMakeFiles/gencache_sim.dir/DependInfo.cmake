@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/experiment.cc" "src/sim/CMakeFiles/gencache_sim.dir/experiment.cc.o" "gcc" "src/sim/CMakeFiles/gencache_sim.dir/experiment.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/gencache_sim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/gencache_sim.dir/simulator.cc.o.d"
+  "/root/repo/src/sim/sweep.cc" "src/sim/CMakeFiles/gencache_sim.dir/sweep.cc.o" "gcc" "src/sim/CMakeFiles/gencache_sim.dir/sweep.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codecache/CMakeFiles/gencache_codecache.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/gencache_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracelog/CMakeFiles/gencache_tracelog.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gencache_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gencache_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/gencache_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

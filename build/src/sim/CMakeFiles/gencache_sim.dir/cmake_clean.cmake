@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gencache_sim.dir/experiment.cc.o"
+  "CMakeFiles/gencache_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/gencache_sim.dir/simulator.cc.o"
+  "CMakeFiles/gencache_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/gencache_sim.dir/sweep.cc.o"
+  "CMakeFiles/gencache_sim.dir/sweep.cc.o.d"
+  "libgencache_sim.a"
+  "libgencache_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gencache_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

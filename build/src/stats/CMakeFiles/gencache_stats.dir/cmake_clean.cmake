@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gencache_stats.dir/histogram.cc.o"
+  "CMakeFiles/gencache_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/gencache_stats.dir/summary.cc.o"
+  "CMakeFiles/gencache_stats.dir/summary.cc.o.d"
+  "CMakeFiles/gencache_stats.dir/table.cc.o"
+  "CMakeFiles/gencache_stats.dir/table.cc.o.d"
+  "libgencache_stats.a"
+  "libgencache_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gencache_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gencache_support.dir/format.cc.o"
+  "CMakeFiles/gencache_support.dir/format.cc.o.d"
+  "CMakeFiles/gencache_support.dir/logging.cc.o"
+  "CMakeFiles/gencache_support.dir/logging.cc.o.d"
+  "CMakeFiles/gencache_support.dir/rng.cc.o"
+  "CMakeFiles/gencache_support.dir/rng.cc.o.d"
+  "libgencache_support.a"
+  "libgencache_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gencache_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gencache_tracelog.dir/event.cc.o"
+  "CMakeFiles/gencache_tracelog.dir/event.cc.o.d"
+  "CMakeFiles/gencache_tracelog.dir/lifetime.cc.o"
+  "CMakeFiles/gencache_tracelog.dir/lifetime.cc.o.d"
+  "CMakeFiles/gencache_tracelog.dir/serialize.cc.o"
+  "CMakeFiles/gencache_tracelog.dir/serialize.cc.o.d"
+  "libgencache_tracelog.a"
+  "libgencache_tracelog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gencache_tracelog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gencache_tracelog.
+# This may be replaced when dependencies are built.

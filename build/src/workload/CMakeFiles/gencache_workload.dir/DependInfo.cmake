@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/generator.cc" "src/workload/CMakeFiles/gencache_workload.dir/generator.cc.o" "gcc" "src/workload/CMakeFiles/gencache_workload.dir/generator.cc.o.d"
+  "/root/repo/src/workload/profile.cc" "src/workload/CMakeFiles/gencache_workload.dir/profile.cc.o" "gcc" "src/workload/CMakeFiles/gencache_workload.dir/profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tracelog/CMakeFiles/gencache_tracelog.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/gencache_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gencache_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/codecache/CMakeFiles/gencache_codecache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

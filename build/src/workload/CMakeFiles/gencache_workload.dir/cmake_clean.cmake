@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gencache_workload.dir/generator.cc.o"
+  "CMakeFiles/gencache_workload.dir/generator.cc.o.d"
+  "CMakeFiles/gencache_workload.dir/profile.cc.o"
+  "CMakeFiles/gencache_workload.dir/profile.cc.o.d"
+  "libgencache_workload.a"
+  "libgencache_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gencache_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

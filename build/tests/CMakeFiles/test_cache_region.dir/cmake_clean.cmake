@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_region.dir/test_cache_region.cc.o"
+  "CMakeFiles/test_cache_region.dir/test_cache_region.cc.o.d"
+  "test_cache_region"
+  "test_cache_region.pdb"
+  "test_cache_region[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

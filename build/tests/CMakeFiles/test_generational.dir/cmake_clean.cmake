@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_generational.dir/test_generational.cc.o"
+  "CMakeFiles/test_generational.dir/test_generational.cc.o.d"
+  "test_generational"
+  "test_generational.pdb"
+  "test_generational[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_generational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_generational.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_generational.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_local_caches.dir/test_local_caches.cc.o"
+  "CMakeFiles/test_local_caches.dir/test_local_caches.cc.o.d"
+  "test_local_caches"
+  "test_local_caches.pdb"
+  "test_local_caches[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_local_caches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tracelog.dir/test_tracelog.cc.o"
+  "CMakeFiles/test_tracelog.dir/test_tracelog.cc.o.d"
+  "test_tracelog"
+  "test_tracelog.pdb"
+  "test_tracelog[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tracelog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unified.dir/test_unified.cc.o"
+  "CMakeFiles/test_unified.dir/test_unified.cc.o.d"
+  "test_unified"
+  "test_unified.pdb"
+  "test_unified[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unified.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -11,8 +11,11 @@
 #ifndef GENCACHE_BENCH_BENCH_UTIL_H
 #define GENCACHE_BENCH_BENCH_UTIL_H
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -82,6 +85,146 @@ inline void
 banner(const std::string &title)
 {
     std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+/** Monotonic wall-clock stopwatch for before/after perf numbers. */
+class WallTimer
+{
+  public:
+    WallTimer() : start_(Clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Seconds elapsed since construction or the last reset(). */
+    double seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_)
+            .count();
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/**
+ * Minimal ordered JSON object builder for perf artifacts
+ * (BENCH_*.json). Keys keep insertion order; values are numbers,
+ * strings, bools, or pre-rendered JSON (nested objects/arrays).
+ */
+class JsonObject
+{
+  public:
+    JsonObject &put(const std::string &key, const std::string &value)
+    {
+        return putRaw(key, quote(value));
+    }
+    JsonObject &put(const std::string &key, const char *value)
+    {
+        return putRaw(key, quote(value));
+    }
+    JsonObject &put(const std::string &key, double value)
+    {
+        char buffer[32];
+        std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+        return putRaw(key, buffer);
+    }
+    JsonObject &put(const std::string &key, std::uint64_t value)
+    {
+        return putRaw(key, std::to_string(value));
+    }
+    JsonObject &put(const std::string &key, std::int64_t value)
+    {
+        return putRaw(key, std::to_string(value));
+    }
+    JsonObject &put(const std::string &key, int value)
+    {
+        return putRaw(key, std::to_string(value));
+    }
+    JsonObject &put(const std::string &key, bool value)
+    {
+        return putRaw(key, value ? "true" : "false");
+    }
+    /** Insert @p raw_json (an already-rendered value) verbatim. */
+    JsonObject &putRaw(const std::string &key,
+                       const std::string &raw_json)
+    {
+        if (!body_.empty()) {
+            body_ += ",";
+        }
+        body_ += quote(key) + ":" + raw_json;
+        return *this;
+    }
+
+    std::string toString() const { return "{" + body_ + "}"; }
+
+    /** Render @p text as a JSON string literal. */
+    static std::string quote(const std::string &text)
+    {
+        std::string out = "\"";
+        for (char c : text) {
+            switch (c) {
+              case '"': out += "\\\""; break;
+              case '\\': out += "\\\\"; break;
+              case '\n': out += "\\n"; break;
+              case '\t': out += "\\t"; break;
+              default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buffer[8];
+                    std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                                  c);
+                    out += buffer;
+                } else {
+                    out += c;
+                }
+            }
+        }
+        out += "\"";
+        return out;
+    }
+
+  private:
+    std::string body_;
+};
+
+/** Companion array builder; elements are pre-rendered JSON values. */
+class JsonArray
+{
+  public:
+    JsonArray &push(const JsonObject &object)
+    {
+        return pushRaw(object.toString());
+    }
+    JsonArray &pushRaw(const std::string &raw_json)
+    {
+        if (!body_.empty()) {
+            body_ += ",";
+        }
+        body_ += raw_json;
+        return *this;
+    }
+
+    std::string toString() const { return "[" + body_ + "]"; }
+
+  private:
+    std::string body_;
+};
+
+/** Write @p object to @p path and report where it went.
+ *  @return false (with a message) when the file cannot be written. */
+inline bool
+writeJsonArtifact(const std::string &path, const JsonObject &object)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "cannot write perf artifact %s\n",
+                     path.c_str());
+        return false;
+    }
+    out << object.toString() << "\n";
+    std::printf("\nperf artifact: %s\n", path.c_str());
+    return true;
 }
 
 } // namespace gencache::bench

@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "codecache/cache_region.h"
 #include "codecache/generational_cache.h"
 #include "codecache/list_cache.h"
@@ -164,6 +165,63 @@ BM_RegionFlush(benchmark::State &state)
 }
 BENCHMARK(BM_RegionFlush);
 
+/**
+ * Console reporter that additionally collects every run so the
+ * numbers can be written to BENCH_microbench.json after the suite
+ * finishes.
+ */
+class ArtifactReporter : public benchmark::ConsoleReporter
+{
+  public:
+    bool ReportContext(const Context &context) override
+    {
+        return benchmark::ConsoleReporter::ReportContext(context);
+    }
+
+    void ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            if (run.error_occurred) {
+                continue;
+            }
+            bench::JsonObject entry;
+            entry.put("name", run.benchmark_name())
+                .put("iterations",
+                     static_cast<std::uint64_t>(run.iterations))
+                .put("real_time_ns", run.GetAdjustedRealTime())
+                .put("cpu_time_ns", run.GetAdjustedCPUTime());
+            auto items = run.counters.find("items_per_second");
+            if (items != run.counters.end()) {
+                entry.put("items_per_second",
+                          static_cast<double>(items->second));
+            }
+            results_.push(entry);
+        }
+        benchmark::ConsoleReporter::ReportRuns(runs);
+    }
+
+    const bench::JsonArray &results() const { return results_; }
+
+  private:
+    bench::JsonArray results_;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+        return 1;
+    }
+    ArtifactReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+
+    bench::JsonObject artifact;
+    artifact.put("bench", "microbench_codecache")
+        .putRaw("benchmarks", reporter.results().toString());
+    bench::writeJsonArtifact("BENCH_microbench.json", artifact);
+    return 0;
+}

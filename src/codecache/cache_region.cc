@@ -1,8 +1,33 @@
 #include "codecache/cache_region.h"
 
+#include <algorithm>
+
 #include "support/logging.h"
 
 namespace gencache::cache {
+namespace {
+
+/** Exact-address lookup in the ascending below-half. */
+std::vector<Fragment>::iterator
+ascFind(std::vector<Fragment> &vec, std::uint64_t addr)
+{
+    return std::lower_bound(vec.begin(), vec.end(), addr,
+                            [](const Fragment &frag, std::uint64_t a) {
+                                return frag.addr < a;
+                            });
+}
+
+/** Exact-address lookup in the descending above-half. */
+std::vector<Fragment>::iterator
+descFind(std::vector<Fragment> &vec, std::uint64_t addr)
+{
+    return std::lower_bound(vec.begin(), vec.end(), addr,
+                            [](const Fragment &frag, std::uint64_t a) {
+                                return frag.addr > a;
+                            });
+}
+
+} // namespace
 
 double
 FragmentationInfo::index() const
@@ -23,43 +48,72 @@ CacheRegion::CacheRegion(std::uint64_t capacity)
 }
 
 bool
-CacheRegion::scanRange(std::uint64_t begin, std::uint64_t end,
-                       std::vector<TraceId> &victims,
-                       std::uint64_t &blocker) const
+CacheRegion::pinnedIn(std::uint64_t begin, std::uint64_t end,
+                      std::uint64_t &blocker) const
 {
-    victims.clear();
-    auto it = byAddr_.upper_bound(begin);
-    if (it != byAddr_.begin()) {
-        auto prev = std::prev(it);
-        if (prev->first + prev->second.sizeBytes > begin) {
-            it = prev;
+    if (pinnedCount_ == 0) {
+        return false;
+    }
+    // Ascending address order: the below-half first (it can only
+    // intersect when the window starts under the pointer; no resident
+    // fragment straddles the pointer), then the above-half from its
+    // back.
+    if (begin < pointer_) {
+        auto it = std::upper_bound(
+            below_.begin(), below_.end(), begin,
+            [](std::uint64_t a, const Fragment &frag) {
+                return a < frag.addr;
+            });
+        if (it != below_.begin() &&
+            std::prev(it)->addr + std::prev(it)->sizeBytes > begin) {
+            --it;
+        }
+        for (; it != below_.end() && it->addr < end; ++it) {
+            if (it->pinned) {
+                blocker = it->addr + it->sizeBytes;
+                return true;
+            }
         }
     }
-    for (; it != byAddr_.end() && it->first < end; ++it) {
-        if (it->second.pinned) {
-            blocker = it->first + it->second.sizeBytes;
-            return false;
+    auto first_clear = std::partition_point(
+        above_.begin(), above_.end(), [begin](const Fragment &frag) {
+            return frag.addr + frag.sizeBytes > begin;
+        });
+    for (std::size_t i = static_cast<std::size_t>(
+             first_clear - above_.begin());
+         i-- > 0;) {
+        const Fragment &frag = above_[i];
+        if (frag.addr >= end) {
+            break;
         }
-        victims.push_back(it->second.id);
+        if (frag.pinned) {
+            blocker = frag.addr + frag.sizeBytes;
+            return true;
+        }
     }
-    return true;
+    return false;
 }
 
 void
-CacheRegion::evictIds(const std::vector<TraceId> &victims,
-                      std::vector<Fragment> &evicted)
+CacheRegion::rotateToZero()
 {
-    for (TraceId id : victims) {
-        auto addr_it = addrOf_.find(id);
-        if (addr_it == addrOf_.end()) {
-            GENCACHE_PANIC("evicting absent fragment {}", id);
-        }
-        auto frag_it = byAddr_.find(addr_it->second);
-        evicted.push_back(frag_it->second);
-        usedBytes_ -= frag_it->second.sizeBytes;
-        byAddr_.erase(frag_it);
-        addrOf_.erase(addr_it);
+    // The above-half is always fully drained before the pointer laps,
+    // so rotation is just moving the current lap into eviction order.
+    if (!above_.empty()) {
+        GENCACHE_PANIC("rotating a region with {} stale fragments",
+                       above_.size());
     }
+    above_.insert(above_.end(), below_.rbegin(), below_.rend());
+    below_.clear();
+}
+
+void
+CacheRegion::emitVictim(const Fragment &frag,
+                        std::vector<Fragment> &evicted)
+{
+    evicted.push_back(frag);
+    usedBytes_ -= frag.sizeBytes;
+    addrOf_.erase(frag.id);
 }
 
 bool
@@ -78,66 +132,80 @@ CacheRegion::place(Fragment frag, std::vector<Fragment> &evicted)
     // Plan phase: read-only search for a placement window. Nothing is
     // modified until the plan succeeds, so failure leaves the region
     // untouched.
-    std::vector<TraceId> planned;
-    std::vector<TraceId> scratch;
     std::uint64_t waste = 0;
     std::uint64_t skips = 0;
     std::uint64_t p = pointer_;
-    unsigned wraps = 0;
+    std::uint64_t tail_start = 0;
+    bool wrapped = false;
 
     while (true) {
         std::uint64_t blocker = 0;
         if (p + frag.sizeBytes > capacity_) {
-            if (wraps >= 1) {
+            if (wrapped) {
                 // Second wrap: a full circle found no window.
                 return false;
             }
-            if (!scanRange(p, capacity_, scratch, blocker)) {
+            if (pinnedIn(p, capacity_, blocker)) {
                 ++skips;
                 p = blocker;
                 continue;
             }
-            planned.insert(planned.end(), scratch.begin(),
-                           scratch.end());
+            tail_start = p;
             waste += capacity_ - p;
             p = 0;
-            ++wraps;
+            wrapped = true;
             continue;
         }
-        if (!scanRange(p, p + frag.sizeBytes, scratch, blocker)) {
+        if (pinnedIn(p, p + frag.sizeBytes, blocker)) {
             ++skips;
             p = blocker;
             continue;
         }
-        planned.insert(planned.end(), scratch.begin(), scratch.end());
         break;
     }
 
-    // Commit phase. A wrap scan and a post-wrap scan can both select
-    // the same fragment when pinned skips push the window forward, so
-    // deduplicate while preserving eviction order.
-    std::vector<TraceId> unique_victims;
-    unique_victims.reserve(planned.size());
-    for (TraceId id : planned) {
-        bool seen = false;
-        for (TraceId prior : unique_victims) {
-            if (prior == id) {
-                seen = true;
-                break;
+    const std::uint64_t window_begin = p;
+    const std::uint64_t window_end = p + frag.sizeBytes;
+
+    // Commit phase. Eviction candidates are exactly the fragments at
+    // the back of the above-half (circular address order after the
+    // pointer); fragments the plan skipped over survive into the new
+    // lap. A tail victim can also intersect the post-wrap window; it
+    // is evicted once here, in tail-scan order, matching the planned
+    // eviction order.
+    if (wrapped) {
+        while (!above_.empty()) {
+            const Fragment &back = above_.back();
+            if (back.addr + back.sizeBytes > tail_start) {
+                emitVictim(back, evicted);
+            } else {
+                below_.push_back(back);
             }
+            above_.pop_back();
         }
-        if (!seen) {
-            unique_victims.push_back(id);
-        }
+        rotateToZero();
     }
-    evictIds(unique_victims, evicted);
-    frag.addr = p;
-    addrOf_.emplace(frag.id, p);
+    while (!above_.empty() && above_.back().addr < window_end) {
+        const Fragment &back = above_.back();
+        if (back.addr + back.sizeBytes > window_begin) {
+            emitVictim(back, evicted);
+        } else {
+            below_.push_back(back);
+        }
+        above_.pop_back();
+    }
+
+    frag.addr = window_begin;
+    addrOf_.emplace(frag.id, frag.addr);
     usedBytes_ += frag.sizeBytes;
-    byAddr_.emplace(p, frag);
-    pointer_ = p + frag.sizeBytes;
+    if (frag.pinned) {
+        ++pinnedCount_;
+    }
+    below_.push_back(frag);
+    pointer_ = window_end;
     if (pointer_ >= capacity_) {
         pointer_ = 0;
+        rotateToZero();
     }
     wrapWasteBytes_ += waste;
     pinnedSkips_ += skips;
@@ -151,12 +219,18 @@ CacheRegion::remove(TraceId id, Fragment *out)
     if (addr_it == addrOf_.end()) {
         return false;
     }
-    auto frag_it = byAddr_.find(addr_it->second);
+    std::uint64_t addr = addr_it->second;
+    std::vector<Fragment> &half = addr < pointer_ ? below_ : above_;
+    auto frag_it = addr < pointer_ ? ascFind(below_, addr)
+                                   : descFind(above_, addr);
     if (out != nullptr) {
-        *out = frag_it->second;
+        *out = *frag_it;
     }
-    usedBytes_ -= frag_it->second.sizeBytes;
-    byAddr_.erase(frag_it);
+    usedBytes_ -= frag_it->sizeBytes;
+    if (frag_it->pinned) {
+        --pinnedCount_;
+    }
+    half.erase(frag_it);
     addrOf_.erase(addr_it);
     return true;
 }
@@ -168,17 +242,15 @@ CacheRegion::find(TraceId id)
     if (addr_it == addrOf_.end()) {
         return nullptr;
     }
-    return &byAddr_.find(addr_it->second)->second;
+    std::uint64_t addr = addr_it->second;
+    return addr < pointer_ ? &*ascFind(below_, addr)
+                           : &*descFind(above_, addr);
 }
 
 const Fragment *
 CacheRegion::find(TraceId id) const
 {
-    auto addr_it = addrOf_.find(id);
-    if (addr_it == addrOf_.end()) {
-        return nullptr;
-    }
-    return &byAddr_.find(addr_it->second)->second;
+    return const_cast<CacheRegion *>(this)->find(id);
 }
 
 bool
@@ -188,6 +260,9 @@ CacheRegion::setPinned(TraceId id, bool pinned)
     if (frag == nullptr) {
         return false;
     }
+    if (frag->pinned != pinned) {
+        pinnedCount_ += pinned ? 1 : -1;
+    }
     frag->pinned = pinned;
     return true;
 }
@@ -195,14 +270,22 @@ CacheRegion::setPinned(TraceId id, bool pinned)
 void
 CacheRegion::flush(std::vector<Fragment> &evicted)
 {
-    std::vector<TraceId> victims;
-    victims.reserve(byAddr_.size());
-    for (const auto &[addr, frag] : byAddr_) {
-        if (!frag.pinned) {
-            victims.push_back(frag.id);
+    std::vector<Fragment> kept;
+    auto sweep = [&](const Fragment &frag) {
+        if (frag.pinned) {
+            kept.push_back(frag);
+        } else {
+            emitVictim(frag, evicted);
         }
+    };
+    for (const Fragment &frag : below_) {
+        sweep(frag);
     }
-    evictIds(victims, evicted);
+    for (auto it = above_.rbegin(); it != above_.rend(); ++it) {
+        sweep(*it);
+    }
+    below_.clear();
+    above_.assign(kept.rbegin(), kept.rend());
     pointer_ = 0;
 }
 
@@ -210,8 +293,11 @@ void
 CacheRegion::forEach(
     const std::function<void(const Fragment &)> &fn) const
 {
-    for (const auto &[addr, frag] : byAddr_) {
+    for (const Fragment &frag : below_) {
         fn(frag);
+    }
+    for (auto it = above_.rbegin(); it != above_.rend(); ++it) {
+        fn(*it);
     }
 }
 
@@ -229,10 +315,10 @@ CacheRegion::fragmentation() const
             }
         }
     };
-    for (const auto &[addr, frag] : byAddr_) {
-        note_gap(addr - cursor);
-        cursor = addr + frag.sizeBytes;
-    }
+    forEach([&](const Fragment &frag) {
+        note_gap(frag.addr - cursor);
+        cursor = frag.addr + frag.sizeBytes;
+    });
     note_gap(capacity_ - cursor);
     return info;
 }
@@ -242,34 +328,49 @@ CacheRegion::validate() const
 {
     std::uint64_t cursor = 0;
     std::uint64_t used = 0;
-    for (const auto &[addr, frag] : byAddr_) {
-        if (addr != frag.addr) {
-            GENCACHE_PANIC("fragment {} addr mismatch: {} vs {}",
-                           frag.id, addr, frag.addr);
+    std::size_t pinned = 0;
+    std::size_t visited = 0;
+    forEach([&](const Fragment &frag) {
+        bool in_below = frag.addr < pointer_;
+        ++visited;
+        if (in_below && visited > below_.size()) {
+            GENCACHE_PANIC("fragment {} below the pointer stored in "
+                           "the above-half", frag.id);
         }
-        if (addr < cursor) {
+        if (!in_below && visited <= below_.size()) {
+            GENCACHE_PANIC("fragment {} past the pointer stored in "
+                           "the below-half", frag.id);
+        }
+        if (frag.addr < cursor) {
             GENCACHE_PANIC("fragment {} overlaps its predecessor",
                            frag.id);
         }
-        if (addr + frag.sizeBytes > capacity_) {
+        if (frag.addr + frag.sizeBytes > capacity_) {
             GENCACHE_PANIC("fragment {} exceeds region capacity",
                            frag.id);
         }
         auto addr_it = addrOf_.find(frag.id);
-        if (addr_it == addrOf_.end() || addr_it->second != addr) {
+        if (addr_it == addrOf_.end() || addr_it->second != frag.addr) {
             GENCACHE_PANIC("fragment {} index entry missing or stale",
                            frag.id);
         }
-        cursor = addr + frag.sizeBytes;
+        cursor = frag.addr + frag.sizeBytes;
         used += frag.sizeBytes;
-    }
+        if (frag.pinned) {
+            ++pinned;
+        }
+    });
     if (used != usedBytes_) {
         GENCACHE_PANIC("usedBytes {} != sum of fragments {}",
                        usedBytes_, used);
     }
-    if (addrOf_.size() != byAddr_.size()) {
+    if (addrOf_.size() != fragmentCount()) {
         GENCACHE_PANIC("index size {} != fragment count {}",
-                       addrOf_.size(), byAddr_.size());
+                       addrOf_.size(), fragmentCount());
+    }
+    if (pinned != pinnedCount_) {
+        GENCACHE_PANIC("pinned count {} != tracked {}", pinned,
+                       pinnedCount_);
     }
     if (pointer_ >= capacity_) {
         GENCACHE_PANIC("pointer {} outside region of {} bytes",

@@ -19,6 +19,16 @@
  * region end, the unpinned occupants of that tail are evicted (they are
  * the oldest survivors there), the tail bytes are counted as wrap waste,
  * and placement continues from offset zero.
+ *
+ * Storage is a rotated pair of address-sorted flat vectors rather than
+ * a node-based tree: below_ holds fragments at offsets below the
+ * pointer (ascending), above_ holds fragments at or past the pointer
+ * (descending, so the next eviction candidate is back()). Because the
+ * pointer only moves forward, placement and eviction both operate at
+ * the vector ends — O(1) amortized per fragment, no per-fragment node
+ * allocations — and lookups are a binary search over contiguous
+ * memory. One O(n) rotation per lap of the region keeps the pair's
+ * invariant when the pointer wraps to zero.
  */
 
 #ifndef GENCACHE_CODECACHE_CACHE_REGION_H
@@ -26,7 +36,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -54,7 +63,10 @@ class CacheRegion
     std::uint64_t capacity() const { return capacity_; }
     std::uint64_t usedBytes() const { return usedBytes_; }
     std::uint64_t freeBytes() const { return capacity_ - usedBytes_; }
-    std::size_t fragmentCount() const { return byAddr_.size(); }
+    std::size_t fragmentCount() const
+    {
+        return below_.size() + above_.size();
+    }
 
     /** Current allocation/eviction pointer offset. */
     std::uint64_t pointer() const { return pointer_; }
@@ -101,28 +113,33 @@ class CacheRegion
     std::uint64_t pinnedSkips() const { return pinnedSkips_; }
 
     /** Internal consistency check (test support): verifies that the
-     *  fragment maps agree and no fragments overlap. Panics on
-     *  violation. */
+     *  split vectors are sorted, agree with the id index, and no
+     *  fragments overlap. Panics on violation. */
     void validate() const;
 
   private:
-    /** Evict all unpinned fragments intersecting [begin, end).
-     *  @return false if a pinned fragment blocks the range, in which
-     *  case @p blocker is set to its end offset and nothing is
-     *  modified. */
-    bool scanRange(std::uint64_t begin, std::uint64_t end,
-                   std::vector<TraceId> &victims,
-                   std::uint64_t &blocker) const;
+    /** @return the first pinned fragment intersecting [begin, end) in
+     *  address order, setting @p blocker to its end offset; or false
+     *  when the window is clear of pinned fragments. O(1) when no
+     *  pinned fragment is resident. */
+    bool pinnedIn(std::uint64_t begin, std::uint64_t end,
+                  std::uint64_t &blocker) const;
 
-    void evictIds(const std::vector<TraceId> &victims,
-                  std::vector<Fragment> &evicted);
+    /** Move everything into above_ (descending) and empty below_,
+     *  re-establishing the invariant for pointer_ == 0. */
+    void rotateToZero();
+
+    /** Remove @p frag's bookkeeping and append it to @p evicted. */
+    void emitVictim(const Fragment &frag, std::vector<Fragment> &evicted);
 
     std::uint64_t capacity_;
     std::uint64_t pointer_ = 0;
     std::uint64_t usedBytes_ = 0;
     std::uint64_t wrapWasteBytes_ = 0;
     std::uint64_t pinnedSkips_ = 0;
-    std::map<std::uint64_t, Fragment> byAddr_;
+    std::size_t pinnedCount_ = 0;
+    std::vector<Fragment> below_; ///< addr < pointer_, ascending addr
+    std::vector<Fragment> above_; ///< addr >= pointer_, descending addr
     std::unordered_map<TraceId, std::uint64_t> addrOf_;
 };
 

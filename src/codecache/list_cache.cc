@@ -8,13 +8,72 @@ Fragment *
 ListCache::find(TraceId id)
 {
     auto it = index_.find(id);
-    return it == index_.end() ? nullptr : &*it->second;
+    return it == index_.end() ? nullptr : &nodes_[it->second].frag;
 }
 
 bool
 ListCache::contains(TraceId id) const
 {
     return index_.count(id) != 0;
+}
+
+std::uint32_t
+ListCache::pushBack(const Fragment &frag)
+{
+    std::uint32_t n;
+    if (freeHead_ != kNil) {
+        n = freeHead_;
+        freeHead_ = nodes_[n].next;
+        nodes_[n].frag = frag;
+    } else {
+        n = static_cast<std::uint32_t>(nodes_.size());
+        nodes_.push_back(Node{frag, kNil, kNil});
+    }
+    linkBack(n);
+    ++count_;
+    return n;
+}
+
+void
+ListCache::unlink(std::uint32_t n)
+{
+    Node &node = nodes_[n];
+    if (node.prev != kNil) {
+        nodes_[node.prev].next = node.next;
+    } else {
+        head_ = node.next;
+    }
+    if (node.next != kNil) {
+        nodes_[node.next].prev = node.prev;
+    } else {
+        tail_ = node.prev;
+    }
+    node.prev = kNil;
+    node.next = kNil;
+}
+
+void
+ListCache::linkBack(std::uint32_t n)
+{
+    Node &node = nodes_[n];
+    node.prev = tail_;
+    node.next = kNil;
+    if (tail_ != kNil) {
+        nodes_[tail_].next = n;
+    } else {
+        head_ = n;
+    }
+    tail_ = n;
+}
+
+void
+ListCache::eraseNode(std::uint32_t n)
+{
+    unlink(n);
+    index_.erase(nodes_[n].frag.id);
+    nodes_[n].next = freeHead_;
+    freeHead_ = n;
+    --count_;
 }
 
 bool
@@ -24,14 +83,15 @@ ListCache::remove(TraceId id, Fragment *out)
     if (it == index_.end()) {
         return false;
     }
+    std::uint32_t n = it->second;
+    const Fragment &frag = nodes_[n].frag;
     if (out != nullptr) {
-        *out = *it->second;
+        *out = frag;
     }
-    used_ -= it->second->sizeBytes;
+    used_ -= frag.sizeBytes;
     ++stats_.removals;
-    stats_.removedBytes += it->second->sizeBytes;
-    order_.erase(it->second);
-    index_.erase(it);
+    stats_.removedBytes += frag.sizeBytes;
+    eraseNode(n);
     return true;
 }
 
@@ -50,15 +110,15 @@ void
 ListCache::flush(std::vector<Fragment> &evicted)
 {
     ++stats_.flushes;
-    for (auto it = order_.begin(); it != order_.end();) {
-        if (it->pinned) {
-            ++it;
-            continue;
+    for (std::uint32_t n = head_; n != kNil;) {
+        std::uint32_t next = nodes_[n].next;
+        const Fragment &frag = nodes_[n].frag;
+        if (!frag.pinned) {
+            evicted.push_back(frag);
+            used_ -= frag.sizeBytes;
+            eraseNode(n);
         }
-        evicted.push_back(*it);
-        used_ -= it->sizeBytes;
-        index_.erase(it->id);
-        it = order_.erase(it);
+        n = next;
     }
 }
 
@@ -66,8 +126,8 @@ void
 ListCache::forEach(
     const std::function<void(const Fragment &)> &fn) const
 {
-    for (const Fragment &frag : order_) {
-        fn(frag);
+    for (std::uint32_t n = head_; n != kNil; n = nodes_[n].next) {
+        fn(nodes_[n].frag);
     }
 }
 
@@ -85,16 +145,16 @@ ListCache::insertWithEviction(const Fragment &frag,
 
     // Plan: how many front victims must go?
     std::uint64_t reclaimed = 0;
-    std::vector<std::list<Fragment>::iterator> victims;
+    victimScratch_.clear();
     if (capacity_ != 0) {
-        auto it = order_.begin();
+        std::uint32_t n = head_;
         while (used_ - reclaimed + frag.sizeBytes > capacity_ &&
-               it != order_.end()) {
-            if (!it->pinned) {
-                reclaimed += it->sizeBytes;
-                victims.push_back(it);
+               n != kNil) {
+            if (!nodes_[n].frag.pinned) {
+                reclaimed += nodes_[n].frag.sizeBytes;
+                victimScratch_.push_back(n);
             }
-            ++it;
+            n = nodes_[n].next;
         }
         if (used_ - reclaimed + frag.sizeBytes > capacity_) {
             ++stats_.placementFailures;
@@ -102,17 +162,17 @@ ListCache::insertWithEviction(const Fragment &frag,
         }
     }
 
-    for (auto victim : victims) {
-        evicted.push_back(*victim);
-        used_ -= victim->sizeBytes;
+    for (std::uint32_t victim : victimScratch_) {
+        const Fragment &gone = nodes_[victim].frag;
+        evicted.push_back(gone);
+        used_ -= gone.sizeBytes;
         ++stats_.capacityEvictions;
-        stats_.capacityEvictedBytes += victim->sizeBytes;
-        index_.erase(victim->id);
-        order_.erase(victim);
+        stats_.capacityEvictedBytes += gone.sizeBytes;
+        eraseNode(victim);
     }
 
-    order_.push_back(frag);
-    index_.emplace(frag.id, std::prev(order_.end()));
+    std::uint32_t n = pushBack(frag);
+    index_.emplace(frag.id, n);
     used_ += frag.sizeBytes;
     ++stats_.inserts;
     stats_.insertedBytes += frag.sizeBytes;
@@ -155,8 +215,12 @@ LruCache::touch(TraceId id, TimeUs now)
     if (it == index_.end()) {
         return;
     }
-    order_.splice(order_.end(), order_, it->second);
-    it->second = std::prev(order_.end());
+    // Most recently used moves to the tail; the fragment stays in its
+    // slot, so the index entry remains valid.
+    if (it->second != tail_) {
+        unlink(it->second);
+        linkBack(it->second);
+    }
 }
 
 FlushCache::FlushCache(std::uint64_t capacity)
@@ -190,8 +254,8 @@ FlushCache::insert(const Fragment &frag, std::vector<Fragment> &evicted)
             return false;
         }
     }
-    order_.push_back(frag);
-    index_.emplace(frag.id, std::prev(order_.end()));
+    std::uint32_t n = pushBack(frag);
+    index_.emplace(frag.id, n);
     used_ += frag.sizeBytes;
     ++stats_.inserts;
     stats_.insertedBytes += frag.sizeBytes;

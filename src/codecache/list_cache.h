@@ -8,13 +8,22 @@
  * from an ordered list. This matches how prior-work policies (LRU,
  * flush) are usually simulated and keeps the ablation comparisons
  * focused on replacement order rather than layout.
+ *
+ * The victim order is an index-based intrusive ring: fragments live in
+ * a slab vector whose slots are linked by integer prev/next indices
+ * and recycled through a free list. Insert, remove, and LRU touch are
+ * all O(1) pointer-free link updates with no per-fragment node
+ * allocations (the slab grows geometrically, slots are reused), and a
+ * touch never invalidates the id index because a fragment never leaves
+ * its slot.
  */
 
 #ifndef GENCACHE_CODECACHE_LIST_CACHE_H
 #define GENCACHE_CODECACHE_LIST_CACHE_H
 
-#include <list>
+#include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "codecache/local_cache.h"
 
@@ -25,7 +34,7 @@ class ListCache : public LocalCache
 {
   public:
     std::uint64_t usedBytes() const override { return used_; }
-    std::size_t fragmentCount() const override { return order_.size(); }
+    std::size_t fragmentCount() const override { return count_; }
     Fragment *find(TraceId id) override;
     bool contains(TraceId id) const override;
     bool remove(TraceId id, Fragment *out = nullptr) override;
@@ -35,6 +44,18 @@ class ListCache : public LocalCache
         const override;
 
   protected:
+    /** Slot index sentinel: no node. */
+    static constexpr std::uint32_t kNil = ~0U;
+
+    /** One slab slot: a fragment plus its victim-list links. Free
+     *  slots are chained through next. */
+    struct Node
+    {
+        Fragment frag;
+        std::uint32_t prev = kNil;
+        std::uint32_t next = kNil;
+    };
+
     explicit ListCache(std::uint64_t capacity) : LocalCache(capacity) {}
 
     /**
@@ -46,9 +67,29 @@ class ListCache : public LocalCache
     bool insertWithEviction(const Fragment &frag,
                             std::vector<Fragment> &evicted);
 
-    std::list<Fragment> order_; ///< front = next victim
-    std::unordered_map<TraceId, std::list<Fragment>::iterator> index_;
+    /** Take a slot from the free list (or grow the slab), fill it
+     *  with @p frag, and link it at the tail (newest). */
+    std::uint32_t pushBack(const Fragment &frag);
+
+    /** Unlink slot @p n from the victim list. */
+    void unlink(std::uint32_t n);
+
+    /** Re-link an unlinked slot @p n at the tail (newest). */
+    void linkBack(std::uint32_t n);
+
+    /** Unlink @p n, drop its index entry, and recycle the slot. */
+    void eraseNode(std::uint32_t n);
+
+    std::vector<Node> nodes_;   ///< slab; slots recycled via free list
+    std::uint32_t head_ = kNil; ///< oldest = next victim
+    std::uint32_t tail_ = kNil; ///< newest
+    std::uint32_t freeHead_ = kNil;
+    std::size_t count_ = 0;
+    std::unordered_map<TraceId, std::uint32_t> index_;
     std::uint64_t used_ = 0;
+
+  private:
+    std::vector<std::uint32_t> victimScratch_; ///< insert plan reuse
 };
 
 /** Idealized circular buffer: FIFO victim order, no layout modeling. */

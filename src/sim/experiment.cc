@@ -56,59 +56,70 @@ BenchmarkComparison::overheadRatioPct(std::size_t i) const
 }
 
 ExperimentRunner::ExperimentRunner(workload::BenchmarkProfile profile)
-    : profile_(std::move(profile))
+    : profile_(std::move(profile)),
+      log_(workload::generateWorkload(profile_))
 {
-}
-
-const tracelog::AccessLog &
-ExperimentRunner::log()
-{
-    if (!generated_) {
-        log_ = workload::generateWorkload(profile_);
-        generated_ = true;
-    }
-    return log_;
 }
 
 SimResult
-ExperimentRunner::runUnbounded()
+ExperimentRunner::runUnbounded() const
 {
+    {
+        std::lock_guard<std::mutex> lock(memoMutex_);
+        if (unbounded_.has_value()) {
+            return *unbounded_;
+        }
+    }
     cache::UnifiedCacheManager manager(0);
     CacheSimulator simulator(manager);
-    SimResult result = simulator.run(log());
+    SimResult result = simulator.run(log_);
     // The list cache tracks its own peak; prefer it (it includes the
     // occupancy between simulator samples).
     result.peakBytes = std::max(result.peakBytes, manager.peakBytes());
-    return result;
+    std::lock_guard<std::mutex> lock(memoMutex_);
+    if (!unbounded_.has_value()) {
+        unbounded_ = result;
+    }
+    return *unbounded_;
 }
 
 SimResult
-ExperimentRunner::runUnified(std::uint64_t capacity_bytes)
+ExperimentRunner::runUnified(std::uint64_t capacity_bytes) const
 {
     if (capacity_bytes == 0) {
         fatal("unified baseline requires a positive capacity");
     }
+    {
+        std::lock_guard<std::mutex> lock(memoMutex_);
+        auto it = unifiedByCapacity_.find(capacity_bytes);
+        if (it != unifiedByCapacity_.end()) {
+            return it->second;
+        }
+    }
     cache::UnifiedCacheManager manager(
         capacity_bytes, cache::LocalPolicy::PseudoCircular);
     CacheSimulator simulator(manager);
-    return simulator.run(log());
+    SimResult result = simulator.run(log_);
+    std::lock_guard<std::mutex> lock(memoMutex_);
+    return unifiedByCapacity_.emplace(capacity_bytes, result)
+        .first->second;
 }
 
 SimResult
 ExperimentRunner::runGenerational(std::uint64_t total_bytes,
-                                  const GenerationalLayout &layout)
+                                  const GenerationalLayout &layout) const
 {
     cache::GenerationalCacheManager manager(
         layout.toConfig(total_bytes));
     CacheSimulator simulator(manager);
-    SimResult result = simulator.run(log());
+    SimResult result = simulator.run(log_);
     result.manager = layout.label;
     return result;
 }
 
 BenchmarkComparison
-ExperimentRunner::compare(
-    const std::vector<GenerationalLayout> &layouts)
+ExperimentRunner::compare(const std::vector<GenerationalLayout> &layouts,
+                          ThreadPool *pool) const
 {
     BenchmarkComparison comparison;
     comparison.benchmark = profile_.name;
@@ -124,9 +135,33 @@ ExperimentRunner::compare(
     }
 
     comparison.unified = runUnified(comparison.capacityBytes);
-    for (const GenerationalLayout &layout : layouts) {
-        comparison.generational.push_back(
-            runGenerational(comparison.capacityBytes, layout));
+
+    std::optional<ThreadPool> local;
+    if (pool == nullptr && layouts.size() > 1 &&
+        ThreadPool::defaultThreadCount() > 1) {
+        local.emplace();
+        pool = &*local;
+    }
+    if (pool != nullptr && pool->size() > 1 && layouts.size() > 1) {
+        std::vector<std::future<SimResult>> futures;
+        futures.reserve(layouts.size());
+        for (const GenerationalLayout &layout : layouts) {
+            futures.push_back(pool->submit([this, &comparison,
+                                            &layout]() {
+                return runGenerational(comparison.capacityBytes,
+                                       layout);
+            }));
+        }
+        comparison.generational.reserve(layouts.size());
+        for (std::future<SimResult> &future : futures) {
+            comparison.generational.push_back(future.get());
+        }
+    } else {
+        comparison.generational.reserve(layouts.size());
+        for (const GenerationalLayout &layout : layouts) {
+            comparison.generational.push_back(
+                runGenerational(comparison.capacityBytes, layout));
+        }
     }
     return comparison;
 }

@@ -10,16 +10,29 @@
  *     nursery, probation, and persistent caches;
  *  4. compare miss rates (Fig 9), eliminated misses (Fig 10), and
  *     Table 2 instruction overheads (Fig 11).
+ *
+ * ExperimentRunner generates the benchmark's access log once, up
+ * front, and every replay — unbounded, unified, generational — reads
+ * that shared immutable log. All replay entry points are const and
+ * safe to call concurrently: each builds a private cache hierarchy,
+ * so independent configurations fan out across a ThreadPool (see
+ * compare() and sim::runSweep). The unbounded pre-pass and the
+ * unified baselines are memoized (keyed by capacity) so repeated
+ * methodology steps never replay them twice.
  */
 
 #ifndef GENCACHE_SIM_EXPERIMENT_H
 #define GENCACHE_SIM_EXPERIMENT_H
 
+#include <map>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "codecache/generational_cache.h"
 #include "sim/simulator.h"
+#include "support/thread_pool.h"
 #include "workload/profile.h"
 
 namespace gencache::sim {
@@ -75,26 +88,33 @@ struct BenchmarkComparison
 class ExperimentRunner
 {
   public:
+    /** Generates the access log eagerly; the runner is immutable
+     *  afterwards (modulo result memoization) and all replay methods
+     *  are const and thread-safe. */
     explicit ExperimentRunner(workload::BenchmarkProfile profile);
 
-    /** Generate (once) and return the benchmark's access log. */
-    const tracelog::AccessLog &log();
+    /** The benchmark's access log, shared by every replay. */
+    const tracelog::AccessLog &log() const { return log_; }
 
-    /** Step 1: unbounded replay; returns peak occupancy. */
-    SimResult runUnbounded();
+    /** Step 1: unbounded replay; returns peak occupancy. Memoized. */
+    SimResult runUnbounded() const;
 
     /** Replay against a unified pseudo-circular cache of
-     *  @p capacity_bytes. */
-    SimResult runUnified(std::uint64_t capacity_bytes);
+     *  @p capacity_bytes. Memoized per capacity. */
+    SimResult runUnified(std::uint64_t capacity_bytes) const;
 
     /** Replay against a generational hierarchy splitting
      *  @p total_bytes per @p layout. */
     SimResult runGenerational(std::uint64_t total_bytes,
-                              const GenerationalLayout &layout);
+                              const GenerationalLayout &layout) const;
 
-    /** The whole §6 pipeline with the given layouts. */
+    /** The whole §6 pipeline with the given layouts. Per-layout runs
+     *  fan out across @p pool when it has more than one worker; with
+     *  no pool the environment default (GENCACHE_THREADS) decides.
+     *  Results are identical to a serial run regardless. */
     BenchmarkComparison compare(
-        const std::vector<GenerationalLayout> &layouts);
+        const std::vector<GenerationalLayout> &layouts,
+        ThreadPool *pool = nullptr) const;
 
     const workload::BenchmarkProfile &profile() const
     {
@@ -104,7 +124,10 @@ class ExperimentRunner
   private:
     workload::BenchmarkProfile profile_;
     tracelog::AccessLog log_;
-    bool generated_ = false;
+
+    mutable std::mutex memoMutex_;
+    mutable std::optional<SimResult> unbounded_;
+    mutable std::map<std::uint64_t, SimResult> unifiedByCapacity_;
 };
 
 } // namespace gencache::sim

@@ -1,9 +1,12 @@
 #include "sim/sweep.h"
 
+#include <algorithm>
 #include <cmath>
+#include <future>
 
 #include "support/format.h"
 #include "support/logging.h"
+#include "support/thread_pool.h"
 
 namespace gencache::sim {
 
@@ -64,7 +67,8 @@ defaultSweepThresholds()
 SweepResult
 runSweep(const workload::BenchmarkProfile &profile,
          const std::vector<SweepPoint> &points,
-         const std::vector<std::uint32_t> &thresholds)
+         const std::vector<std::uint32_t> &thresholds,
+         std::size_t threads)
 {
     if (points.empty() || thresholds.empty()) {
         fatal("sweep needs at least one point and one threshold");
@@ -82,7 +86,10 @@ runSweep(const workload::BenchmarkProfile &profile,
     SimResult unified = runner.runUnified(result.capacityBytes);
     result.unifiedMissRate = unified.missRate();
 
-    result.cells.reserve(points.size() * thresholds.size());
+    // The grid, row-major. Cells are filled by index so the parallel
+    // fan-out preserves the serial cell order exactly.
+    std::vector<GenerationalLayout> layouts;
+    layouts.reserve(points.size() * thresholds.size());
     for (const SweepPoint &point : points) {
         for (std::uint32_t threshold : thresholds) {
             GenerationalLayout layout;
@@ -91,21 +98,47 @@ runSweep(const workload::BenchmarkProfile &profile,
             layout.nurseryFrac = point.nurseryFrac;
             layout.probationFrac = point.probationFrac;
             layout.promotionThreshold = threshold;
-            SimResult sim =
-                runner.runGenerational(result.capacityBytes, layout);
-
-            SweepCell cell;
-            cell.point = point;
-            cell.threshold = threshold;
-            cell.missRate = sim.missRate();
-            cell.promotions = sim.managerStats.promotions;
-            cell.missRateReductionPct =
-                unified.missRate() > 0.0
-                    ? (1.0 - sim.missRate() / unified.missRate()) *
-                          100.0
-                    : 0.0;
-            result.cells.push_back(cell);
+            layouts.push_back(std::move(layout));
         }
+    }
+
+    auto run_cell = [&](std::size_t index) {
+        const GenerationalLayout &layout = layouts[index];
+        SimResult sim =
+            runner.runGenerational(result.capacityBytes, layout);
+        SweepCell cell;
+        cell.point = points[index / thresholds.size()];
+        cell.threshold = layout.promotionThreshold;
+        cell.missRate = sim.missRate();
+        cell.promotions = sim.managerStats.promotions;
+        cell.missRateReductionPct =
+            unified.missRate() > 0.0
+                ? (1.0 - sim.missRate() / unified.missRate()) * 100.0
+                : 0.0;
+        return cell;
+    };
+
+    if (threads == 0) {
+        threads = ThreadPool::defaultThreadCount();
+    }
+    if (threads <= 1 || layouts.size() <= 1) {
+        result.cells.reserve(layouts.size());
+        for (std::size_t i = 0; i < layouts.size(); ++i) {
+            result.cells.push_back(run_cell(i));
+        }
+        return result;
+    }
+
+    ThreadPool pool(std::min<std::size_t>(threads, layouts.size()));
+    std::vector<std::future<SweepCell>> futures;
+    futures.reserve(layouts.size());
+    for (std::size_t i = 0; i < layouts.size(); ++i) {
+        futures.push_back(
+            pool.submit([&run_cell, i]() { return run_cell(i); }));
+    }
+    result.cells.reserve(layouts.size());
+    for (std::future<SweepCell> &future : futures) {
+        result.cells.push_back(future.get());
     }
     return result;
 }

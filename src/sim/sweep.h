@@ -67,10 +67,18 @@ std::vector<std::uint32_t> defaultSweepThresholds();
 /**
  * Run the sweep for @p profile: unbounded pre-pass, unified baseline
  * at half the peak, then every (point, threshold) cell.
+ *
+ * Grid cells are independent — each owns a private cache hierarchy
+ * and replays the runner's shared immutable log — so they fan out
+ * across a ThreadPool. @p threads selects the worker count: 0 obeys
+ * the environment (GENCACHE_THREADS, else hardware concurrency), 1
+ * forces the fully serial path, N uses N workers. Cell results are
+ * identical regardless of the thread count.
  */
 SweepResult runSweep(const workload::BenchmarkProfile &profile,
                      const std::vector<SweepPoint> &points,
-                     const std::vector<std::uint32_t> &thresholds);
+                     const std::vector<std::uint32_t> &thresholds,
+                     std::size_t threads = 0);
 
 } // namespace gencache::sim
 

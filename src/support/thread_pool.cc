@@ -1,0 +1,70 @@
+#include "support/thread_pool.h"
+
+#include <cstdlib>
+
+namespace gencache {
+
+std::size_t
+ThreadPool::defaultThreadCount()
+{
+    const char *env = std::getenv("GENCACHE_THREADS");
+    if (env != nullptr) {
+        long value = std::strtol(env, nullptr, 10);
+        if (value < 1) {
+            return 1;
+        }
+        if (value > 256) {
+            return 256;
+        }
+        return static_cast<std::size_t>(value);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    if (threads == 0) {
+        threads = defaultThreadCount();
+    }
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+        workers_.emplace_back([this]() { workerLoop(); });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    available_.notify_all();
+    for (std::thread &worker : workers_) {
+        worker.join();
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    while (true) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            available_.wait(lock, [this]() {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty()) {
+                // stopping_ with a drained queue: shut down. Pending
+                // tasks always run even when the pool is stopping.
+                return;
+            }
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+} // namespace gencache

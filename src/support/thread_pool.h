@@ -1,0 +1,93 @@
+/**
+ * @file
+ * A fixed-size worker pool with futures-based task submission.
+ *
+ * The experiment engine fans independent simulation cells (sweep grid
+ * cells, per-layout comparison runs) out across a ThreadPool. Tasks
+ * are arbitrary callables; submit() returns a std::future carrying the
+ * callable's result, and exceptions thrown inside a task propagate to
+ * whoever calls future.get().
+ *
+ * The worker count is chosen once at construction: an explicit count,
+ * or (for count 0) the GENCACHE_THREADS environment variable, falling
+ * back to std::thread::hardware_concurrency(). GENCACHE_THREADS=1
+ * forces fully serial execution everywhere the pool is consulted.
+ */
+
+#ifndef GENCACHE_SUPPORT_THREAD_POOL_H
+#define GENCACHE_SUPPORT_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace gencache {
+
+/** Fixed-size task pool. Threads start in the constructor and join in
+ *  the destructor after draining the queue. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads worker count; 0 picks defaultThreadCount().
+     */
+    explicit ThreadPool(std::size_t threads = 0);
+
+    /** Waits for queued tasks to finish, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    std::size_t size() const { return workers_.size(); }
+
+    /**
+     * Enqueue @p fn for execution on a worker thread.
+     *
+     * Tasks are dispatched in FIFO order. The returned future carries
+     * the callable's result; an exception thrown by @p fn is captured
+     * and rethrown from future.get().
+     */
+    template <typename Fn>
+    auto submit(Fn &&fn) -> std::future<std::invoke_result_t<Fn>>
+    {
+        using Result = std::invoke_result_t<Fn>;
+        auto task = std::make_shared<std::packaged_task<Result()>>(
+            std::forward<Fn>(fn));
+        std::future<Result> future = task->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            queue_.emplace_back([task]() { (*task)(); });
+        }
+        available_.notify_one();
+        return future;
+    }
+
+    /**
+     * Worker count implied by the environment: GENCACHE_THREADS when
+     * set (clamped to [1, 256]), otherwise hardware_concurrency(),
+     * never less than 1.
+     */
+    static std::size_t defaultThreadCount();
+
+  private:
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable available_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    bool stopping_ = false;
+};
+
+} // namespace gencache
+
+#endif // GENCACHE_SUPPORT_THREAD_POOL_H

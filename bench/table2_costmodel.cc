@@ -64,7 +64,8 @@ BM_UnifiedInsertEvict(benchmark::State &state)
     cache::TraceId next = 1;
     auto size = static_cast<std::uint32_t>(state.range(0));
     for (auto _ : state) {
-        manager.insert(next++, size, 0, next);
+        manager.insert(next, size, 0, next);
+        ++next;
     }
     state.SetItemsProcessed(
         static_cast<std::int64_t>(state.iterations()));

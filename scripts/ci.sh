@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Full local CI pipeline:
+#   1. plain release-with-asserts build + complete ctest suite
+#   2. the same suite again under GENCACHE_CHECK=1 (phase-boundary
+#      invariant passes active inside the runtime/simulator tests)
+#   3. ThreadSanitizer build, running the `tsan`-labelled concurrency
+#      tests
+#   4. AddressSanitizer+UBSan build of the full suite
+#   5. gencheck over the example workloads — any diagnostic of
+#      severity error (or worse) fails the pipeline
+#   6. formatting check (no-op when clang-format is absent)
+#
+# Usage: scripts/ci.sh [--fast]
+#   --fast skips the two sanitizer builds (steps 3 and 4).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+root=$(pwd)
+jobs=$(nproc 2>/dev/null || echo 4)
+
+fast=0
+if [[ "${1:-}" == "--fast" ]]; then
+    fast=1
+fi
+
+step() { echo; echo "=== ci: $* ==="; }
+
+step "plain build + full test suite"
+cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    >/tmp/gencache-ci-configure.log
+cmake --build build-ci -j "$jobs"
+ctest --test-dir build-ci --output-on-failure -j "$jobs"
+
+step "full test suite with GENCACHE_CHECK=1"
+GENCACHE_CHECK=1 ctest --test-dir build-ci --output-on-failure \
+    -j "$jobs"
+
+if [[ $fast -eq 0 ]]; then
+    step "ThreadSanitizer build + tsan-labelled tests"
+    cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DGENCACHE_SANITIZE=thread >/tmp/gencache-tsan-configure.log
+    cmake --build build-tsan -j "$jobs"
+    ctest --test-dir build-tsan --output-on-failure -L tsan \
+        -j "$jobs"
+
+    step "ASan+UBSan build + full test suite"
+    cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DGENCACHE_SANITIZE=address,undefined \
+        >/tmp/gencache-asan-configure.log
+    cmake --build build-asan -j "$jobs"
+    ctest --test-dir build-asan --output-on-failure -j "$jobs"
+else
+    step "skipping sanitizer builds (--fast)"
+fi
+
+step "gencheck on example workloads"
+# gencheck exits 1 on any error-severity diagnostic; keep the JSON
+# report as a CI artifact.
+"$root"/build-ci/tools/gencheck --json build-ci/gencheck-report.json
+
+step "format check"
+scripts/format-check.sh
+
+echo
+echo "=== ci: all stages passed ==="

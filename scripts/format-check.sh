@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Check (or fix, with --fix) formatting of all C++ sources against the
+# repository .clang-format. Skips gracefully when clang-format is not
+# installed so that plain containers can still run scripts/ci.sh.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fix=0
+if [[ "${1:-}" == "--fix" ]]; then
+    fix=1
+fi
+
+if ! command -v clang-format >/dev/null 2>&1; then
+    echo "format-check: clang-format not found on PATH; skipping" >&2
+    exit 0
+fi
+
+mapfile -t files < <(git ls-files \
+    'src/**/*.cc' 'src/**/*.h' 'tests/*.cc' 'tools/*.cc' \
+    'bench/*.cc' 'examples/*.cpp')
+
+if [[ ${#files[@]} -eq 0 ]]; then
+    echo "format-check: no sources found" >&2
+    exit 2
+fi
+
+if [[ $fix -eq 1 ]]; then
+    clang-format -i "${files[@]}"
+    echo "format-check: reformatted ${#files[@]} files"
+    exit 0
+fi
+
+bad=0
+for f in "${files[@]}"; do
+    if ! clang-format --dry-run --Werror "$f" >/dev/null 2>&1; then
+        echo "format-check: $f needs formatting"
+        bad=1
+    fi
+done
+
+if [[ $bad -ne 0 ]]; then
+    echo "format-check: run scripts/format-check.sh --fix" >&2
+    exit 1
+fi
+echo "format-check: ${#files[@]} files clean"

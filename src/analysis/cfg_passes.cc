@@ -1,0 +1,223 @@
+#include "analysis/cfg_passes.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "analysis/program_index.h"
+#include "support/format.h"
+
+namespace gencache::analysis {
+namespace {
+
+std::string
+blockLocation(const guest::GuestModule &module,
+              const isa::BasicBlock &block)
+{
+    return format("module {} block {}", module.name(),
+                  hexAddr(block.startAddr()));
+}
+
+/** True when @p op transfers control to its encoded direct target. */
+bool
+hasDirectTarget(isa::Opcode op)
+{
+    return op == isa::Opcode::Jump || op == isa::Opcode::Call ||
+           isa::isConditionalBranch(op);
+}
+
+/** True when execution can continue at the address past the
+ *  terminator: the not-taken path of a conditional, or the return
+ *  site of a call. */
+bool
+hasFallThrough(isa::Opcode op)
+{
+    return isa::isConditionalBranch(op) || op == isa::Opcode::Call ||
+           op == isa::Opcode::CallReg;
+}
+
+} // namespace
+
+void
+CfgWellFormedPass::run(const AnalysisInput &input,
+                       DiagnosticEngine &out) const
+{
+    if (input.program == nullptr) {
+        return;
+    }
+    const guest::GuestProgram &program = *input.program;
+    ProgramIndex index(program);
+
+    if (program.entry() == 0) {
+        out.report(Severity::Warning, "cfg-no-entry", "program",
+                   "program entry point is unset");
+    } else if (index.blockAt(program.entry()) == nullptr) {
+        out.report(Severity::Error, "cfg-entry-unmapped", "program",
+                   format("entry {} is not a block start",
+                          hexAddr(program.entry())));
+    }
+
+    // Cross-module extent overlap.
+    std::vector<const guest::GuestModule *> modules;
+    for (const auto &module : program.modules()) {
+        modules.push_back(module.get());
+    }
+    std::sort(modules.begin(), modules.end(),
+              [](const guest::GuestModule *a,
+                 const guest::GuestModule *b) {
+                  return a->baseAddr() < b->baseAddr();
+              });
+    for (std::size_t i = 0; i + 1 < modules.size(); ++i) {
+        if (modules[i]->blockCount() == 0 ||
+            modules[i + 1]->blockCount() == 0) {
+            continue;
+        }
+        if (modules[i]->endAddr() > modules[i + 1]->baseAddr()) {
+            out.report(Severity::Error, "cfg-module-overlap",
+                       format("module {}", modules[i]->name()),
+                       format("extent [{}, {}) overlaps module {}",
+                              hexAddr(modules[i]->baseAddr()),
+                              hexAddr(modules[i]->endAddr()),
+                              modules[i + 1]->name()));
+        }
+    }
+
+    for (const auto &module : program.modules()) {
+        if (module->blockCount() == 0) {
+            out.report(Severity::Warning, "cfg-empty-module",
+                       format("module {}", module->name()),
+                       "module contains no basic blocks");
+            continue;
+        }
+        for (const auto &[addr, block] : module->blocks()) {
+            std::string where = blockLocation(*module, block);
+            if (block.empty()) {
+                out.report(Severity::Error, "cfg-block-empty", where,
+                           "block has no instructions");
+                continue;
+            }
+            if (!block.isTerminated()) {
+                out.report(Severity::Error, "cfg-block-unterminated",
+                           where,
+                           "block does not end in control flow");
+                continue;
+            }
+            const isa::Instruction &term = block.terminator();
+            if (hasDirectTarget(term.opcode) &&
+                index.blockAt(term.target) == nullptr) {
+                out.report(Severity::Error, "cfg-dangling-target",
+                           where,
+                           format("{} target {} is not a block start",
+                                  isa::opcodeName(term.opcode),
+                                  hexAddr(term.target)));
+            }
+            if (hasFallThrough(term.opcode) &&
+                index.blockAt(block.fallThroughAddr()) == nullptr) {
+                out.report(Severity::Error, "cfg-fallthrough-invalid",
+                           where,
+                           format("fall-through {} is not a block "
+                                  "start",
+                                  hexAddr(block.fallThroughAddr())));
+            }
+        }
+    }
+}
+
+void
+CfgReachabilityPass::run(const AnalysisInput &input,
+                         DiagnosticEngine &out) const
+{
+    if (input.program == nullptr) {
+        return;
+    }
+    const guest::GuestProgram &program = *input.program;
+    ProgramIndex index(program);
+    if (index.blockCount() == 0) {
+        return;
+    }
+
+    // Roots: the program entry plus every address-taken block — a
+    // block whose start address appears as an immediate (the static
+    // approximation of indirect-transfer targets).
+    std::deque<isa::GuestAddr> frontier;
+    std::unordered_set<isa::GuestAddr> reached;
+    auto enqueue = [&](isa::GuestAddr addr) {
+        if (index.blockAt(addr) != nullptr &&
+            reached.insert(addr).second) {
+            frontier.push_back(addr);
+        }
+    };
+    enqueue(program.entry());
+    index.forEach([&](isa::GuestAddr, const guest::GuestModule &,
+                      const isa::BasicBlock &block) {
+        for (const isa::Instruction &inst : block.instructions()) {
+            if ((inst.opcode == isa::Opcode::MovImm ||
+                 inst.opcode == isa::Opcode::AddImm) &&
+                inst.imm > 0) {
+                enqueue(static_cast<isa::GuestAddr>(inst.imm));
+            }
+        }
+    });
+
+    while (!frontier.empty()) {
+        isa::GuestAddr addr = frontier.front();
+        frontier.pop_front();
+        const isa::BasicBlock *block = index.blockAt(addr);
+        if (block == nullptr || !block->isTerminated()) {
+            continue;
+        }
+        const isa::Instruction &term = block->terminator();
+        if (hasDirectTarget(term.opcode)) {
+            enqueue(term.target);
+        }
+        if (hasFallThrough(term.opcode)) {
+            enqueue(block->fallThroughAddr());
+        }
+    }
+
+    // Report whole modules first, then stray blocks elsewhere.
+    const guest::GuestModule *entryModule =
+        index.moduleAt(program.entry());
+    for (const auto &module : program.modules()) {
+        if (module->blockCount() == 0) {
+            continue;
+        }
+        bool any_reached = false;
+        for (const auto &[addr, block] : module->blocks()) {
+            if (reached.count(addr) != 0) {
+                any_reached = true;
+                break;
+            }
+        }
+        if (!any_reached && module.get() != entryModule) {
+            out.report(Severity::Warning, "cfg-orphan-module",
+                       format("module {}", module->name()),
+                       "no block of this module is reachable from "
+                       "the program entry");
+            continue;
+        }
+        for (const auto &[addr, block] : module->blocks()) {
+            if (reached.count(addr) == 0) {
+                out.report(Severity::Warning, "cfg-unreachable",
+                           blockLocation(*module, block),
+                           "block is unreachable from the program "
+                           "entry");
+            }
+        }
+    }
+}
+
+void
+checkProgram(const guest::GuestProgram &program, DiagnosticEngine &out)
+{
+    AnalysisInput input;
+    input.program = &program;
+    CfgWellFormedPass wellformed;
+    out.setCurrentPass(wellformed.name());
+    wellformed.run(input, out);
+    CfgReachabilityPass reachability;
+    out.setCurrentPass(reachability.name());
+    reachability.run(input, out);
+}
+
+} // namespace gencache::analysis

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * CFG pass family: structural checks over guest programs.
+ *
+ * Guest programs are the ground truth every trace is selected from
+ * (paper §3): if their control-flow graph is malformed, every
+ * downstream invariant is vacuous. Two passes:
+ *
+ *  - cfg-wellformed: per-block shape (emptiness, termination), direct
+ *    branch/jump/call target resolution, conditional and call
+ *    fall-through resolution, and cross-module extent overlap.
+ *  - cfg-reachability: forward reachability from the program entry
+ *    over direct edges, call fall-throughs, and address-taken
+ *    constants; unreachable blocks and orphan modules are reported.
+ *
+ * Check IDs: cfg-no-entry, cfg-entry-unmapped, cfg-empty-module,
+ * cfg-block-empty, cfg-block-unterminated, cfg-dangling-target,
+ * cfg-fallthrough-invalid, cfg-module-overlap, cfg-unreachable,
+ * cfg-orphan-module.
+ */
+
+#ifndef GENCACHE_ANALYSIS_CFG_PASSES_H
+#define GENCACHE_ANALYSIS_CFG_PASSES_H
+
+#include "analysis/pass.h"
+#include "guest/program.h"
+
+namespace gencache::analysis {
+
+/** Block well-formedness and target/fall-through resolution. */
+class CfgWellFormedPass : public Pass
+{
+  public:
+    const char *name() const override { return "cfg-wellformed"; }
+    bool cheap() const override { return false; }
+    void run(const AnalysisInput &input,
+             DiagnosticEngine &out) const override;
+};
+
+/** Unreachable-code and orphan-module detection. */
+class CfgReachabilityPass : public Pass
+{
+  public:
+    const char *name() const override { return "cfg-reachability"; }
+    bool cheap() const override { return false; }
+    void run(const AnalysisInput &input,
+             DiagnosticEngine &out) const override;
+};
+
+/** Run both CFG passes over @p program directly (test support). */
+void checkProgram(const guest::GuestProgram &program,
+                  DiagnosticEngine &out);
+
+} // namespace gencache::analysis
+
+#endif // GENCACHE_ANALYSIS_CFG_PASSES_H

@@ -1,0 +1,86 @@
+#include "analysis/checker.h"
+
+#include <cstdlib>
+#include <string_view>
+
+#include "runtime/runtime.h"
+#include "sim/simulator.h"
+#include "support/logging.h"
+
+namespace gencache::analysis {
+namespace {
+
+void
+enforce(const DiagnosticEngine &engine, const char *context)
+{
+    if (engine.errorCount() > 0) {
+        GENCACHE_PANIC("GENCACHE_CHECK: invariant violation at {}\n{}",
+                       context, engine.textReport());
+    }
+}
+
+} // namespace
+
+bool
+checkingEnabled()
+{
+    const char *value = std::getenv("GENCACHE_CHECK");
+    if (value == nullptr) {
+        return false;
+    }
+    std::string_view v(value);
+    return !v.empty() && v != "0" && v != "false" && v != "off";
+}
+
+DiagnosticEngine
+checkRuntime(const guest::GuestProgram &program,
+             const runtime::Runtime &runtime)
+{
+    DiagnosticEngine engine;
+    runPasses(AnalysisInput::forRuntime(program, runtime), engine);
+    return engine;
+}
+
+DiagnosticEngine
+checkManager(const cache::CacheManager &manager)
+{
+    DiagnosticEngine engine;
+    runPasses(AnalysisInput::forManager(manager), engine);
+    return engine;
+}
+
+bool
+attachPhaseChecks(runtime::Runtime &runtime)
+{
+    if (!checkingEnabled()) {
+        return false;
+    }
+    runtime.setCheckpointHook([](const runtime::Runtime &rt) {
+        DiagnosticEngine engine;
+        AnalysisInput input;
+        input.runtime = &rt;
+        input.manager = &rt.manager();
+        input.linker = &rt.linker();
+        runPasses(input, engine, /*cheap_only=*/true);
+        enforce(engine, "runtime phase boundary");
+    });
+    return true;
+}
+
+bool
+attachPhaseChecks(sim::CacheSimulator &simulator)
+{
+    if (!checkingEnabled()) {
+        return false;
+    }
+    simulator.setCheckpointHook(
+        [](const cache::CacheManager &manager, TimeUs) {
+            DiagnosticEngine engine;
+            runPasses(AnalysisInput::forManager(manager), engine,
+                      /*cheap_only=*/true);
+            enforce(engine, "simulator phase boundary");
+        });
+    return true;
+}
+
+} // namespace gencache::analysis

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Front door of the gencheck static analyzer.
+ *
+ * Two ways in:
+ *
+ *  - Whole-workload checks: checkRuntime / checkManager run the full
+ *    pass pipeline over a finished run and return the diagnostics
+ *    (what the gencheck CLI prints and tests golden-match).
+ *  - Phase-boundary checks: attachPhaseChecks installs a checkpoint
+ *    hook on a Runtime or CacheSimulator that runs the *cheap* passes
+ *    (link graph + cache state) after every module load/unload and at
+ *    the end of each run, panicking on the first error. The hook is
+ *    only installed when the GENCACHE_CHECK environment variable is
+ *    truthy, so instrumented tests cost nothing by default.
+ */
+
+#ifndef GENCACHE_ANALYSIS_CHECKER_H
+#define GENCACHE_ANALYSIS_CHECKER_H
+
+#include "analysis/pass.h"
+
+namespace gencache::sim {
+class CacheSimulator;
+} // namespace gencache::sim
+
+namespace gencache::analysis {
+
+/** @return true when GENCACHE_CHECK is set to a truthy value (not
+ *  empty, "0", "false", or "off"). */
+bool checkingEnabled();
+
+/** Run every pass over a finished runtime and its program. */
+DiagnosticEngine checkRuntime(const guest::GuestProgram &program,
+                              const runtime::Runtime &runtime);
+
+/** Run every applicable pass over a cache manager alone. */
+DiagnosticEngine checkManager(const cache::CacheManager &manager);
+
+/**
+ * Install the GENCACHE_CHECK phase-boundary hook on @p runtime. Cheap
+ * passes run at every checkpoint; any error-severity finding panics
+ * with the full text report.
+ * @return true when the hook was installed (checking is enabled).
+ */
+bool attachPhaseChecks(runtime::Runtime &runtime);
+
+/** Same, for a trace-driven simulation. */
+bool attachPhaseChecks(sim::CacheSimulator &simulator);
+
+} // namespace gencache::analysis
+
+#endif // GENCACHE_ANALYSIS_CHECKER_H

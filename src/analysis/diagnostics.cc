@@ -1,0 +1,150 @@
+#include "analysis/diagnostics.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace gencache::analysis {
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Note: return "note";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+    }
+    GENCACHE_PANIC("unknown severity {}", static_cast<int>(severity));
+}
+
+void
+DiagnosticEngine::report(Severity severity, std::string check_id,
+                         std::string location, std::string message)
+{
+    Diagnostic diag;
+    diag.checkId = std::move(check_id);
+    diag.severity = severity;
+    diag.pass = pass_;
+    diag.location = std::move(location);
+    diag.message = std::move(message);
+    diagnostics_.push_back(std::move(diag));
+}
+
+std::size_t
+DiagnosticEngine::count(Severity severity) const
+{
+    std::size_t n = 0;
+    for (const Diagnostic &diag : diagnostics_) {
+        if (diag.severity == severity) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+bool
+DiagnosticEngine::hasCheck(std::string_view id) const
+{
+    for (const Diagnostic &diag : diagnostics_) {
+        if (diag.checkId == id) {
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<Diagnostic>
+DiagnosticEngine::findingsOf(std::string_view id) const
+{
+    std::vector<Diagnostic> found;
+    for (const Diagnostic &diag : diagnostics_) {
+        if (diag.checkId == id) {
+            found.push_back(diag);
+        }
+    }
+    return found;
+}
+
+std::string
+DiagnosticEngine::textReport() const
+{
+    if (diagnostics_.empty()) {
+        return "no diagnostics\n";
+    }
+    std::ostringstream out;
+    for (const Diagnostic &diag : diagnostics_) {
+        out << severityName(diag.severity) << " [" << diag.checkId
+            << "] " << diag.location << ": " << diag.message;
+        if (!diag.pass.empty()) {
+            out << " (" << diag.pass << ")";
+        }
+        out << "\n";
+    }
+    out << diagnostics_.size() << " diagnostic"
+        << (diagnostics_.size() == 1 ? "" : "s") << " ("
+        << count(Severity::Error) << " error, "
+        << count(Severity::Warning) << " warning, "
+        << count(Severity::Note) << " note)\n";
+    return out.str();
+}
+
+std::string
+jsonEscape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+DiagnosticEngine::jsonReport() const
+{
+    std::ostringstream out;
+    out << "{\"diagnostics\": [";
+    bool first = true;
+    for (const Diagnostic &diag : diagnostics_) {
+        if (!first) {
+            out << ", ";
+        }
+        first = false;
+        out << "{\"check\": \"" << jsonEscape(diag.checkId)
+            << "\", \"severity\": \"" << severityName(diag.severity)
+            << "\", \"pass\": \"" << jsonEscape(diag.pass)
+            << "\", \"location\": \"" << jsonEscape(diag.location)
+            << "\", \"message\": \"" << jsonEscape(diag.message)
+            << "\"}";
+    }
+    out << "], \"counts\": {\"error\": " << count(Severity::Error)
+        << ", \"warning\": " << count(Severity::Warning)
+        << ", \"note\": " << count(Severity::Note) << "}}";
+    return out.str();
+}
+
+std::string
+hexAddr(std::uint64_t addr)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(addr));
+    return buf;
+}
+
+} // namespace gencache::analysis

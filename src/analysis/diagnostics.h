@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Shared diagnostic engine of the gencheck static analyzer.
+ *
+ * Every invariant checker (src/analysis passes) reports findings
+ * through one DiagnosticEngine: a stable check ID (e.g.
+ * "gen-dup-residency"), a severity, a human-readable location, and a
+ * message. The engine renders the collected findings as a text report
+ * for terminals and as JSON for tooling, and answers the aggregate
+ * questions ("any errors?") that drive gencheck's exit status and the
+ * GENCACHE_CHECK phase-boundary hook.
+ */
+
+#ifndef GENCACHE_ANALYSIS_DIAGNOSTICS_H
+#define GENCACHE_ANALYSIS_DIAGNOSTICS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gencache::analysis {
+
+/** How bad a finding is. */
+enum class Severity : std::uint8_t {
+    Note,    ///< informational; never fails a run
+    Warning, ///< suspicious structure, not a correctness violation
+    Error,   ///< a paper invariant is violated
+};
+
+/** @return printable lowercase name of @p severity. */
+const char *severityName(Severity severity);
+
+/** One finding of a static-analysis pass. */
+struct Diagnostic
+{
+    std::string checkId;  ///< stable ID, e.g. "link-dangling"
+    Severity severity = Severity::Error;
+    std::string pass;     ///< pass that produced the finding
+    std::string location; ///< subject, e.g. "trace 17" or "nursery"
+    std::string message;  ///< what is wrong
+};
+
+/** Collects diagnostics and renders reports. */
+class DiagnosticEngine
+{
+  public:
+    DiagnosticEngine() = default;
+
+    /** Name attached to subsequently reported diagnostics (set by the
+     *  pass driver before each pass runs). */
+    void setCurrentPass(std::string name) { pass_ = std::move(name); }
+    const std::string &currentPass() const { return pass_; }
+
+    /** Record one finding under the current pass. */
+    void report(Severity severity, std::string check_id,
+                std::string location, std::string message);
+
+    const std::vector<Diagnostic> &diagnostics() const
+    {
+        return diagnostics_;
+    }
+
+    bool empty() const { return diagnostics_.empty(); }
+    std::size_t size() const { return diagnostics_.size(); }
+
+    /** Number of findings at exactly @p severity. */
+    std::size_t count(Severity severity) const;
+
+    /** Number of findings at severity >= Error. */
+    std::size_t errorCount() const { return count(Severity::Error); }
+
+    /** @return true when any finding carries check ID @p id. */
+    bool hasCheck(std::string_view id) const;
+
+    /** Findings carrying check ID @p id. */
+    std::vector<Diagnostic> findingsOf(std::string_view id) const;
+
+    /** Multi-line human-readable report (one line per finding plus a
+     *  summary line); "no diagnostics" when clean. */
+    std::string textReport() const;
+
+    /** JSON object: {"diagnostics": [...], "counts": {...}}. */
+    std::string jsonReport() const;
+
+    /** Drop all findings (the engine is reusable across subjects). */
+    void clear() { diagnostics_.clear(); }
+
+  private:
+    std::string pass_;
+    std::vector<Diagnostic> diagnostics_;
+};
+
+/** Escape @p text for embedding in a JSON string literal. */
+std::string jsonEscape(std::string_view text);
+
+/** @return @p addr as "0x<hex>" (diagnostic location rendering). */
+std::string hexAddr(std::uint64_t addr);
+
+} // namespace gencache::analysis
+
+#endif // GENCACHE_ANALYSIS_DIAGNOSTICS_H

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Link-graph pass family: the trace linker vs. real cache residency.
+ *
+ * The linker patches direct jumps between resident traces (paper
+ * §5.4); eviction must unpatch every edge touching the victim, and
+ * promotion must re-patch edges at the new location without changing
+ * the graph. This pass re-derives those obligations from raw state:
+ *
+ *  - every linker node corresponds to a cache-resident fragment, and
+ *    both endpoints of every patched edge are resident (a violation is
+ *    a jump into freed cache memory);
+ *  - the edge relation is symmetric (a's outgoing edge to b is b's
+ *    incoming edge from a) and every edge is justified by a side exit
+ *    of the source targeting the destination's entry;
+ *  - the entry index agrees with the node table in both directions;
+ *  - conversely, a resident trace the linker has never seen, or a
+ *    side exit aimed at a resident entry without a patched edge, is
+ *    reported as a (non-fatal) missed linking opportunity.
+ *
+ * Check IDs: link-dangling, link-stale-node, link-missing-node,
+ * link-asym, link-edge-no-exit, link-entry-stale, link-unpatched.
+ */
+
+#ifndef GENCACHE_ANALYSIS_LINK_PASSES_H
+#define GENCACHE_ANALYSIS_LINK_PASSES_H
+
+#include "analysis/pass.h"
+
+namespace gencache::analysis {
+
+/** Validates the link graph against cache residency. Cheap: linear in
+ *  nodes + edges, so it runs at phase boundaries. */
+class LinkGraphPass : public Pass
+{
+  public:
+    const char *name() const override { return "link-graph"; }
+    void run(const AnalysisInput &input,
+             DiagnosticEngine &out) const override;
+};
+
+} // namespace gencache::analysis
+
+#endif // GENCACHE_ANALYSIS_LINK_PASSES_H

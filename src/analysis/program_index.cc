@@ -1,0 +1,28 @@
+#include "analysis/program_index.h"
+
+namespace gencache::analysis {
+
+ProgramIndex::ProgramIndex(const guest::GuestProgram &program)
+{
+    for (const auto &module : program.modules()) {
+        for (const auto &[addr, block] : module->blocks()) {
+            byStart_.emplace(addr, Entry{module.get(), &block});
+        }
+    }
+}
+
+const isa::BasicBlock *
+ProgramIndex::blockAt(isa::GuestAddr addr) const
+{
+    auto it = byStart_.find(addr);
+    return it == byStart_.end() ? nullptr : it->second.block;
+}
+
+const guest::GuestModule *
+ProgramIndex::moduleAt(isa::GuestAddr addr) const
+{
+    auto it = byStart_.find(addr);
+    return it == byStart_.end() ? nullptr : it->second.module;
+}
+
+} // namespace gencache::analysis

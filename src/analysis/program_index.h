@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Address-indexed view of a guest program, shared by the CFG and
+ * superblock passes: every pass that must resolve a guest address to a
+ * basic block (branch targets, fall-throughs, trace paths, side-exit
+ * targets) builds one ProgramIndex and queries it, instead of probing
+ * modules one by one.
+ */
+
+#ifndef GENCACHE_ANALYSIS_PROGRAM_INDEX_H
+#define GENCACHE_ANALYSIS_PROGRAM_INDEX_H
+
+#include <map>
+
+#include "guest/program.h"
+
+namespace gencache::analysis {
+
+/** Block-start lookup over all modules of a program (mapped or not). */
+class ProgramIndex
+{
+  public:
+    explicit ProgramIndex(const guest::GuestProgram &program);
+
+    /** @return the block starting exactly at @p addr, or nullptr. */
+    const isa::BasicBlock *blockAt(isa::GuestAddr addr) const;
+
+    /** @return the module owning the block at @p addr, or nullptr. */
+    const guest::GuestModule *moduleAt(isa::GuestAddr addr) const;
+
+    std::size_t blockCount() const { return byStart_.size(); }
+
+    /** Visit all (address, module, block) triples in address order. */
+    template <typename Fn>
+    void forEach(Fn &&fn) const
+    {
+        for (const auto &[addr, entry] : byStart_) {
+            fn(addr, *entry.module, *entry.block);
+        }
+    }
+
+  private:
+    struct Entry
+    {
+        const guest::GuestModule *module = nullptr;
+        const isa::BasicBlock *block = nullptr;
+    };
+
+    std::map<isa::GuestAddr, Entry> byStart_;
+};
+
+} // namespace gencache::analysis
+
+#endif // GENCACHE_ANALYSIS_PROGRAM_INDEX_H

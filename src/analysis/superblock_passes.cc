@@ -1,0 +1,172 @@
+#include "analysis/superblock_passes.h"
+
+#include <unordered_set>
+
+#include "analysis/program_index.h"
+#include "runtime/linker.h"
+#include "runtime/runtime.h"
+#include "support/format.h"
+
+namespace gencache::analysis {
+namespace {
+
+std::string
+traceLocation(const runtime::Trace &trace)
+{
+    return format("trace {} entry {}", trace.id, hexAddr(trace.entry));
+}
+
+/** True when block @p a's terminator can transfer directly to
+ *  @p next — the condition for a valid interior trace edge. */
+bool
+validInteriorEdge(const isa::Instruction &term, isa::GuestAddr fall,
+                  isa::GuestAddr next)
+{
+    switch (term.opcode) {
+      case isa::Opcode::Jump:
+      case isa::Opcode::Call:
+        return next == term.target;
+      case isa::Opcode::BranchNz:
+      case isa::Opcode::BranchZ:
+        return next == term.target || next == fall;
+      default:
+        return false;
+    }
+}
+
+void
+checkTraceAgainst(const runtime::Trace &trace, const ProgramIndex &index,
+                  const runtime::TraceLinker *linker,
+                  DiagnosticEngine &out)
+{
+    std::string where = traceLocation(trace);
+
+    if (trace.blockAddrs.empty()) {
+        out.report(Severity::Error, "sb-empty", where,
+                   "trace has no blocks");
+        return;
+    }
+    if (trace.sizeBytes == 0) {
+        out.report(Severity::Error, "sb-zero-size", where,
+                   "trace occupies zero cache bytes");
+    }
+    if (trace.blockAddrs.size() > runtime::kMaxTraceBlocks) {
+        out.report(Severity::Error, "sb-broken-path", where,
+                   format("path has {} blocks, above the {}-block cap",
+                          trace.blockAddrs.size(),
+                          runtime::kMaxTraceBlocks));
+    }
+    if (trace.blockAddrs.front() != trace.entry) {
+        out.report(Severity::Error, "sb-broken-path", where,
+                   format("path starts at {}, not at the trace entry",
+                          hexAddr(trace.blockAddrs.front())));
+    }
+
+    // Single entry: a repeated block address means the recorded path
+    // re-enters the trace body, i.e. a second entry point.
+    std::unordered_set<isa::GuestAddr> seen;
+    for (isa::GuestAddr addr : trace.blockAddrs) {
+        if (!seen.insert(addr).second) {
+            out.report(Severity::Error, "sb-multi-entry", where,
+                       format("block {} appears more than once on the "
+                              "path",
+                              hexAddr(addr)));
+        }
+    }
+
+    // Path connectivity and module containment.
+    for (std::size_t i = 0; i < trace.blockAddrs.size(); ++i) {
+        isa::GuestAddr addr = trace.blockAddrs[i];
+        const isa::BasicBlock *block = index.blockAt(addr);
+        if (block == nullptr) {
+            out.report(Severity::Error, "sb-broken-path", where,
+                       format("path block {} is not a block of the "
+                              "program",
+                              hexAddr(addr)));
+            continue;
+        }
+        const guest::GuestModule *module = index.moduleAt(addr);
+        if (module != nullptr && module->id() != trace.module) {
+            out.report(Severity::Error, "sb-module-mismatch", where,
+                       format("path block {} belongs to module {}, "
+                              "trace claims module {}",
+                              hexAddr(addr), module->id(),
+                              trace.module));
+        }
+        if (i + 1 == trace.blockAddrs.size()) {
+            break; // the last block may end any way it likes
+        }
+        if (!block->isTerminated()) {
+            out.report(Severity::Error, "sb-broken-path", where,
+                       format("interior block {} is unterminated",
+                              hexAddr(addr)));
+            continue;
+        }
+        const isa::Instruction &term = block->terminator();
+        if (isa::isIndirect(term.opcode)) {
+            out.report(Severity::Error, "sb-broken-path", where,
+                       format("interior block {} ends in an indirect "
+                              "transfer ({})",
+                              hexAddr(addr),
+                              isa::opcodeName(term.opcode)));
+            continue;
+        }
+        isa::GuestAddr next = trace.blockAddrs[i + 1];
+        if (!validInteriorEdge(term, block->fallThroughAddr(), next)) {
+            out.report(Severity::Error, "sb-broken-path", where,
+                       format("block {} ({}) cannot transfer to next "
+                              "path block {}",
+                              hexAddr(addr),
+                              isa::opcodeName(term.opcode),
+                              hexAddr(next)));
+        }
+    }
+
+    // Side exits must land somewhere real: a block start of the guest
+    // program (its module may be currently unmapped — exits survive a
+    // DLL unload until the trace itself is invalidated) or the entry
+    // of a live trace.
+    for (isa::GuestAddr target : trace.exitTargets) {
+        bool known_block = index.blockAt(target) != nullptr;
+        bool live_trace =
+            linker != nullptr &&
+            linker->traceAt(target) != cache::kInvalidTrace;
+        if (!known_block && !live_trace) {
+            out.report(Severity::Error, "sb-exit-invalid", where,
+                       format("exit target {} is neither a program "
+                              "block nor a live trace entry",
+                              hexAddr(target)));
+        }
+    }
+}
+
+} // namespace
+
+void
+SuperblockPass::run(const AnalysisInput &input,
+                    DiagnosticEngine &out) const
+{
+    if (input.runtime == nullptr || input.program == nullptr) {
+        return;
+    }
+    ProgramIndex index(*input.program);
+    const runtime::TraceLinker *linker =
+        input.linker != nullptr ? input.linker
+                                : &input.runtime->linker();
+    for (const auto &[id, trace] : input.runtime->traces()) {
+        checkTraceAgainst(trace, index, linker, out);
+    }
+}
+
+void
+checkTrace(const runtime::Trace &trace,
+           const guest::GuestProgram &program,
+           const runtime::TraceLinker *linker, DiagnosticEngine &out)
+{
+    ProgramIndex index(program);
+    SuperblockPass pass;
+    out.setCurrentPass(pass.name());
+    checkTraceAgainst(trace, index, linker, out);
+}
+
+} // namespace gencache::analysis

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Superblock pass family: structural checks over built traces.
+ *
+ * A trace is a single-entry multiple-exit superblock selected by NET
+ * (paper §4.1). This pass re-validates every live trace of a runtime
+ * against the guest program it was selected from:
+ *
+ *  - the recorded path is connected (each block's terminator can
+ *    actually transfer to the next block on the path) and contains no
+ *    interior indirect transfer;
+ *  - single entry: no block address repeats along the path (a repeat
+ *    means the path re-enters the trace body — a second entry);
+ *  - every side-exit target is either a block start of the program
+ *    (mapped or unmapped module) or the entry of a live trace;
+ *  - all blocks belong to the trace's module (traces stop at module
+ *    boundaries) and the trace has a non-zero footprint.
+ *
+ * Check IDs: sb-empty, sb-zero-size, sb-multi-entry, sb-broken-path,
+ * sb-module-mismatch, sb-exit-invalid.
+ */
+
+#ifndef GENCACHE_ANALYSIS_SUPERBLOCK_PASSES_H
+#define GENCACHE_ANALYSIS_SUPERBLOCK_PASSES_H
+
+#include "analysis/pass.h"
+#include "guest/program.h"
+#include "runtime/trace.h"
+
+namespace gencache::runtime {
+class TraceLinker;
+} // namespace gencache::runtime
+
+namespace gencache::analysis {
+
+/** Validates every live trace of the input runtime. */
+class SuperblockPass : public Pass
+{
+  public:
+    const char *name() const override { return "superblock"; }
+    bool cheap() const override { return false; }
+    void run(const AnalysisInput &input,
+             DiagnosticEngine &out) const override;
+};
+
+/**
+ * Check one trace directly (test support). @p linker may be null; when
+ * present, side exits may also resolve to live trace entries.
+ */
+void checkTrace(const runtime::Trace &trace,
+                const guest::GuestProgram &program,
+                const runtime::TraceLinker *linker,
+                DiagnosticEngine &out);
+
+} // namespace gencache::analysis
+
+#endif // GENCACHE_ANALYSIS_SUPERBLOCK_PASSES_H

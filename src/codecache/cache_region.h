@@ -117,6 +117,23 @@ class CacheRegion
      *  fragments overlap. Panics on violation. */
     void validate() const;
 
+    /// @name Introspection for the static checker (src/analysis).
+    /// The checker re-derives every invariant from this raw state and
+    /// reports diagnostics instead of panicking.
+    /// @{
+    /** Fragments at offsets below the pointer, ascending address. */
+    const std::vector<Fragment> &belowHalf() const { return below_; }
+    /** Fragments at/past the pointer, descending address. */
+    const std::vector<Fragment> &aboveHalf() const { return above_; }
+    /** Identity -> placed offset index. */
+    const std::unordered_map<TraceId, std::uint64_t> &addrIndex() const
+    {
+        return addrOf_;
+    }
+    /** Number of resident fragments tracked as pinned. */
+    std::size_t pinnedResidentCount() const { return pinnedCount_; }
+    /// @}
+
   private:
     /** @return the first pinned fragment intersecting [begin, end) in
      *  address order, setting @p blocker to its end offset; or false

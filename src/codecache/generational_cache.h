@@ -101,6 +101,13 @@ class GenerationalCacheManager : public CacheManager
      *  three local caches must agree. Panics on violation. */
     void validate() const;
 
+    /** Trace -> generation residency index (introspection for the
+     *  static checker, src/analysis). */
+    const std::unordered_map<TraceId, Generation> &residencyIndex() const
+    {
+        return where_;
+    }
+
   private:
     LocalCache &cacheOf(Generation gen);
     GenerationStats &statsOf(Generation gen);

@@ -33,17 +33,6 @@ namespace gencache::cache {
 class ListCache : public LocalCache
 {
   public:
-    std::uint64_t usedBytes() const override { return used_; }
-    std::size_t fragmentCount() const override { return count_; }
-    Fragment *find(TraceId id) override;
-    bool contains(TraceId id) const override;
-    bool remove(TraceId id, Fragment *out = nullptr) override;
-    bool setPinned(TraceId id, bool pinned) override;
-    void flush(std::vector<Fragment> &evicted) override;
-    void forEach(const std::function<void(const Fragment &)> &fn)
-        const override;
-
-  protected:
     /** Slot index sentinel: no node. */
     static constexpr std::uint32_t kNil = ~0U;
 
@@ -56,6 +45,32 @@ class ListCache : public LocalCache
         std::uint32_t next = kNil;
     };
 
+    std::uint64_t usedBytes() const override { return used_; }
+    std::size_t fragmentCount() const override { return count_; }
+    Fragment *find(TraceId id) override;
+    bool contains(TraceId id) const override;
+    bool remove(TraceId id, Fragment *out = nullptr) override;
+    bool setPinned(TraceId id, bool pinned) override;
+    void flush(std::vector<Fragment> &evicted) override;
+    void forEach(const std::function<void(const Fragment &)> &fn)
+        const override;
+
+    /// @name Introspection for the static checker (src/analysis).
+    /// Raw slab state; the checker walks the ring and the free list
+    /// itself so broken links are diagnosed, not followed blindly.
+    /// @{
+    std::size_t slabSize() const { return nodes_.size(); }
+    std::uint32_t headSlot() const { return head_; }
+    std::uint32_t tailSlot() const { return tail_; }
+    std::uint32_t freeHeadSlot() const { return freeHead_; }
+    const Node &slot(std::uint32_t n) const { return nodes_[n]; }
+    const std::unordered_map<TraceId, std::uint32_t> &slotIndex() const
+    {
+        return index_;
+    }
+    /// @}
+
+  protected:
     explicit ListCache(std::uint64_t capacity) : LocalCache(capacity) {}
 
     /**

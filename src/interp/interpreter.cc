@@ -4,6 +4,10 @@
 
 namespace gencache::interp {
 
+using isa::wrapAdd;
+using isa::wrapMul;
+using isa::wrapSub;
+
 Interpreter::Interpreter(const guest::AddressSpace &space)
     : space_(space)
 {
@@ -31,18 +35,19 @@ Interpreter::executeBlock(CpuState &state)
             break;
           case isa::Opcode::Add:
             state.regs[inst.dst] =
-                state.regs[inst.src1] + state.regs[inst.src2];
+                wrapAdd(state.regs[inst.src1], state.regs[inst.src2]);
             break;
           case isa::Opcode::Sub:
             state.regs[inst.dst] =
-                state.regs[inst.src1] - state.regs[inst.src2];
+                wrapSub(state.regs[inst.src1], state.regs[inst.src2]);
             break;
           case isa::Opcode::Mul:
             state.regs[inst.dst] =
-                state.regs[inst.src1] * state.regs[inst.src2];
+                wrapMul(state.regs[inst.src1], state.regs[inst.src2]);
             break;
           case isa::Opcode::AddImm:
-            state.regs[inst.dst] = state.regs[inst.src1] + inst.imm;
+            state.regs[inst.dst] =
+                wrapAdd(state.regs[inst.src1], inst.imm);
             break;
           case isa::Opcode::MovImm:
             state.regs[inst.dst] = inst.imm;
@@ -53,12 +58,12 @@ Interpreter::executeBlock(CpuState &state)
           case isa::Opcode::Load:
             state.regs[inst.dst] = state.loadMem(
                 static_cast<isa::GuestAddr>(
-                    state.regs[inst.src1] + inst.imm));
+                    wrapAdd(state.regs[inst.src1], inst.imm)));
             break;
           case isa::Opcode::Store:
             state.storeMem(
                 static_cast<isa::GuestAddr>(
-                    state.regs[inst.src1] + inst.imm),
+                    wrapAdd(state.regs[inst.src1], inst.imm)),
                 state.regs[inst.src2]);
             break;
           case isa::Opcode::Jump:

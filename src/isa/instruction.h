@@ -100,6 +100,34 @@ Instruction makeReturn();
 Instruction makeHalt();
 /// @}
 
+/// @name Guest ALU semantics: arithmetic wraps modulo 2^64.
+/// Computed in unsigned so host-side signed overflow (undefined
+/// behaviour) cannot occur. The interpreter, the superblock
+/// straight-line evaluator, and constant folding all share these so
+/// optimized traces stay bit-identical to interpretation.
+/// @{
+constexpr std::int64_t
+wrapAdd(std::int64_t a, std::int64_t b)
+{
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                     static_cast<std::uint64_t>(b));
+}
+
+constexpr std::int64_t
+wrapSub(std::int64_t a, std::int64_t b)
+{
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) -
+                                     static_cast<std::uint64_t>(b));
+}
+
+constexpr std::int64_t
+wrapMul(std::int64_t a, std::int64_t b)
+{
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) *
+                                     static_cast<std::uint64_t>(b));
+}
+/// @}
+
 } // namespace gencache::isa
 
 #endif // GENCACHE_ISA_INSTRUCTION_H

@@ -111,7 +111,8 @@ ConstantFolding::run(Superblock &sb)
             break;
           case Opcode::AddImm:
             if (known[inst.src1]) {
-                std::int64_t value = *known[inst.src1] + inst.imm;
+                std::int64_t value =
+                    isa::wrapAdd(*known[inst.src1], inst.imm);
                 inst = isa::makeMovImm(inst.dst, value);
                 known[inst.dst] = value;
                 changed = true;
@@ -125,11 +126,12 @@ ConstantFolding::run(Superblock &sb)
             if (known[inst.src1] && known[inst.src2]) {
                 std::int64_t a = *known[inst.src1];
                 std::int64_t b = *known[inst.src2];
-                std::int64_t value = inst.opcode == Opcode::Add
-                                         ? a + b
-                                         : inst.opcode == Opcode::Sub
-                                               ? a - b
-                                               : a * b;
+                std::int64_t value =
+                    inst.opcode == Opcode::Add
+                        ? isa::wrapAdd(a, b)
+                        : inst.opcode == Opcode::Sub
+                              ? isa::wrapSub(a, b)
+                              : isa::wrapMul(a, b);
                 inst = isa::makeMovImm(inst.dst, value);
                 known[inst.dst] = value;
                 changed = true;

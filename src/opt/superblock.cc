@@ -111,19 +111,20 @@ evaluateStraightLine(const Superblock &sb, SbMachineState state)
           case isa::Opcode::Nop:
             break;
           case isa::Opcode::Add:
-            state.regs[inst.dst] =
-                state.regs[inst.src1] + state.regs[inst.src2];
+            state.regs[inst.dst] = isa::wrapAdd(
+                state.regs[inst.src1], state.regs[inst.src2]);
             break;
           case isa::Opcode::Sub:
-            state.regs[inst.dst] =
-                state.regs[inst.src1] - state.regs[inst.src2];
+            state.regs[inst.dst] = isa::wrapSub(
+                state.regs[inst.src1], state.regs[inst.src2]);
             break;
           case isa::Opcode::Mul:
-            state.regs[inst.dst] =
-                state.regs[inst.src1] * state.regs[inst.src2];
+            state.regs[inst.dst] = isa::wrapMul(
+                state.regs[inst.src1], state.regs[inst.src2]);
             break;
           case isa::Opcode::AddImm:
-            state.regs[inst.dst] = state.regs[inst.src1] + inst.imm;
+            state.regs[inst.dst] =
+                isa::wrapAdd(state.regs[inst.src1], inst.imm);
             break;
           case isa::Opcode::MovImm:
             state.regs[inst.dst] = inst.imm;
@@ -133,11 +134,11 @@ evaluateStraightLine(const Superblock &sb, SbMachineState state)
             break;
           case isa::Opcode::Load:
             state.regs[inst.dst] =
-                memLoad(state.regs[inst.src1] + inst.imm);
+                memLoad(isa::wrapAdd(state.regs[inst.src1], inst.imm));
             break;
           case isa::Opcode::Store:
             state.stores.emplace_back(
-                state.regs[inst.src1] + inst.imm,
+                isa::wrapAdd(state.regs[inst.src1], inst.imm),
                 state.regs[inst.src2]);
             break;
           case isa::Opcode::BranchNz:

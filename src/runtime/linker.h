@@ -34,6 +34,16 @@ struct LinkerStats
 class TraceLinker
 {
   public:
+    /** Per-trace link-graph record. Public so the static checker
+     *  (src/analysis) can verify the graph against real state. */
+    struct Node
+    {
+        isa::GuestAddr entry = 0;
+        std::vector<isa::GuestAddr> exitTargets;
+        std::unordered_set<cache::TraceId> outgoing;
+        std::unordered_set<cache::TraceId> incoming;
+    };
+
     TraceLinker() = default;
 
     /**
@@ -63,15 +73,22 @@ class TraceLinker
 
     const LinkerStats &stats() const { return stats_; }
 
-  private:
-    struct Node
+    /// @name Introspection for the static checker (src/analysis).
+    /// @{
+    /** The live link graph, keyed by resident trace id. */
+    const std::unordered_map<cache::TraceId, Node> &nodes() const
     {
-        isa::GuestAddr entry = 0;
-        std::vector<isa::GuestAddr> exitTargets;
-        std::unordered_set<cache::TraceId> outgoing;
-        std::unordered_set<cache::TraceId> incoming;
-    };
+        return nodes_;
+    }
+    /** Entry address -> trace id lookup index. */
+    const std::unordered_map<isa::GuestAddr, cache::TraceId> &
+    entryIndex() const
+    {
+        return byEntry_;
+    }
+    /// @}
 
+  private:
     std::unordered_map<cache::TraceId, Node> nodes_;
     std::unordered_map<isa::GuestAddr, cache::TraceId> byEntry_;
     LinkerStats stats_;

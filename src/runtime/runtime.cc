@@ -25,6 +25,9 @@ Runtime::loadModule(const guest::GuestModule &module)
     space_.map(module);
     log_.append(tracelog::Event::moduleLoad(now(), module.id()));
     log_.setFootprintBytes(log_.footprintBytes() + module.sizeBytes());
+    if (checkpointHook_) {
+        checkpointHook_(*this);
+    }
 }
 
 void
@@ -45,6 +48,9 @@ Runtime::unloadModule(guest::ModuleId module)
     bbCache_.invalidateModule(module);
     space_.unmap(module);
     log_.append(tracelog::Event::moduleUnload(now(), module));
+    if (checkpointHook_) {
+        checkpointHook_(*this);
+    }
 }
 
 void
@@ -66,6 +72,9 @@ Runtime::run(std::uint64_t max_instructions)
         dispatch();
     }
     log_.setDuration(now());
+    if (checkpointHook_) {
+        checkpointHook_(*this);
+    }
     return interp_.instructionsRetired() - begin;
 }
 

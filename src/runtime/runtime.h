@@ -30,6 +30,7 @@
 #define GENCACHE_RUNTIME_RUNTIME_H
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 
 #include "codecache/cache_manager.h"
@@ -130,6 +131,27 @@ class Runtime : public cache::CacheEventListener
     /** Number of distinct traces ever built. */
     std::size_t traceCount() const { return traces_.size(); }
 
+    /** All live traces by id (introspection for the static checker;
+     *  traces of unloaded modules are dropped). */
+    const std::unordered_map<cache::TraceId, Trace> &traces() const
+    {
+        return traces_;
+    }
+
+    /** The managed code cache under test. */
+    const cache::CacheManager &manager() const { return manager_; }
+
+    /**
+     * Install @p hook to run at phase boundaries: after every module
+     * load/unload and at the end of each run() call. The static
+     * checker's GENCACHE_CHECK support attaches its cheap passes here
+     * (analysis::attachPhaseChecks); nullptr detaches.
+     */
+    void setCheckpointHook(std::function<void(const Runtime &)> hook)
+    {
+        checkpointHook_ = std::move(hook);
+    }
+
     /** Forward cache events to @p listener as well (cost model). */
     void chainListener(cache::CacheEventListener *listener)
     {
@@ -193,6 +215,7 @@ class Runtime : public cache::CacheEventListener
     tracelog::AccessLog log_;
     RuntimeStats stats_;
     cache::CacheEventListener *chained_ = nullptr;
+    std::function<void(const Runtime &)> checkpointHook_;
 
     std::unordered_map<cache::TraceId, Trace> traces_;
     std::unordered_map<isa::GuestAddr, cache::TraceId> traceIdOfEntry_;

@@ -70,9 +70,15 @@ CacheSimulator::run(const tracelog::AccessLog &log)
             break;
           }
           case tracelog::EventType::ModuleLoad:
+            if (checkpointHook_) {
+                checkpointHook_(manager_, event.time);
+            }
             break;
           case tracelog::EventType::ModuleUnload:
             manager_.invalidateModule(event.module, event.time);
+            if (checkpointHook_) {
+                checkpointHook_(manager_, event.time);
+            }
             break;
           case tracelog::EventType::Pin: {
             auto it = registry.find(event.trace);
@@ -93,6 +99,9 @@ CacheSimulator::run(const tracelog::AccessLog &log)
         }
     }
 
+    if (checkpointHook_) {
+        checkpointHook_(manager_, log.duration());
+    }
     result.managerStats = manager_.stats();
     result.overhead = account_.breakdown();
     return result;

@@ -16,6 +16,7 @@
 #ifndef GENCACHE_SIM_SIMULATOR_H
 #define GENCACHE_SIM_SIMULATOR_H
 
+#include <functional>
 #include <string>
 #include <unordered_map>
 
@@ -65,6 +66,18 @@ class CacheSimulator
     /** Replay @p log from the beginning and return the results. */
     SimResult run(const tracelog::AccessLog &log);
 
+    /**
+     * Install @p hook to run at replay phase boundaries: after every
+     * ModuleLoad/ModuleUnload event and at the end of run(). The
+     * static checker's GENCACHE_CHECK support attaches its cheap
+     * passes here (analysis::attachPhaseChecks); nullptr detaches.
+     */
+    void setCheckpointHook(
+        std::function<void(const cache::CacheManager &, TimeUs)> hook)
+    {
+        checkpointHook_ = std::move(hook);
+    }
+
   private:
     struct TraceInfo
     {
@@ -75,6 +88,8 @@ class CacheSimulator
 
     cache::CacheManager &manager_;
     cost::OverheadAccount account_;
+    std::function<void(const cache::CacheManager &, TimeUs)>
+        checkpointHook_;
 };
 
 } // namespace gencache::sim

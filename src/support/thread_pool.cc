@@ -1,25 +1,43 @@
 #include "support/thread_pool.h"
 
+#include <cerrno>
 #include <cstdlib>
+
+#include "support/logging.h"
 
 namespace gencache {
 
 std::size_t
 ThreadPool::defaultThreadCount()
 {
-    const char *env = std::getenv("GENCACHE_THREADS");
-    if (env != nullptr) {
-        long value = std::strtol(env, nullptr, 10);
-        if (value < 1) {
-            return 1;
-        }
-        if (value > 256) {
-            return 256;
-        }
-        return static_cast<std::size_t>(value);
+    std::size_t hw = std::thread::hardware_concurrency();
+    if (hw == 0) {
+        hw = 1;
     }
-    unsigned hw = std::thread::hardware_concurrency();
-    return hw == 0 ? 1 : hw;
+    const char *env = std::getenv("GENCACHE_THREADS");
+    if (env == nullptr) {
+        return hw;
+    }
+    // Accept only a complete decimal number: an empty value, trailing
+    // junk ("8x"), a non-numeric string, or an out-of-range value is
+    // rejected in favour of the hardware default. Silently treating
+    // those as 0 -> 1 thread used to serialize every experiment.
+    char *end = nullptr;
+    errno = 0;
+    long value = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || errno == ERANGE) {
+        warn("ignoring invalid GENCACHE_THREADS='{}' (not a number); "
+             "using {} threads",
+             env, hw);
+        return hw;
+    }
+    if (value < 1) {
+        return 1;
+    }
+    if (value > 256) {
+        return 256;
+    }
+    return static_cast<std::size_t>(value);
 }
 
 ThreadPool::ThreadPool(std::size_t threads)

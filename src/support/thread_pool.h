@@ -73,8 +73,11 @@ class ThreadPool
 
     /**
      * Worker count implied by the environment: GENCACHE_THREADS when
-     * set (clamped to [1, 256]), otherwise hardware_concurrency(),
-     * never less than 1.
+     * set to a complete decimal number (clamped to [1, 256]),
+     * otherwise hardware_concurrency(), never less than 1. A
+     * malformed GENCACHE_THREADS (empty, non-numeric, trailing junk,
+     * or out of range) is rejected with a logged warning and the
+     * hardware default is used.
      */
     static std::size_t defaultThreadCount();
 

@@ -9,6 +9,7 @@
 
 #include <sstream>
 
+#include "analysis/checker.h"
 #include "codecache/generational_cache.h"
 #include "codecache/unified_cache.h"
 #include "guest/synthetic_program.h"
@@ -41,6 +42,9 @@ runLiveProgram(cache::CacheManager &manager, std::uint64_t seed)
         space.map(*module);
     }
     runtime::Runtime runtime(space, manager, 10);
+    // Under GENCACHE_CHECK=1 the cheap analysis passes re-verify the
+    // link graph and cache storage at every phase boundary.
+    analysis::attachPhaseChecks(runtime);
     runtime.start(synthetic.program.entry());
     runtime.run();
     EXPECT_TRUE(runtime.finished());
@@ -171,6 +175,7 @@ TEST(Integration, RuntimeResidencyImprovesWithCacheSize)
         }
         cache::UnifiedCacheManager manager(capacity);
         runtime::Runtime runtime(space, manager, 10);
+        analysis::attachPhaseChecks(runtime);
         runtime.start(synthetic.program.entry());
         runtime.run();
         residency[index++] = runtime.stats().cacheResidency();

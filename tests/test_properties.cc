@@ -116,15 +116,16 @@ INSTANTIATE_TEST_SUITE_P(
                           LocalPolicy::Fifo, LocalPolicy::Lru,
                           LocalPolicy::PreemptiveFlush),
         ::testing::Values(1024ULL, 4096ULL, 65536ULL)),
-    [](const ::testing::TestParamInfo<PolicyCapacity> &info) {
+    [](const ::testing::TestParamInfo<PolicyCapacity> &param_info) {
         std::string name =
-            localPolicyName(std::get<0>(info.param));
+            localPolicyName(std::get<0>(param_info.param));
         for (char &c : name) {
             if (c == '-') {
                 c = '_';
             }
         }
-        return name + "_" + std::to_string(std::get<1>(info.param));
+        return name + "_" +
+               std::to_string(std::get<1>(param_info.param));
     });
 
 // ---------------------------------------------------------------
@@ -249,8 +250,8 @@ INSTANTIATE_TEST_SUITE_P(
         GenerationalParam{0.25, 0.50, 3, false},
         GenerationalParam{0.60, 0.10, 2, true},
         GenerationalParam{0.10, 0.10, 1, false}),
-    [](const ::testing::TestParamInfo<GenerationalParam> &info) {
-        const GenerationalParam &param = info.param;
+    [](const ::testing::TestParamInfo<GenerationalParam> &param_info) {
+        const GenerationalParam &param = param_info.param;
         return "n" +
                std::to_string(
                    static_cast<int>(param.nurseryFrac * 100)) +

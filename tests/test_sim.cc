@@ -8,6 +8,7 @@
 
 #include <cmath>
 
+#include "analysis/checker.h"
 #include "codecache/generational_cache.h"
 #include "sim/sweep.h"
 #include "codecache/unified_cache.h"
@@ -79,6 +80,7 @@ TEST(CacheSimulator, GenerationalProtectsHotTrace)
                                                    1);
     cache::GenerationalCacheManager generational(config);
     CacheSimulator generational_sim(generational);
+    analysis::attachPhaseChecks(generational_sim);
     SimResult generational_result = generational_sim.run(hotColdLog());
 
     EXPECT_LT(generational_result.misses, unified_result.misses);
@@ -97,6 +99,9 @@ TEST(CacheSimulator, ModuleUnloadForcesEvictions)
 
     cache::UnifiedCacheManager manager(0);
     CacheSimulator simulator(manager);
+    // Under GENCACHE_CHECK=1 the cheap analysis passes re-verify the
+    // cache storage after every module load/unload replayed here.
+    analysis::attachPhaseChecks(simulator);
     SimResult result = simulator.run(log);
     EXPECT_EQ(result.managerStats.unmapDeletions, 1u);
     EXPECT_FALSE(manager.contains(1));

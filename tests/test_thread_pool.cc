@@ -130,6 +130,31 @@ TEST(ThreadPool, DefaultThreadCountHonoursEnvironment)
     }
 }
 
+TEST(ThreadPool, MalformedEnvironmentFallsBackToHardware)
+{
+    std::size_t hardware;
+    {
+        ScopedThreadsEnv env(nullptr);
+        hardware = ThreadPool::defaultThreadCount();
+    }
+    // A value that is not a complete decimal number must not silently
+    // become 0 -> 1 thread (it used to serialize every experiment);
+    // it is rejected and the hardware default used instead.
+    for (const char *bad : {"abc", "8x", "", " ", "2.5", "0x4"}) {
+        ScopedThreadsEnv env(bad);
+        EXPECT_EQ(ThreadPool::defaultThreadCount(), hardware)
+            << "GENCACHE_THREADS='" << bad << "'";
+    }
+    {
+        ScopedThreadsEnv env("99999999999999999999"); // ERANGE
+        EXPECT_EQ(ThreadPool::defaultThreadCount(), hardware);
+    }
+    {
+        ScopedThreadsEnv env("-2"); // numeric but nonsense: clamp to 1
+        EXPECT_EQ(ThreadPool::defaultThreadCount(), 1u);
+    }
+}
+
 TEST(ThreadPool, ParallelTasksShareWork)
 {
     ThreadPool pool(4);

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Replay-engine throughput: legacy per-event CacheSimulator vs the
+ * compiled-log batched engine, on the standard §6.1 sweep grid.
+ *
+ * For each benchmark the workload is generated once and the memoized
+ * unbounded/unified baselines are primed before any timing, so the
+ * measured interval is pure generational-cell replay. The one-time
+ * CompiledLog build is timed separately and reported alongside.
+ *
+ * Emits BENCH_replay.json: per-benchmark and total wall times,
+ * replayed-events/sec, and the single-threaded (threads=1) speedup —
+ * the acceptance number — plus the same comparison at the default
+ * thread count (GENCACHE_THREADS / hardware concurrency).
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sim/sweep.h"
+#include "support/format.h"
+#include "support/thread_pool.h"
+
+namespace {
+
+using namespace gencache;
+
+const char *const kSubset[] = {"gzip", "vpr", "gcc", "crafty", "eon",
+                               "art", "applu", "word", "solitaire"};
+
+bool
+cellsIdentical(const sim::SweepResult &a, const sim::SweepResult &b)
+{
+    if (a.capacityBytes != b.capacityBytes ||
+        a.unifiedMissRate != b.unifiedMissRate ||
+        a.cells.size() != b.cells.size()) {
+        return false;
+    }
+    for (std::size_t i = 0; i < a.cells.size(); ++i) {
+        const sim::SweepCell &x = a.cells[i];
+        const sim::SweepCell &y = b.cells[i];
+        if (x.missRate != y.missRate ||
+            x.promotions != y.promotions ||
+            x.missRateReductionPct != y.missRateReductionPct ||
+            x.threshold != y.threshold) {
+            return false;
+        }
+    }
+    return true;
+}
+
+double
+eventsPerSec(std::uint64_t events, std::size_t cells, double seconds)
+{
+    if (seconds <= 0.0) {
+        return 0.0;
+    }
+    return static_cast<double>(events) *
+           static_cast<double>(cells) / seconds;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::size_t threads = ThreadPool::defaultThreadCount();
+    bench::banner(
+        format("Replay throughput: legacy vs compiled+batched on the "
+               "standard sweep (serial and {} threads)", threads));
+
+    std::vector<sim::SweepPoint> points = sim::defaultSweepPoints();
+    std::vector<std::uint32_t> thresholds =
+        sim::defaultSweepThresholds();
+    const std::size_t cells = points.size() * thresholds.size();
+
+    bench::JsonArray benchmarks;
+    double total_legacy_serial = 0.0;
+    double total_compiled_serial = 0.0;
+    double total_legacy_threaded = 0.0;
+    double total_compiled_threaded = 0.0;
+    double total_compile_sec = 0.0;
+    std::uint64_t total_events = 0;
+    bool all_identical = true;
+
+    for (const char *name : kSubset) {
+        workload::BenchmarkProfile profile =
+            bench::scaled(workload::findProfile(name));
+        sim::ExperimentRunner runner(profile);
+        const std::uint64_t events = runner.log().size();
+
+        // Prime the memoized baselines (and thereby the capacity)
+        // so both engines time pure generational-cell replay.
+        sim::SweepResult warm =
+            sim::runSweep(runner, points, {thresholds.front()}, 1,
+                          sim::ReplayEngine::Legacy);
+
+        bench::WallTimer compile_timer;
+        runner.compiled();
+        double compile_sec = compile_timer.seconds();
+
+        bench::WallTimer timer;
+        sim::SweepResult legacy_serial = sim::runSweep(
+            runner, points, thresholds, 1, sim::ReplayEngine::Legacy);
+        double legacy_serial_sec = timer.seconds();
+
+        timer.reset();
+        sim::SweepResult compiled_serial =
+            sim::runSweep(runner, points, thresholds, 1,
+                          sim::ReplayEngine::BatchedCompiled);
+        double compiled_serial_sec = timer.seconds();
+
+        timer.reset();
+        sim::SweepResult legacy_threaded =
+            sim::runSweep(runner, points, thresholds, threads,
+                          sim::ReplayEngine::Legacy);
+        double legacy_threaded_sec = timer.seconds();
+
+        timer.reset();
+        sim::SweepResult compiled_threaded =
+            sim::runSweep(runner, points, thresholds, threads,
+                          sim::ReplayEngine::BatchedCompiled);
+        double compiled_threaded_sec = timer.seconds();
+
+        bool identical =
+            cellsIdentical(legacy_serial, compiled_serial) &&
+            cellsIdentical(legacy_serial, legacy_threaded) &&
+            cellsIdentical(legacy_serial, compiled_threaded) &&
+            warm.capacityBytes == legacy_serial.capacityBytes;
+        all_identical = all_identical && identical;
+
+        double serial_speedup =
+            compiled_serial_sec > 0.0
+                ? legacy_serial_sec / compiled_serial_sec
+                : 0.0;
+        double threaded_speedup =
+            compiled_threaded_sec > 0.0
+                ? legacy_threaded_sec / compiled_threaded_sec
+                : 0.0;
+
+        total_legacy_serial += legacy_serial_sec;
+        total_compiled_serial += compiled_serial_sec;
+        total_legacy_threaded += legacy_threaded_sec;
+        total_compiled_threaded += compiled_threaded_sec;
+        total_compile_sec += compile_sec;
+        total_events += events;
+
+        std::printf("%-10s %9llu events  serial %.3fs -> %.3fs "
+                    "(%.2fx)  %zu-thread %.3fs -> %.3fs (%.2fx)  "
+                    "compile %.3fs  cells %s\n",
+                    name,
+                    static_cast<unsigned long long>(events),
+                    legacy_serial_sec, compiled_serial_sec,
+                    serial_speedup, threads, legacy_threaded_sec,
+                    compiled_threaded_sec, threaded_speedup,
+                    compile_sec,
+                    identical ? "identical" : "MISMATCH");
+
+        bench::JsonObject entry;
+        entry.put("name", name)
+            .put("events", events)
+            .put("cells", static_cast<std::uint64_t>(cells))
+            .put("compile_sec", compile_sec)
+            .put("legacy_serial_sec", legacy_serial_sec)
+            .put("compiled_serial_sec", compiled_serial_sec)
+            .put("serial_speedup", serial_speedup)
+            .put("legacy_events_per_sec",
+                 eventsPerSec(events, cells, legacy_serial_sec))
+            .put("compiled_events_per_sec",
+                 eventsPerSec(events, cells, compiled_serial_sec))
+            .put("legacy_threaded_sec", legacy_threaded_sec)
+            .put("compiled_threaded_sec", compiled_threaded_sec)
+            .put("threaded_speedup", threaded_speedup)
+            .put("cells_identical", identical);
+        benchmarks.push(entry);
+    }
+
+    double serial_speedup =
+        total_compiled_serial > 0.0
+            ? total_legacy_serial / total_compiled_serial
+            : 0.0;
+    double threaded_speedup =
+        total_compiled_threaded > 0.0
+            ? total_legacy_threaded / total_compiled_threaded
+            : 0.0;
+
+    std::printf("\ntotal: serial %.2fs -> %.2fs (%.2fx), %zu-thread "
+                "%.2fs -> %.2fs (%.2fx), compile %.2fs, cells %s\n",
+                total_legacy_serial, total_compiled_serial,
+                serial_speedup, threads, total_legacy_threaded,
+                total_compiled_threaded, threaded_speedup,
+                total_compile_sec,
+                all_identical ? "identical" : "MISMATCH");
+
+    bench::JsonObject artifact;
+    artifact.put("bench", "replay_throughput")
+        .put("threads", static_cast<std::uint64_t>(threads))
+        .put("scale", bench::scaleFactor())
+        .put("sweep_cells", static_cast<std::uint64_t>(cells))
+        .putRaw("benchmarks", benchmarks.toString())
+        .put("total_events", total_events)
+        .put("total_compile_sec", total_compile_sec)
+        .put("legacy_serial_sec", total_legacy_serial)
+        .put("compiled_serial_sec", total_compiled_serial)
+        .put("serial_speedup", serial_speedup)
+        .put("legacy_threaded_sec", total_legacy_threaded)
+        .put("compiled_threaded_sec", total_compiled_threaded)
+        .put("threaded_speedup", threaded_speedup)
+        .put("all_cells_identical", all_identical);
+    bench::writeJsonArtifact("BENCH_replay.json", artifact);
+
+    return all_identical ? 0 : 1;
+}

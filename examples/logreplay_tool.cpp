@@ -9,17 +9,29 @@
  *   logreplay_tool live <seed> <path.gclog|path.gclogb>
  *   logreplay_tool replay <path> [capacityKb]
  *   logreplay_tool info <path>
+ *
+ * Options:
+ *   --format v1|v2   binary format version written by generate/live
+ *                    to .gclogb paths (default v2; text paths and
+ *                    loading are unaffected — the reader negotiates
+ *                    the version from the file's magic).
+ *   --compiled       replay through the compiled columnar log and
+ *                    the simulator's batched fast path instead of
+ *                    the legacy per-event loop. Results are
+ *                    bit-identical; only the speed differs.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "codecache/unified_cache.h"
 #include "guest/synthetic_program.h"
 #include "runtime/runtime.h"
 #include "sim/simulator.h"
 #include "support/format.h"
+#include "tracelog/compiled_log.h"
 #include "tracelog/lifetime.h"
 #include "tracelog/serialize.h"
 #include "workload/generator.h"
@@ -37,12 +49,18 @@ usage()
                  "  logreplay_tool generate <benchmark> <path>\n"
                  "  logreplay_tool live <seed> <path>\n"
                  "  logreplay_tool replay <path> [capacityKb]\n"
-                 "  logreplay_tool info <path>\n");
+                 "  logreplay_tool info <path>\n"
+                 "options:\n"
+                 "  --format v1|v2  binary version for generate/live"
+                 " (default v2)\n"
+                 "  --compiled      replay via the compiled columnar"
+                 " fast path\n");
     return 2;
 }
 
 int
-cmdGenerate(const std::string &benchmark, const std::string &path)
+cmdGenerate(const std::string &benchmark, const std::string &path,
+            int binary_version)
 {
     workload::BenchmarkProfile profile =
         workload::findProfile(benchmark);
@@ -53,7 +71,7 @@ cmdGenerate(const std::string &benchmark, const std::string &path)
     }
     tracelog::AccessLog log = workload::generateWorkload(profile);
     log.validate();
-    tracelog::saveLog(log, path);
+    tracelog::saveLog(log, path, binary_version);
     std::printf("wrote %llu events (%llu traces, %s) to %s\n",
                 static_cast<unsigned long long>(log.size()),
                 static_cast<unsigned long long>(
@@ -64,7 +82,8 @@ cmdGenerate(const std::string &benchmark, const std::string &path)
 }
 
 int
-cmdLive(std::uint64_t seed, const std::string &path)
+cmdLive(std::uint64_t seed, const std::string &path,
+        int binary_version)
 {
     guest::SyntheticProgramConfig config;
     config.seed = seed;
@@ -86,7 +105,7 @@ cmdLive(std::uint64_t seed, const std::string &path)
 
     const tracelog::AccessLog &log = runtime.log();
     log.validate();
-    tracelog::saveLog(log, path);
+    tracelog::saveLog(log, path, binary_version);
     std::printf("live run: %llu instructions, %s residency; wrote "
                 "%llu events to %s\n",
                 static_cast<unsigned long long>(
@@ -98,7 +117,7 @@ cmdLive(std::uint64_t seed, const std::string &path)
 }
 
 int
-cmdReplay(const std::string &path, double capacity_kb)
+cmdReplay(const std::string &path, double capacity_kb, bool compiled)
 {
     tracelog::AccessLog log = tracelog::loadLog(path);
     log.validate();
@@ -115,9 +134,16 @@ cmdReplay(const std::string &path, double capacity_kb)
 
     cache::UnifiedCacheManager manager(capacity);
     sim::CacheSimulator simulator(manager);
-    sim::SimResult result = simulator.run(log);
-    std::printf("replayed '%s' against %s\n",
-                log.benchmark().c_str(), manager.name().c_str());
+    sim::SimResult result;
+    if (compiled) {
+        tracelog::CompiledLog fast = tracelog::CompiledLog::compile(log);
+        result = simulator.run(fast);
+    } else {
+        result = simulator.run(log);
+    }
+    std::printf("replayed '%s' against %s%s\n",
+                log.benchmark().c_str(), manager.name().c_str(),
+                compiled ? " (compiled fast path)" : "");
     std::printf("lookups %llu, misses %llu (%s), evict+regen "
                 "overhead %s instructions\n",
                 static_cast<unsigned long long>(result.lookups),
@@ -155,24 +181,53 @@ cmdInfo(const std::string &path)
 int
 main(int argc, char **argv)
 {
-    if (argc < 3) {
+    // Peel the options off; what remains are the positional
+    // arguments, so every pre-flag invocation works unchanged.
+    int binary_version = 2;
+    bool compiled = false;
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--compiled") {
+            compiled = true;
+        } else if (arg == "--format") {
+            if (i + 1 >= argc) {
+                return usage();
+            }
+            std::string value = argv[++i];
+            if (value == "v1") {
+                binary_version = 1;
+            } else if (value == "v2") {
+                binary_version = 2;
+            } else {
+                return usage();
+            }
+        } else {
+            args.push_back(arg);
+        }
+    }
+    if (args.size() < 2) {
         return usage();
     }
-    std::string command = argv[1];
-    if (command == "generate" && argc == 4) {
-        return cmdGenerate(argv[2], argv[3]);
+    const std::string &command = args[0];
+    if (command == "generate" && args.size() == 3) {
+        return cmdGenerate(args[1], args[2], binary_version);
     }
-    if (command == "live" && argc == 4) {
+    if (command == "live" && args.size() == 3) {
         return cmdLive(static_cast<std::uint64_t>(
-                           std::strtoull(argv[2], nullptr, 10)),
-                       argv[3]);
+                           std::strtoull(args[1].c_str(), nullptr,
+                                         10)),
+                       args[2], binary_version);
     }
-    if (command == "replay" && (argc == 3 || argc == 4)) {
-        return cmdReplay(argv[2],
-                         argc == 4 ? std::atof(argv[3]) : 0.0);
+    if (command == "replay" &&
+        (args.size() == 2 || args.size() == 3)) {
+        return cmdReplay(args[1],
+                         args.size() == 3 ? std::atof(args[2].c_str())
+                                          : 0.0,
+                         compiled);
     }
-    if (command == "info" && argc == 3) {
-        return cmdInfo(argv[2]);
+    if (command == "info" && args.size() == 2) {
+        return cmdInfo(args[1]);
     }
     return usage();
 }

@@ -5,8 +5,12 @@
 #      invariant passes active inside the runtime/simulator tests)
 #   3. ThreadSanitizer build, running the `tsan`-labelled concurrency
 #      tests
-#   4. AddressSanitizer+UBSan build of the full suite
-#   5. gencheck over the example workloads — any diagnostic of
+#   4. AddressSanitizer+UBSan build: first the `replay`-labelled
+#      bit-identity tests (compiled/batched replay vs the legacy
+#      loop — the memory-unsafe-optimization tripwire), then the rest
+#      of the suite
+#   5. gencheck over the example workloads — live runs, legacy sim
+#      replays, and batched-replay end states; any diagnostic of
 #      severity error (or worse) fails the pipeline
 #   6. formatting check (no-op when clang-format is absent)
 #
@@ -43,19 +47,25 @@ if [[ $fast -eq 0 ]]; then
     ctest --test-dir build-tsan --output-on-failure -L tsan \
         -j "$jobs"
 
-    step "ASan+UBSan build + full test suite"
+    step "ASan+UBSan build + replay bit-identity tests"
     cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DGENCACHE_SANITIZE=address,undefined \
         >/tmp/gencache-asan-configure.log
     cmake --build build-asan -j "$jobs"
-    ctest --test-dir build-asan --output-on-failure -j "$jobs"
+    ctest --test-dir build-asan --output-on-failure -L replay \
+        -j "$jobs"
+
+    step "ASan+UBSan remaining test suite"
+    ctest --test-dir build-asan --output-on-failure -LE replay \
+        -j "$jobs"
 else
     step "skipping sanitizer builds (--fast)"
 fi
 
 step "gencheck on example workloads"
-# gencheck exits 1 on any error-severity diagnostic; keep the JSON
-# report as a CI artifact.
+# gencheck exits 1 on any error-severity diagnostic (its subjects
+# include batched-replay lane end states); keep the JSON report as a
+# CI artifact.
 "$root"/build-ci/tools/gencheck --json build-ci/gencheck-report.json
 
 step "format check"

@@ -92,17 +92,18 @@ checkRegion(const cache::CacheRegion &region, const std::string &where,
                               "{}",
                               prev->id, frag->id, frag->addr));
         }
-        auto indexed = region.addrIndex().find(frag->id);
-        if (indexed == region.addrIndex().end()) {
+        const cache::CacheRegion::AddrEntry *indexed =
+            region.addrIndex().find(frag->id);
+        if (indexed == nullptr) {
             out.report(Severity::Error, "region-index", where,
                        format("fragment {} is resident but missing "
                               "from the address index",
                               frag->id));
-        } else if (indexed->second != frag->addr) {
+        } else if (indexed->addr != frag->addr) {
             out.report(Severity::Error, "region-index", where,
                        format("fragment {} placed at offset {} but "
                               "indexed at {}",
-                              frag->id, frag->addr, indexed->second));
+                              frag->id, frag->addr, indexed->addr));
         }
         prev = frag;
     }
@@ -222,12 +223,13 @@ checkListCache(const cache::ListCache &cache, const std::string &where,
     }
 
     // Id index vs. ring membership.
-    for (const auto &[id, slot] : cache.slotIndex()) {
+    cache.slotIndex().forEach([&](cache::TraceId id,
+                                  std::uint32_t slot) {
         if (!valid_slot(slot) || slot == cache::ListCache::kNil) {
             out.report(Severity::Error, "list-index", where,
                        format("trace {} indexed at invalid slot {}",
                               id, slot));
-            continue;
+            return;
         }
         if (cache.slot(slot).frag.id != id) {
             out.report(Severity::Error, "list-index", where,
@@ -241,7 +243,7 @@ checkListCache(const cache::ListCache &cache, const std::string &where,
                               "not on the victim list",
                               id, slot));
         }
-    }
+    });
     if (cache.slotIndex().size() != cache.fragmentCount()) {
         out.report(Severity::Error, "list-index", where,
                    format("index holds {} entries but the cache "
@@ -316,29 +318,29 @@ checkGenerational(const cache::GenerationalCacheManager &manager,
     // Residency index vs. actual cache contents.
     const auto &where = manager.residencyIndex();
     for (const auto &[id, gen] : resident) {
-        auto it = where.find(id);
-        if (it == where.end()) {
+        const cache::Generation *indexed = where.find(id);
+        if (indexed == nullptr) {
             out.report(Severity::Error, "gen-index-mismatch",
                        format("trace {}", id),
                        format("resident in {} but absent from the "
                               "residency index",
                               cache::generationName(gen)));
-        } else if (it->second != gen) {
+        } else if (*indexed != gen) {
             out.report(Severity::Error, "gen-index-mismatch",
                        format("trace {}", id),
                        format("resident in {} but indexed in {}",
                               cache::generationName(gen),
-                              cache::generationName(it->second)));
+                              cache::generationName(*indexed)));
         }
     }
-    for (const auto &[id, gen] : where) {
+    where.forEach([&](cache::TraceId id, const cache::Generation &gen) {
         if (resident.find(id) == resident.end()) {
             out.report(Severity::Error, "gen-index-mismatch",
                        format("trace {}", id),
                        format("indexed in {} but resident nowhere",
                               cache::generationName(gen)));
         }
-    }
+    });
 
     // Promotion-flow conservation across the Figure 8 cascade.
     const cache::GenerationStats &nursery =

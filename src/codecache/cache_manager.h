@@ -136,6 +136,18 @@ class CacheManager
     /** @return true when @p id is resident in any cache. */
     virtual bool contains(TraceId id) const = 0;
 
+    /**
+     * Declare that every trace id this manager will see lies in
+     * [0, @p id_bound) — the contract of a tracelog::CompiledLog
+     * replay. Managers that can switch their residency index to dense
+     * storage do so here; must be called before the first insert.
+     * Default: no-op (sparse ids keep working everywhere).
+     */
+    virtual void prepareDenseIds(std::uint64_t id_bound)
+    {
+        (void)id_bound;
+    }
+
     /** Sum of all local cache capacities in bytes. */
     virtual std::uint64_t totalCapacity() const = 0;
 

@@ -5,29 +5,6 @@
 #include "support/logging.h"
 
 namespace gencache::cache {
-namespace {
-
-/** Exact-address lookup in the ascending below-half. */
-std::vector<Fragment>::iterator
-ascFind(std::vector<Fragment> &vec, std::uint64_t addr)
-{
-    return std::lower_bound(vec.begin(), vec.end(), addr,
-                            [](const Fragment &frag, std::uint64_t a) {
-                                return frag.addr < a;
-                            });
-}
-
-/** Exact-address lookup in the descending above-half. */
-std::vector<Fragment>::iterator
-descFind(std::vector<Fragment> &vec, std::uint64_t addr)
-{
-    return std::lower_bound(vec.begin(), vec.end(), addr,
-                            [](const Fragment &frag, std::uint64_t a) {
-                                return frag.addr > a;
-                            });
-}
-
-} // namespace
 
 double
 FragmentationInfo::index() const
@@ -95,6 +72,17 @@ CacheRegion::pinnedIn(std::uint64_t begin, std::uint64_t end,
 }
 
 void
+CacheRegion::reindexFrom(const std::vector<Fragment> &half,
+                         std::size_t from)
+{
+    for (std::size_t i = from; i < half.size(); ++i) {
+        addrOf_.set(half[i].id,
+                    AddrEntry{half[i].addr,
+                              static_cast<std::uint32_t>(i)});
+    }
+}
+
+void
 CacheRegion::rotateToZero()
 {
     // The above-half is always fully drained before the pointer laps,
@@ -105,6 +93,7 @@ CacheRegion::rotateToZero()
     }
     above_.insert(above_.end(), below_.rbegin(), below_.rend());
     below_.clear();
+    reindexFrom(above_, 0);
 }
 
 void
@@ -122,7 +111,7 @@ CacheRegion::place(Fragment frag, std::vector<Fragment> &evicted)
     if (frag.sizeBytes == 0) {
         GENCACHE_PANIC("placing zero-sized fragment {}", frag.id);
     }
-    if (addrOf_.count(frag.id) != 0) {
+    if (addrOf_.contains(frag.id)) {
         GENCACHE_PANIC("fragment {} already resident", frag.id);
     }
     if (frag.sizeBytes > capacity_) {
@@ -190,13 +179,18 @@ CacheRegion::place(Fragment frag, std::vector<Fragment> &evicted)
         if (back.addr + back.sizeBytes > window_begin) {
             emitVictim(back, evicted);
         } else {
+            addrOf_.set(back.id,
+                        AddrEntry{back.addr, static_cast<std::uint32_t>(
+                                                 below_.size())});
             below_.push_back(back);
         }
         above_.pop_back();
     }
 
     frag.addr = window_begin;
-    addrOf_.emplace(frag.id, frag.addr);
+    addrOf_.insert(frag.id,
+                   AddrEntry{frag.addr,
+                             static_cast<std::uint32_t>(below_.size())});
     usedBytes_ += frag.sizeBytes;
     if (frag.pinned) {
         ++pinnedCount_;
@@ -215,14 +209,16 @@ CacheRegion::place(Fragment frag, std::vector<Fragment> &evicted)
 bool
 CacheRegion::remove(TraceId id, Fragment *out)
 {
-    auto addr_it = addrOf_.find(id);
-    if (addr_it == addrOf_.end()) {
+    const AddrEntry *found = addrOf_.find(id);
+    if (found == nullptr) {
         return false;
     }
-    std::uint64_t addr = addr_it->second;
-    std::vector<Fragment> &half = addr < pointer_ ? below_ : above_;
-    auto frag_it = addr < pointer_ ? ascFind(below_, addr)
-                                   : descFind(above_, addr);
+    std::vector<Fragment> &half =
+        found->addr < pointer_ ? below_ : above_;
+    const std::size_t pos = found->pos;
+    auto frag_it = half.begin() +
+                   static_cast<std::vector<Fragment>::difference_type>(
+                       pos);
     if (out != nullptr) {
         *out = *frag_it;
     }
@@ -231,20 +227,20 @@ CacheRegion::remove(TraceId id, Fragment *out)
         --pinnedCount_;
     }
     half.erase(frag_it);
-    addrOf_.erase(addr_it);
+    addrOf_.erase(id);
+    reindexFrom(half, pos);
     return true;
 }
 
 Fragment *
 CacheRegion::find(TraceId id)
 {
-    auto addr_it = addrOf_.find(id);
-    if (addr_it == addrOf_.end()) {
+    const AddrEntry *found = addrOf_.find(id);
+    if (found == nullptr) {
         return nullptr;
     }
-    std::uint64_t addr = addr_it->second;
-    return addr < pointer_ ? &*ascFind(below_, addr)
-                           : &*descFind(above_, addr);
+    return found->addr < pointer_ ? &below_[found->pos]
+                                  : &above_[found->pos];
 }
 
 const Fragment *
@@ -286,6 +282,7 @@ CacheRegion::flush(std::vector<Fragment> &evicted)
     }
     below_.clear();
     above_.assign(kept.rbegin(), kept.rend());
+    reindexFrom(above_, 0);
     pointer_ = 0;
 }
 
@@ -349,9 +346,16 @@ CacheRegion::validate() const
             GENCACHE_PANIC("fragment {} exceeds region capacity",
                            frag.id);
         }
-        auto addr_it = addrOf_.find(frag.id);
-        if (addr_it == addrOf_.end() || addr_it->second != frag.addr) {
+        const AddrEntry *indexed = addrOf_.find(frag.id);
+        if (indexed == nullptr || indexed->addr != frag.addr) {
             GENCACHE_PANIC("fragment {} index entry missing or stale",
+                           frag.id);
+        }
+        const std::vector<Fragment> &half =
+            in_below ? below_ : above_;
+        if (indexed->pos >= half.size() ||
+            half[indexed->pos].id != frag.id) {
+            GENCACHE_PANIC("fragment {} indexed position is stale",
                            frag.id);
         }
         cursor = frag.addr + frag.sizeBytes;

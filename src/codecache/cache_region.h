@@ -26,9 +26,10 @@
  * (descending, so the next eviction candidate is back()). Because the
  * pointer only moves forward, placement and eviction both operate at
  * the vector ends — O(1) amortized per fragment, no per-fragment node
- * allocations — and lookups are a binary search over contiguous
- * memory. One O(n) rotation per lap of the region keeps the pair's
- * invariant when the pointer wraps to zero.
+ * allocations — and the id index stores each fragment's position in
+ * its half, so lookups are O(1) array reads. One O(n) rotation per
+ * lap of the region keeps the pair's invariant when the pointer wraps
+ * to zero.
  */
 
 #ifndef GENCACHE_CODECACHE_CACHE_REGION_H
@@ -36,10 +37,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "codecache/fragment.h"
+#include "codecache/trace_index.h"
 
 namespace gencache::cache {
 
@@ -57,6 +58,17 @@ struct FragmentationInfo
 class CacheRegion
 {
   public:
+    /** Index entry of a resident fragment: its placed byte offset
+     *  plus its current position in whichever half vector holds it
+     *  (below_ when addr < pointer_, above_ otherwise). The position
+     *  makes find() O(1); every mutation of the halves keeps it
+     *  current. */
+    struct AddrEntry
+    {
+        std::uint64_t addr = 0;
+        std::uint32_t pos = 0;
+    };
+
     /** @param capacity region size in bytes; must be positive. */
     explicit CacheRegion(std::uint64_t capacity);
 
@@ -70,6 +82,13 @@ class CacheRegion
 
     /** Current allocation/eviction pointer offset. */
     std::uint64_t pointer() const { return pointer_; }
+
+    /** Switch the id index to dense storage for ids in
+     *  [0, @p id_bound); only legal while the region is empty. */
+    void reserveDenseIds(std::uint64_t id_bound)
+    {
+        addrOf_.reserveDense(id_bound);
+    }
 
     /**
      * Place @p frag using pseudo-circular replacement.
@@ -125,8 +144,8 @@ class CacheRegion
     const std::vector<Fragment> &belowHalf() const { return below_; }
     /** Fragments at/past the pointer, descending address. */
     const std::vector<Fragment> &aboveHalf() const { return above_; }
-    /** Identity -> placed offset index. */
-    const std::unordered_map<TraceId, std::uint64_t> &addrIndex() const
+    /** Identity -> placed offset (and half position) index. */
+    const TraceIndex<AddrEntry> &addrIndex() const
     {
         return addrOf_;
     }
@@ -155,9 +174,13 @@ class CacheRegion
     std::uint64_t wrapWasteBytes_ = 0;
     std::uint64_t pinnedSkips_ = 0;
     std::size_t pinnedCount_ = 0;
+    /** Reassign the indexed positions of @p half[@p from...]. */
+    void reindexFrom(const std::vector<Fragment> &half,
+                     std::size_t from);
+
     std::vector<Fragment> below_; ///< addr < pointer_, ascending addr
     std::vector<Fragment> above_; ///< addr >= pointer_, descending addr
-    std::unordered_map<TraceId, std::uint64_t> addrOf_;
+    TraceIndex<AddrEntry> addrOf_;
 };
 
 } // namespace gencache::cache

@@ -132,8 +132,8 @@ bool
 GenerationalCacheManager::lookup(TraceId id, TimeUs now)
 {
     ++stats_.lookups;
-    auto it = where_.find(id);
-    if (it == where_.end()) {
+    const Generation *found = where_.find(id);
+    if (found == nullptr) {
         ++stats_.misses;
         if (listener_ != nullptr) {
             listener_->onMiss(id, now);
@@ -141,7 +141,7 @@ GenerationalCacheManager::lookup(TraceId id, TimeUs now)
         return false;
     }
 
-    Generation gen = it->second;
+    Generation gen = *found;
     LocalCache &cache = cacheOf(gen);
     Fragment *frag = cache.find(id);
     if (frag == nullptr) {
@@ -172,7 +172,7 @@ bool
 GenerationalCacheManager::insert(TraceId id, std::uint32_t size_bytes,
                                  ModuleId module, TimeUs now)
 {
-    if (where_.count(id) != 0) {
+    if (where_.contains(id)) {
         GENCACHE_PANIC("insert of resident trace {}", id);
     }
     Fragment frag;
@@ -186,7 +186,7 @@ GenerationalCacheManager::insert(TraceId id, std::uint32_t size_bytes,
         ++stats_.placementFailures;
         return false;
     }
-    where_.emplace(id, Generation::Nursery);
+    where_.insert(id, Generation::Nursery);
     ++stats_.inserts;
     stats_.insertedBytes += size_bytes;
     if (listener_ != nullptr) {
@@ -213,7 +213,7 @@ GenerationalCacheManager::cascadeVictim(Generation gen, Fragment victim,
                     now);
             return;
         }
-        where_[victim.id] = Generation::Probation;
+        where_.set(victim.id, Generation::Probation);
         ++stats_.promotions;
         stats_.promotedBytes += victim.sizeBytes;
         ++nurseryStats_.promotionsOut;
@@ -258,7 +258,7 @@ GenerationalCacheManager::promoteToPersistent(Fragment frag, TimeUs now)
         destroy(frag, from, EvictReason::Capacity, now);
         return;
     }
-    where_[frag.id] = Generation::Persistent;
+    where_.set(frag.id, Generation::Persistent);
     ++stats_.promotions;
     stats_.promotedBytes += frag.sizeBytes;
     ++probationStats_.promotionsOut;
@@ -317,17 +317,26 @@ GenerationalCacheManager::invalidateModule(ModuleId module, TimeUs now)
 bool
 GenerationalCacheManager::setPinned(TraceId id, bool pinned)
 {
-    auto it = where_.find(id);
-    if (it == where_.end()) {
+    const Generation *found = where_.find(id);
+    if (found == nullptr) {
         return false;
     }
-    return cacheOf(it->second).setPinned(id, pinned);
+    return cacheOf(*found).setPinned(id, pinned);
 }
 
 bool
 GenerationalCacheManager::contains(TraceId id) const
 {
-    return where_.count(id) != 0;
+    return where_.contains(id);
+}
+
+void
+GenerationalCacheManager::prepareDenseIds(std::uint64_t id_bound)
+{
+    where_.reserveDense(id_bound);
+    nursery_->reserveDenseIds(id_bound);
+    probation_->reserveDenseIds(id_bound);
+    persistent_->reserveDenseIds(id_bound);
 }
 
 std::uint64_t
@@ -346,11 +355,11 @@ GenerationalCacheManager::usedBytes() const
 Generation
 GenerationalCacheManager::generationOf(TraceId id) const
 {
-    auto it = where_.find(id);
-    if (it == where_.end()) {
+    const Generation *found = where_.find(id);
+    if (found == nullptr) {
         GENCACHE_PANIC("generationOf: trace {} not resident", id);
     }
-    return it->second;
+    return *found;
 }
 
 void
@@ -364,8 +373,8 @@ GenerationalCacheManager::validate() const
         const LocalCache &cache = localCache(gen);
         resident += cache.fragmentCount();
         cache.forEach([&](const Fragment &frag) {
-            auto it = where_.find(frag.id);
-            if (it == where_.end() || it->second != gen) {
+            const Generation *found = where_.find(frag.id);
+            if (found == nullptr || *found != gen) {
                 GENCACHE_PANIC("trace {} resident in {} but indexed "
                                "elsewhere", frag.id,
                                generationName(gen));

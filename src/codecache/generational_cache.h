@@ -25,9 +25,9 @@
 #define GENCACHE_CODECACHE_GENERATIONAL_CACHE_H
 
 #include <memory>
-#include <unordered_map>
 
 #include "codecache/cache_manager.h"
+#include "codecache/trace_index.h"
 
 namespace gencache::cache {
 
@@ -88,6 +88,7 @@ class GenerationalCacheManager : public CacheManager
     bool contains(TraceId id) const override;
     std::uint64_t totalCapacity() const override;
     std::uint64_t usedBytes() const override;
+    void prepareDenseIds(std::uint64_t id_bound) override;
 
     const GenerationalConfig &config() const { return config_; }
 
@@ -103,7 +104,7 @@ class GenerationalCacheManager : public CacheManager
 
     /** Trace -> generation residency index (introspection for the
      *  static checker, src/analysis). */
-    const std::unordered_map<TraceId, Generation> &residencyIndex() const
+    const TraceIndex<Generation> &residencyIndex() const
     {
         return where_;
     }
@@ -133,7 +134,7 @@ class GenerationalCacheManager : public CacheManager
     GenerationStats nurseryStats_;
     GenerationStats probationStats_;
     GenerationStats persistentStats_;
-    std::unordered_map<TraceId, Generation> where_;
+    TraceIndex<Generation> where_;
 };
 
 } // namespace gencache::cache

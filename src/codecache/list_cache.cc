@@ -7,14 +7,14 @@ namespace gencache::cache {
 Fragment *
 ListCache::find(TraceId id)
 {
-    auto it = index_.find(id);
-    return it == index_.end() ? nullptr : &nodes_[it->second].frag;
+    const std::uint32_t *slot = index_.find(id);
+    return slot == nullptr ? nullptr : &nodes_[*slot].frag;
 }
 
 bool
 ListCache::contains(TraceId id) const
 {
-    return index_.count(id) != 0;
+    return index_.contains(id);
 }
 
 std::uint32_t
@@ -79,11 +79,11 @@ ListCache::eraseNode(std::uint32_t n)
 bool
 ListCache::remove(TraceId id, Fragment *out)
 {
-    auto it = index_.find(id);
-    if (it == index_.end()) {
+    const std::uint32_t *slot = index_.find(id);
+    if (slot == nullptr) {
         return false;
     }
-    std::uint32_t n = it->second;
+    std::uint32_t n = *slot;
     const Fragment &frag = nodes_[n].frag;
     if (out != nullptr) {
         *out = frag;
@@ -135,7 +135,7 @@ bool
 ListCache::insertWithEviction(const Fragment &frag,
                               std::vector<Fragment> &evicted)
 {
-    if (index_.count(frag.id) != 0) {
+    if (index_.contains(frag.id)) {
         GENCACHE_PANIC("fragment {} already resident", frag.id);
     }
     if (capacity_ != 0 && frag.sizeBytes > capacity_) {
@@ -172,7 +172,7 @@ ListCache::insertWithEviction(const Fragment &frag,
     }
 
     std::uint32_t n = pushBack(frag);
-    index_.emplace(frag.id, n);
+    index_.insert(frag.id, n);
     used_ += frag.sizeBytes;
     ++stats_.inserts;
     stats_.insertedBytes += frag.sizeBytes;
@@ -211,15 +211,16 @@ void
 LruCache::touch(TraceId id, TimeUs now)
 {
     (void)now;
-    auto it = index_.find(id);
-    if (it == index_.end()) {
+    const std::uint32_t *slot = index_.find(id);
+    if (slot == nullptr) {
         return;
     }
     // Most recently used moves to the tail; the fragment stays in its
     // slot, so the index entry remains valid.
-    if (it->second != tail_) {
-        unlink(it->second);
-        linkBack(it->second);
+    if (*slot != tail_) {
+        std::uint32_t n = *slot;
+        unlink(n);
+        linkBack(n);
     }
 }
 
@@ -234,7 +235,7 @@ FlushCache::FlushCache(std::uint64_t capacity)
 bool
 FlushCache::insert(const Fragment &frag, std::vector<Fragment> &evicted)
 {
-    if (index_.count(frag.id) != 0) {
+    if (index_.contains(frag.id)) {
         GENCACHE_PANIC("fragment {} already resident", frag.id);
     }
     if (frag.sizeBytes > capacity_) {
@@ -255,7 +256,7 @@ FlushCache::insert(const Fragment &frag, std::vector<Fragment> &evicted)
         }
     }
     std::uint32_t n = pushBack(frag);
-    index_.emplace(frag.id, n);
+    index_.insert(frag.id, n);
     used_ += frag.sizeBytes;
     ++stats_.inserts;
     stats_.insertedBytes += frag.sizeBytes;

@@ -22,10 +22,10 @@
 #define GENCACHE_CODECACHE_LIST_CACHE_H
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "codecache/local_cache.h"
+#include "codecache/trace_index.h"
 
 namespace gencache::cache {
 
@@ -54,6 +54,10 @@ class ListCache : public LocalCache
     void flush(std::vector<Fragment> &evicted) override;
     void forEach(const std::function<void(const Fragment &)> &fn)
         const override;
+    void reserveDenseIds(std::uint64_t id_bound) override
+    {
+        index_.reserveDense(id_bound);
+    }
 
     /// @name Introspection for the static checker (src/analysis).
     /// Raw slab state; the checker walks the ring and the free list
@@ -64,7 +68,7 @@ class ListCache : public LocalCache
     std::uint32_t tailSlot() const { return tail_; }
     std::uint32_t freeHeadSlot() const { return freeHead_; }
     const Node &slot(std::uint32_t n) const { return nodes_[n]; }
-    const std::unordered_map<TraceId, std::uint32_t> &slotIndex() const
+    const TraceIndex<std::uint32_t> &slotIndex() const
     {
         return index_;
     }
@@ -100,7 +104,7 @@ class ListCache : public LocalCache
     std::uint32_t tail_ = kNil; ///< newest
     std::uint32_t freeHead_ = kNil;
     std::size_t count_ = 0;
-    std::unordered_map<TraceId, std::uint32_t> index_;
+    TraceIndex<std::uint32_t> index_;
     std::uint64_t used_ = 0;
 
   private:

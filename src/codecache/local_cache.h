@@ -76,6 +76,13 @@ class LocalCache
     /** Notify the policy of an access (recency-based policies). */
     virtual void touch(TraceId id, TimeUs now);
 
+    /** Dense-id declaration forwarded by the global manager (see
+     *  CacheManager::prepareDenseIds). Default: no-op. */
+    virtual void reserveDenseIds(std::uint64_t id_bound)
+    {
+        (void)id_bound;
+    }
+
     /** Program-forced removal (unmapped memory). Ignores pinning: the
      *  code is gone regardless.
      *  @param out receives the removed fragment when non-null.

@@ -35,6 +35,10 @@ class PseudoCircularCache : public LocalCache
     void flush(std::vector<Fragment> &evicted) override;
     void forEach(const std::function<void(const Fragment &)> &fn)
         const override;
+    void reserveDenseIds(std::uint64_t id_bound) override
+    {
+        region_.reserveDenseIds(id_bound);
+    }
 
     /** Direct access to the underlying region (stats, tests). */
     const CacheRegion &region() const { return region_; }

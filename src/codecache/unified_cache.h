@@ -35,6 +35,10 @@ class UnifiedCacheManager : public CacheManager
     bool contains(TraceId id) const override;
     std::uint64_t totalCapacity() const override;
     std::uint64_t usedBytes() const override;
+    void prepareDenseIds(std::uint64_t id_bound) override
+    {
+        cache_->reserveDenseIds(id_bound);
+    }
 
     /** The underlying local cache (stats, tests). */
     const LocalCache &local() const { return *cache_; }

@@ -1,0 +1,125 @@
+#include "sim/batched_replay.h"
+
+#include "support/logging.h"
+
+namespace gencache::sim {
+
+BatchedReplay::BatchedReplay(const tracelog::CompiledLog &log)
+    : log_(log)
+{
+}
+
+std::size_t
+BatchedReplay::addLane(cache::CacheManager &manager,
+                       cost::CostModel model)
+{
+    Lane lane;
+    lane.manager = &manager;
+    lane.account = std::make_unique<cost::OverheadAccount>(model);
+    manager.setListener(lane.account.get());
+    lane.result.benchmark = log_.benchmark();
+    lane.result.manager = manager.name();
+    lanes_.push_back(std::move(lane));
+    return lanes_.size() - 1;
+}
+
+std::vector<SimResult>
+BatchedReplay::run()
+{
+    for (Lane &lane : lanes_) {
+        lane.manager->prepareDenseIds(log_.traceCount());
+    }
+
+    std::vector<std::uint8_t> pinnedWanted(log_.traceCount(), 0);
+
+    const std::vector<tracelog::EventType> &types = log_.types();
+    const std::vector<TimeUs> &times = log_.times();
+    const std::vector<tracelog::DenseTraceId> &traces = log_.traces();
+    const std::vector<std::uint32_t> &sizes = log_.sizes();
+    const std::vector<cache::ModuleId> &modules = log_.modules();
+
+    auto note_peak = [](Lane &lane) {
+        std::uint64_t used = lane.manager->usedBytes();
+        if (used > lane.result.peakBytes) {
+            lane.result.peakBytes = used;
+        }
+    };
+
+    const std::size_t count = log_.size();
+    for (std::size_t i = 0; i < count; ++i) {
+        const TimeUs now = times[i];
+        const tracelog::DenseTraceId dense = traces[i];
+        switch (types[i]) {
+          case tracelog::EventType::TraceCreate:
+            pinnedWanted[dense] = 0;
+            for (Lane &lane : lanes_) {
+                ++lane.result.createdTraces;
+                lane.result.createdBytes += sizes[i];
+                lane.manager->insert(dense, sizes[i], modules[i], now);
+                note_peak(lane);
+            }
+            break;
+          case tracelog::EventType::TraceExec:
+            for (Lane &lane : lanes_) {
+                ++lane.result.lookups;
+                if (lane.manager->lookup(dense, now)) {
+                    ++lane.result.hits;
+                } else {
+                    ++lane.result.misses;
+                    if (lane.manager->insert(dense,
+                                             log_.traceSize(dense),
+                                             log_.traceModule(dense),
+                                             now)) {
+                        ++lane.result.regenerations;
+                        if (pinnedWanted[dense] != 0) {
+                            lane.manager->setPinned(dense, true);
+                        }
+                    }
+                    note_peak(lane);
+                }
+            }
+            break;
+          case tracelog::EventType::ModuleLoad:
+            if (checkpointHook_) {
+                for (Lane &lane : lanes_) {
+                    checkpointHook_(*lane.manager, now);
+                }
+            }
+            break;
+          case tracelog::EventType::ModuleUnload:
+            for (Lane &lane : lanes_) {
+                lane.manager->invalidateModule(modules[i], now);
+                if (checkpointHook_) {
+                    checkpointHook_(*lane.manager, now);
+                }
+            }
+            break;
+          case tracelog::EventType::Pin:
+            pinnedWanted[dense] = 1;
+            for (Lane &lane : lanes_) {
+                lane.manager->setPinned(dense, true);
+            }
+            break;
+          case tracelog::EventType::Unpin:
+            pinnedWanted[dense] = 0;
+            for (Lane &lane : lanes_) {
+                lane.manager->setPinned(dense, false);
+            }
+            break;
+        }
+    }
+
+    std::vector<SimResult> results;
+    results.reserve(lanes_.size());
+    for (Lane &lane : lanes_) {
+        if (checkpointHook_) {
+            checkpointHook_(*lane.manager, log_.duration());
+        }
+        lane.result.managerStats = lane.manager->stats();
+        lane.result.overhead = lane.account->breakdown();
+        results.push_back(lane.result);
+    }
+    return results;
+}
+
+} // namespace gencache::sim

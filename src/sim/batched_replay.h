@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Single-pass batched multi-configuration replay.
+ *
+ * The sweep workload replays the same access log against K cache
+ * managers (e.g. the four promotion thresholds of one sweep point).
+ * Running K independent CacheSimulators costs O(K * events) of log
+ * decode and event dispatch. BatchedReplay streams a CompiledLog
+ * once and advances every registered lane per event, paying the
+ * decode/dispatch cost once: O(events + K * manager work).
+ *
+ * Each lane owns its manager, its OverheadAccount (installed as the
+ * manager's listener), and its SimResult. Pin/unpin bookkeeping
+ * (pinnedWanted) is shared across lanes: it depends only on the log
+ * position, never on manager state, so one copy serves all lanes.
+ *
+ * Results are bit-identical to running CacheSimulator::run per lane:
+ * the per-lane event handling is the same code path, only the event
+ * decode is hoisted out of the lane loop.
+ */
+
+#ifndef GENCACHE_SIM_BATCHED_REPLAY_H
+#define GENCACHE_SIM_BATCHED_REPLAY_H
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "tracelog/compiled_log.h"
+
+namespace gencache::sim {
+
+/** Replays one compiled log against K cache managers in one pass. */
+class BatchedReplay
+{
+  public:
+    /** @param log compiled log to stream; must outlive the replay. */
+    explicit BatchedReplay(const tracelog::CompiledLog &log);
+
+    /**
+     * Register @p manager as a replay lane and return its lane index.
+     * The replay installs a per-lane OverheadAccount (built from
+     * @p model) as the manager's event listener. Managers must be
+     * freshly constructed: run() switches their residency indexes to
+     * dense storage via prepareDenseIds().
+     */
+    std::size_t addLane(cache::CacheManager &manager,
+                        cost::CostModel model = cost::CostModel{});
+
+    /**
+     * Install @p hook to run per lane at replay phase boundaries
+     * (after ModuleLoad/ModuleUnload events and at the end of run()),
+     * mirroring CacheSimulator::setCheckpointHook.
+     */
+    void setCheckpointHook(
+        std::function<void(const cache::CacheManager &, TimeUs)> hook)
+    {
+        checkpointHook_ = std::move(hook);
+    }
+
+    /**
+     * Stream the log once, advancing all lanes per event. Returns one
+     * SimResult per lane, in addLane() order. Call at most once.
+     */
+    std::vector<SimResult> run();
+
+  private:
+    struct Lane
+    {
+        cache::CacheManager *manager = nullptr;
+        std::unique_ptr<cost::OverheadAccount> account;
+        SimResult result;
+    };
+
+    const tracelog::CompiledLog &log_;
+    std::vector<Lane> lanes_;
+    std::function<void(const cache::CacheManager &, TimeUs)>
+        checkpointHook_;
+};
+
+} // namespace gencache::sim
+
+#endif // GENCACHE_SIM_BATCHED_REPLAY_H

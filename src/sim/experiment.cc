@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "codecache/unified_cache.h"
+#include "sim/batched_replay.h"
 #include "support/format.h"
 #include "support/logging.h"
 #include "workload/generator.h"
@@ -61,6 +62,16 @@ ExperimentRunner::ExperimentRunner(workload::BenchmarkProfile profile)
 {
 }
 
+const tracelog::CompiledLog &
+ExperimentRunner::compiled() const
+{
+    std::call_once(compiledOnce_, [this]() {
+        compiled_ = std::make_unique<tracelog::CompiledLog>(
+            tracelog::CompiledLog::compile(log_));
+    });
+    return *compiled_;
+}
+
 SimResult
 ExperimentRunner::runUnbounded() const
 {
@@ -117,6 +128,28 @@ ExperimentRunner::runGenerational(std::uint64_t total_bytes,
     return result;
 }
 
+std::vector<SimResult>
+ExperimentRunner::runGenerationalBatch(
+    std::uint64_t total_bytes,
+    const std::vector<GenerationalLayout> &layouts) const
+{
+    std::vector<std::unique_ptr<cache::GenerationalCacheManager>>
+        managers;
+    managers.reserve(layouts.size());
+    BatchedReplay replay(compiled());
+    for (const GenerationalLayout &layout : layouts) {
+        managers.push_back(
+            std::make_unique<cache::GenerationalCacheManager>(
+                layout.toConfig(total_bytes)));
+        replay.addLane(*managers.back());
+    }
+    std::vector<SimResult> results = replay.run();
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        results[i].manager = layouts[i].label;
+    }
+    return results;
+}
+
 BenchmarkComparison
 ExperimentRunner::compare(const std::vector<GenerationalLayout> &layouts,
                           ThreadPool *pool) const
@@ -156,12 +189,11 @@ ExperimentRunner::compare(const std::vector<GenerationalLayout> &layouts,
         for (std::future<SimResult> &future : futures) {
             comparison.generational.push_back(future.get());
         }
-    } else {
-        comparison.generational.reserve(layouts.size());
-        for (const GenerationalLayout &layout : layouts) {
-            comparison.generational.push_back(
-                runGenerational(comparison.capacityBytes, layout));
-        }
+    } else if (!layouts.empty()) {
+        // Serial: one batched streaming pass over the compiled log
+        // covers every layout (bit-identical to per-layout runs).
+        comparison.generational =
+            runGenerationalBatch(comparison.capacityBytes, layouts);
     }
     return comparison;
 }

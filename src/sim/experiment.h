@@ -25,6 +25,7 @@
 #define GENCACHE_SIM_EXPERIMENT_H
 
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -33,6 +34,7 @@
 #include "codecache/generational_cache.h"
 #include "sim/simulator.h"
 #include "support/thread_pool.h"
+#include "tracelog/compiled_log.h"
 #include "workload/profile.h"
 
 namespace gencache::sim {
@@ -96,6 +98,10 @@ class ExperimentRunner
     /** The benchmark's access log, shared by every replay. */
     const tracelog::AccessLog &log() const { return log_; }
 
+    /** The log compiled to columnar, dense-id form. Built on first
+     *  use, then shared read-only by every batched replay. */
+    const tracelog::CompiledLog &compiled() const;
+
     /** Step 1: unbounded replay; returns peak occupancy. Memoized. */
     SimResult runUnbounded() const;
 
@@ -104,9 +110,17 @@ class ExperimentRunner
     SimResult runUnified(std::uint64_t capacity_bytes) const;
 
     /** Replay against a generational hierarchy splitting
-     *  @p total_bytes per @p layout. */
+     *  @p total_bytes per @p layout (legacy per-event path). */
     SimResult runGenerational(std::uint64_t total_bytes,
                               const GenerationalLayout &layout) const;
+
+    /** Fast path: replay every layout in @p layouts (all splitting
+     *  @p total_bytes) in ONE streaming pass over the compiled log
+     *  (sim::BatchedReplay). Returns one SimResult per layout, in
+     *  order, bit-identical to runGenerational on each. */
+    std::vector<SimResult> runGenerationalBatch(
+        std::uint64_t total_bytes,
+        const std::vector<GenerationalLayout> &layouts) const;
 
     /** The whole §6 pipeline with the given layouts. Per-layout runs
      *  fan out across @p pool when it has more than one worker; with
@@ -128,6 +142,9 @@ class ExperimentRunner
     mutable std::mutex memoMutex_;
     mutable std::optional<SimResult> unbounded_;
     mutable std::map<std::uint64_t, SimResult> unifiedByCapacity_;
+
+    mutable std::once_flag compiledOnce_;
+    mutable std::unique_ptr<tracelog::CompiledLog> compiled_;
 };
 
 } // namespace gencache::sim

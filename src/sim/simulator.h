@@ -22,6 +22,7 @@
 
 #include "codecache/cache_manager.h"
 #include "costmodel/cost_model.h"
+#include "tracelog/compiled_log.h"
 #include "tracelog/event.h"
 
 namespace gencache::sim {
@@ -65,6 +66,17 @@ class CacheSimulator
 
     /** Replay @p log from the beginning and return the results. */
     SimResult run(const tracelog::AccessLog &log);
+
+    /**
+     * Fast path: replay a compiled log. Streams the columnar event
+     * arrays and keeps pin/regeneration state in flat vectors indexed
+     * by dense trace id — no hash lookups on the per-event path. The
+     * manager sees dense ids (its behavior depends only on id
+     * identity, so results are bit-identical to the legacy path).
+     * Requires a freshly constructed manager: its residency indexes
+     * are switched to dense storage via prepareDenseIds().
+     */
+    SimResult run(const tracelog::CompiledLog &log);
 
     /**
      * Install @p hook to run at replay phase boundaries: after every

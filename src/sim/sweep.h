@@ -64,6 +64,16 @@ struct SweepResult
 std::vector<SweepPoint> defaultSweepPoints();
 std::vector<std::uint32_t> defaultSweepThresholds();
 
+/** Which replay implementation drives the generational grid cells. */
+enum class ReplayEngine {
+    /** One CacheSimulator pass over the AccessLog per cell. */
+    Legacy,
+    /** One BatchedReplay pass over the CompiledLog per sweep point,
+     *  advancing the whole threshold column at once. Cell results are
+     *  bit-identical to Legacy. */
+    BatchedCompiled,
+};
+
 /**
  * Run the sweep for @p profile: unbounded pre-pass, unified baseline
  * at half the peak, then every (point, threshold) cell.
@@ -72,13 +82,24 @@ std::vector<std::uint32_t> defaultSweepThresholds();
  * and replays the runner's shared immutable log — so they fan out
  * across a ThreadPool. @p threads selects the worker count: 0 obeys
  * the environment (GENCACHE_THREADS, else hardware concurrency), 1
- * forces the fully serial path, N uses N workers. Cell results are
- * identical regardless of the thread count.
+ * forces the fully serial path, N uses N workers. With the batched
+ * engine the fan-out unit is one sweep point (a threshold column);
+ * with the legacy engine it is one cell. Cell results are identical
+ * regardless of thread count and engine.
  */
 SweepResult runSweep(const workload::BenchmarkProfile &profile,
                      const std::vector<SweepPoint> &points,
                      const std::vector<std::uint32_t> &thresholds,
-                     std::size_t threads = 0);
+                     std::size_t threads = 0,
+                     ReplayEngine engine = ReplayEngine::BatchedCompiled);
+
+/** As above, but over a caller-owned @p runner whose workload is
+ *  already generated (benchmarks use this to time pure replay). */
+SweepResult runSweep(const ExperimentRunner &runner,
+                     const std::vector<SweepPoint> &points,
+                     const std::vector<std::uint32_t> &thresholds,
+                     std::size_t threads = 0,
+                     ReplayEngine engine = ReplayEngine::BatchedCompiled);
 
 } // namespace gencache::sim
 

@@ -1,0 +1,102 @@
+#include "tracelog/compiled_log.h"
+
+#include <unordered_map>
+
+#include "support/logging.h"
+
+namespace gencache::tracelog {
+
+CompiledLog
+CompiledLog::compile(const AccessLog &log)
+{
+    CompiledLog out;
+    out.benchmark_ = log.benchmark();
+    out.duration_ = log.duration();
+    out.footprint_ = log.footprintBytes();
+    out.createdBytes_ = log.createdTraceBytes();
+    out.createdCount_ = log.createdTraceCount();
+
+    const std::size_t count = log.size();
+    out.type_.reserve(count);
+    out.time_.reserve(count);
+    out.trace_.reserve(count);
+    out.size_.reserve(count);
+    out.module_.reserve(count);
+
+    std::unordered_map<cache::TraceId, DenseTraceId> remap;
+    std::unordered_map<cache::ModuleId, std::size_t> moduleSlot;
+    std::vector<bool> created;
+
+    auto dense_of = [&](cache::TraceId id) {
+        auto [it, fresh] = remap.emplace(
+            id, static_cast<DenseTraceId>(out.originalId_.size()));
+        if (fresh) {
+            out.originalId_.push_back(id);
+            out.traceSize_.push_back(0);
+            out.traceModule_.push_back(cache::kNoModule);
+            created.push_back(false);
+        }
+        return it->second;
+    };
+
+    for (std::size_t i = 0; i < count; ++i) {
+        const Event &event = log[i];
+        DenseTraceId dense = 0;
+        std::uint32_t size_bytes = 0;
+        cache::ModuleId module = cache::kNoModule;
+        switch (event.type) {
+          case EventType::TraceCreate:
+            dense = dense_of(event.trace);
+            if (created[dense]) {
+                GENCACHE_PANIC("trace {} created twice in log",
+                               event.trace);
+            }
+            created[dense] = true;
+            out.traceSize_[dense] = event.sizeBytes;
+            out.traceModule_[dense] = event.module;
+            size_bytes = event.sizeBytes;
+            module = event.module;
+            break;
+          case EventType::TraceExec:
+            dense = dense_of(event.trace);
+            if (!created[dense]) {
+                GENCACHE_PANIC("execution of unknown trace {}",
+                               event.trace);
+            }
+            break;
+          case EventType::Pin:
+          case EventType::Unpin:
+            dense = dense_of(event.trace);
+            break;
+          case EventType::ModuleLoad:
+          case EventType::ModuleUnload: {
+            module = event.module;
+            auto [it, fresh] =
+                moduleSlot.emplace(module, out.moduleRanges_.size());
+            if (fresh) {
+                ModuleRange range;
+                range.module = module;
+                range.firstEvent = i;
+                out.moduleRanges_.push_back(range);
+            }
+            ModuleRange &range = out.moduleRanges_[it->second];
+            range.lastEvent = i;
+            if (event.type == EventType::ModuleLoad) {
+                ++range.loads;
+            } else {
+                ++range.unloads;
+            }
+            break;
+          }
+        }
+        out.type_.push_back(event.type);
+        out.time_.push_back(event.time);
+        out.trace_.push_back(dense);
+        out.size_.push_back(size_bytes);
+        out.module_.push_back(module);
+    }
+
+    return out;
+}
+
+} // namespace gencache::tracelog

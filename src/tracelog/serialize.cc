@@ -15,6 +15,7 @@ namespace {
 constexpr char kTextMagic[] = "gclog";
 constexpr std::uint32_t kTextVersion = 1;
 constexpr char kBinaryMagic[4] = {'G', 'C', 'L', '1'};
+constexpr char kBinaryMagicV2[4] = {'G', 'C', 'L', '2'};
 
 const char *
 typeToken(EventType type)
@@ -65,6 +66,134 @@ readLe(std::istream &in)
         value |= static_cast<T>(bytes[i]) << (8 * i);
     }
     return value;
+}
+
+/** LEB128: 7 payload bits per byte, high bit = continuation. */
+void
+writeVarint(std::ostream &out, std::uint64_t value)
+{
+    unsigned char buf[10];
+    std::size_t n = 0;
+    do {
+        unsigned char byte = value & 0x7f;
+        value >>= 7;
+        if (value != 0) {
+            byte |= 0x80;
+        }
+        buf[n++] = byte;
+    } while (value != 0);
+    out.write(reinterpret_cast<const char *>(buf),
+              static_cast<std::streamsize>(n));
+}
+
+std::uint64_t
+readVarint(std::istream &in)
+{
+    std::uint64_t value = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+        int byte = in.get();
+        if (byte == std::char_traits<char>::eof()) {
+            fatal("truncated binary access log");
+        }
+        value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+        if ((byte & 0x80) == 0) {
+            return value;
+        }
+    }
+    fatal("binary gclog: varint longer than 64 bits");
+}
+
+void
+writeBinaryV2(const AccessLog &log, std::ostream &out)
+{
+    out.write(kBinaryMagicV2, sizeof(kBinaryMagicV2));
+    writeVarint(out, log.benchmark().size());
+    out.write(log.benchmark().data(),
+              static_cast<std::streamsize>(log.benchmark().size()));
+    writeVarint(out, log.duration());
+    writeVarint(out, log.footprintBytes());
+    writeVarint(out, log.size());
+    TimeUs prev = 0;
+    for (const Event &event : log.events()) {
+        writeLe<std::uint8_t>(out,
+                              static_cast<std::uint8_t>(event.type));
+        writeVarint(out, event.time - prev);
+        prev = event.time;
+        switch (event.type) {
+          case EventType::TraceCreate:
+            writeVarint(out, event.trace + 1);
+            writeVarint(out, event.sizeBytes);
+            writeVarint(out, static_cast<std::uint64_t>(
+                                 event.module + 1U));
+            break;
+          case EventType::TraceExec:
+          case EventType::Pin:
+          case EventType::Unpin:
+            writeVarint(out, event.trace + 1);
+            break;
+          case EventType::ModuleLoad:
+          case EventType::ModuleUnload:
+            writeVarint(out, static_cast<std::uint64_t>(
+                                 event.module + 1U));
+            break;
+        }
+    }
+}
+
+AccessLog
+readBinaryV2(std::istream &in)
+{
+    AccessLog log;
+    auto name_len = readVarint(in);
+    if (name_len > (1U << 20)) {
+        fatal("binary gclog: implausible benchmark name length {}",
+              name_len);
+    }
+    std::string name(name_len, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(name_len));
+    if (!in) {
+        fatal("truncated binary access log header");
+    }
+    log.setBenchmark(name);
+    log.setDuration(readVarint(in));
+    log.setFootprintBytes(readVarint(in));
+    auto count = readVarint(in);
+    TimeUs prev = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        Event event;
+        auto type = readLe<std::uint8_t>(in);
+        if (type > static_cast<std::uint8_t>(EventType::Unpin)) {
+            fatal("binary gclog: bad event type {}", int{type});
+        }
+        event.type = static_cast<EventType>(type);
+        TimeUs delta = readVarint(in);
+        if (delta > ~prev) {
+            fatal("binary gclog: event {} time overflows", i);
+        }
+        event.time = prev + delta;
+        prev = event.time;
+        switch (event.type) {
+          case EventType::TraceCreate:
+            event.trace = readVarint(in) - 1;
+            event.sizeBytes =
+                static_cast<std::uint32_t>(readVarint(in));
+            event.module =
+                static_cast<cache::ModuleId>(readVarint(in)) - 1U;
+            break;
+          case EventType::TraceExec:
+          case EventType::Pin:
+          case EventType::Unpin:
+            event.trace = readVarint(in) - 1;
+            break;
+          case EventType::ModuleLoad:
+          case EventType::ModuleUnload:
+            event.module =
+                static_cast<cache::ModuleId>(readVarint(in)) - 1U;
+            break;
+        }
+        log.append(event);
+    }
+    return log;
 }
 
 } // namespace
@@ -143,8 +272,15 @@ readText(std::istream &in)
 }
 
 void
-writeBinary(const AccessLog &log, std::ostream &out)
+writeBinary(const AccessLog &log, std::ostream &out, int version)
 {
+    if (version == 2) {
+        writeBinaryV2(log, out);
+        return;
+    }
+    if (version != 1) {
+        fatal("unsupported binary gclog version {}", version);
+    }
     out.write(kBinaryMagic, sizeof(kBinaryMagic));
     writeLe<std::uint32_t>(
         out, static_cast<std::uint32_t>(log.benchmark().size()));
@@ -168,7 +304,13 @@ readBinary(std::istream &in)
 {
     char magic[4];
     in.read(magic, sizeof(magic));
-    if (!in || std::memcmp(magic, kBinaryMagic, sizeof(magic)) != 0) {
+    if (!in) {
+        fatal("not a gclog binary file");
+    }
+    if (std::memcmp(magic, kBinaryMagicV2, sizeof(magic)) == 0) {
+        return readBinaryV2(in);
+    }
+    if (std::memcmp(magic, kBinaryMagic, sizeof(magic)) != 0) {
         fatal("not a gclog binary file");
     }
     AccessLog log;
@@ -211,14 +353,15 @@ endsWith(const std::string &text, const std::string &suffix)
 } // namespace
 
 void
-saveLog(const AccessLog &log, const std::string &path)
+saveLog(const AccessLog &log, const std::string &path,
+        int binary_version)
 {
     std::ofstream out(path, std::ios::binary);
     if (!out) {
         fatal("cannot open '{}' for writing", path);
     }
     if (endsWith(path, ".gclogb")) {
-        writeBinary(log, out);
+        writeBinary(log, out, binary_version);
     } else {
         writeText(log, out);
     }

@@ -32,15 +32,35 @@ void writeText(const AccessLog &log, std::ostream &out);
  *  user-supplied files). */
 AccessLog readText(std::istream &in);
 
-/** Binary format: magic "GCL1", metadata, then packed LE records. */
-void writeBinary(const AccessLog &log, std::ostream &out);
+/**
+ * Binary format versions:
+ *
+ *   v1 — magic "GCL1"; metadata, then fixed-width LE records (25
+ *        bytes per event).
+ *   v2 — magic "GCL2"; metadata as LEB128 varints, then per-event:
+ *        a type byte, the time as a varint *delta* from the previous
+ *        event's time, and only the fields the event type carries
+ *        (trace id for trace events, module for create/load/unload,
+ *        size for create), each as a varint. Trace and module ids are
+ *        stored +1 so the sentinels (kInvalidTrace, kNoModule) encode
+ *        as a single 0 byte. Fields an event type does not carry
+ *        decode to their Event defaults.
+ *
+ * @param version 1 or 2 (default 2); fatal() on anything else.
+ */
+void writeBinary(const AccessLog &log, std::ostream &out,
+                 int version = 2);
 
-/** Parse the binary format. Calls fatal() on malformed input. */
+/** Parse either binary format; the version is negotiated from the
+ *  magic. Calls fatal() on malformed input. */
 AccessLog readBinary(std::istream &in);
 
 /** Convenience file helpers; format chosen by extension ".gclog"
- *  (text) vs ".gclogb" (binary). fatal() on I/O failure. */
-void saveLog(const AccessLog &log, const std::string &path);
+ *  (text) vs ".gclogb" (binary). @p binary_version selects the
+ *  binary format version for ".gclogb" paths (text ignores it).
+ *  fatal() on I/O failure. */
+void saveLog(const AccessLog &log, const std::string &path,
+             int binary_version = 2);
 AccessLog loadLog(const std::string &path);
 
 } // namespace gencache::tracelog

@@ -1,0 +1,174 @@
+// Bit-identity of the compiled/batched replay fast paths against the
+// legacy per-event CacheSimulator. The CompiledLog relabels traces to
+// dense ids and BatchedReplay hoists event decode out of the lane
+// loop; neither may change a single counter of any SimResult.
+
+#include <gtest/gtest.h>
+
+#include "codecache/generational_cache.h"
+#include "codecache/unified_cache.h"
+#include "sim/batched_replay.h"
+#include "sim/experiment.h"
+#include "sim/simulator.h"
+#include "sim/sweep.h"
+#include "workload/profile.h"
+
+namespace {
+
+using namespace gencache;
+
+void
+expectIdentical(const sim::SimResult &a, const sim::SimResult &b,
+                const std::string &what)
+{
+    EXPECT_EQ(a.benchmark, b.benchmark) << what;
+    EXPECT_EQ(a.lookups, b.lookups) << what;
+    EXPECT_EQ(a.hits, b.hits) << what;
+    EXPECT_EQ(a.misses, b.misses) << what;
+    EXPECT_EQ(a.regenerations, b.regenerations) << what;
+    EXPECT_EQ(a.peakBytes, b.peakBytes) << what;
+    EXPECT_EQ(a.createdTraces, b.createdTraces) << what;
+    EXPECT_EQ(a.createdBytes, b.createdBytes) << what;
+
+    const cache::ManagerStats &x = a.managerStats;
+    const cache::ManagerStats &y = b.managerStats;
+    EXPECT_EQ(x.lookups, y.lookups) << what;
+    EXPECT_EQ(x.hits, y.hits) << what;
+    EXPECT_EQ(x.misses, y.misses) << what;
+    EXPECT_EQ(x.inserts, y.inserts) << what;
+    EXPECT_EQ(x.insertedBytes, y.insertedBytes) << what;
+    EXPECT_EQ(x.deletions, y.deletions) << what;
+    EXPECT_EQ(x.deletedBytes, y.deletedBytes) << what;
+    EXPECT_EQ(x.unmapDeletions, y.unmapDeletions) << what;
+    EXPECT_EQ(x.unmapDeletedBytes, y.unmapDeletedBytes) << what;
+    EXPECT_EQ(x.promotions, y.promotions) << what;
+    EXPECT_EQ(x.promotedBytes, y.promotedBytes) << what;
+    EXPECT_EQ(x.probationRejections, y.probationRejections) << what;
+    EXPECT_EQ(x.placementFailures, y.placementFailures) << what;
+
+    EXPECT_EQ(a.overhead.traceGeneration, b.overhead.traceGeneration)
+        << what;
+    EXPECT_EQ(a.overhead.contextSwitches, b.overhead.contextSwitches)
+        << what;
+    EXPECT_EQ(a.overhead.evictions, b.overhead.evictions) << what;
+    EXPECT_EQ(a.overhead.promotions, b.overhead.promotions) << what;
+    EXPECT_EQ(a.overhead.copies, b.overhead.copies) << what;
+}
+
+std::uint64_t
+managedCapacity(const sim::ExperimentRunner &runner)
+{
+    std::uint64_t peak = runner.runUnbounded().peakBytes;
+    std::uint64_t capacity = static_cast<std::uint64_t>(
+        static_cast<double>(peak) * sim::kCachePressureFactor);
+    return capacity < 4096 ? 4096 : capacity;
+}
+
+// Every example workload, every sweep threshold: one batched pass
+// must reproduce the legacy per-layout replays exactly.
+TEST(ReplayIdentity, BatchedMatchesLegacyOnAllWorkloads)
+{
+    for (const workload::BenchmarkProfile &profile :
+         workload::allProfiles()) {
+        sim::ExperimentRunner runner(profile);
+        std::uint64_t capacity = managedCapacity(runner);
+
+        std::vector<sim::GenerationalLayout> layouts;
+        for (std::uint32_t threshold : sim::defaultSweepThresholds()) {
+            sim::GenerationalLayout layout;
+            layout.label = "45-10-45";
+            layout.nurseryFrac = 0.45;
+            layout.probationFrac = 0.10;
+            layout.promotionThreshold = threshold;
+            layouts.push_back(layout);
+        }
+
+        std::vector<sim::SimResult> batched =
+            runner.runGenerationalBatch(capacity, layouts);
+        ASSERT_EQ(batched.size(), layouts.size());
+        for (std::size_t i = 0; i < layouts.size(); ++i) {
+            sim::SimResult legacy =
+                runner.runGenerational(capacity, layouts[i]);
+            expectIdentical(legacy, batched[i],
+                            profile.name + " thr " +
+                                std::to_string(
+                                    layouts[i].promotionThreshold));
+        }
+    }
+}
+
+// The single-manager compiled fast path (CacheSimulator overload).
+TEST(ReplayIdentity, CompiledSimulatorMatchesLegacyUnified)
+{
+    sim::ExperimentRunner runner(workload::findProfile("vortex"));
+    std::uint64_t capacity = managedCapacity(runner);
+
+    cache::UnifiedCacheManager legacyManager(capacity);
+    sim::CacheSimulator legacySim(legacyManager);
+    sim::SimResult legacy = legacySim.run(runner.log());
+
+    cache::UnifiedCacheManager fastManager(capacity);
+    sim::CacheSimulator fastSim(fastManager);
+    sim::SimResult fast = fastSim.run(runner.compiled());
+
+    expectIdentical(legacy, fast, "unified compiled fast path");
+}
+
+TEST(ReplayIdentity, CompiledSimulatorMatchesLegacyGenerational)
+{
+    sim::ExperimentRunner runner(workload::findProfile("crafty"));
+    std::uint64_t capacity = managedCapacity(runner);
+    cache::GenerationalConfig config =
+        cache::GenerationalConfig::fromProportions(capacity, 0.45,
+                                                   0.10, 1);
+
+    cache::GenerationalCacheManager legacyManager(config);
+    sim::CacheSimulator legacySim(legacyManager);
+    sim::SimResult legacy = legacySim.run(runner.log());
+
+    cache::GenerationalCacheManager fastManager(config);
+    sim::CacheSimulator fastSim(fastManager);
+    sim::SimResult fast = fastSim.run(runner.compiled());
+
+    expectIdentical(legacy, fast, "generational compiled fast path");
+}
+
+// Whole-sweep equivalence of the two engines, serial and threaded.
+TEST(ReplayIdentity, SweepEnginesProduceIdenticalCells)
+{
+    workload::BenchmarkProfile profile = workload::findProfile("gcc");
+    auto points = sim::defaultSweepPoints();
+    auto thresholds = sim::defaultSweepThresholds();
+
+    sim::SweepResult legacy = sim::runSweep(
+        profile, points, thresholds, 1, sim::ReplayEngine::Legacy);
+    sim::SweepResult batchedSerial =
+        sim::runSweep(profile, points, thresholds, 1,
+                      sim::ReplayEngine::BatchedCompiled);
+    sim::SweepResult batchedThreaded =
+        sim::runSweep(profile, points, thresholds, 4,
+                      sim::ReplayEngine::BatchedCompiled);
+
+    auto expect_cells = [&](const sim::SweepResult &a,
+                            const sim::SweepResult &b) {
+        EXPECT_EQ(a.benchmark, b.benchmark);
+        EXPECT_EQ(a.capacityBytes, b.capacityBytes);
+        EXPECT_EQ(a.unifiedMissRate, b.unifiedMissRate);
+        ASSERT_EQ(a.cells.size(), b.cells.size());
+        for (std::size_t i = 0; i < a.cells.size(); ++i) {
+            EXPECT_EQ(a.cells[i].threshold, b.cells[i].threshold)
+                << "cell " << i;
+            EXPECT_EQ(a.cells[i].missRate, b.cells[i].missRate)
+                << "cell " << i;
+            EXPECT_EQ(a.cells[i].promotions, b.cells[i].promotions)
+                << "cell " << i;
+            EXPECT_EQ(a.cells[i].missRateReductionPct,
+                      b.cells[i].missRateReductionPct)
+                << "cell " << i;
+        }
+    };
+    expect_cells(legacy, batchedSerial);
+    expect_cells(legacy, batchedThreaded);
+}
+
+} // namespace

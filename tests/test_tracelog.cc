@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "tracelog/compiled_log.h"
 #include "tracelog/event.h"
 #include "tracelog/lifetime.h"
 #include "tracelog/serialize.h"
@@ -164,6 +165,177 @@ TEST(SerializeDeath, TruncatedBinaryIsFatal)
         bytes.substr(0, bytes.size() / 2));
     EXPECT_EXIT(readBinary(truncated), ::testing::ExitedWithCode(1),
                 "truncated");
+}
+
+void
+expectLogsEqual(const AccessLog &loaded, const AccessLog &original)
+{
+    EXPECT_EQ(loaded.benchmark(), original.benchmark());
+    EXPECT_EQ(loaded.duration(), original.duration());
+    EXPECT_EQ(loaded.footprintBytes(), original.footprintBytes());
+    ASSERT_EQ(loaded.size(), original.size());
+    for (std::size_t i = 0; i < loaded.size(); ++i) {
+        EXPECT_EQ(loaded[i].type, original[i].type) << i;
+        EXPECT_EQ(loaded[i].time, original[i].time) << i;
+        EXPECT_EQ(loaded[i].trace, original[i].trace) << i;
+        EXPECT_EQ(loaded[i].sizeBytes, original[i].sizeBytes) << i;
+        EXPECT_EQ(loaded[i].module, original[i].module) << i;
+    }
+}
+
+TEST(SerializeV2, RoundTripAllFields)
+{
+    AccessLog original = sampleLog();
+    std::stringstream stream;
+    writeBinary(original, stream, 2);
+    expectLogsEqual(readBinary(stream), original);
+}
+
+TEST(SerializeV2, RoundTripsSentinelIds)
+{
+    // kNoModule and the default field values of non-create events
+    // sit at the edges of the +1-shifted varint encoding.
+    AccessLog original;
+    original.append(Event::traceCreate(0, 0, 16, cache::kNoModule));
+    original.append(Event::traceExec(5, 0));
+    std::stringstream stream;
+    writeBinary(original, stream, 2);
+    expectLogsEqual(readBinary(stream), original);
+}
+
+TEST(SerializeV2, SmallerThanV1)
+{
+    AccessLog log = sampleLog();
+    std::stringstream v1;
+    std::stringstream v2;
+    writeBinary(log, v1, 1);
+    writeBinary(log, v2, 2);
+    EXPECT_LT(v2.str().size(), v1.str().size());
+}
+
+TEST(SerializeV2, V1StillLoads)
+{
+    AccessLog original = sampleLog();
+    std::stringstream stream;
+    writeBinary(original, stream, 1);
+    expectLogsEqual(readBinary(stream), original);
+}
+
+TEST(SerializeV2Death, UnsupportedVersionIsFatal)
+{
+    AccessLog log = sampleLog();
+    std::stringstream stream;
+    EXPECT_EXIT(writeBinary(log, stream, 3),
+                ::testing::ExitedWithCode(1),
+                "unsupported binary gclog version");
+}
+
+TEST(SerializeV2Death, TruncatedV2IsFatal)
+{
+    AccessLog original = sampleLog();
+    std::stringstream stream;
+    writeBinary(original, stream, 2);
+    std::string bytes = stream.str();
+    std::stringstream truncated(
+        bytes.substr(0, bytes.size() / 2));
+    EXPECT_EXIT(readBinary(truncated), ::testing::ExitedWithCode(1),
+                "truncated");
+}
+
+TEST(SerializeV2Death, BadEventTypeIsFatal)
+{
+    // GCL2 header with empty name, zero duration/footprint, one
+    // event whose type byte is out of range.
+    std::string bytes("GCL2\0\0\0\x01\xff", 9);
+    std::stringstream stream(bytes);
+    EXPECT_EXIT(readBinary(stream), ::testing::ExitedWithCode(1),
+                "bad event type");
+}
+
+TEST(SerializeV2Death, TimeOverflowIsFatal)
+{
+    // Two exec events whose summed time deltas overflow 64 bits.
+    std::string bytes("GCL2\0\0\0\x02", 8);
+    bytes += '\x01';                            // exec
+    bytes += std::string(9, '\xff');            // delta =
+    bytes += '\x01';                            //   2^64 - 1
+    bytes += '\x02';                            // trace 1
+    bytes += '\x01';                            // exec
+    bytes += '\x01';                            // delta 1: overflow
+    std::stringstream stream(bytes);
+    EXPECT_EXIT(readBinary(stream), ::testing::ExitedWithCode(1),
+                "time overflows");
+}
+
+TEST(CompiledLog, ColumnsMirrorTheLog)
+{
+    AccessLog log = sampleLog();
+    CompiledLog compiled = CompiledLog::compile(log);
+    EXPECT_EQ(compiled.benchmark(), log.benchmark());
+    EXPECT_EQ(compiled.duration(), log.duration());
+    EXPECT_EQ(compiled.footprintBytes(), log.footprintBytes());
+    EXPECT_EQ(compiled.createdTraceBytes(), log.createdTraceBytes());
+    EXPECT_EQ(compiled.createdTraceCount(), log.createdTraceCount());
+    ASSERT_EQ(compiled.size(), log.size());
+    for (std::size_t i = 0; i < log.size(); ++i) {
+        EXPECT_EQ(compiled.types()[i], log[i].type) << i;
+        EXPECT_EQ(compiled.times()[i], log[i].time) << i;
+    }
+}
+
+TEST(CompiledLog, DenseRemapPreservesIdentity)
+{
+    AccessLog log = sampleLog();
+    CompiledLog compiled = CompiledLog::compile(log);
+    ASSERT_EQ(compiled.traceCount(), 2u);
+    // Dense ids are assigned in order of first appearance.
+    EXPECT_EQ(compiled.originalId(0), 1u);
+    EXPECT_EQ(compiled.originalId(1), 2u);
+    EXPECT_EQ(compiled.traceSize(0), 100u);
+    EXPECT_EQ(compiled.traceSize(1), 200u);
+    EXPECT_EQ(compiled.traceModule(0), 0u);
+    EXPECT_EQ(compiled.traceModule(1), 1u);
+    // Every trace-bearing event column entry stays in bounds.
+    for (std::size_t i = 0; i < compiled.size(); ++i) {
+        EventType type = compiled.types()[i];
+        if (type == EventType::ModuleLoad ||
+            type == EventType::ModuleUnload) {
+            continue;
+        }
+        EXPECT_LT(compiled.traces()[i], compiled.traceCount()) << i;
+    }
+}
+
+TEST(CompiledLog, ModuleRangesCoverLoadsAndUnloads)
+{
+    AccessLog log = sampleLog();
+    CompiledLog compiled = CompiledLog::compile(log);
+    ASSERT_EQ(compiled.moduleRanges().size(), 2u);
+    const CompiledLog::ModuleRange &mod0 = compiled.moduleRanges()[0];
+    const CompiledLog::ModuleRange &mod1 = compiled.moduleRanges()[1];
+    EXPECT_EQ(mod0.module, 0u);
+    EXPECT_EQ(mod0.loads, 1u);
+    EXPECT_EQ(mod0.unloads, 0u);
+    EXPECT_EQ(mod0.firstEvent, 0u);
+    EXPECT_EQ(mod1.module, 1u);
+    EXPECT_EQ(mod1.loads, 1u);
+    EXPECT_EQ(mod1.unloads, 1u);
+    EXPECT_EQ(mod1.lastEvent, 8u);
+}
+
+TEST(CompiledLogDeath, DuplicateCreateIsFatal)
+{
+    AccessLog log;
+    log.append(Event::traceCreate(1, 7, 10, 0));
+    log.append(Event::traceCreate(2, 7, 10, 0));
+    EXPECT_DEATH(CompiledLog::compile(log), "created twice");
+}
+
+TEST(CompiledLogDeath, ExecBeforeCreateIsFatal)
+{
+    AccessLog log;
+    log.append(Event::traceExec(1, 7));
+    EXPECT_DEATH(CompiledLog::compile(log), "unknown trace");
 }
 
 TEST(EventType, Names)

@@ -11,7 +11,14 @@
  *    graph, cache state);
  *  - sim:<profile> — a statistical benchmark workload replayed
  *    through the trace-driven simulator against a generational cache,
- *    then checked at the storage level.
+ *    then checked at the storage level;
+ *  - batched:<profile>:tN — the same workload compiled once
+ *    (tracelog::CompiledLog) and streamed through the batched replay
+ *    driver against one lane per standard sweep threshold; every
+ *    lane's end state is checked like a sim subject. This keeps the
+ *    fast replay path honest: the dense-id residency indices must
+ *    leave the same self-consistent storage state the legacy loop
+ *    does.
  *
  * Exit status is 1 when any error-severity diagnostic was reported,
  * 0 otherwise (warnings and notes do not fail the run).
@@ -28,6 +35,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -37,7 +45,10 @@
 #include "codecache/unified_cache.h"
 #include "guest/synthetic_program.h"
 #include "runtime/runtime.h"
+#include "sim/batched_replay.h"
 #include "sim/simulator.h"
+#include "sim/sweep.h"
+#include "tracelog/compiled_log.h"
 #include "support/format.h"
 #include "support/units.h"
 #include "workload/generator.h"
@@ -109,6 +120,44 @@ checkSimSubject(const workload::BenchmarkProfile &profile)
     report.name = "sim:" + profile.name;
     report.engine = analysis::checkManager(manager);
     return report;
+}
+
+/** Stream one compiled workload through the batched replay driver —
+ *  one lane per standard sweep threshold — and check every lane's
+ *  end state. */
+std::vector<SubjectReport>
+checkBatchedSubjects(const workload::BenchmarkProfile &profile)
+{
+    tracelog::AccessLog log = workload::generateWorkload(profile);
+    tracelog::CompiledLog compiled = tracelog::CompiledLog::compile(log);
+
+    auto total = static_cast<std::uint64_t>(
+        profile.finalCacheKb * static_cast<double>(kKiB) / 2.0);
+    std::vector<std::uint32_t> thresholds =
+        sim::defaultSweepThresholds();
+
+    std::vector<std::unique_ptr<cache::GenerationalCacheManager>>
+        managers;
+    sim::BatchedReplay replay(compiled);
+    for (std::uint32_t threshold : thresholds) {
+        managers.push_back(
+            std::make_unique<cache::GenerationalCacheManager>(
+                cache::GenerationalConfig::fromProportions(
+                    total, /*nursery_frac=*/0.45,
+                    /*probation_frac=*/0.10, threshold)));
+        replay.addLane(*managers.back());
+    }
+    replay.run();
+
+    std::vector<SubjectReport> reports;
+    for (std::size_t i = 0; i < managers.size(); ++i) {
+        SubjectReport report;
+        report.name = format("batched:{}:t{}", profile.name,
+                             thresholds[i]);
+        report.engine = analysis::checkManager(*managers[i]);
+        reports.push_back(std::move(report));
+    }
+    return reports;
 }
 
 void
@@ -210,6 +259,9 @@ main(int argc, char **argv)
     }
     for (const workload::BenchmarkProfile &profile : profiles) {
         reports.push_back(checkSimSubject(profile));
+        for (SubjectReport &report : checkBatchedSubjects(profile)) {
+            reports.push_back(std::move(report));
+        }
     }
 
     std::size_t errors = 0;

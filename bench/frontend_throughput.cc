@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Front-end throughput: legacy hash-map dispatch vs the predecoded
+ * fast path, generating live access logs on the standard nine
+ * benchmarks (gzip, vpr, gcc, crafty, eon, art, applu, word,
+ * solitaire).
+ *
+ * Each benchmark name maps deterministically to a synthetic guest
+ * program whose shape mimics the profile class: tight hot loops for
+ * the SPEC floating-point codes, wide flat code for gcc, phased
+ * DLL-heavy runs for the interactive programs. The same program is
+ * executed to completion under both front ends; the timed interval is
+ * module load (which includes predecoding) through guest halt — the
+ * full single-threaded log-generation path. The two logs must be
+ * bit-identical or the harness exits nonzero.
+ *
+ * Emits BENCH_frontend.json: per-benchmark and total wall times,
+ * retired instructions/sec, events/sec, and the single-threaded
+ * speedup (the acceptance number).
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "codecache/unified_cache.h"
+#include "guest/address_space.h"
+#include "guest/synthetic_program.h"
+#include "runtime/runtime.h"
+#include "support/format.h"
+
+namespace {
+
+using namespace gencache;
+
+/** Shape class of a benchmark's synthetic stand-in. */
+struct BenchShape
+{
+    const char *name;
+    unsigned phases;
+    unsigned functionsPerPhase;
+    unsigned sharedFunctions;
+    unsigned dllCount;
+    unsigned blocksPerFunction;
+    unsigned phaseIterations; ///< scaled by GENCACHE_SCALE
+    unsigned innerIterations;
+};
+
+/** The §6.1 nine-benchmark grid, as front-end workload shapes.
+ *  SPEC integer codes: moderate footprints, warm loops. gcc: wide
+ *  flat code, dispatch-heavy. SPEC fp (art, applu): tiny scorching
+ *  loops. Interactive (word, solitaire): phased, DLL churn. */
+const BenchShape kShapes[] = {
+    {"gzip", 3, 4, 2, 1, 4, 900, 60},
+    {"vpr", 3, 5, 2, 1, 5, 700, 50},
+    {"gcc", 5, 8, 3, 2, 6, 500, 25},
+    {"crafty", 3, 6, 3, 1, 5, 700, 45},
+    {"eon", 4, 5, 2, 1, 5, 650, 45},
+    {"art", 2, 3, 2, 0, 3, 1400, 120},
+    {"applu", 2, 3, 2, 0, 4, 1200, 110},
+    {"word", 6, 5, 2, 3, 4, 450, 30},
+    {"solitaire", 6, 4, 2, 3, 4, 500, 30},
+};
+
+/** Deterministic seed from the benchmark name (FNV-1a). */
+std::uint64_t
+seedOf(const char *name)
+{
+    std::uint64_t hash = 1469598103934665603ULL;
+    for (const char *c = name; *c != '\0'; ++c) {
+        hash ^= static_cast<unsigned char>(*c);
+        hash *= 1099511628211ULL;
+    }
+    return hash;
+}
+
+guest::SyntheticProgramConfig
+configOf(const BenchShape &shape)
+{
+    double scale = bench::scaleFactor();
+    guest::SyntheticProgramConfig config;
+    config.seed = seedOf(shape.name);
+    config.phases = shape.phases;
+    config.functionsPerPhase = shape.functionsPerPhase;
+    config.sharedFunctions = shape.sharedFunctions;
+    config.dllCount = shape.dllCount;
+    config.blocksPerFunction = shape.blocksPerFunction;
+    auto iterations = static_cast<unsigned>(
+        static_cast<double>(shape.phaseIterations) * scale);
+    config.phaseIterations = iterations < 1 ? 1 : iterations;
+    config.innerIterations = shape.innerIterations;
+    return config;
+}
+
+/** One complete run: load, execute to halt, capture observables. */
+struct RunResult
+{
+    double seconds = 0.0;
+    std::uint64_t instructions = 0;
+    tracelog::AccessLog log;
+    runtime::RuntimeStats stats;
+};
+
+RunResult
+runOnce(const guest::SyntheticProgram &synthetic,
+        runtime::FrontEnd mode)
+{
+    cache::UnifiedCacheManager manager(0);
+    guest::AddressSpace space;
+    runtime::Runtime runtime(space, manager,
+                             runtime::kDefaultTraceThreshold, mode);
+
+    bench::WallTimer timer;
+    for (const auto &module : synthetic.program.modules()) {
+        runtime.loadModule(*module);
+    }
+    runtime.start(synthetic.program.entry());
+    runtime.run();
+
+    RunResult result;
+    result.seconds = timer.seconds();
+    result.instructions = runtime.stats().totalInstructions();
+    result.log = runtime.log();
+    result.stats = runtime.stats();
+    return result;
+}
+
+bool
+identical(const RunResult &a, const RunResult &b)
+{
+    if (a.instructions != b.instructions ||
+        a.stats.tracesBuilt != b.stats.tracesBuilt ||
+        a.stats.traceExecutions != b.stats.traceExecutions ||
+        a.stats.contextSwitches != b.stats.contextSwitches ||
+        a.log.size() != b.log.size()) {
+        return false;
+    }
+    for (std::size_t i = 0; i < a.log.size(); ++i) {
+        const tracelog::Event &x = a.log[i];
+        const tracelog::Event &y = b.log[i];
+        if (x.type != y.type || x.time != y.time ||
+            x.trace != y.trace || x.sizeBytes != y.sizeBytes ||
+            x.module != y.module) {
+            return false;
+        }
+    }
+    return true;
+}
+
+double
+perSec(std::uint64_t count, double seconds)
+{
+    return seconds > 0.0 ? static_cast<double>(count) / seconds : 0.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Front-end throughput: legacy dispatch vs "
+                  "predecoded fast path (single-threaded log "
+                  "generation)");
+
+    bench::JsonArray benchmarks;
+    double total_legacy = 0.0;
+    double total_fast = 0.0;
+    std::uint64_t total_instructions = 0;
+    std::uint64_t total_events = 0;
+    bool all_identical = true;
+
+    for (const BenchShape &shape : kShapes) {
+        guest::SyntheticProgram synthetic =
+            guest::generateSyntheticProgram(configOf(shape));
+
+        // Warm-up pass (untimed) so first-touch allocation noise does
+        // not land on whichever mode happens to run first.
+        runOnce(synthetic, runtime::FrontEnd::Predecoded);
+
+        RunResult legacy =
+            runOnce(synthetic, runtime::FrontEnd::Legacy);
+        RunResult fast =
+            runOnce(synthetic, runtime::FrontEnd::Predecoded);
+
+        bool match = identical(legacy, fast);
+        all_identical = all_identical && match;
+        double speedup = fast.seconds > 0.0
+                             ? legacy.seconds / fast.seconds
+                             : 0.0;
+
+        total_legacy += legacy.seconds;
+        total_fast += fast.seconds;
+        total_instructions += legacy.instructions;
+        total_events += legacy.log.size();
+
+        std::printf("%-10s %10llu insts %8zu events  %.3fs -> %.3fs "
+                    "(%.2fx)  logs %s\n",
+                    shape.name,
+                    static_cast<unsigned long long>(
+                        legacy.instructions),
+                    legacy.log.size(), legacy.seconds, fast.seconds,
+                    speedup, match ? "identical" : "MISMATCH");
+
+        bench::JsonObject entry;
+        entry.put("name", shape.name)
+            .put("instructions", legacy.instructions)
+            .put("events",
+                 static_cast<std::uint64_t>(legacy.log.size()))
+            .put("legacy_sec", legacy.seconds)
+            .put("fast_sec", fast.seconds)
+            .put("speedup", speedup)
+            .put("legacy_insts_per_sec",
+                 perSec(legacy.instructions, legacy.seconds))
+            .put("fast_insts_per_sec",
+                 perSec(fast.instructions, fast.seconds))
+            .put("legacy_events_per_sec",
+                 perSec(legacy.log.size(), legacy.seconds))
+            .put("fast_events_per_sec",
+                 perSec(fast.log.size(), fast.seconds))
+            .put("logs_identical", match);
+        benchmarks.push(entry);
+    }
+
+    double speedup =
+        total_fast > 0.0 ? total_legacy / total_fast : 0.0;
+    std::printf("\ntotal: %.2fs -> %.2fs (%.2fx), logs %s\n",
+                total_legacy, total_fast, speedup,
+                all_identical ? "identical" : "MISMATCH");
+
+    bench::JsonObject artifact;
+    artifact.put("bench", "frontend_throughput")
+        .put("threads", static_cast<std::uint64_t>(1))
+        .put("scale", bench::scaleFactor())
+        .putRaw("benchmarks", benchmarks.toString())
+        .put("total_instructions", total_instructions)
+        .put("total_events", total_events)
+        .put("legacy_sec", total_legacy)
+        .put("fast_sec", total_fast)
+        .put("speedup", speedup)
+        .put("all_logs_identical", all_identical);
+    bench::writeJsonArtifact("BENCH_frontend.json", artifact);
+
+    return all_identical ? 0 : 1;
+}

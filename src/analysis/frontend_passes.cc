@@ -1,0 +1,168 @@
+#include "analysis/frontend_passes.h"
+
+#include "guest/address_space.h"
+#include "runtime/linker.h"
+#include "runtime/runtime.h"
+#include "support/format.h"
+
+namespace gencache::analysis {
+namespace {
+
+/** The successor slot the link graph implies for @p node exiting to
+ *  @p target: the resident trace at @p target when a patched edge to
+ *  it exists, else kInvalidTrace. */
+cache::TraceId
+impliedSlot(const runtime::TraceLinker &linker,
+            const runtime::TraceLinker::Node &node,
+            isa::GuestAddr target)
+{
+    auto hit = linker.entryIndex().find(target);
+    if (hit == linker.entryIndex().end()) {
+        return cache::kInvalidTrace;
+    }
+    return node.outgoing.count(hit->second) != 0 ? hit->second
+                                                 : cache::kInvalidTrace;
+}
+
+} // namespace
+
+void
+checkExitCaches(const runtime::TraceLinker &linker,
+                DiagnosticEngine &out)
+{
+    const auto &caches = linker.exitCaches();
+    for (const auto &[id, node] : linker.nodes()) {
+        std::string where = format("trace {}", id);
+        if (id >= caches.size()) {
+            out.report(Severity::Error, "fe-exit-shape", where,
+                       "resident trace has no direct-chaining exit "
+                       "cache");
+            continue;
+        }
+        const runtime::TraceLinker::ExitCache &cache = caches[id];
+        if (cache.targets != node.exitTargets ||
+            cache.slots.size() != cache.targets.size()) {
+            out.report(Severity::Error, "fe-exit-shape", where,
+                       format("exit cache shape ({} targets, {} "
+                              "slots) does not mirror the node's {} "
+                              "exit targets",
+                              cache.targets.size(), cache.slots.size(),
+                              node.exitTargets.size()));
+            continue;
+        }
+        for (std::size_t i = 0; i < cache.targets.size(); ++i) {
+            cache::TraceId expected =
+                impliedSlot(linker, node, cache.targets[i]);
+            if (cache.slots[i] != expected) {
+                out.report(
+                    Severity::Error, "fe-exit-slot", where,
+                    format("cached successor slot for exit {} is {} "
+                           "but the link graph implies {}",
+                           hexAddr(cache.targets[i]),
+                           static_cast<std::int64_t>(cache.slots[i]),
+                           static_cast<std::int64_t>(expected)));
+            }
+        }
+    }
+
+    // An evicted trace must not leave a stale cached jump behind.
+    for (std::size_t id = 0; id < caches.size(); ++id) {
+        if (linker.nodes().count(static_cast<cache::TraceId>(id)) ==
+                0 &&
+            !caches[id].targets.empty()) {
+            out.report(Severity::Error, "fe-exit-shape",
+                       format("trace {}", id),
+                       "non-resident trace still has a populated exit "
+                       "cache");
+        }
+    }
+}
+
+void
+FrontendPass::run(const AnalysisInput &input,
+                  DiagnosticEngine &out) const
+{
+    const runtime::TraceLinker *linker = input.linker;
+    if (linker == nullptr && input.runtime != nullptr) {
+        linker = &input.runtime->linker();
+    }
+    if (linker != nullptr) {
+        checkExitCaches(*linker, out);
+    }
+
+    if (input.runtime == nullptr) {
+        return;
+    }
+    const runtime::Runtime &rt = *input.runtime;
+    const guest::AddressSpace &space = rt.space();
+    const guest::BlockIndex &index = space.blockIndex();
+
+    // Dense block ids round-trip: every block of every mapped module
+    // resolves to an id whose metadata describes exactly that block.
+    for (const guest::GuestModule *module : space.mappedModules()) {
+        for (const auto &[start, block] : module->blocks()) {
+            std::string where =
+                format("module '{}' block {}", module->name(),
+                       hexAddr(start));
+            guest::BlockId id = space.blockIdAt(start);
+            if (id == guest::kInvalidBlockId) {
+                out.report(Severity::Error, "fe-block-roundtrip",
+                           where,
+                           "mapped block has no dense block id");
+                continue;
+            }
+            const guest::BlockMeta &meta = index.meta(id);
+            if (meta.startAddr != start ||
+                meta.module != module->id() ||
+                meta.sizeBytes != block.sizeBytes() ||
+                meta.instEnd - meta.instBegin !=
+                    block.instructionCount()) {
+                out.report(Severity::Error, "fe-block-roundtrip",
+                           where,
+                           format("block id {} metadata does not "
+                                  "round-trip (start {}, module {}, "
+                                  "{} bytes, {} insts)",
+                                  id, hexAddr(meta.startAddr),
+                                  meta.module, meta.sizeBytes,
+                                  meta.instEnd - meta.instBegin));
+            }
+        }
+    }
+
+    // Dispatch table vs. live traces, both directions.
+    const auto &table = rt.dispatchTable();
+    for (std::size_t bid = 0; bid < table.size(); ++bid) {
+        cache::TraceId tid = table[bid];
+        if (tid == cache::kInvalidTrace) {
+            continue;
+        }
+        std::string where = format("block id {}", bid);
+        auto it = rt.traces().find(tid);
+        if (it == rt.traces().end()) {
+            out.report(Severity::Error, "fe-dispatch-stale", where,
+                       format("dispatch table names trace {} which "
+                              "no longer exists",
+                              tid));
+            continue;
+        }
+        if (space.blockIdAt(it->second.entry) != bid) {
+            out.report(Severity::Error, "fe-dispatch-stale", where,
+                       format("dispatch table names trace {} whose "
+                              "entry {} resolves elsewhere",
+                              tid, hexAddr(it->second.entry)));
+        }
+    }
+    for (const auto &[tid, trace] : rt.traces()) {
+        std::string where = format("trace {}", tid);
+        guest::BlockId bid = space.blockIdAt(trace.entry);
+        if (bid == guest::kInvalidBlockId ||
+            bid >= table.size() || table[bid] != tid) {
+            out.report(Severity::Error, "fe-dispatch-missing", where,
+                       format("live trace entry {} is not dispatched "
+                              "to it through the dense table",
+                              hexAddr(trace.entry)));
+        }
+    }
+}
+
+} // namespace gencache::analysis

@@ -2,6 +2,7 @@
 
 #include "analysis/cache_passes.h"
 #include "analysis/cfg_passes.h"
+#include "analysis/frontend_passes.h"
 #include "analysis/link_passes.h"
 #include "analysis/superblock_passes.h"
 #include "runtime/runtime.h"
@@ -36,6 +37,7 @@ makeAllPasses()
     passes.push_back(std::make_unique<CfgReachabilityPass>());
     passes.push_back(std::make_unique<SuperblockPass>());
     passes.push_back(std::make_unique<LinkGraphPass>());
+    passes.push_back(std::make_unique<FrontendPass>());
     passes.push_back(std::make_unique<CacheStatePass>());
     return passes;
 }

@@ -1,5 +1,8 @@
 #include "guest/address_space.h"
 
+#include <sstream>
+
+#include "support/format.h"
 #include "support/logging.h"
 
 namespace gencache::guest {
@@ -25,6 +28,7 @@ AddressSpace::map(const GuestModule &module)
         }
     }
     byBase_.emplace(base, &module);
+    index_.addModule(module);
     for (const auto &observer : observers_) {
         observer(module, true);
     }
@@ -37,6 +41,7 @@ AddressSpace::unmap(ModuleId id)
         if (it->second->id() == id) {
             const GuestModule &module = *it->second;
             byBase_.erase(it);
+            index_.removeModule(id);
             for (const auto &observer : observers_) {
                 observer(module, false);
             }
@@ -73,6 +78,51 @@ AddressSpace::blockAt(isa::GuestAddr addr) const
 {
     const GuestModule *module = moduleAt(addr);
     return module ? module->findBlock(addr) : nullptr;
+}
+
+namespace {
+
+std::string
+hex(isa::GuestAddr addr)
+{
+    std::ostringstream oss;
+    oss << "0x" << std::hex << addr;
+    return oss.str();
+}
+
+} // namespace
+
+std::string
+AddressSpace::describeAddr(isa::GuestAddr addr) const
+{
+    if (const GuestModule *module = moduleAt(addr)) {
+        return format("inside module '{}' [{}..{}) but not at a block "
+                      "start",
+                      module->name(), hex(module->baseAddr()),
+                      hex(module->endAddr()));
+    }
+    if (byBase_.empty()) {
+        return "no modules mapped";
+    }
+    // Not inside any mapping: report the nearest mapped module on
+    // each side so the caller can see which unmap (or bad jump)
+    // produced the stray address.
+    auto above = byBase_.upper_bound(addr);
+    std::string desc = format("{} mapped modules, nearest:",
+                              byBase_.size());
+    if (above != byBase_.begin()) {
+        const GuestModule *below = std::prev(above)->second;
+        desc += format(" '{}' [{}..{}) below", below->name(),
+                       hex(below->baseAddr()), hex(below->endAddr()));
+    }
+    if (above != byBase_.end()) {
+        const GuestModule *module = above->second;
+        desc += format("{} '{}' [{}..{}) above",
+                       above == byBase_.begin() ? "" : ",",
+                       module->name(), hex(module->baseAddr()),
+                       hex(module->endAddr()));
+    }
+    return desc;
 }
 
 void

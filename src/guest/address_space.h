@@ -13,8 +13,10 @@
 
 #include <functional>
 #include <map>
+#include <string>
 #include <vector>
 
+#include "guest/block_index.h"
 #include "guest/module.h"
 
 namespace gencache::guest {
@@ -45,6 +47,30 @@ class AddressSpace
     /** @return the block starting at @p addr in a mapped module. */
     const isa::BasicBlock *blockAt(isa::GuestAddr addr) const;
 
+    /** @return the dense id of the block starting at @p addr, or
+     *  kInvalidBlockId (fast-path equivalent of blockAt). O(1). */
+    BlockId blockIdAt(isa::GuestAddr addr) const
+    {
+        return index_.blockIdAt(addr);
+    }
+
+    /** The dense block index / predecoded code stream, maintained by
+     *  map()/unmap(). */
+    const BlockIndex &blockIndex() const { return index_; }
+
+    /** The dense id range [first, last) of mapped module @p module;
+     *  false when it is not mapped. */
+    bool moduleBlockRange(ModuleId module, BlockId &first,
+                          BlockId &last) const
+    {
+        return index_.moduleRange(module, first, last);
+    }
+
+    /** Human-readable description of where @p addr falls relative to
+     *  the current mappings (for panic messages): the containing
+     *  module and its bounds, or the nearest mapped module. */
+    std::string describeAddr(isa::GuestAddr addr) const;
+
     /** Register an observer for map/unmap events. */
     void addObserver(MapObserver observer);
 
@@ -57,6 +83,7 @@ class AddressSpace
   private:
     std::map<isa::GuestAddr, const GuestModule *> byBase_;
     std::vector<MapObserver> observers_;
+    BlockIndex index_;
 };
 
 } // namespace gencache::guest

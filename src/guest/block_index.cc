@@ -1,0 +1,97 @@
+#include "guest/block_index.h"
+
+#include "support/logging.h"
+
+namespace gencache::guest {
+
+void
+BlockIndex::addModule(const GuestModule &module)
+{
+    for (const Range &range : ranges_) {
+        if (range.module == module.id()) {
+            GENCACHE_PANIC("module '{}' already indexed", module.name());
+        }
+    }
+
+    Range range;
+    range.base = module.baseAddr();
+    range.end = module.endAddr();
+    range.module = module.id();
+    range.firstId = blockLimit();
+    range.offsetToId.assign(range.end - range.base, kInvalidBlockId);
+
+    for (const auto &[start, block] : module.blocks()) {
+        BlockId id = blockLimit();
+        BlockMeta meta;
+        meta.instBegin = static_cast<std::uint32_t>(code_.size());
+        meta.startAddr = start;
+        meta.sizeBytes = block.sizeBytes();
+        meta.module = module.id();
+
+        isa::GuestAddr addr = start;
+        for (const isa::Instruction &inst : block.instructions()) {
+            PredecodedInst pre;
+            pre.addr = addr;
+            pre.fallThrough = addr + inst.sizeBytes();
+            pre.target = inst.target;
+            pre.imm = inst.imm;
+            pre.opcode = inst.opcode;
+            pre.dst = inst.dst;
+            pre.src1 = inst.src1;
+            pre.src2 = inst.src2;
+            code_.push_back(pre);
+            addr = pre.fallThrough;
+        }
+        meta.instEnd = static_cast<std::uint32_t>(code_.size());
+        meta_.push_back(meta);
+        range.offsetToId[start - range.base] = id;
+    }
+    range.lastId = blockLimit();
+    ranges_.push_back(std::move(range));
+}
+
+void
+BlockIndex::removeModule(ModuleId module)
+{
+    for (std::size_t i = 0; i < ranges_.size(); ++i) {
+        if (ranges_[i].module != module) {
+            continue;
+        }
+        for (BlockId id = ranges_[i].firstId; id < ranges_[i].lastId;
+             ++id) {
+            meta_[id].module = kInvalidModule;
+        }
+        ranges_.erase(ranges_.begin() +
+                      static_cast<std::ptrdiff_t>(i));
+        hint_ = 0;
+        return;
+    }
+    GENCACHE_PANIC("removeModule of module id {} that is not indexed",
+                   module);
+}
+
+bool
+BlockIndex::moduleRange(ModuleId module, BlockId &first,
+                        BlockId &last) const
+{
+    for (const Range &range : ranges_) {
+        if (range.module == module) {
+            first = range.firstId;
+            last = range.lastId;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::size_t
+BlockIndex::liveBlockCount() const
+{
+    std::size_t count = 0;
+    for (const Range &range : ranges_) {
+        count += range.lastId - range.firstId;
+    }
+    return count;
+}
+
+} // namespace gencache::guest

@@ -8,6 +8,112 @@ using isa::wrapAdd;
 using isa::wrapMul;
 using isa::wrapSub;
 
+namespace {
+
+/**
+ * Execute one instruction against @p state. Shared by the legacy
+ * (`isa::Instruction`) and predecoded (`guest::PredecodedInst`) loops
+ * so the two front ends cannot drift semantically: @p InstT only needs
+ * the common operand fields, while @p addr / @p fall_through are
+ * supplied by the caller (computed on the fly legacy-side, precomputed
+ * fast-side).
+ */
+template <typename InstT>
+inline void
+step(CpuState &state, const InstT &inst, isa::GuestAddr addr,
+     isa::GuestAddr fall_through, BlockResult &result)
+{
+    switch (inst.opcode) {
+      case isa::Opcode::Nop:
+        break;
+      case isa::Opcode::Add:
+        state.regs[inst.dst] =
+            wrapAdd(state.regs[inst.src1], state.regs[inst.src2]);
+        break;
+      case isa::Opcode::Sub:
+        state.regs[inst.dst] =
+            wrapSub(state.regs[inst.src1], state.regs[inst.src2]);
+        break;
+      case isa::Opcode::Mul:
+        state.regs[inst.dst] =
+            wrapMul(state.regs[inst.src1], state.regs[inst.src2]);
+        break;
+      case isa::Opcode::AddImm:
+        state.regs[inst.dst] =
+            wrapAdd(state.regs[inst.src1], inst.imm);
+        break;
+      case isa::Opcode::MovImm:
+        state.regs[inst.dst] = inst.imm;
+        break;
+      case isa::Opcode::Mov:
+        state.regs[inst.dst] = state.regs[inst.src1];
+        break;
+      case isa::Opcode::Load:
+        state.regs[inst.dst] = state.loadMem(
+            static_cast<isa::GuestAddr>(
+                wrapAdd(state.regs[inst.src1], inst.imm)));
+        break;
+      case isa::Opcode::Store:
+        state.storeMem(
+            static_cast<isa::GuestAddr>(
+                wrapAdd(state.regs[inst.src1], inst.imm)),
+            state.regs[inst.src2]);
+        break;
+      case isa::Opcode::Jump:
+        result.next = inst.target;
+        result.takenBranch = true;
+        break;
+      case isa::Opcode::BranchNz:
+        if (state.regs[inst.src1] != 0) {
+            result.next = inst.target;
+            result.takenBranch = true;
+        } else {
+            result.next = fall_through;
+        }
+        break;
+      case isa::Opcode::BranchZ:
+        if (state.regs[inst.src1] == 0) {
+            result.next = inst.target;
+            result.takenBranch = true;
+        } else {
+            result.next = fall_through;
+        }
+        break;
+      case isa::Opcode::JumpReg:
+        result.next = static_cast<isa::GuestAddr>(
+            state.regs[inst.src1]);
+        result.takenBranch = true;
+        break;
+      case isa::Opcode::Call:
+        state.callStack.push_back(fall_through);
+        result.next = inst.target;
+        result.takenBranch = true;
+        break;
+      case isa::Opcode::CallReg:
+        state.callStack.push_back(fall_through);
+        result.next = static_cast<isa::GuestAddr>(
+            state.regs[inst.src1]);
+        result.takenBranch = true;
+        break;
+      case isa::Opcode::Return:
+        if (state.callStack.empty()) {
+            GENCACHE_PANIC("return with empty call stack at {}",
+                           addr);
+        }
+        result.next = state.callStack.back();
+        state.callStack.pop_back();
+        result.takenBranch = true;
+        break;
+      case isa::Opcode::Halt:
+        result.halted = true;
+        state.halted = true;
+        result.next = addr;
+        break;
+    }
+}
+
+} // namespace
+
 Interpreter::Interpreter(const guest::AddressSpace &space)
     : space_(space)
 {
@@ -21,7 +127,8 @@ Interpreter::executeBlock(CpuState &state)
     }
     const isa::BasicBlock *block = space_.blockAt(state.pc);
     if (block == nullptr) {
-        GENCACHE_PANIC("no mapped block at guest pc {}", state.pc);
+        GENCACHE_PANIC("no mapped block at guest pc {} ({})", state.pc,
+                       space_.describeAddr(state.pc));
     }
 
     BlockResult result;
@@ -30,93 +137,7 @@ Interpreter::executeBlock(CpuState &state)
     for (const isa::Instruction &inst : block->instructions()) {
         ++result.instructions;
         isa::GuestAddr fall_through = addr + inst.sizeBytes();
-        switch (inst.opcode) {
-          case isa::Opcode::Nop:
-            break;
-          case isa::Opcode::Add:
-            state.regs[inst.dst] =
-                wrapAdd(state.regs[inst.src1], state.regs[inst.src2]);
-            break;
-          case isa::Opcode::Sub:
-            state.regs[inst.dst] =
-                wrapSub(state.regs[inst.src1], state.regs[inst.src2]);
-            break;
-          case isa::Opcode::Mul:
-            state.regs[inst.dst] =
-                wrapMul(state.regs[inst.src1], state.regs[inst.src2]);
-            break;
-          case isa::Opcode::AddImm:
-            state.regs[inst.dst] =
-                wrapAdd(state.regs[inst.src1], inst.imm);
-            break;
-          case isa::Opcode::MovImm:
-            state.regs[inst.dst] = inst.imm;
-            break;
-          case isa::Opcode::Mov:
-            state.regs[inst.dst] = state.regs[inst.src1];
-            break;
-          case isa::Opcode::Load:
-            state.regs[inst.dst] = state.loadMem(
-                static_cast<isa::GuestAddr>(
-                    wrapAdd(state.regs[inst.src1], inst.imm)));
-            break;
-          case isa::Opcode::Store:
-            state.storeMem(
-                static_cast<isa::GuestAddr>(
-                    wrapAdd(state.regs[inst.src1], inst.imm)),
-                state.regs[inst.src2]);
-            break;
-          case isa::Opcode::Jump:
-            result.next = inst.target;
-            result.takenBranch = true;
-            break;
-          case isa::Opcode::BranchNz:
-            if (state.regs[inst.src1] != 0) {
-                result.next = inst.target;
-                result.takenBranch = true;
-            } else {
-                result.next = fall_through;
-            }
-            break;
-          case isa::Opcode::BranchZ:
-            if (state.regs[inst.src1] == 0) {
-                result.next = inst.target;
-                result.takenBranch = true;
-            } else {
-                result.next = fall_through;
-            }
-            break;
-          case isa::Opcode::JumpReg:
-            result.next = static_cast<isa::GuestAddr>(
-                state.regs[inst.src1]);
-            result.takenBranch = true;
-            break;
-          case isa::Opcode::Call:
-            state.callStack.push_back(fall_through);
-            result.next = inst.target;
-            result.takenBranch = true;
-            break;
-          case isa::Opcode::CallReg:
-            state.callStack.push_back(fall_through);
-            result.next = static_cast<isa::GuestAddr>(
-                state.regs[inst.src1]);
-            result.takenBranch = true;
-            break;
-          case isa::Opcode::Return:
-            if (state.callStack.empty()) {
-                GENCACHE_PANIC("return with empty call stack at {}",
-                               addr);
-            }
-            result.next = state.callStack.back();
-            state.callStack.pop_back();
-            result.takenBranch = true;
-            break;
-          case isa::Opcode::Halt:
-            result.halted = true;
-            state.halted = true;
-            result.next = addr;
-            break;
-        }
+        step(state, inst, addr, fall_through, result);
         addr = fall_through;
     }
 
@@ -127,6 +148,70 @@ Interpreter::executeBlock(CpuState &state)
     state.pc = result.next;
     retired_ += result.instructions;
     return result;
+}
+
+BlockResult
+Interpreter::executeBlock(CpuState &state, guest::BlockId block)
+{
+    if (state.halted) {
+        GENCACHE_PANIC("executeBlock on a halted guest");
+    }
+    const guest::BlockIndex &index = space_.blockIndex();
+    const guest::BlockMeta &meta = index.meta(block);
+
+    BlockResult result;
+    const guest::PredecodedInst *end = index.instEnd(block);
+    for (const guest::PredecodedInst *inst = index.instBegin(block);
+         inst != end; ++inst) {
+        ++result.instructions;
+        step(state, *inst, inst->addr, inst->fallThrough, result);
+    }
+
+    result.backwardTransfer = !result.halted && result.takenBranch &&
+                              result.next <= meta.startAddr;
+    state.pc = result.next;
+    retired_ += result.instructions;
+    return result;
+}
+
+TraceResult
+Interpreter::executeTrace(CpuState &state,
+                          const guest::PredecodedInst *stream,
+                          const std::uint32_t *block_end,
+                          const isa::GuestAddr *continuations,
+                          std::size_t blocks)
+{
+    if (state.halted) {
+        GENCACHE_PANIC("executeTrace on a halted guest");
+    }
+
+    TraceResult out;
+    const guest::PredecodedInst *inst = stream;
+    std::size_t block = 0;
+    for (;;) {
+        // Segments are contiguous, so `inst` rolls straight from one
+        // block's end into the next block's start.
+        const guest::PredecodedInst *end = stream + block_end[block];
+        BlockResult result;
+        for (; inst != end; ++inst) {
+            ++result.instructions;
+            step(state, *inst, inst->addr, inst->fallThrough, result);
+        }
+        out.instructions += result.instructions;
+        state.pc = result.next;
+        if (result.halted) {
+            out.halted = true;
+            break;
+        }
+        if (block + 1 < blocks && result.next == continuations[block]) {
+            ++block;
+            continue;
+        }
+        break;
+    }
+    out.next = state.pc;
+    retired_ += out.instructions;
+    return out;
 }
 
 std::uint64_t

@@ -30,6 +30,14 @@ struct BlockResult
     bool backwardTransfer = false; ///< next < block start (loop edge)
 };
 
+/** Outcome of one trace-cache execution (Interpreter::executeTrace). */
+struct TraceResult
+{
+    isa::GuestAddr next = 0;        ///< pc at trace exit
+    std::uint64_t instructions = 0; ///< instructions retired
+    bool halted = false;            ///< guest executed Halt
+};
+
 /** Executes guest code found through an AddressSpace. */
 class Interpreter
 {
@@ -44,6 +52,35 @@ class Interpreter
      * code: the caller must guarantee mapped execution).
      */
     BlockResult executeBlock(CpuState &state);
+
+    /**
+     * Fast path: execute the predecoded block @p block (which must be
+     * the dense id of the block at @p state.pc) and advance the state.
+     * Bit-identical semantics and accounting to executeBlock(state) —
+     * it merely reads the contiguous predecoded stream instead of
+     * resolving the pc through the module maps and re-walking
+     * `isa::Instruction` objects.
+     */
+    BlockResult executeBlock(CpuState &state, guest::BlockId block);
+
+    /**
+     * Fast path: execute a trace's flattened predecoded stream —
+     * block @p b spans @p stream [block_end[b-1], block_end[b]) and
+     * continues into block b+1 when its terminator resolves to
+     * @p continuations [b] (the next block's start address). Stops at
+     * the first off-path terminator, Halt, or the end of the last
+     * block. Per-block semantics and accounting are bit-identical to
+     * calling executeBlock once per block; only the lookups and the
+     * per-block call overhead are gone.
+     *
+     * @param blocks number of blocks; must be at least 1, and
+     *        @p continuations must have @p blocks - 1 entries.
+     */
+    TraceResult executeTrace(CpuState &state,
+                             const guest::PredecodedInst *stream,
+                             const std::uint32_t *block_end,
+                             const isa::GuestAddr *continuations,
+                             std::size_t blocks);
 
     /**
      * Run until Halt or until @p max_blocks blocks have executed.

@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "guest/block_index.h"
 #include "guest/module.h"
 #include "isa/basic_block.h"
 
@@ -67,6 +68,72 @@ class BasicBlockCache
     };
 
     std::unordered_map<isa::GuestAddr, Entry> blocks_;
+    std::uint64_t usedBytes_ = 0;
+    BbCacheStats stats_;
+};
+
+/**
+ * Flat basic-block cache for the front-end fast path. The fast path
+ * executes straight from the predecoded stream, so the "copy into the
+ * bb cache" is pure bookkeeping: a per-dense-block-id residency bit
+ * plus the same BbCacheStats the hash-map cache keeps — which lets
+ * the identity test assert stat-for-stat equality between front ends.
+ */
+class DenseBlockCache
+{
+  public:
+    DenseBlockCache() = default;
+
+    /** Grow the residency table to cover ids below @p limit. */
+    void ensureCapacity(guest::BlockId limit)
+    {
+        if (limit > sizes_.size()) {
+            sizes_.resize(limit, 0);
+        }
+    }
+
+    /** Count a fetch of block @p block (@p size_bytes big): a copy on
+     *  first touch, a hit afterwards. */
+    void fetch(guest::BlockId block, std::uint32_t size_bytes)
+    {
+        if (sizes_[block] != 0) {
+            ++stats_.hits;
+            return;
+        }
+        sizes_[block] = size_bytes;
+        ++stats_.copies;
+        stats_.copiedBytes += size_bytes;
+        usedBytes_ += size_bytes;
+        ++blockCount_;
+    }
+
+    /** @return true when block @p block is resident. */
+    bool contains(guest::BlockId block) const
+    {
+        return block < sizes_.size() && sizes_[block] != 0;
+    }
+
+    /** Drop every resident block with id in [first, last) (module
+     *  unload invalidation). */
+    void invalidateRange(guest::BlockId first, guest::BlockId last)
+    {
+        for (guest::BlockId block = first; block < last; ++block) {
+            if (sizes_[block] != 0) {
+                usedBytes_ -= sizes_[block];
+                sizes_[block] = 0;
+                ++stats_.invalidations;
+                --blockCount_;
+            }
+        }
+    }
+
+    std::size_t blockCount() const { return blockCount_; }
+    std::uint64_t usedBytes() const { return usedBytes_; }
+    const BbCacheStats &stats() const { return stats_; }
+
+  private:
+    std::vector<std::uint32_t> sizes_; ///< 0 = not resident
+    std::size_t blockCount_ = 0;
     std::uint64_t usedBytes_ = 0;
     BbCacheStats stats_;
 };

@@ -43,6 +43,36 @@ TraceLinker::onTraceInserted(const Trace &trace)
             }
         }
     }
+
+    // Direct-chaining cache: resolve this trace's exit slots (every
+    // resident target is now patched, including a self-link), then
+    // point every resident slot aimed at our entry to us.
+    if (exitCache_.size() <= trace.id) {
+        exitCache_.resize(trace.id + 1);
+    }
+    ExitCache &cache = exitCache_[trace.id];
+    cache.targets = trace.exitTargets;
+    cache.slots.assign(cache.targets.size(), cache::kInvalidTrace);
+    for (std::size_t i = 0; i < cache.targets.size(); ++i) {
+        auto hit = byEntry_.find(cache.targets[i]);
+        if (hit != byEntry_.end()) {
+            cache.slots[i] = hit->second;
+        }
+    }
+    retargetSlots(trace.entry, trace.id);
+}
+
+void
+TraceLinker::retargetSlots(isa::GuestAddr entry, cache::TraceId id)
+{
+    for (const auto &[other_id, other] : nodes_) {
+        ExitCache &cache = exitCache_[other_id];
+        for (std::size_t i = 0; i < cache.targets.size(); ++i) {
+            if (cache.targets[i] == entry) {
+                cache.slots[i] = id;
+            }
+        }
+    }
 }
 
 void
@@ -58,6 +88,13 @@ TraceLinker::onTraceEvicted(cache::TraceId id)
         if (other != nodes_.end()) {
             other->second.outgoing.erase(id);
             ++stats_.linksUnpatched;
+            // Unpatch the cached jump slots of the incoming trace.
+            ExitCache &cache = exitCache_[in];
+            for (std::size_t i = 0; i < cache.slots.size(); ++i) {
+                if (cache.slots[i] == id) {
+                    cache.slots[i] = cache::kInvalidTrace;
+                }
+            }
         }
     }
     for (cache::TraceId out : node.outgoing) {
@@ -68,6 +105,7 @@ TraceLinker::onTraceEvicted(cache::TraceId id)
         }
     }
     byEntry_.erase(node.entry);
+    exitCache_[id] = ExitCache{};
     nodes_.erase(it);
 }
 

@@ -44,6 +44,17 @@ class TraceLinker
         std::unordered_set<cache::TraceId> incoming;
     };
 
+    /** Per-trace direct-chaining cache, indexed by trace id (trace
+     *  ids are dense and never reused): for each exit target of the
+     *  resident trace, the currently linked successor trace (the
+     *  "patched jump destination"), or kInvalidTrace when the exit
+     *  returns to the dispatcher. Cleared on eviction. */
+    struct ExitCache
+    {
+        std::vector<isa::GuestAddr> targets; ///< == node exitTargets
+        std::vector<cache::TraceId> slots;   ///< linked successor ids
+    };
+
     TraceLinker() = default;
 
     /**
@@ -71,6 +82,26 @@ class TraceLinker
      *  cache::kInvalidTrace. */
     cache::TraceId traceAt(isa::GuestAddr addr) const;
 
+    /**
+     * Direct chaining (fast path): the cached successor slot for
+     * trace @p from exiting to guest address @p target —
+     * equivalently, `linked(from, traceAt(target)) ? traceAt(target)
+     * : kInvalidTrace` — resolved from a dense per-trace exit cache
+     * (a linear scan of the trace's few exit targets) instead of two
+     * hash probes. @p from must be resident (a linker node).
+     */
+    cache::TraceId cachedSuccessor(cache::TraceId from,
+                                   isa::GuestAddr target) const
+    {
+        const ExitCache &cache = exitCache_[from];
+        for (std::size_t i = 0; i < cache.targets.size(); ++i) {
+            if (cache.targets[i] == target) {
+                return cache.slots[i];
+            }
+        }
+        return cache::kInvalidTrace;
+    }
+
     const LinkerStats &stats() const { return stats_; }
 
     /// @name Introspection for the static checker (src/analysis).
@@ -86,12 +117,26 @@ class TraceLinker
     {
         return byEntry_;
     }
+    /** The dense direct-chaining cache (checked against nodes() by
+     *  the fe-exit-* analysis passes). Entries of non-resident trace
+     *  ids are empty. */
+    const std::vector<ExitCache> &exitCaches() const
+    {
+        return exitCache_;
+    }
     /// @}
 
-  private:
+  protected:
+    // Protected rather than private so the static-checker negative
+    // tests can corrupt the state through a test-only subclass.
     std::unordered_map<cache::TraceId, Node> nodes_;
     std::unordered_map<isa::GuestAddr, cache::TraceId> byEntry_;
+    std::vector<ExitCache> exitCache_;
     LinkerStats stats_;
+
+  private:
+    /** Point every cached slot aimed at @p entry to @p id. */
+    void retargetSlots(isa::GuestAddr entry, cache::TraceId id);
 };
 
 } // namespace gencache::runtime

@@ -6,9 +6,10 @@ namespace gencache::runtime {
 
 Runtime::Runtime(guest::AddressSpace &space,
                  cache::CacheManager &manager,
-                 std::uint32_t trace_threshold)
+                 std::uint32_t trace_threshold, FrontEnd frontend)
     : space_(space), manager_(manager), interp_(space),
-      heads_(trace_threshold)
+      frontend_(frontend), heads_(trace_threshold),
+      denseHeads_(trace_threshold)
 {
     manager_.setListener(this);
     std::uint64_t footprint = 0;
@@ -17,12 +18,25 @@ Runtime::Runtime(guest::AddressSpace &space,
         footprint += module->sizeBytes();
     }
     log_.setFootprintBytes(footprint);
+    syncBlockCapacity();
+}
+
+void
+Runtime::syncBlockCapacity()
+{
+    guest::BlockId limit = space_.blockIndex().blockLimit();
+    denseHeads_.ensureCapacity(limit);
+    denseBbCache_.ensureCapacity(limit);
+    if (traceIdOfBlock_.size() < limit) {
+        traceIdOfBlock_.resize(limit, cache::kInvalidTrace);
+    }
 }
 
 void
 Runtime::loadModule(const guest::GuestModule &module)
 {
     space_.map(module);
+    syncBlockCapacity();
     log_.append(tracelog::Event::moduleLoad(now(), module.id()));
     log_.setFootprintBytes(log_.footprintBytes() + module.sizeBytes());
     if (checkpointHook_) {
@@ -33,6 +47,20 @@ Runtime::loadModule(const guest::GuestModule &module)
 void
 Runtime::unloadModule(guest::ModuleId module)
 {
+    // Capture the module's dense id range and address bounds before
+    // the unmap retires them.
+    guest::BlockId first = 0;
+    guest::BlockId last = 0;
+    bool ranged = space_.moduleBlockRange(module, first, last);
+    isa::GuestAddr base = 0;
+    isa::GuestAddr end = 0;
+    for (const guest::GuestModule *mapped : space_.mappedModules()) {
+        if (mapped->id() == module) {
+            base = mapped->baseAddr();
+            end = mapped->endAddr();
+        }
+    }
+
     // Order matters: the manager's invalidation fires onEvict events
     // that unlink evicted traces, so the linker must still know them.
     manager_.invalidateModule(module, now());
@@ -40,12 +68,27 @@ Runtime::unloadModule(guest::ModuleId module)
     for (auto it = traces_.begin(); it != traces_.end();) {
         if (it->second.module == module) {
             traceIdOfEntry_.erase(it->second.entry);
+            guest::BlockId bid = space_.blockIdAt(it->second.entry);
+            if (bid != guest::kInvalidBlockId) {
+                traceIdOfBlock_[bid] = cache::kInvalidTrace;
+            }
+            if (it->first < traceBySlot_.size()) {
+                traceBySlot_[it->first] = nullptr;
+            }
             it = traces_.erase(it);
         } else {
             ++it;
         }
     }
+    // Per-mode block state: each call no-ops for the inactive mode's
+    // structures (they are empty). Head counters in the unloaded
+    // range are dropped too — they must not survive into a remap.
     bbCache_.invalidateModule(module);
+    heads_.removeRange(base, end);
+    if (ranged) {
+        denseBbCache_.invalidateRange(first, last);
+        denseHeads_.removeRange(first, last);
+    }
     space_.unmap(module);
     log_.append(tracelog::Event::moduleUnload(now(), module));
     if (checkpointHook_) {
@@ -81,6 +124,10 @@ Runtime::run(std::uint64_t max_instructions)
 void
 Runtime::dispatch()
 {
+    if (frontend_ == FrontEnd::Predecoded) {
+        dispatchFast();
+        return;
+    }
     isa::GuestAddr pc = state_.pc;
     auto it = traceIdOfEntry_.find(pc);
     if (it != traceIdOfEntry_.end()) {
@@ -106,6 +153,33 @@ Runtime::dispatch()
         return;
     }
     interpretBlock();
+}
+
+void
+Runtime::dispatchFast()
+{
+    guest::BlockId bid = space_.blockIdAt(state_.pc);
+    cache::TraceId tid = bid != guest::kInvalidBlockId
+                             ? traceIdOfBlock_[bid]
+                             : cache::kInvalidTrace;
+    if (tid != cache::kInvalidTrace) {
+        if (!manager_.lookup(tid, now())) {
+            if (regenerate(tid)) {
+                ++stats_.traceRegenerations;
+            } else {
+                interpretBlockFast(bid);
+                return;
+            }
+        }
+        ++stats_.contextSwitches; // dispatcher -> code cache
+        cache::TraceId current = tid;
+        while (current != cache::kInvalidTrace && !state_.halted) {
+            current = executeTraceFast(current);
+        }
+        ++stats_.contextSwitches; // code cache -> dispatcher
+        return;
+    }
+    interpretBlockFast(bid);
 }
 
 cache::TraceId
@@ -154,17 +228,60 @@ Runtime::executeTrace(cache::TraceId id)
     return cache::kInvalidTrace;
 }
 
+cache::TraceId
+Runtime::executeTraceFast(cache::TraceId id)
+{
+    const Trace *trace = traceBySlot_[id];
+    if (trace == nullptr) {
+        GENCACHE_PANIC("executing unknown trace {}", id);
+    }
+    if (state_.pc != trace->entry) {
+        GENCACHE_PANIC("trace {} entered at {} (entry {})", id,
+                       state_.pc, trace->entry);
+    }
+    ++stats_.traceExecutions;
+    log_.append(tracelog::Event::traceExec(now(), id));
+
+    // The whole path runs out of the trace's flattened predecoded
+    // stream — no per-block lookups, no per-block call overhead.
+    interp::TraceResult result = interp_.executeTrace(
+        state_, trace->stream.data(), trace->streamEnd.data(),
+        trace->blockAddrs.data() + 1, trace->blockIds.size());
+    stats_.instructionsInTraces += result.instructions;
+    if (result.halted) {
+        return cache::kInvalidTrace;
+    }
+
+    // Trace exit: direct chaining. The linker's cached successor slot
+    // resolves "is this exit patched to a resident trace" in one scan
+    // of the trace's few exit targets — no dispatcher hash lookup.
+    isa::GuestAddr target = result.next;
+    cache::TraceId next = linker_.cachedSuccessor(id, target);
+    if (next != cache::kInvalidTrace &&
+        manager_.lookup(next, now())) {
+        return next;
+    }
+    guest::BlockId bid = space_.blockIdAt(target);
+    if (bid != guest::kInvalidBlockId &&
+        traceIdOfBlock_[bid] == cache::kInvalidTrace) {
+        denseHeads_.markHead(bid, TraceHeadKind::TraceExit);
+    }
+    return cache::kInvalidTrace;
+}
+
 void
 Runtime::interpretBlock()
 {
     isa::GuestAddr pc = state_.pc;
     const guest::GuestModule *module = space_.moduleAt(pc);
     if (module == nullptr) {
-        GENCACHE_PANIC("guest pc {} is not in any mapped module", pc);
+        GENCACHE_PANIC("guest pc {} is not in any mapped module ({})",
+                       pc, space_.describeAddr(pc));
     }
     const isa::BasicBlock *source = space_.blockAt(pc);
     if (source == nullptr) {
-        GENCACHE_PANIC("guest pc {} is not a block start", pc);
+        GENCACHE_PANIC("guest pc {} is not a block start ({})", pc,
+                       space_.describeAddr(pc));
     }
     bbCache_.fetch(pc, *source, module->id());
 
@@ -186,9 +303,84 @@ Runtime::interpretBlock()
 }
 
 void
+Runtime::interpretBlockFast(guest::BlockId block)
+{
+    if (block == guest::kInvalidBlockId) {
+        GENCACHE_PANIC("guest pc {} is not a mapped block start ({})",
+                       state_.pc, space_.describeAddr(state_.pc));
+    }
+    denseBbCache_.fetch(block,
+                        space_.blockIndex().meta(block).sizeBytes);
+
+    if (denseHeads_.isHead(block) &&
+        denseHeads_.recordExecution(block)) {
+        buildTrace(state_.pc);
+        return;
+    }
+
+    interp::BlockResult result = interp_.executeBlock(state_, block);
+    stats_.instructionsInterpreted += result.instructions;
+    ++stats_.blocksInterpreted;
+    if (!result.halted && result.backwardTransfer) {
+        guest::BlockId next_bid = space_.blockIdAt(result.next);
+        if (next_bid != guest::kInvalidBlockId &&
+            traceIdOfBlock_[next_bid] == cache::kInvalidTrace) {
+            denseHeads_.markHead(next_bid,
+                                 TraceHeadKind::BackwardBranchTarget);
+        }
+    }
+}
+
+bool
+Runtime::isTraceEntry(isa::GuestAddr addr) const
+{
+    if (frontend_ == FrontEnd::Legacy) {
+        return traceIdOfEntry_.count(addr) != 0;
+    }
+    guest::BlockId bid = space_.blockIdAt(addr);
+    return bid != guest::kInvalidBlockId &&
+           traceIdOfBlock_[bid] != cache::kInvalidTrace;
+}
+
+bool
+Runtime::isHeadAt(isa::GuestAddr addr) const
+{
+    if (frontend_ == FrontEnd::Legacy) {
+        return heads_.isHead(addr);
+    }
+    guest::BlockId bid = space_.blockIdAt(addr);
+    return bid != guest::kInvalidBlockId && denseHeads_.isHead(bid);
+}
+
+void
+Runtime::removeHeadAt(isa::GuestAddr addr)
+{
+    if (frontend_ == FrontEnd::Legacy) {
+        heads_.remove(addr);
+        return;
+    }
+    guest::BlockId bid = space_.blockIdAt(addr);
+    if (bid != guest::kInvalidBlockId) {
+        denseHeads_.remove(bid);
+    }
+}
+
+void
+Runtime::fetchBlock(isa::GuestAddr addr, const isa::BasicBlock &source,
+                    guest::ModuleId module)
+{
+    if (frontend_ == FrontEnd::Legacy) {
+        bbCache_.fetch(addr, source, module);
+        return;
+    }
+    guest::BlockId bid = space_.blockIdAt(addr);
+    denseBbCache_.fetch(bid, source.sizeBytes());
+}
+
+void
 Runtime::buildTrace(isa::GuestAddr entry)
 {
-    heads_.clearHead(entry);
+    removeHeadAt(entry);
 
     auto known = traceIdOfEntry_.find(entry);
     if (known != traceIdOfEntry_.end()) {
@@ -211,14 +403,17 @@ Runtime::buildTrace(isa::GuestAddr entry)
 
     // Trace generation mode: execute and record until a stop
     // condition (§4.1): backward branch, existing trace (head),
-    // indirect transfer, module boundary, or the block cap.
+    // indirect transfer, module boundary, or the block cap. This is
+    // a cold path (once per built trace), shared by both front ends;
+    // the mode-dispatching helpers keep each mode's head and bb-cache
+    // state coherent with its hot loops.
     while (true) {
         isa::GuestAddr pc = state_.pc;
         const isa::BasicBlock *source = space_.blockAt(pc);
         if (source == nullptr) {
             GENCACHE_PANIC("trace generation at unmapped pc {}", pc);
         }
-        bbCache_.fetch(pc, *source, module->id());
+        fetchBlock(pc, *source, module->id());
         interp::BlockResult result = interp_.executeBlock(state_);
         stats_.instructionsInterpreted += result.instructions;
         ++stats_.blocksInterpreted;
@@ -234,8 +429,7 @@ Runtime::buildTrace(isa::GuestAddr entry)
         if (result.backwardTransfer) {
             break;
         }
-        if (traceIdOfEntry_.count(result.next) != 0 ||
-            heads_.isHead(result.next)) {
+        if (isTraceEntry(result.next) || isHeadAt(result.next)) {
             break;
         }
         const guest::GuestModule *next_module =
@@ -270,13 +464,49 @@ Runtime::buildTrace(isa::GuestAddr entry)
         trace.sizeBytes = superblock.codeBytes() + stubs;
     }
 
-    traces_.emplace(tid, trace);
-    traceIdOfEntry_.emplace(entry, tid);
+    // Resolve the dense block-id path once, at build time, so fast
+    // trace execution reads the predecoded streams directly.
+    trace.blockIds.reserve(trace.blockAddrs.size());
+    for (isa::GuestAddr addr : trace.blockAddrs) {
+        trace.blockIds.push_back(space_.blockIdAt(addr));
+    }
+
+    Trace &stored = registerTrace(tid, std::move(trace));
     ++stats_.tracesBuilt;
     log_.append(tracelog::Event::traceCreate(now(), tid,
-                                             trace.sizeBytes,
-                                             trace.module));
-    installTrace(trace);
+                                             stored.sizeBytes,
+                                             stored.module));
+    installTrace(stored);
+}
+
+Trace &
+Runtime::registerTrace(cache::TraceId id, Trace trace)
+{
+    // Flatten the path's predecoded blocks into one contiguous stream
+    // (the trace-cache "emitted code" the fast path executes from).
+    const guest::BlockIndex &index = space_.blockIndex();
+    trace.stream.clear();
+    trace.streamEnd.clear();
+    for (guest::BlockId block : trace.blockIds) {
+        trace.stream.insert(trace.stream.end(),
+                            index.instBegin(block),
+                            index.instEnd(block));
+        trace.streamEnd.push_back(
+            static_cast<std::uint32_t>(trace.stream.size()));
+    }
+
+    isa::GuestAddr entry = trace.entry;
+    auto [it, inserted] = traces_.emplace(id, std::move(trace));
+    traceIdOfEntry_.emplace(entry, id);
+    guest::BlockId bid = space_.blockIdAt(entry);
+    if (bid != guest::kInvalidBlockId) {
+        traceIdOfBlock_[bid] = id;
+    }
+    if (traceBySlot_.size() <= id) {
+        traceBySlot_.resize(id + 1, nullptr);
+    }
+    traceBySlot_[id] = &it->second;
+    return it->second;
 }
 
 bool

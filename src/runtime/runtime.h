@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <vector>
 
 #include "codecache/cache_manager.h"
 #include "guest/address_space.h"
@@ -74,6 +75,19 @@ struct RuntimeStats
     }
 };
 
+/**
+ * Which front end produces the access log. Both are bit-identical in
+ * emitted events and statistics (tests/test_frontend_identity.cc);
+ * Predecoded is the default and replaces the per-block hash/map
+ * lookups of the legacy path with dense-array reads over the
+ * AddressSpace block index, mirroring ReplayEngine::Legacy as the
+ * replay side's escape hatch.
+ */
+enum class FrontEnd : std::uint8_t {
+    Legacy,     ///< hash-map dispatch, re-decoded instruction walk
+    Predecoded, ///< flat dispatch table + predecoded streams
+};
+
 /** The dynamic optimizer. */
 class Runtime : public cache::CacheEventListener
 {
@@ -83,9 +97,12 @@ class Runtime : public cache::CacheEventListener
      *        mapped or mapped later via loadModule)
      * @param manager the global code cache manager under test
      * @param trace_threshold trace-head executions before generation
+     * @param frontend fast predecoded path (default) or the legacy
+     *        reference path
      */
     Runtime(guest::AddressSpace &space, cache::CacheManager &manager,
-            std::uint32_t trace_threshold = kDefaultTraceThreshold);
+            std::uint32_t trace_threshold = kDefaultTraceThreshold,
+            FrontEnd frontend = FrontEnd::Predecoded);
 
     Runtime(const Runtime &) = delete;
     Runtime &operator=(const Runtime &) = delete;
@@ -114,10 +131,18 @@ class Runtime : public cache::CacheEventListener
     TimeUs now() const { return interp_.instructionsRetired(); }
 
     const RuntimeStats &stats() const { return stats_; }
+
+    /** Stats of whichever basic-block cache the active front end
+     *  uses (the other one stays empty). */
     const BbCacheStats &bbCacheStats() const
     {
-        return bbCache_.stats();
+        return frontend_ == FrontEnd::Legacy ? bbCache_.stats()
+                                             : denseBbCache_.stats();
     }
+
+    /** The active front end. */
+    FrontEnd frontend() const { return frontend_; }
+
     const TraceLinker &linker() const { return linker_; }
     const tracelog::AccessLog &log() const { return log_; }
     const interp::CpuState &cpu() const { return state_; }
@@ -140,6 +165,17 @@ class Runtime : public cache::CacheEventListener
 
     /** The managed code cache under test. */
     const cache::CacheManager &manager() const { return manager_; }
+
+    /** The guest address space (and its dense block index). */
+    const guest::AddressSpace &space() const { return space_; }
+
+    /** The dense dispatch table: dense block id -> trace id entered
+     *  at that block, or cache::kInvalidTrace. Maintained in both
+     *  front-end modes; introspection for the static checker. */
+    const std::vector<cache::TraceId> &dispatchTable() const
+    {
+        return traceIdOfBlock_;
+    }
 
     /**
      * Install @p hook to run at phase boundaries: after every module
@@ -184,14 +220,28 @@ class Runtime : public cache::CacheEventListener
     /** One dispatcher iteration: run a trace or interpret a block. */
     void dispatch();
 
+    /** dispatch() for the predecoded front end: flat dispatch table
+     *  and dense-id execution. */
+    void dispatchFast();
+
     /** Execute the resident trace @p id from its entry.
      *  @return the trace id tail-chained into, or kInvalidTrace when
      *  control returned to the dispatcher. */
     cache::TraceId executeTrace(cache::TraceId id);
 
+    /** executeTrace() for the predecoded front end: predecoded block
+     *  streams and direct chaining through the linker's cached
+     *  successor slots (no dispatcher hash lookup on linked exits). */
+    cache::TraceId executeTraceFast(cache::TraceId id);
+
     /** Interpret one block through the bb cache, maintaining trace
      *  head counters and possibly entering trace generation. */
     void interpretBlock();
+
+    /** interpretBlock() for the predecoded front end; @p block is the
+     *  dense id of the block at the current pc (kInvalidBlockId
+     *  panics with mapping context). */
+    void interpretBlockFast(guest::BlockId block);
 
     /** Record a new trace starting at the hot head @p entry. */
     void buildTrace(isa::GuestAddr entry);
@@ -202,12 +252,34 @@ class Runtime : public cache::CacheEventListener
     /** Insert @p trace into the managed cache and link it. */
     bool installTrace(const Trace &trace);
 
+    /** Register a freshly built trace in the lookup structures (both
+     *  the legacy entry map and the dense dispatch table). */
+    Trace &registerTrace(cache::TraceId id, Trace trace);
+
+    /** Grow the dense per-block side tables to the address space's
+     *  current block-id limit (after every module load). */
+    void syncBlockCapacity();
+
+    /// @name Mode-dispatching helpers for shared cold paths
+    /// (trace generation), so both front ends consult the same head
+    /// and bb-cache state they maintain in their hot loops.
+    /// @{
+    bool isTraceEntry(isa::GuestAddr addr) const;
+    bool isHeadAt(isa::GuestAddr addr) const;
+    void removeHeadAt(isa::GuestAddr addr);
+    void fetchBlock(isa::GuestAddr addr, const isa::BasicBlock &source,
+                    guest::ModuleId module);
+    /// @}
+
     guest::AddressSpace &space_;
     cache::CacheManager &manager_;
     interp::Interpreter interp_;
     interp::CpuState state_;
-    BasicBlockCache bbCache_;
-    TraceHeadTable heads_;
+    FrontEnd frontend_;
+    BasicBlockCache bbCache_;        ///< legacy mode only
+    DenseBlockCache denseBbCache_;   ///< predecoded mode only
+    TraceHeadTable heads_;           ///< legacy mode only
+    DenseTraceHeadTable denseHeads_; ///< predecoded mode only
     TraceBuilder builder_;
     TraceLinker linker_;
     opt::PassManager optimizer_ = opt::makeDefaultPipeline();
@@ -219,6 +291,11 @@ class Runtime : public cache::CacheEventListener
 
     std::unordered_map<cache::TraceId, Trace> traces_;
     std::unordered_map<isa::GuestAddr, cache::TraceId> traceIdOfEntry_;
+    /** Dense dispatch table: block id -> trace entered there. */
+    std::vector<cache::TraceId> traceIdOfBlock_;
+    /** Dense trace-id -> Trace lookup (pointers into traces_, whose
+     *  nodes are address-stable; null once the trace is dropped). */
+    std::vector<Trace *> traceBySlot_;
     cache::TraceId nextTraceId_ = 1;
     bool started_ = false;
 };

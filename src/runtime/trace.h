@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "codecache/fragment.h"
+#include "guest/block_index.h"
 #include "guest/module.h"
 #include "isa/basic_block.h"
 
@@ -27,6 +28,19 @@ struct Trace
     guest::ModuleId module = guest::kInvalidModule;
     std::vector<isa::GuestAddr> blockAddrs; ///< path, in order
     std::uint32_t sizeBytes = 0;            ///< code + exit stubs
+
+    /** Dense ids of blockAddrs (same order), resolved at build time
+     *  so the fast path executes straight from the predecoded
+     *  streams. Valid while the trace's module stays mapped. */
+    std::vector<guest::BlockId> blockIds;
+
+    /** Contiguous predecoded copy of the whole path (the trace-cache
+     *  "emitted code"): every block's instructions back to back, so
+     *  trace execution never leaves one array. Filled when the trace
+     *  is registered. */
+    std::vector<guest::PredecodedInst> stream;
+    /** Exclusive end offset of each block's segment in @c stream. */
+    std::vector<std::uint32_t> streamEnd;
 
     /** Guest addresses control can leave the trace to: every side exit
      *  of a conditional plus the final fall-off target. Indirect exits

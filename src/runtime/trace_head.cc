@@ -34,9 +34,21 @@ TraceHeadTable::recordExecution(isa::GuestAddr addr)
 }
 
 void
-TraceHeadTable::clearHead(isa::GuestAddr addr)
+TraceHeadTable::remove(isa::GuestAddr addr)
 {
     counters_.erase(addr);
+}
+
+void
+TraceHeadTable::removeRange(isa::GuestAddr base, isa::GuestAddr end)
+{
+    for (auto it = counters_.begin(); it != counters_.end();) {
+        if (it->first >= base && it->first < end) {
+            it = counters_.erase(it);
+        } else {
+            ++it;
+        }
+    }
 }
 
 std::uint32_t

@@ -14,7 +14,9 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
+#include "guest/block_index.h"
 #include "isa/instruction.h"
 
 namespace gencache::runtime {
@@ -51,8 +53,13 @@ class TraceHeadTable
     bool recordExecution(isa::GuestAddr addr);
 
     /** Remove the head (after its trace was built) so the counter
-     *  stops; re-marking later restarts from zero. */
-    void clearHead(isa::GuestAddr addr);
+     *  stops; re-marking later restarts from zero. Removing an
+     *  address that is not a head is a no-op. */
+    void remove(isa::GuestAddr addr);
+
+    /** Remove every head in the address range [base, end) (module
+     *  unload: its counters must not survive a later remap). */
+    void removeRange(isa::GuestAddr base, isa::GuestAddr end);
 
     /** Current counter value; 0 when not a head. */
     std::uint32_t count(isa::GuestAddr addr) const;
@@ -68,6 +75,89 @@ class TraceHeadTable
 
     std::uint32_t threshold_;
     std::unordered_map<isa::GuestAddr, HeadInfo> counters_;
+};
+
+/**
+ * Flat trace-head counters for the front-end fast path: the same
+ * contract as TraceHeadTable, but keyed by dense `guest::BlockId` so
+ * the per-block-execution hot operations (isHead / recordExecution)
+ * are vector reads instead of hash probes. The runtime uses exactly
+ * one of the two tables, selected by its FrontEnd mode.
+ */
+class DenseTraceHeadTable
+{
+  public:
+    explicit DenseTraceHeadTable(
+        std::uint32_t threshold = kDefaultTraceThreshold)
+        : threshold_(threshold)
+    {
+    }
+
+    std::uint32_t threshold() const { return threshold_; }
+
+    /** Grow the side tables to cover ids below @p limit (called after
+     *  every module load; ids are never reused). */
+    void ensureCapacity(guest::BlockId limit)
+    {
+        if (limit > kinds_.size()) {
+            kinds_.resize(limit, kNotAHead);
+            counts_.resize(limit, 0);
+        }
+    }
+
+    void markHead(guest::BlockId block, TraceHeadKind kind)
+    {
+        if (kinds_[block] == kNotAHead) {
+            kinds_[block] = static_cast<std::uint8_t>(kind);
+            counts_[block] = 0;
+            ++headCount_;
+        }
+    }
+
+    bool isHead(guest::BlockId block) const
+    {
+        return kinds_[block] != kNotAHead;
+    }
+
+    bool recordExecution(guest::BlockId block)
+    {
+        if (kinds_[block] == kNotAHead) {
+            return false;
+        }
+        return ++counts_[block] == threshold_;
+    }
+
+    void remove(guest::BlockId block)
+    {
+        if (kinds_[block] != kNotAHead) {
+            kinds_[block] = kNotAHead;
+            counts_[block] = 0;
+            --headCount_;
+        }
+    }
+
+    /** Remove every head with id in [first, last) (module unload). */
+    void removeRange(guest::BlockId first, guest::BlockId last)
+    {
+        for (guest::BlockId block = first; block < last; ++block) {
+            remove(block);
+        }
+    }
+
+    std::uint32_t count(guest::BlockId block) const
+    {
+        return block < counts_.size() ? counts_[block] : 0;
+    }
+
+    std::size_t headCount() const { return headCount_; }
+
+  private:
+    static constexpr std::uint8_t kNotAHead = 0xff;
+
+    std::uint32_t threshold_;
+    std::vector<std::uint8_t> kinds_;    ///< TraceHeadKind or kNotAHead
+    std::vector<std::uint32_t> counts_;
+    std::size_t headCount_ = 0;
 };
 
 } // namespace gencache::runtime

@@ -17,6 +17,7 @@
 #include "analysis/cache_passes.h"
 #include "analysis/cfg_passes.h"
 #include "analysis/checker.h"
+#include "analysis/frontend_passes.h"
 #include "analysis/link_passes.h"
 #include "analysis/pass.h"
 #include "analysis/superblock_passes.h"
@@ -389,6 +390,171 @@ TEST(Analysis, ConsistentLinkGraphIsClean)
     engine.setCurrentPass(pass.name());
     pass.run(input, engine);
     EXPECT_TRUE(engine.empty()) << engine.textReport();
+}
+
+// ---------------------------------------------------------------------
+// Front-end fast-path checks (fe-*): direct-chaining exit caches and
+// the dense block/dispatch mirrors.
+// ---------------------------------------------------------------------
+
+/** TraceLinker whose protected exit-cache state the tests corrupt. */
+class CorruptibleLinker : public runtime::TraceLinker
+{
+  public:
+    void corruptSlot(cache::TraceId from, std::size_t exit,
+                     cache::TraceId value)
+    {
+        exitCache_[from].slots[exit] = value;
+    }
+
+    void corruptTargets(cache::TraceId from)
+    {
+        exitCache_[from].targets.push_back(0xdead0);
+        exitCache_[from].slots.push_back(cache::kInvalidTrace);
+    }
+
+    void resurrectStaleCache(cache::TraceId id, isa::GuestAddr target)
+    {
+        if (exitCache_.size() <= id) {
+            exitCache_.resize(id + 1);
+        }
+        exitCache_[id].targets = {target};
+        exitCache_[id].slots = {cache::kInvalidTrace};
+    }
+};
+
+/** Two mutually linked traces: 1 at 0x1000 <-> 2 at 0x2000. */
+void
+insertLinkedPair(runtime::TraceLinker &linker)
+{
+    runtime::Trace a;
+    a.id = 1;
+    a.entry = 0x1000;
+    a.exitTargets = {0x2000, 0x3000};
+    runtime::Trace b;
+    b.id = 2;
+    b.entry = 0x2000;
+    b.exitTargets = {0x1000};
+    linker.onTraceInserted(a);
+    linker.onTraceInserted(b);
+}
+
+TEST(Analysis, ConsistentExitCachesAreClean)
+{
+    runtime::TraceLinker linker;
+    insertLinkedPair(linker);
+    ASSERT_TRUE(linker.linked(1, 2));
+    ASSERT_EQ(linker.cachedSuccessor(1, 0x2000), 2u);
+    ASSERT_EQ(linker.cachedSuccessor(1, 0x3000),
+              cache::kInvalidTrace);
+
+    DiagnosticEngine engine;
+    analysis::checkExitCaches(linker, engine);
+    EXPECT_TRUE(engine.empty()) << engine.textReport();
+
+    // Still clean after an eviction clears trace 2's cache and
+    // unlinks 1 -> 2.
+    linker.onTraceEvicted(2);
+    DiagnosticEngine after;
+    analysis::checkExitCaches(linker, after);
+    EXPECT_TRUE(after.empty()) << after.textReport();
+}
+
+TEST(Analysis, CorruptedSuccessorSlotIsReported)
+{
+    CorruptibleLinker linker;
+    insertLinkedPair(linker);
+
+    // The patched 1 -> 2 edge exists, but the cached jump was lost.
+    linker.corruptSlot(1, 0, cache::kInvalidTrace);
+    DiagnosticEngine engine;
+    analysis::checkExitCaches(linker, engine);
+    EXPECT_TRUE(engine.hasCheck("fe-exit-slot"))
+        << engine.textReport();
+}
+
+TEST(Analysis, SlotWithoutPatchedEdgeIsReported)
+{
+    CorruptibleLinker linker;
+    insertLinkedPair(linker);
+
+    // Exit 0x3000 has no resident successor, yet a cached jump
+    // appeared (a stale patch the dispatcher would blindly follow).
+    linker.corruptSlot(1, 1, 2);
+    DiagnosticEngine engine;
+    analysis::checkExitCaches(linker, engine);
+    EXPECT_TRUE(engine.hasCheck("fe-exit-slot"))
+        << engine.textReport();
+}
+
+TEST(Analysis, ExitCacheShapeMismatchIsReported)
+{
+    CorruptibleLinker linker;
+    insertLinkedPair(linker);
+
+    linker.corruptTargets(2);
+    DiagnosticEngine engine;
+    analysis::checkExitCaches(linker, engine);
+    EXPECT_TRUE(engine.hasCheck("fe-exit-shape"))
+        << engine.textReport();
+}
+
+TEST(Analysis, StaleExitCacheAfterEvictionIsReported)
+{
+    CorruptibleLinker linker;
+    insertLinkedPair(linker);
+    linker.onTraceEvicted(2);
+
+    // An eviction that failed to clear the evictee's cached jumps.
+    linker.resurrectStaleCache(2, 0x1000);
+    DiagnosticEngine engine;
+    analysis::checkExitCaches(linker, engine);
+    EXPECT_TRUE(engine.hasCheck("fe-exit-shape"))
+        << engine.textReport();
+}
+
+TEST(Analysis, FrontendPassCleanOnLiveRuntimeBothModes)
+{
+    // The dense mirrors (block index round-trip, dispatch table,
+    // exit caches) must be consistent on a live runtime in either
+    // front-end mode, including after a module unload retires ids.
+    for (auto mode : {runtime::FrontEnd::Legacy,
+                      runtime::FrontEnd::Predecoded}) {
+        guest::SyntheticProgramConfig config;
+        config.seed = 13;
+        config.phases = 2;
+        config.phaseIterations = 20;
+        config.innerIterations = 10;
+        config.dllCount = 1;
+        guest::SyntheticProgram synthetic =
+            guest::generateSyntheticProgram(config);
+
+        guest::AddressSpace space;
+        cache::UnifiedCacheManager manager(4 * kKiB);
+        runtime::Runtime runtime(space, manager,
+                                 /*trace_threshold=*/10, mode);
+        for (const auto &module : synthetic.program.modules()) {
+            runtime.loadModule(*module);
+        }
+        runtime.start(synthetic.program.entry());
+        runtime.run();
+        ASSERT_TRUE(runtime.finished());
+
+        analysis::AnalysisInput input = analysis::AnalysisInput::
+            forRuntime(synthetic.program, runtime);
+        analysis::FrontendPass pass;
+        DiagnosticEngine engine;
+        engine.setCurrentPass(pass.name());
+        pass.run(input, engine);
+        EXPECT_TRUE(engine.empty()) << engine.textReport();
+
+        ASSERT_FALSE(synthetic.dllLastPhase.empty());
+        runtime.unloadModule(synthetic.dllLastPhase[0].first);
+        DiagnosticEngine after;
+        after.setCurrentPass(pass.name());
+        pass.run(input, after);
+        EXPECT_TRUE(after.empty()) << after.textReport();
+    }
 }
 
 // ---------------------------------------------------------------------

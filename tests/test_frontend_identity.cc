@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Front-end identity tests: the predecoded fast path must be
+ * observationally indistinguishable from the legacy reference path.
+ *
+ * Both front ends run the same synthetic programs under the same
+ * cache managers; the emitted AccessLog event streams must be
+ * bit-identical (every field of every event), and the runtime,
+ * bb-cache, and linker statistics must match exactly. The grid covers
+ * the workload profiles the runtime tests exercise — steady loops,
+ * phased programs with transient DLLs, wide code footprints — crossed
+ * with unbounded, pressured-unified, and generational cache managers,
+ * plus a harness that unloads DLLs mid-run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "codecache/generational_cache.h"
+#include "codecache/unified_cache.h"
+#include "guest/address_space.h"
+#include "guest/synthetic_program.h"
+#include "runtime/runtime.h"
+#include "support/units.h"
+#include "tracelog/event.h"
+
+namespace gencache {
+namespace {
+
+/** Everything observable from one complete run. */
+struct RunObservation
+{
+    tracelog::AccessLog log;
+    runtime::RuntimeStats stats;
+    runtime::BbCacheStats bbStats;
+    runtime::LinkerStats linkStats;
+};
+
+/** The cache-manager shapes each profile is crossed with. */
+enum class ManagerShape {
+    Unbounded,    ///< UnifiedCacheManager(0): no evictions
+    SmallUnified, ///< pressured FIFO: evictions and regenerations
+    Generational, ///< small nursery/probation/persistent pipeline
+};
+
+std::unique_ptr<cache::CacheManager>
+makeManager(ManagerShape shape)
+{
+    switch (shape) {
+    case ManagerShape::Unbounded:
+        return std::make_unique<cache::UnifiedCacheManager>(0);
+    case ManagerShape::SmallUnified:
+        return std::make_unique<cache::UnifiedCacheManager>(3 * kKiB);
+    case ManagerShape::Generational:
+        return std::make_unique<cache::GenerationalCacheManager>(
+            cache::GenerationalConfig::fromProportions(3 * kKiB, 0.40,
+                                                       0.30, 1));
+    }
+    return nullptr;
+}
+
+const char *
+managerShapeName(ManagerShape shape)
+{
+    switch (shape) {
+    case ManagerShape::Unbounded:
+        return "unbounded";
+    case ManagerShape::SmallUnified:
+        return "small-unified";
+    case ManagerShape::Generational:
+        return "generational";
+    }
+    return "?";
+}
+
+/** One workload profile of the identity grid. */
+struct Profile
+{
+    const char *name;
+    guest::SyntheticProgramConfig config;
+    std::uint32_t threshold;
+};
+
+std::vector<Profile>
+profileGrid()
+{
+    std::vector<Profile> grid;
+
+    guest::SyntheticProgramConfig small;
+    small.seed = 7;
+    small.phases = 2;
+    small.phaseIterations = 8;
+    small.innerIterations = 6;
+    small.dllCount = 1;
+    grid.push_back({"small", small, 10});
+
+    guest::SyntheticProgramConfig phased;
+    phased.seed = 21;
+    phased.phases = 4;
+    phased.phaseIterations = 12;
+    phased.innerIterations = 8;
+    phased.dllCount = 2;
+    grid.push_back({"phased", phased, 10});
+
+    guest::SyntheticProgramConfig wide;
+    wide.seed = 33;
+    wide.phases = 3;
+    wide.functionsPerPhase = 6;
+    wide.blocksPerFunction = 6;
+    wide.phaseIterations = 10;
+    wide.innerIterations = 8;
+    wide.dllCount = 2;
+    grid.push_back({"wide", wide, 10});
+
+    guest::SyntheticProgramConfig hot;
+    hot.seed = 55;
+    hot.phases = 2;
+    hot.sharedFunctions = 4;
+    hot.phaseIterations = 15;
+    hot.innerIterations = 30;
+    hot.dllCount = 1;
+    grid.push_back({"hot-loop", hot, 20});
+
+    guest::SyntheticProgramConfig churn;
+    churn.seed = 77;
+    churn.phases = 5;
+    churn.phaseIterations = 20;
+    churn.innerIterations = 10;
+    churn.dllCount = 3;
+    grid.push_back({"churn", churn, 10});
+
+    return grid;
+}
+
+/**
+ * Run @p config to completion under @p mode and capture everything
+ * observable. With @p unload_dlls the harness polls the guest's phase
+ * register between bounded run() slices and unmaps each transient DLL
+ * once its last phase has passed — the mid-run invalidation path.
+ */
+RunObservation
+runProgram(runtime::FrontEnd mode,
+           const guest::SyntheticProgramConfig &config,
+           std::uint32_t threshold, ManagerShape shape,
+           bool unload_dlls)
+{
+    guest::SyntheticProgram synthetic =
+        guest::generateSyntheticProgram(config);
+    std::unique_ptr<cache::CacheManager> manager = makeManager(shape);
+
+    guest::AddressSpace space;
+    runtime::Runtime runtime(space, *manager, threshold, mode);
+    for (const auto &module : synthetic.program.modules()) {
+        runtime.loadModule(*module);
+    }
+    runtime.start(synthetic.program.entry());
+
+    if (!unload_dlls) {
+        runtime.run();
+    } else {
+        std::vector<bool> unloaded(synthetic.dllLastPhase.size(),
+                                   false);
+        while (!runtime.finished()) {
+            runtime.run(512);
+            auto phase = static_cast<unsigned>(
+                runtime.guestReg(guest::kPhaseRegister));
+            for (std::size_t i = 0;
+                 i < synthetic.dllLastPhase.size(); ++i) {
+                if (!unloaded[i] &&
+                    phase > synthetic.dllLastPhase[i].second) {
+                    runtime.unloadModule(
+                        synthetic.dllLastPhase[i].first);
+                    unloaded[i] = true;
+                }
+            }
+        }
+    }
+    EXPECT_TRUE(runtime.finished());
+    runtime.log().validate();
+
+    RunObservation observation;
+    observation.log = runtime.log();
+    observation.stats = runtime.stats();
+    observation.bbStats = runtime.bbCacheStats();
+    observation.linkStats = runtime.linker().stats();
+    return observation;
+}
+
+/** Assert @p fast and @p legacy are field-for-field identical. */
+void
+expectIdentical(const RunObservation &legacy,
+                const RunObservation &fast, const std::string &label)
+{
+    SCOPED_TRACE(label);
+
+    // The event streams must be bit-identical, record by record.
+    const auto &a = legacy.log.events();
+    const auto &b = fast.log.events();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE("event " + std::to_string(i));
+        EXPECT_EQ(a[i].type, b[i].type);
+        EXPECT_EQ(a[i].time, b[i].time);
+        EXPECT_EQ(a[i].trace, b[i].trace);
+        EXPECT_EQ(a[i].sizeBytes, b[i].sizeBytes);
+        EXPECT_EQ(a[i].module, b[i].module);
+    }
+    EXPECT_EQ(legacy.log.duration(), fast.log.duration());
+    EXPECT_EQ(legacy.log.footprintBytes(), fast.log.footprintBytes());
+    EXPECT_EQ(legacy.log.createdTraceBytes(),
+              fast.log.createdTraceBytes());
+    EXPECT_EQ(legacy.log.createdTraceCount(),
+              fast.log.createdTraceCount());
+
+    // Execution statistics: same instructions retired on each path,
+    // same dispatcher behaviour, same trace lifecycle.
+    EXPECT_EQ(legacy.stats.instructionsInterpreted,
+              fast.stats.instructionsInterpreted);
+    EXPECT_EQ(legacy.stats.instructionsInTraces,
+              fast.stats.instructionsInTraces);
+    EXPECT_EQ(legacy.stats.contextSwitches,
+              fast.stats.contextSwitches);
+    EXPECT_EQ(legacy.stats.tracesBuilt, fast.stats.tracesBuilt);
+    EXPECT_EQ(legacy.stats.traceRegenerations,
+              fast.stats.traceRegenerations);
+    EXPECT_EQ(legacy.stats.traceExecutions,
+              fast.stats.traceExecutions);
+    EXPECT_EQ(legacy.stats.blocksInterpreted,
+              fast.stats.blocksInterpreted);
+    EXPECT_EQ(legacy.stats.tracesOptimized,
+              fast.stats.tracesOptimized);
+    EXPECT_EQ(legacy.stats.optimizerBytesSaved,
+              fast.stats.optimizerBytesSaved);
+    EXPECT_EQ(legacy.stats.optimizerInstsRemoved,
+              fast.stats.optimizerInstsRemoved);
+
+    // The dense bb cache must mirror the hash-map cache stat for stat.
+    EXPECT_EQ(legacy.bbStats.copies, fast.bbStats.copies);
+    EXPECT_EQ(legacy.bbStats.copiedBytes, fast.bbStats.copiedBytes);
+    EXPECT_EQ(legacy.bbStats.hits, fast.bbStats.hits);
+    EXPECT_EQ(legacy.bbStats.invalidations,
+              fast.bbStats.invalidations);
+
+    // Direct chaining must not change what gets (un)patched.
+    EXPECT_EQ(legacy.linkStats.linksPatched,
+              fast.linkStats.linksPatched);
+    EXPECT_EQ(legacy.linkStats.linksUnpatched,
+              fast.linkStats.linksUnpatched);
+    EXPECT_EQ(legacy.linkStats.relocations,
+              fast.linkStats.relocations);
+}
+
+void
+runGrid(bool unload_dlls)
+{
+    const ManagerShape shapes[] = {ManagerShape::Unbounded,
+                                   ManagerShape::SmallUnified,
+                                   ManagerShape::Generational};
+    for (const Profile &profile : profileGrid()) {
+        for (ManagerShape shape : shapes) {
+            RunObservation legacy = runProgram(
+                runtime::FrontEnd::Legacy, profile.config,
+                profile.threshold, shape, unload_dlls);
+            RunObservation fast = runProgram(
+                runtime::FrontEnd::Predecoded, profile.config,
+                profile.threshold, shape, unload_dlls);
+            expectIdentical(legacy, fast,
+                            std::string(profile.name) + " / " +
+                                managerShapeName(shape));
+        }
+    }
+}
+
+TEST(FrontendIdentity, AllProfilesAndManagersMatch) { runGrid(false); }
+
+TEST(FrontendIdentity, MidRunDllUnloadsMatch) { runGrid(true); }
+
+TEST(FrontendIdentity, PredecodedIsTheDefaultFrontEnd)
+{
+    cache::UnifiedCacheManager manager(0);
+    guest::AddressSpace space;
+    runtime::Runtime runtime(space, manager);
+    EXPECT_EQ(runtime.frontend(), runtime::FrontEnd::Predecoded);
+}
+
+TEST(FrontendIdentity, ReloadAfterUnloadStaysIdentical)
+{
+    // Remapping a module assigns fresh dense block ids; the fast path
+    // must stay identical to legacy across the id turnover.
+    auto runWithReload = [](runtime::FrontEnd mode) {
+        guest::SyntheticProgramConfig config;
+        config.seed = 33;
+        config.phases = 2;
+        config.phaseIterations = 10;
+        config.innerIterations = 8;
+        config.dllCount = 1;
+        guest::SyntheticProgram synthetic =
+            guest::generateSyntheticProgram(config);
+
+        cache::UnifiedCacheManager manager(0);
+        guest::AddressSpace space;
+        runtime::Runtime runtime(space, manager, 10, mode);
+        for (const auto &module : synthetic.program.modules()) {
+            runtime.loadModule(*module);
+        }
+        runtime.start(synthetic.program.entry());
+        runtime.run();
+        EXPECT_TRUE(runtime.finished());
+
+        EXPECT_FALSE(synthetic.dllLastPhase.empty());
+        guest::ModuleId dll = synthetic.dllLastPhase[0].first;
+        runtime.unloadModule(dll);
+        for (const auto &module : synthetic.program.modules()) {
+            if (module->id() == dll) {
+                runtime.loadModule(*module);
+            }
+        }
+        runtime.start(synthetic.program.entry());
+        runtime.run();
+        EXPECT_TRUE(runtime.finished());
+        runtime.log().validate();
+
+        RunObservation observation;
+        observation.log = runtime.log();
+        observation.stats = runtime.stats();
+        observation.bbStats = runtime.bbCacheStats();
+        observation.linkStats = runtime.linker().stats();
+        return observation;
+    };
+
+    RunObservation legacy = runWithReload(runtime::FrontEnd::Legacy);
+    RunObservation fast = runWithReload(runtime::FrontEnd::Predecoded);
+    expectIdentical(legacy, fast, "reload-after-unload");
+}
+
+} // namespace
+} // namespace gencache

@@ -65,15 +65,89 @@ TEST(TraceHeadTable, NonHeadsNeverFire)
     EXPECT_EQ(heads.count(0x999), 0u);
 }
 
-TEST(TraceHeadTable, ClearHeadResets)
+TEST(TraceHeadTable, RemoveResets)
 {
     TraceHeadTable heads(2);
     heads.markHead(0x400, TraceHeadKind::TraceExit);
     heads.recordExecution(0x400);
-    heads.clearHead(0x400);
+    heads.remove(0x400);
     EXPECT_FALSE(heads.isHead(0x400));
+    // Re-detection after the trace is deleted/evicted: the head is
+    // re-marked and must count up from zero to fire again.
     heads.markHead(0x400, TraceHeadKind::TraceExit);
     EXPECT_EQ(heads.count(0x400), 0u);
+    EXPECT_FALSE(heads.recordExecution(0x400)); // 1
+    EXPECT_TRUE(heads.recordExecution(0x400));  // 2: fires again
+}
+
+TEST(TraceHeadTable, ThresholdMinusOneDoesNotFire)
+{
+    TraceHeadTable heads(4);
+    heads.markHead(0x400, TraceHeadKind::BackwardBranchTarget);
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_FALSE(heads.recordExecution(0x400));
+    }
+    EXPECT_EQ(heads.count(0x400), 3u); // threshold - 1: still counting
+    EXPECT_TRUE(heads.recordExecution(0x400));
+}
+
+TEST(TraceHeadTable, RemoveNonHeadIsNoOp)
+{
+    TraceHeadTable heads(2);
+    heads.markHead(0x400, TraceHeadKind::TraceExit);
+    heads.remove(0x999); // never marked: must not disturb anything
+    EXPECT_EQ(heads.headCount(), 1u);
+    EXPECT_TRUE(heads.isHead(0x400));
+    heads.remove(0x999); // idempotent
+    EXPECT_EQ(heads.headCount(), 1u);
+}
+
+TEST(TraceHeadTable, RemoveRangeDropsOnlyRange)
+{
+    TraceHeadTable heads(2);
+    heads.markHead(0x400, TraceHeadKind::BackwardBranchTarget);
+    heads.markHead(0x500, TraceHeadKind::TraceExit);
+    heads.markHead(0x600, TraceHeadKind::TraceExit);
+    heads.removeRange(0x480, 0x600); // [base, end): keeps 0x400, 0x600
+    EXPECT_TRUE(heads.isHead(0x400));
+    EXPECT_FALSE(heads.isHead(0x500));
+    EXPECT_TRUE(heads.isHead(0x600));
+    EXPECT_EQ(heads.headCount(), 2u);
+}
+
+TEST(DenseTraceHeadTable, MirrorsHashTableContract)
+{
+    DenseTraceHeadTable heads(3);
+    heads.ensureCapacity(8);
+    heads.markHead(2, TraceHeadKind::BackwardBranchTarget);
+    EXPECT_TRUE(heads.isHead(2));
+    EXPECT_FALSE(heads.isHead(3));
+    EXPECT_FALSE(heads.recordExecution(2)); // 1
+    EXPECT_FALSE(heads.recordExecution(2)); // 2: threshold - 1
+    EXPECT_EQ(heads.count(2), 2u);
+    EXPECT_TRUE(heads.recordExecution(2));  // 3: fire
+    EXPECT_FALSE(heads.recordExecution(2)); // only fires once
+    EXPECT_FALSE(heads.recordExecution(5)); // non-head never fires
+    EXPECT_EQ(heads.headCount(), 1u);
+}
+
+TEST(DenseTraceHeadTable, RemoveAndRangeSemantics)
+{
+    DenseTraceHeadTable heads(2);
+    heads.ensureCapacity(8);
+    heads.markHead(1, TraceHeadKind::TraceExit);
+    heads.recordExecution(1);
+    heads.remove(1);
+    EXPECT_FALSE(heads.isHead(1));
+    heads.markHead(1, TraceHeadKind::TraceExit);
+    EXPECT_EQ(heads.count(1), 0u); // re-marking restarts from zero
+    heads.remove(6);               // non-head: no-op
+    EXPECT_EQ(heads.headCount(), 1u);
+    heads.markHead(4, TraceHeadKind::BackwardBranchTarget);
+    heads.removeRange(0, 4); // drops 1, keeps 4
+    EXPECT_FALSE(heads.isHead(1));
+    EXPECT_TRUE(heads.isHead(4));
+    EXPECT_EQ(heads.headCount(), 1u);
 }
 
 TEST(TraceBuilder, RecordsPathAndExits)
@@ -270,6 +344,46 @@ TEST_F(RuntimeFixture, ModuleUnloadEvictsTraces)
     runtime.unloadModule(dll);
     EXPECT_GT(manager.stats().unmapDeletions, before);
     // All events (including the unload) still form a valid log.
+    runtime.log().validate();
+}
+
+TEST_F(RuntimeFixture, HeadRedetectionAfterTraceDeleted)
+{
+    // After a module unload deletes its traces (and drops its head
+    // counters), remapping the module and re-running must re-detect
+    // the heads from scratch and build fresh traces for them.
+    cache::UnifiedCacheManager manager(256 * kKiB);
+    guest::SyntheticProgramConfig config;
+    config.seed = 33;
+    config.phases = 2;
+    config.phaseIterations = 30;
+    config.innerIterations = 20;
+    config.dllCount = 1;
+    synthetic_ = guest::generateSyntheticProgram(config);
+    for (const auto &module : synthetic_.program.modules()) {
+        space_.map(*module);
+    }
+    Runtime runtime(space_, manager, 10);
+    runtime.start(synthetic_.program.entry());
+    runtime.run();
+    ASSERT_TRUE(runtime.finished());
+    ASSERT_FALSE(synthetic_.dllLastPhase.empty());
+
+    guest::ModuleId dll = synthetic_.dllLastPhase[0].first;
+    std::uint64_t built_before = runtime.stats().tracesBuilt;
+    runtime.unloadModule(dll);
+    for (const auto &module : synthetic_.program.modules()) {
+        if (module->id() == dll) {
+            runtime.loadModule(*module);
+        }
+    }
+    runtime.start(synthetic_.program.entry());
+    runtime.run();
+    ASSERT_TRUE(runtime.finished());
+    // The dll's traces were deleted with the unload, so the second
+    // run must have re-counted its heads up to the threshold and
+    // rebuilt at least one trace for the remapped code.
+    EXPECT_GT(runtime.stats().tracesBuilt, built_before);
     runtime.log().validate();
 }
 

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Tier-pipeline dispatch overhead: frozen pre-refactor managers vs
+ * their TierPipeline re-expressions on the standard sweep shape.
+ *
+ * The refactor routes every hot-path operation (lookup, insert,
+ * cascade) through the generalized pipeline plus virtual
+ * PromotionPolicy edges. This harness proves the generalization is
+ * close to free: it replays identical batched sweep rows — one lane
+ * per standard threshold, 45-10-45 split, plus a unified lane —
+ * against the verbatim pre-refactor managers (tests/
+ * reference_managers.h) and against the adapters, takes the best of
+ * several repetitions, and reports the wall-time ratio. Acceptance:
+ * pipeline dispatch adds < 2% to sweep replay wall-time.
+ *
+ * Emits BENCH_tiers.json: per-benchmark reference/pipeline seconds,
+ * overhead percentage, result-identity flag, and the aggregate
+ * overhead number.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "codecache/generational_cache.h"
+#include "codecache/unified_cache.h"
+#include "reference_managers.h"
+#include "sim/batched_replay.h"
+#include "sim/experiment.h"
+#include "sim/sweep.h"
+#include "support/format.h"
+#include "support/units.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace gencache;
+
+const char *const kSubset[] = {"gzip", "gcc", "crafty", "art",
+                               "word"};
+constexpr int kRepetitions = 5;
+
+std::uint64_t
+managedCapacity(const workload::BenchmarkProfile &profile)
+{
+    auto capacity = static_cast<std::uint64_t>(
+        profile.finalCacheKb * static_cast<double>(kKiB) / 2.0);
+    return capacity < 4096 ? 4096 : capacity;
+}
+
+struct PassResult
+{
+    double seconds = 0.0;
+    std::vector<sim::SimResult> results;
+};
+
+/** One timed batched pass: a generational lane per threshold plus a
+ *  unified lane, all built by @p make_gen / @p make_uni. */
+template <typename MakeGen, typename MakeUni>
+PassResult
+timedPass(const tracelog::CompiledLog &compiled,
+          std::uint64_t capacity,
+          const std::vector<std::uint32_t> &thresholds,
+          MakeGen make_gen, MakeUni make_uni)
+{
+    std::vector<std::unique_ptr<cache::CacheManager>> managers;
+    sim::BatchedReplay replay(compiled);
+    for (std::uint32_t threshold : thresholds) {
+        managers.push_back(make_gen(
+            cache::GenerationalConfig::fromProportions(
+                capacity, 0.45, 0.10, threshold)));
+        replay.addLane(*managers.back());
+    }
+    managers.push_back(make_uni(capacity));
+    replay.addLane(*managers.back());
+
+    PassResult pass;
+    bench::WallTimer timer;
+    pass.results = replay.run();
+    pass.seconds = timer.seconds();
+    return pass;
+}
+
+bool
+resultsIdentical(const std::vector<sim::SimResult> &a,
+                 const std::vector<sim::SimResult> &b)
+{
+    if (a.size() != b.size()) {
+        return false;
+    }
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const cache::ManagerStats &x = a[i].managerStats;
+        const cache::ManagerStats &y = b[i].managerStats;
+        if (a[i].misses != b[i].misses || a[i].hits != b[i].hits ||
+            x.deletions != y.deletions ||
+            x.promotions != y.promotions ||
+            x.probationRejections != y.probationRejections ||
+            a[i].overhead.total() != b[i].overhead.total()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Tier-pipeline dispatch overhead: frozen "
+                  "pre-refactor managers vs pipeline adapters");
+
+    std::vector<std::uint32_t> thresholds =
+        sim::defaultSweepThresholds();
+
+    bench::JsonArray benchmarks;
+    double total_reference = 0.0;
+    double total_pipeline = 0.0;
+    bool all_identical = true;
+
+    auto make_ref_gen = [](const cache::GenerationalConfig &config) {
+        return std::unique_ptr<cache::CacheManager>(
+            new cache::reference::ReferenceGenerationalManager(config));
+    };
+    auto make_ref_uni = [](std::uint64_t capacity) {
+        return std::unique_ptr<cache::CacheManager>(
+            new cache::reference::ReferenceUnifiedManager(capacity));
+    };
+    auto make_new_gen = [](const cache::GenerationalConfig &config) {
+        return std::unique_ptr<cache::CacheManager>(
+            new cache::GenerationalCacheManager(config));
+    };
+    auto make_new_uni = [](std::uint64_t capacity) {
+        return std::unique_ptr<cache::CacheManager>(
+            new cache::UnifiedCacheManager(capacity));
+    };
+
+    for (const char *name : kSubset) {
+        workload::BenchmarkProfile profile =
+            bench::scaled(workload::findProfile(name));
+        tracelog::AccessLog log = workload::generateWorkload(profile);
+        tracelog::CompiledLog compiled =
+            tracelog::CompiledLog::compile(log);
+        std::uint64_t capacity = managedCapacity(profile);
+
+        double best_reference = 0.0;
+        double best_pipeline = 0.0;
+        bool identical = true;
+        for (int rep = 0; rep < kRepetitions; ++rep) {
+            // Alternate the order each repetition so neither side
+            // systematically inherits the warmer caches.
+            PassResult ref;
+            PassResult pipe;
+            if (rep % 2 == 0) {
+                ref = timedPass(compiled, capacity, thresholds,
+                                make_ref_gen, make_ref_uni);
+                pipe = timedPass(compiled, capacity, thresholds,
+                                 make_new_gen, make_new_uni);
+            } else {
+                pipe = timedPass(compiled, capacity, thresholds,
+                                 make_new_gen, make_new_uni);
+                ref = timedPass(compiled, capacity, thresholds,
+                                make_ref_gen, make_ref_uni);
+            }
+            identical = identical &&
+                        resultsIdentical(ref.results, pipe.results);
+            if (rep == 0 || ref.seconds < best_reference) {
+                best_reference = ref.seconds;
+            }
+            if (rep == 0 || pipe.seconds < best_pipeline) {
+                best_pipeline = pipe.seconds;
+            }
+        }
+
+        double overhead_pct =
+            best_reference > 0.0
+                ? (best_pipeline / best_reference - 1.0) * 100.0
+                : 0.0;
+        total_reference += best_reference;
+        total_pipeline += best_pipeline;
+        all_identical = all_identical && identical;
+
+        std::printf("%-10s %9zu events  reference %.3fs  pipeline "
+                    "%.3fs  overhead %+.2f%%  results %s\n",
+                    name, log.size(), best_reference, best_pipeline,
+                    overhead_pct,
+                    identical ? "identical" : "MISMATCH");
+
+        bench::JsonObject entry;
+        entry.put("name", name)
+            .put("events", static_cast<std::uint64_t>(log.size()))
+            .put("reference_sec", best_reference)
+            .put("pipeline_sec", best_pipeline)
+            .put("overhead_pct", overhead_pct)
+            .put("results_identical", identical);
+        benchmarks.push(entry);
+    }
+
+    double total_overhead_pct =
+        total_reference > 0.0
+            ? (total_pipeline / total_reference - 1.0) * 100.0
+            : 0.0;
+    bool within_budget = total_overhead_pct < 2.0;
+
+    std::printf("\ntotal: reference %.2fs, pipeline %.2fs, overhead "
+                "%+.2f%% (budget < 2%%: %s), results %s\n",
+                total_reference, total_pipeline, total_overhead_pct,
+                within_budget ? "PASS" : "FAIL",
+                all_identical ? "identical" : "MISMATCH");
+
+    bench::JsonObject artifact;
+    artifact.put("bench", "tier_overhead")
+        .put("scale", bench::scaleFactor())
+        .put("repetitions", kRepetitions)
+        .put("lanes_per_pass",
+             static_cast<std::uint64_t>(thresholds.size() + 1))
+        .putRaw("benchmarks", benchmarks.toString())
+        .put("total_reference_sec", total_reference)
+        .put("total_pipeline_sec", total_pipeline)
+        .put("total_overhead_pct", total_overhead_pct)
+        .put("within_budget", within_budget)
+        .put("results_identical", all_identical);
+    bench::writeJsonArtifact("BENCH_tiers.json", artifact);
+
+    return (within_budget && all_identical) ? 0 : 1;
+}

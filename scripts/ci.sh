@@ -5,11 +5,12 @@
 #      invariant passes active inside the runtime/simulator tests)
 #   3. ThreadSanitizer build, running the `tsan`-labelled concurrency
 #      tests
-#   4. AddressSanitizer+UBSan build: first the `replay`- and
-#      `frontend`-labelled bit-identity tests (compiled/batched replay
-#      vs the legacy loop, predecoded front end vs legacy dispatch —
-#      the memory-unsafe-optimization tripwires), then the rest of the
-#      suite
+#   4. AddressSanitizer+UBSan build: first the `replay`-, `frontend`-
+#      and `tiers`-labelled bit-identity tests (compiled/batched
+#      replay vs the legacy loop, predecoded front end vs legacy
+#      dispatch, tier-pipeline adapters vs the frozen pre-refactor
+#      managers — the memory-unsafe-optimization tripwires), then the
+#      rest of the suite
 #   5. gencheck over the example workloads — live runs, legacy sim
 #      replays, and batched-replay end states; any diagnostic of
 #      severity error (or worse) fails the pipeline
@@ -48,17 +49,17 @@ if [[ $fast -eq 0 ]]; then
     ctest --test-dir build-tsan --output-on-failure -L tsan \
         -j "$jobs"
 
-    step "ASan+UBSan build + replay/frontend bit-identity tests"
+    step "ASan+UBSan build + replay/frontend/tiers bit-identity tests"
     cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DGENCACHE_SANITIZE=address,undefined \
         >/tmp/gencache-asan-configure.log
     cmake --build build-asan -j "$jobs"
     ctest --test-dir build-asan --output-on-failure \
-        -L "replay|frontend" -j "$jobs"
+        -L "replay|frontend|tiers" -j "$jobs"
 
     step "ASan+UBSan remaining test suite"
     ctest --test-dir build-asan --output-on-failure \
-        -LE "replay|frontend" -j "$jobs"
+        -LE "replay|frontend|tiers" -j "$jobs"
 else
     step "skipping sanitizer builds (--fast)"
 fi

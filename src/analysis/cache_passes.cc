@@ -4,10 +4,9 @@
 #include <unordered_set>
 
 #include "codecache/cache_manager.h"
-#include "codecache/generational_cache.h"
 #include "codecache/list_cache.h"
 #include "codecache/pseudo_circular_cache.h"
-#include "codecache/unified_cache.h"
+#include "codecache/tier_pipeline.h"
 #include "runtime/runtime.h"
 #include "support/format.h"
 
@@ -287,95 +286,121 @@ checkGenericCache(const cache::LocalCache &cache,
     }
 }
 
-/** Generational hierarchy invariants (§5, Figure 8). */
+/** Promotion-flow conservation across the cascade: nothing flows
+ *  into the first tier or out of the last, every edge conserves, and
+ *  the manager total is the sum of tier admissions. */
 void
-checkGenerational(const cache::GenerationalCacheManager &manager,
+checkTierFlow(const cache::TierPipeline &pipeline,
+              DiagnosticEngine &out)
+{
+    std::size_t tiers = pipeline.tierCount();
+    auto tier_name = [&](std::size_t tier) {
+        return cache::generationName(pipeline.tierLabel(tier));
+    };
+    auto flow = [&](bool ok, std::string message) {
+        if (!ok) {
+            out.report(Severity::Error, "tier-flow", pipeline.name(),
+                       std::move(message));
+        }
+    };
+    std::uint64_t admitted = 0;
+    for (std::size_t tier = 1; tier < tiers; ++tier) {
+        admitted += pipeline.tierStats(tier).promotionsIn;
+    }
+    flow(pipeline.tierStats(0).promotionsIn == 0,
+         format("{} reports {} inbound promotions; nothing promotes "
+                "into the first tier",
+                tier_name(0), pipeline.tierStats(0).promotionsIn));
+    flow(pipeline.tierStats(tiers - 1).promotionsOut == 0,
+         format("{} reports {} outbound promotions; nothing promotes "
+                "out of the last tier",
+                tier_name(tiers - 1),
+                pipeline.tierStats(tiers - 1).promotionsOut));
+    for (std::size_t tier = 0; tier + 1 < tiers; ++tier) {
+        flow(pipeline.tierStats(tier + 1).promotionsIn ==
+                 pipeline.tierStats(tier).promotionsOut,
+             format("{} promoted {} out but {} admitted {}",
+                    tier_name(tier),
+                    pipeline.tierStats(tier).promotionsOut,
+                    tier_name(tier + 1),
+                    pipeline.tierStats(tier + 1).promotionsIn));
+    }
+    flow(pipeline.stats().promotions == admitted,
+         format("manager counts {} promotions but the tiers admitted "
+                "{}",
+                pipeline.stats().promotions, admitted));
+}
+
+/** Tier-pipeline invariants, generalizing the Figure 8 hierarchy
+ *  checks to any tier count (a 3-tier pipeline is the paper's
+ *  generational trio, a single tier the unified baseline). */
+void
+checkTierPipeline(const cache::TierPipeline &pipeline,
                   DiagnosticEngine &out)
 {
-    static constexpr cache::Generation kGens[] = {
-        cache::Generation::Nursery,
-        cache::Generation::Probation,
-        cache::Generation::Persistent,
+    std::size_t tiers = pipeline.tierCount();
+    auto tier_name = [&](std::size_t tier) {
+        return cache::generationName(pipeline.tierLabel(tier));
     };
 
-    // Per-generation storage + exactly-one-residency across the trio.
-    std::unordered_map<cache::TraceId, cache::Generation> resident;
-    for (cache::Generation gen : kGens) {
-        const cache::LocalCache &local = manager.localCache(gen);
-        checkLocalCache(local, cache::generationName(gen), out);
+    // Per-tier storage + exactly-one-residency across the pipeline.
+    std::unordered_map<cache::TraceId, std::size_t> resident;
+    for (std::size_t tier = 0; tier < tiers; ++tier) {
+        const cache::LocalCache &local = pipeline.tierCache(tier);
+        checkLocalCache(local, tier_name(tier), out);
         local.forEach([&](const cache::Fragment &frag) {
-            auto [it, fresh] = resident.emplace(frag.id, gen);
+            auto [it, fresh] = resident.emplace(frag.id, tier);
             if (!fresh) {
-                out.report(Severity::Error, "gen-dup-residency",
+                out.report(Severity::Error, "tier-dup-residency",
                            format("trace {}", frag.id),
                            format("resident in both {} and {}",
-                                  cache::generationName(it->second),
-                                  cache::generationName(gen)));
+                                  tier_name(it->second),
+                                  tier_name(tier)));
             }
         });
     }
 
-    // Residency index vs. actual cache contents.
-    const auto &where = manager.residencyIndex();
-    for (const auto &[id, gen] : resident) {
-        const cache::Generation *indexed = where.find(id);
+    // Residency index vs. actual cache contents. Single-tier
+    // pipelines keep no index (the tier is always 0); theirs must
+    // stay empty.
+    const auto &where = pipeline.residencyIndex();
+    if (tiers == 1) {
+        if (where.size() != 0) {
+            out.report(Severity::Error, "tier-index-mismatch",
+                       pipeline.name(),
+                       format("single-tier pipeline carries {} "
+                              "residency index entries",
+                              where.size()));
+        }
+        checkTierFlow(pipeline, out);
+        return;
+    }
+    for (const auto &[id, tier] : resident) {
+        const cache::TierId *indexed = where.find(id);
         if (indexed == nullptr) {
-            out.report(Severity::Error, "gen-index-mismatch",
+            out.report(Severity::Error, "tier-index-mismatch",
                        format("trace {}", id),
                        format("resident in {} but absent from the "
                               "residency index",
-                              cache::generationName(gen)));
-        } else if (*indexed != gen) {
-            out.report(Severity::Error, "gen-index-mismatch",
+                              tier_name(tier)));
+        } else if (*indexed != tier) {
+            out.report(Severity::Error, "tier-index-mismatch",
                        format("trace {}", id),
                        format("resident in {} but indexed in {}",
-                              cache::generationName(gen),
-                              cache::generationName(*indexed)));
+                              tier_name(tier),
+                              tier_name(*indexed)));
         }
     }
-    where.forEach([&](cache::TraceId id, const cache::Generation &gen) {
+    where.forEach([&](cache::TraceId id, const cache::TierId &tier) {
         if (resident.find(id) == resident.end()) {
-            out.report(Severity::Error, "gen-index-mismatch",
+            out.report(Severity::Error, "tier-index-mismatch",
                        format("trace {}", id),
                        format("indexed in {} but resident nowhere",
-                              cache::generationName(gen)));
+                              tier_name(tier)));
         }
     });
 
-    // Promotion-flow conservation across the Figure 8 cascade.
-    const cache::GenerationStats &nursery =
-        manager.generationStats(cache::Generation::Nursery);
-    const cache::GenerationStats &probation =
-        manager.generationStats(cache::Generation::Probation);
-    const cache::GenerationStats &persistent =
-        manager.generationStats(cache::Generation::Persistent);
-    auto flow = [&](bool ok, std::string message) {
-        if (!ok) {
-            out.report(Severity::Error, "gen-flow", "generational",
-                       std::move(message));
-        }
-    };
-    flow(nursery.promotionsIn == 0,
-         format("nursery reports {} inbound promotions; nothing "
-                "promotes into the nursery",
-                nursery.promotionsIn));
-    flow(persistent.promotionsOut == 0,
-         format("persistent reports {} outbound promotions; nothing "
-                "promotes out of persistent",
-                persistent.promotionsOut));
-    flow(probation.promotionsIn == nursery.promotionsOut,
-         format("nursery promoted {} out but probation admitted {}",
-                nursery.promotionsOut, probation.promotionsIn));
-    flow(persistent.promotionsIn == probation.promotionsOut,
-         format("probation promoted {} out but persistent admitted "
-                "{}",
-                probation.promotionsOut, persistent.promotionsIn));
-    flow(manager.stats().promotions ==
-             probation.promotionsIn + persistent.promotionsIn,
-         format("manager counts {} promotions but the generations "
-                "admitted {}",
-                manager.stats().promotions,
-                probation.promotionsIn + persistent.promotionsIn));
+    checkTierFlow(pipeline, out);
 }
 
 } // namespace
@@ -408,15 +433,9 @@ CacheStatePass::run(const AnalysisInput &input,
     if (manager == nullptr) {
         return;
     }
-    if (const auto *gen =
-            dynamic_cast<const cache::GenerationalCacheManager *>(
-                manager)) {
-        checkGenerational(*gen, out);
-        return;
-    }
-    if (const auto *unified =
-            dynamic_cast<const cache::UnifiedCacheManager *>(manager)) {
-        checkLocalCache(unified->local(), "unified", out);
+    if (const auto *pipeline =
+            dynamic_cast<const cache::TierPipeline *>(manager)) {
+        checkTierPipeline(*pipeline, out);
     }
 }
 

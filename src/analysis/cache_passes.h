@@ -13,17 +13,22 @@
  *    well-formed doubly linked list, the free list is disjoint from it
  *    and together they cover the slab, and index/byte accounting
  *    agree.
- *  - GenerationalCacheManager (§5, Figure 8): every trace is resident
- *    in exactly one generation, the residency index matches the
- *    caches, and the promotion counters obey the cascade's
- *    conservation identities (nursery promotes only out, persistent
- *    only in, counts match across adjacent generations).
+ *  - TierPipeline (§5, Figure 8, generalized to any tier count —
+ *    covering GenerationalCacheManager, UnifiedCacheManager, and every
+ *    TierTopology): every trace is resident in exactly one tier, the
+ *    residency index matches the caches, and the promotion counters
+ *    obey the cascade's conservation identities (nothing flows into
+ *    the first tier or out of the last, counts match across adjacent
+ *    tiers, the manager total is the sum of tier admissions).
  *
  * Check IDs: region-unsorted, region-split, region-overlap,
  * region-oob, region-pointer-oob, region-index, region-bytes,
  * region-pinned-count, list-ring-broken, list-free-broken, list-index,
  * list-bytes, list-over-capacity, cache-bytes, cache-over-capacity,
- * gen-dup-residency, gen-index-mismatch, gen-flow.
+ * tier-dup-residency, tier-index-mismatch, tier-flow. The pre-pipeline
+ * IDs gen-dup-residency / gen-index-mismatch / gen-flow remain valid
+ * aliases of the tier-* IDs (DiagnosticEngine canonicalizes both
+ * spellings).
  */
 
 #ifndef GENCACHE_ANALYSIS_CACHE_PASSES_H

@@ -43,11 +43,27 @@ DiagnosticEngine::count(Severity severity) const
     return n;
 }
 
+std::string_view
+canonicalCheckId(std::string_view id)
+{
+    if (id == "gen-dup-residency") {
+        return "tier-dup-residency";
+    }
+    if (id == "gen-index-mismatch") {
+        return "tier-index-mismatch";
+    }
+    if (id == "gen-flow") {
+        return "tier-flow";
+    }
+    return id;
+}
+
 bool
 DiagnosticEngine::hasCheck(std::string_view id) const
 {
+    std::string_view canonical = canonicalCheckId(id);
     for (const Diagnostic &diag : diagnostics_) {
-        if (diag.checkId == id) {
+        if (canonicalCheckId(diag.checkId) == canonical) {
             return true;
         }
     }
@@ -57,9 +73,10 @@ DiagnosticEngine::hasCheck(std::string_view id) const
 std::vector<Diagnostic>
 DiagnosticEngine::findingsOf(std::string_view id) const
 {
+    std::string_view canonical = canonicalCheckId(id);
     std::vector<Diagnostic> found;
     for (const Diagnostic &diag : diagnostics_) {
-        if (diag.checkId == id) {
+        if (canonicalCheckId(diag.checkId) == canonical) {
             found.push_back(diag);
         }
     }

@@ -71,10 +71,11 @@ class DiagnosticEngine
     /** Number of findings at severity >= Error. */
     std::size_t errorCount() const { return count(Severity::Error); }
 
-    /** @return true when any finding carries check ID @p id. */
+    /** @return true when any finding carries check ID @p id (alias
+     *  spellings match, see canonicalCheckId). */
     bool hasCheck(std::string_view id) const;
 
-    /** Findings carrying check ID @p id. */
+    /** Findings carrying check ID @p id (alias spellings match). */
     std::vector<Diagnostic> findingsOf(std::string_view id) const;
 
     /** Multi-line human-readable report (one line per finding plus a
@@ -91,6 +92,17 @@ class DiagnosticEngine
     std::string pass_;
     std::vector<Diagnostic> diagnostics_;
 };
+
+/**
+ * Canonical spelling of check ID @p id.
+ *
+ * The generation-specific cache-state checks generalized to
+ * tier-indexed passes when the managers became TierPipeline
+ * topologies; their historical gen-* IDs remain supported aliases of
+ * the tier-* IDs so existing tooling and suppression lists keep
+ * working. Unknown IDs canonicalize to themselves.
+ */
+std::string_view canonicalCheckId(std::string_view id);
 
 /** Escape @p text for embedding in a JSON string literal. */
 std::string jsonEscape(std::string_view text);

@@ -12,6 +12,12 @@ generationName(Generation gen)
       case Generation::Nursery: return "nursery";
       case Generation::Probation: return "probation";
       case Generation::Persistent: return "persistent";
+      case Generation::Tier1: return "tier1";
+      case Generation::Tier2: return "tier2";
+      case Generation::Tier3: return "tier3";
+      case Generation::Tier4: return "tier4";
+      case Generation::Tier5: return "tier5";
+      case Generation::Tier6: return "tier6";
     }
     GENCACHE_PANIC("unknown generation {}", static_cast<int>(gen));
 }

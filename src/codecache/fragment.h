@@ -32,12 +32,23 @@ using ModuleId = std::uint32_t;
 /** Sentinel for "no module". */
 constexpr ModuleId kNoModule = ~0U;
 
-/** Which cache of the hierarchy a fragment lives in. */
+/** Which cache of the hierarchy a fragment lives in.
+ *
+ *  The first four labels are the paper's fixed roles; Tier1..Tier6
+ *  label the middle tiers of deeper pipeline topologies
+ *  (tier_pipeline.h), where the first tier is always the Nursery and
+ *  the last tier always the Persistent cache. */
 enum class Generation : std::uint8_t {
     Unified,    ///< the single cache of a non-generational manager
     Nursery,    ///< newly created traces (paper §5)
     Probation,  ///< victim filter between nursery and persistent
     Persistent, ///< long-lived traces
+    Tier1,      ///< middle tier #1 of a >3-tier pipeline
+    Tier2,      ///< middle tier #2
+    Tier3,      ///< middle tier #3
+    Tier4,      ///< middle tier #4
+    Tier5,      ///< middle tier #5
+    Tier6,      ///< middle tier #6
 };
 
 /** @return a short printable name for @p gen. */
@@ -68,6 +79,7 @@ struct Fragment
     bool pinned = false;          ///< undeletable (paper §4.2)
     std::uint32_t accessCount = 0; ///< hits while in probation
     TimeUs insertTime = 0;         ///< when it entered its current cache
+    TimeUs lastAccess = 0;         ///< policy clock (temperature decay)
     std::uint64_t addr = 0;        ///< offset within its cache region
 };
 

@@ -19,372 +19,97 @@ GenerationalConfig::fromProportions(std::uint64_t total,
         fatal("invalid generational proportions {} / {}", nursery_frac,
               probation_frac);
     }
+    auto part = [total](double frac) {
+        auto bytes = static_cast<std::uint64_t>(
+            std::llround(static_cast<double>(total) * frac));
+        // Tiny totals can round a positive fraction down to zero
+        // bytes, which the manager rightly rejects; give the tier its
+        // minimum one byte instead.
+        return total > 0 && bytes == 0 ? std::uint64_t{1} : bytes;
+    };
     GenerationalConfig config;
-    config.nurseryBytes = static_cast<std::uint64_t>(
-        std::llround(static_cast<double>(total) * nursery_frac));
-    config.probationBytes = static_cast<std::uint64_t>(
-        std::llround(static_cast<double>(total) * probation_frac));
+    config.nurseryBytes = part(nursery_frac);
+    config.probationBytes = part(probation_frac);
     if (config.nurseryBytes + config.probationBytes >= total) {
         fatal("generational proportions leave no persistent space");
     }
     config.persistentBytes =
         total - config.nurseryBytes - config.probationBytes;
+    if (config.nurseryBytes + config.probationBytes +
+            config.persistentBytes != total) {
+        GENCACHE_PANIC("generational split of {} does not sum ({} / "
+                       "{} / {})", total, config.nurseryBytes,
+                       config.probationBytes, config.persistentBytes);
+    }
     config.promotionThreshold = threshold;
     config.eagerPromotion = eager;
     config.policy = policy;
     return config;
 }
 
-GenerationalCacheManager::GenerationalCacheManager(
-    const GenerationalConfig &config)
-    : config_(config)
+namespace {
+
+/** Validate @p config with the historical diagnostics, then lay it
+ *  out as a 3-tier pipeline: always-promote into probation, the
+ *  paper's threshold filter into the persistent cache. */
+TierPipelineInit
+generationalInit(const GenerationalConfig &config)
 {
-    if (config_.nurseryBytes == 0 || config_.probationBytes == 0 ||
-        config_.persistentBytes == 0) {
+    if (config.nurseryBytes == 0 || config.probationBytes == 0 ||
+        config.persistentBytes == 0) {
         fatal("generational caches need positive sizes "
-              "({} / {} / {})", config_.nurseryBytes,
-              config_.probationBytes, config_.persistentBytes);
+              "({} / {} / {})", config.nurseryBytes,
+              config.probationBytes, config.persistentBytes);
     }
-    if (config_.promotionThreshold == 0) {
+    if (config.promotionThreshold == 0) {
         fatal("promotion threshold must be at least 1");
     }
-    if (config_.policy == LocalPolicy::Unbounded) {
+    if (config.policy == LocalPolicy::Unbounded) {
         fatal("generational caches require a bounded local policy");
     }
-    nursery_ = makeLocalCache(config_.policy, config_.nurseryBytes);
-    probation_ = makeLocalCache(config_.policy, config_.probationBytes);
-    persistent_ =
-        makeLocalCache(config_.policy, config_.persistentBytes);
-}
 
-std::string
-GenerationalCacheManager::name() const
-{
-    double total = static_cast<double>(config_.totalBytes());
+    double total = static_cast<double>(config.totalBytes());
     auto pct = [total](std::uint64_t bytes) {
         return static_cast<int>(
             std::llround(100.0 * static_cast<double>(bytes) / total));
     };
-    return format("generational {}-{}-{} thr={}{}",
-                  pct(config_.nurseryBytes), pct(config_.probationBytes),
-                  pct(config_.persistentBytes),
-                  config_.promotionThreshold,
-                  config_.eagerPromotion ? " eager" : "");
+
+    TierPipelineInit init;
+    init.name = format("generational {}-{}-{} thr={}{}",
+                       pct(config.nurseryBytes),
+                       pct(config.probationBytes),
+                       pct(config.persistentBytes),
+                       config.promotionThreshold,
+                       config.eagerPromotion ? " eager" : "");
+    init.tiers = {
+        TierSpec{config.nurseryBytes, config.policy},
+        TierSpec{config.probationBytes, config.policy},
+        TierSpec{config.persistentBytes, config.policy},
+    };
+    init.edges.push_back(std::make_unique<AlwaysPromotePolicy>());
+    init.edges.push_back(std::make_unique<ThresholdPolicy>(
+        config.promotionThreshold, config.eagerPromotion));
+    return init;
 }
 
-LocalCache &
-GenerationalCacheManager::cacheOf(Generation gen)
+} // namespace
+
+GenerationalCacheManager::GenerationalCacheManager(
+    const GenerationalConfig &config)
+    : TierPipeline(generationalInit(config)), config_(config)
 {
-    switch (gen) {
-      case Generation::Nursery: return *nursery_;
-      case Generation::Probation: return *probation_;
-      case Generation::Persistent: return *persistent_;
-      case Generation::Unified:
-        break;
+}
+
+std::size_t
+GenerationalCacheManager::tierIndexOf(Generation gen) const
+{
+    for (std::size_t tier = 0; tier < tierCount(); ++tier) {
+        if (tierLabel(tier) == gen) {
+            return tier;
+        }
     }
     GENCACHE_PANIC("generational manager has no {} cache",
                    generationName(gen));
-}
-
-GenerationStats &
-GenerationalCacheManager::statsOf(Generation gen)
-{
-    switch (gen) {
-      case Generation::Nursery: return nurseryStats_;
-      case Generation::Probation: return probationStats_;
-      case Generation::Persistent: return persistentStats_;
-      case Generation::Unified:
-        break;
-    }
-    GENCACHE_PANIC("generational manager has no {} stats",
-                   generationName(gen));
-}
-
-const LocalCache &
-GenerationalCacheManager::localCache(Generation gen) const
-{
-    switch (gen) {
-      case Generation::Nursery: return *nursery_;
-      case Generation::Probation: return *probation_;
-      case Generation::Persistent: return *persistent_;
-      case Generation::Unified:
-        break;
-    }
-    GENCACHE_PANIC("generational manager has no {} cache",
-                   generationName(gen));
-}
-
-const GenerationStats &
-GenerationalCacheManager::generationStats(Generation gen) const
-{
-    switch (gen) {
-      case Generation::Nursery: return nurseryStats_;
-      case Generation::Probation: return probationStats_;
-      case Generation::Persistent: return persistentStats_;
-      case Generation::Unified:
-        break;
-    }
-    GENCACHE_PANIC("generational manager has no {} stats",
-                   generationName(gen));
-}
-
-bool
-GenerationalCacheManager::lookup(TraceId id, TimeUs now)
-{
-    ++stats_.lookups;
-    const Generation *found = where_.find(id);
-    if (found == nullptr) {
-        ++stats_.misses;
-        if (listener_ != nullptr) {
-            listener_->onMiss(id, now);
-        }
-        return false;
-    }
-
-    Generation gen = *found;
-    LocalCache &cache = cacheOf(gen);
-    Fragment *frag = cache.find(id);
-    if (frag == nullptr) {
-        GENCACHE_PANIC("trace {} indexed in {} but not resident", id,
-                       generationName(gen));
-    }
-    ++stats_.hits;
-    ++statsOf(gen).hits;
-    cache.touch(id, now);
-    if (listener_ != nullptr) {
-        listener_->onHit(id, gen, now);
-    }
-
-    if (gen == Generation::Probation) {
-        ++frag->accessCount;
-        if (config_.eagerPromotion &&
-            frag->accessCount >= config_.promotionThreshold) {
-            Fragment moving = *frag;
-            probation_->remove(id);
-            where_.erase(id);
-            promoteToPersistent(moving, now);
-        }
-    }
-    return true;
-}
-
-bool
-GenerationalCacheManager::insert(TraceId id, std::uint32_t size_bytes,
-                                 ModuleId module, TimeUs now)
-{
-    if (where_.contains(id)) {
-        GENCACHE_PANIC("insert of resident trace {}", id);
-    }
-    Fragment frag;
-    frag.id = id;
-    frag.sizeBytes = size_bytes;
-    frag.module = module;
-    frag.insertTime = now;
-
-    std::vector<Fragment> evicted;
-    if (!nursery_->insert(frag, evicted)) {
-        ++stats_.placementFailures;
-        return false;
-    }
-    where_.insert(id, Generation::Nursery);
-    ++stats_.inserts;
-    stats_.insertedBytes += size_bytes;
-    if (listener_ != nullptr) {
-        listener_->onInsert(frag, Generation::Nursery, now);
-    }
-    for (Fragment &victim : evicted) {
-        cascadeVictim(Generation::Nursery, victim, now);
-    }
-    return true;
-}
-
-void
-GenerationalCacheManager::cascadeVictim(Generation gen, Fragment victim,
-                                        TimeUs now)
-{
-    if (gen == Generation::Nursery) {
-        // Figure 8: "promote nursery trace to probation cache".
-        victim.accessCount = 0;
-        victim.insertTime = now;
-        std::vector<Fragment> evicted;
-        if (!probation_->insert(victim, evicted)) {
-            ++stats_.placementFailures;
-            destroy(victim, Generation::Nursery, EvictReason::Capacity,
-                    now);
-            return;
-        }
-        where_.set(victim.id, Generation::Probation);
-        ++stats_.promotions;
-        stats_.promotedBytes += victim.sizeBytes;
-        ++nurseryStats_.promotionsOut;
-        ++probationStats_.promotionsIn;
-        if (listener_ != nullptr) {
-            listener_->onEvict(victim, Generation::Nursery,
-                               EvictReason::PromotionMove, now);
-            listener_->onPromote(victim, Generation::Nursery,
-                                 Generation::Probation, now);
-        }
-        for (Fragment &next : evicted) {
-            cascadeVictim(Generation::Probation, next, now);
-        }
-        return;
-    }
-
-    if (gen == Generation::Probation) {
-        // Figure 8: promote when the access count reached the
-        // threshold, delete otherwise.
-        if (victim.accessCount >= config_.promotionThreshold) {
-            promoteToPersistent(victim, now);
-        } else {
-            ++stats_.probationRejections;
-            destroy(victim, Generation::Probation,
-                    EvictReason::Rejected, now);
-        }
-        return;
-    }
-
-    // Persistent victims are deleted.
-    destroy(victim, Generation::Persistent, EvictReason::Capacity, now);
-}
-
-void
-GenerationalCacheManager::promoteToPersistent(Fragment frag, TimeUs now)
-{
-    Generation from = Generation::Probation;
-    frag.insertTime = now;
-    std::vector<Fragment> evicted;
-    if (!persistent_->insert(frag, evicted)) {
-        ++stats_.placementFailures;
-        destroy(frag, from, EvictReason::Capacity, now);
-        return;
-    }
-    where_.set(frag.id, Generation::Persistent);
-    ++stats_.promotions;
-    stats_.promotedBytes += frag.sizeBytes;
-    ++probationStats_.promotionsOut;
-    ++persistentStats_.promotionsIn;
-    if (listener_ != nullptr) {
-        listener_->onEvict(frag, from, EvictReason::PromotionMove, now);
-        listener_->onPromote(frag, from, Generation::Persistent, now);
-    }
-    for (Fragment &victim : evicted) {
-        cascadeVictim(Generation::Persistent, victim, now);
-    }
-}
-
-void
-GenerationalCacheManager::destroy(const Fragment &frag, Generation gen,
-                                  EvictReason reason, TimeUs now)
-{
-    where_.erase(frag.id);
-    ++stats_.deletions;
-    stats_.deletedBytes += frag.sizeBytes;
-    ++statsOf(gen).deletions;
-    if (listener_ != nullptr) {
-        listener_->onEvict(frag, gen, reason, now);
-    }
-}
-
-void
-GenerationalCacheManager::invalidateModule(ModuleId module, TimeUs now)
-{
-    const Generation generations[] = {Generation::Nursery,
-                                      Generation::Probation,
-                                      Generation::Persistent};
-    for (Generation gen : generations) {
-        LocalCache &cache = cacheOf(gen);
-        std::vector<TraceId> victims;
-        cache.forEach([&](const Fragment &frag) {
-            if (frag.module == module) {
-                victims.push_back(frag.id);
-            }
-        });
-        for (TraceId id : victims) {
-            Fragment removed;
-            cache.remove(id, &removed);
-            where_.erase(id);
-            ++stats_.unmapDeletions;
-            stats_.unmapDeletedBytes += removed.sizeBytes;
-            ++statsOf(gen).deletions;
-            if (listener_ != nullptr) {
-                listener_->onEvict(removed, gen, EvictReason::Unmap,
-                                   now);
-            }
-        }
-    }
-}
-
-bool
-GenerationalCacheManager::setPinned(TraceId id, bool pinned)
-{
-    const Generation *found = where_.find(id);
-    if (found == nullptr) {
-        return false;
-    }
-    return cacheOf(*found).setPinned(id, pinned);
-}
-
-bool
-GenerationalCacheManager::contains(TraceId id) const
-{
-    return where_.contains(id);
-}
-
-void
-GenerationalCacheManager::prepareDenseIds(std::uint64_t id_bound)
-{
-    where_.reserveDense(id_bound);
-    nursery_->reserveDenseIds(id_bound);
-    probation_->reserveDenseIds(id_bound);
-    persistent_->reserveDenseIds(id_bound);
-}
-
-std::uint64_t
-GenerationalCacheManager::totalCapacity() const
-{
-    return config_.totalBytes();
-}
-
-std::uint64_t
-GenerationalCacheManager::usedBytes() const
-{
-    return nursery_->usedBytes() + probation_->usedBytes() +
-           persistent_->usedBytes();
-}
-
-Generation
-GenerationalCacheManager::generationOf(TraceId id) const
-{
-    const Generation *found = where_.find(id);
-    if (found == nullptr) {
-        GENCACHE_PANIC("generationOf: trace {} not resident", id);
-    }
-    return *found;
-}
-
-void
-GenerationalCacheManager::validate() const
-{
-    std::size_t resident = 0;
-    const Generation generations[] = {Generation::Nursery,
-                                      Generation::Probation,
-                                      Generation::Persistent};
-    for (Generation gen : generations) {
-        const LocalCache &cache = localCache(gen);
-        resident += cache.fragmentCount();
-        cache.forEach([&](const Fragment &frag) {
-            const Generation *found = where_.find(frag.id);
-            if (found == nullptr || *found != gen) {
-                GENCACHE_PANIC("trace {} resident in {} but indexed "
-                               "elsewhere", frag.id,
-                               generationName(gen));
-            }
-        });
-    }
-    if (resident != where_.size()) {
-        GENCACHE_PANIC("index holds {} traces but caches hold {}",
-                       where_.size(), resident);
-    }
 }
 
 } // namespace gencache::cache

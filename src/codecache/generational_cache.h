@@ -11,23 +11,23 @@
  *                count reached the promotion threshold move here,
  *                everything else is deleted.
  *
- * Figure 8's insertNewTrace is realized as a cascade: inserting into
- * the nursery may evict victims, each of which is promoted into
- * probation; each probation victim is then either promoted to the
- * persistent cache or deleted; persistent victims are deleted.
+ * Since the tier-pipeline refactor this manager is a thin adapter: it
+ * maps a GenerationalConfig onto a 3-tier TierPipeline with an
+ * always-promote edge (nursery -> probation) and a threshold edge
+ * (probation -> persistent). Figure 8's cascade, the residency index,
+ * and all event emission live in TierPipeline; stats and event
+ * streams are bit-identical to the pre-pipeline monolith
+ * (tests/test_tier_pipeline.cc).
  *
- * §5.3 also discusses an eager variant where reaching the threshold on
- * a probation *hit* immediately triggers the upgrade instead of
- * waiting for the probationary eviction; both variants are supported.
+ * §5.3's eager variant — reaching the threshold on a probation *hit*
+ * immediately triggers the upgrade — is the threshold edge's eager
+ * flag.
  */
 
 #ifndef GENCACHE_CODECACHE_GENERATIONAL_CACHE_H
 #define GENCACHE_CODECACHE_GENERATIONAL_CACHE_H
 
-#include <memory>
-
-#include "codecache/cache_manager.h"
-#include "codecache/trace_index.h"
+#include "codecache/tier_pipeline.h"
 
 namespace gencache::cache {
 
@@ -55,8 +55,10 @@ struct GenerationalConfig
     }
 
     /**
-     * Split @p total bytes by percentage, e.g. 45/10/45. Rounds the
-     * persistent cache up so the parts sum exactly to @p total.
+     * Split @p total bytes by percentage, e.g. 45/10/45. The nursery
+     * and probation parts round to the nearest byte (but never below
+     * one byte when @p total is positive); the persistent cache
+     * absorbs the remainder so the parts sum exactly to @p total.
      */
     static GenerationalConfig fromProportions(
         std::uint64_t total, double nursery_frac, double probation_frac,
@@ -64,77 +66,34 @@ struct GenerationalConfig
         LocalPolicy policy = LocalPolicy::PseudoCircular);
 };
 
-/** Per-generation counters beyond the local cache stats. */
-struct GenerationStats
-{
-    std::uint64_t hits = 0;
-    std::uint64_t promotionsIn = 0;   ///< fragments that moved in
-    std::uint64_t promotionsOut = 0;  ///< fragments that moved up
-    std::uint64_t deletions = 0;      ///< destroyed while resident here
-};
-
 /** The paper's proposed global management scheme. */
-class GenerationalCacheManager : public CacheManager
+class GenerationalCacheManager : public TierPipeline
 {
   public:
     explicit GenerationalCacheManager(const GenerationalConfig &config);
 
-    std::string name() const override;
-    bool lookup(TraceId id, TimeUs now) override;
-    bool insert(TraceId id, std::uint32_t size_bytes, ModuleId module,
-                TimeUs now) override;
-    void invalidateModule(ModuleId module, TimeUs now) override;
-    bool setPinned(TraceId id, bool pinned) override;
-    bool contains(TraceId id) const override;
-    std::uint64_t totalCapacity() const override;
-    std::uint64_t usedBytes() const override;
-    void prepareDenseIds(std::uint64_t id_bound) override;
-
     const GenerationalConfig &config() const { return config_; }
 
     /** Which cache currently holds @p id; panics when absent. */
-    Generation generationOf(TraceId id) const;
-
-    const LocalCache &localCache(Generation gen) const;
-    const GenerationStats &generationStats(Generation gen) const;
-
-    /** Internal consistency check (test support): the index and the
-     *  three local caches must agree. Panics on violation. */
-    void validate() const;
-
-    /** Trace -> generation residency index (introspection for the
-     *  static checker, src/analysis). */
-    const TraceIndex<Generation> &residencyIndex() const
+    Generation generationOf(TraceId id) const
     {
-        return where_;
+        return tierLabel(tierOf(id));
+    }
+
+    const LocalCache &localCache(Generation gen) const
+    {
+        return tierCache(tierIndexOf(gen));
+    }
+
+    const GenerationStats &generationStats(Generation gen) const
+    {
+        return tierStats(tierIndexOf(gen));
     }
 
   private:
-    LocalCache &cacheOf(Generation gen);
-    GenerationStats &statsOf(Generation gen);
-
-    /** Insert @p frag into @p gen and cascade its victims downstream
-     *  per Figure 8. @return false on placement failure. */
-    bool insertInto(Generation gen, Fragment frag, TimeUs now);
-
-    /** Handle a fragment evicted from @p gen for capacity. */
-    void cascadeVictim(Generation gen, Fragment victim, TimeUs now);
-
-    /** Destroy @p frag (it left the hierarchy). */
-    void destroy(const Fragment &frag, Generation gen,
-                 EvictReason reason, TimeUs now);
-
-    /** Move a probation-resident fragment to the persistent cache. */
-    void promoteToPersistent(Fragment frag, TimeUs now);
+    std::size_t tierIndexOf(Generation gen) const;
 
     GenerationalConfig config_;
-    std::unique_ptr<LocalCache> nursery_;
-    std::unique_ptr<LocalCache> probation_;
-    std::unique_ptr<LocalCache> persistent_;
-    GenerationStats nurseryStats_;
-    GenerationStats probationStats_;
-    GenerationStats persistentStats_;
-    TraceIndex<Generation> where_;
 };
 
 } // namespace gencache::cache

@@ -1,0 +1,396 @@
+/**
+ * @file
+ * The composable tier-pipeline cache core.
+ *
+ * The paper's nursery/probation/persistent hierarchy (§5, Figure 8) is
+ * one point in a larger design space: an ordered pipeline of local
+ * caches with a *promotion policy* on every inter-tier edge. A
+ * TierPipeline is built from
+ *
+ *   - an ordered vector of TierSpec{capacity, LocalPolicy,
+ *     pin handling}, tier 0 receiving all fresh inserts, and
+ *   - one PromotionPolicy per edge (tier i -> tier i+1) deciding what
+ *     happens to tier i's capacity victims (advance or delete) and
+ *     whether a hit upgrades a fragment immediately (§5.3's eager
+ *     variant).
+ *
+ * Figure 8's victim cascade, the TraceIndex residency map, dense-id
+ * preparation, module invalidation, pinning, and CacheEventListener
+ * emission all live here, once. GenerationalCacheManager and
+ * UnifiedCacheManager are thin config-to-pipeline adapters whose stats
+ * and event streams are bit-identical to the pre-pipeline monoliths
+ * (tests/test_tier_pipeline.cc holds frozen copies to prove it).
+ *
+ * Tier labels keep the paper's vocabulary: a single tier is Unified,
+ * the first tier of a multi-tier pipeline is the Nursery and the last
+ * the Persistent cache (so the cost model's §5.4 relocation pricing
+ * applies unchanged), with Probation naming the middle of a 3-tier
+ * pipeline and Tier1..Tier6 naming the middles of deeper ones.
+ */
+
+#ifndef GENCACHE_CODECACHE_TIER_PIPELINE_H
+#define GENCACHE_CODECACHE_TIER_PIPELINE_H
+
+#include <array>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "codecache/cache_manager.h"
+#include "codecache/trace_index.h"
+
+namespace gencache::cache {
+
+/** Index of a tier within a pipeline (0 = insertion tier). */
+using TierId = std::uint8_t;
+
+/** Deepest supported pipeline. */
+constexpr std::size_t kMaxTiers = 8;
+
+/** What happens to a fragment's pin bit when it leaves a tier
+ *  upward (promotion or eager upgrade). */
+enum class PinHandling : std::uint8_t {
+    Sticky, ///< the pin bit survives the move (legacy behavior)
+    Shed,   ///< promotion clears the pin bit
+};
+
+/** Sizing and policy of one tier. */
+struct TierSpec
+{
+    std::uint64_t capacityBytes = 0;
+    LocalPolicy policy = LocalPolicy::PseudoCircular;
+    PinHandling pins = PinHandling::Sticky;
+};
+
+/** Per-tier counters beyond the local cache stats. */
+struct GenerationStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t promotionsIn = 0;   ///< fragments that moved in
+    std::uint64_t promotionsOut = 0;  ///< fragments that moved up
+    std::uint64_t deletions = 0;      ///< destroyed while resident here
+};
+
+/**
+ * Decision logic of one inter-tier edge (tier i -> tier i+1).
+ *
+ * The pipeline calls onEnter when a fragment enters the edge's source
+ * tier, onHit on every lookup hit there (only when observesHits()),
+ * and admitOnEviction when the source tier evicts the fragment for
+ * capacity. Policies keep their per-fragment state inside the
+ * Fragment itself (accessCount, lastAccess) so fragments carry it
+ * through relocation for free.
+ */
+class PromotionPolicy
+{
+  public:
+    virtual ~PromotionPolicy() = default;
+
+    PromotionPolicy(const PromotionPolicy &) = delete;
+    PromotionPolicy &operator=(const PromotionPolicy &) = delete;
+
+    /** @return short policy name, e.g. "threshold". */
+    virtual const char *name() const = 0;
+
+    /** @p frag entered the edge's source tier (fresh insert or
+     *  promotion from below). */
+    virtual void onEnter(Fragment &frag, TimeUs now)
+    {
+        (void)frag;
+        (void)now;
+    }
+
+    /** A lookup hit @p frag in the source tier. @return true to
+     *  upgrade it into the next tier immediately (§5.3's eager
+     *  variant). Only called when observesHits(). */
+    virtual bool onHit(Fragment &frag, TimeUs now)
+    {
+        (void)frag;
+        (void)now;
+        return false;
+    }
+
+    /** The source tier evicted @p frag for capacity. @return true to
+     *  advance it into the next tier, false to delete it (a
+     *  probation-style rejection). */
+    virtual bool admitOnEviction(Fragment &frag, TimeUs now) = 0;
+
+    /** Hot-path hint: skip the virtual onHit call on edges whose
+     *  policy ignores hits. */
+    bool observesHits() const { return observesHits_; }
+
+    /** Hot-path hint: skip the virtual onEnter call on edges whose
+     *  policy keeps no per-fragment entry state. */
+    bool observesEntry() const { return observesEntry_; }
+
+  protected:
+    PromotionPolicy(bool observes_hits, bool observes_entry)
+        : observesHits_(observes_hits), observesEntry_(observes_entry)
+    {
+    }
+
+  private:
+    bool observesHits_;
+    bool observesEntry_;
+};
+
+/** Every capacity victim advances (Figure 8's nursery -> probation
+ *  edge: eviction *is* the promotion). */
+class AlwaysPromotePolicy : public PromotionPolicy
+{
+  public:
+    AlwaysPromotePolicy() : PromotionPolicy(false, false) {}
+    const char *name() const override { return "always-promote"; }
+    bool admitOnEviction(Fragment &, TimeUs) override { return true; }
+};
+
+/** Every capacity victim is deleted — the edge acts as a hard cutoff
+ *  (useful to model a tier whose contents never graduate). */
+class AlwaysDeletePolicy : public PromotionPolicy
+{
+  public:
+    AlwaysDeletePolicy() : PromotionPolicy(false, false) {}
+    const char *name() const override { return "always-delete"; }
+    bool admitOnEviction(Fragment &, TimeUs) override { return false; }
+};
+
+/**
+ * The paper's probation counter (§5.2/§5.3): count hits in the source
+ * tier; a victim advances iff its count reached the threshold. With
+ * eager set, *reaching* the threshold on a hit upgrades immediately.
+ */
+class ThresholdPolicy : public PromotionPolicy
+{
+  public:
+    explicit ThresholdPolicy(std::uint32_t threshold,
+                             bool eager = false)
+        : PromotionPolicy(true, true), threshold_(threshold),
+          eager_(eager)
+    {
+    }
+
+    const char *name() const override { return "threshold"; }
+
+    void onEnter(Fragment &frag, TimeUs) override
+    {
+        frag.accessCount = 0;
+    }
+
+    bool onHit(Fragment &frag, TimeUs) override
+    {
+        ++frag.accessCount;
+        return eager_ && frag.accessCount >= threshold_;
+    }
+
+    bool admitOnEviction(Fragment &frag, TimeUs) override
+    {
+        return frag.accessCount >= threshold_;
+    }
+
+    std::uint32_t threshold() const { return threshold_; }
+    bool eager() const { return eager_; }
+
+  private:
+    std::uint32_t threshold_;
+    bool eager_;
+};
+
+/**
+ * TRRIP-style temperature policy: the access counter is a temperature
+ * that cools with virtual time. Every halfLife microseconds without
+ * an access halves the counter, so a burst of hits long ago no longer
+ * earns promotion — re-reference *recency* matters, not lifetime hit
+ * count. Decay happens lazily on the hit and eviction paths using the
+ * fragment's lastAccess clock.
+ */
+class TemperaturePolicy : public PromotionPolicy
+{
+  public:
+    TemperaturePolicy(std::uint32_t threshold, TimeUs half_life,
+                      bool eager = false);
+
+    const char *name() const override { return "temperature"; }
+    void onEnter(Fragment &frag, TimeUs now) override;
+    bool onHit(Fragment &frag, TimeUs now) override;
+    bool admitOnEviction(Fragment &frag, TimeUs now) override;
+
+    std::uint32_t threshold() const { return threshold_; }
+    TimeUs halfLife() const { return halfLife_; }
+
+  private:
+    void decay(Fragment &frag, TimeUs now) const;
+
+    std::uint32_t threshold_;
+    TimeUs halfLife_;
+    bool eager_;
+};
+
+/** Constructor bundle: built in one place so adapters can validate
+ *  their legacy configs (with the legacy fatal messages) before any
+ *  pipeline part is constructed. */
+struct TierPipelineInit
+{
+    std::string name;
+    std::vector<TierSpec> tiers;
+    std::vector<std::unique_ptr<PromotionPolicy>> edges;
+};
+
+/**
+ * A CacheManager over an ordered pipeline of local caches.
+ *
+ * Fresh inserts land in tier 0; capacity victims of tier i are either
+ * advanced into tier i+1 or deleted per the edge's PromotionPolicy;
+ * victims of the last tier are deleted. Inserting into a tier may
+ * evict victims there, which cascade further (Figure 8).
+ */
+class TierPipeline : public CacheManager
+{
+  public:
+    explicit TierPipeline(TierPipelineInit init);
+
+    std::string name() const override { return name_; }
+    bool lookup(TraceId id, TimeUs now) override;
+    bool insert(TraceId id, std::uint32_t size_bytes, ModuleId module,
+                TimeUs now) override;
+    void invalidateModule(ModuleId module, TimeUs now) override;
+    bool setPinned(TraceId id, bool pinned) override;
+    bool contains(TraceId id) const override;
+    std::uint64_t totalCapacity() const override;
+    std::uint64_t usedBytes() const override;
+    void prepareDenseIds(std::uint64_t id_bound) override;
+
+    // --- introspection (analysis passes, tests, tools) ---
+
+    std::size_t tierCount() const { return tiers_.size(); }
+    const TierSpec &tierSpec(std::size_t tier) const
+    {
+        return specs_[tier];
+    }
+    const LocalCache &tierCache(std::size_t tier) const
+    {
+        return *tiers_[tier];
+    }
+    const GenerationStats &tierStats(std::size_t tier) const
+    {
+        return tierStats_[tier];
+    }
+    /** Generation label of @p tier (see tierLabelFor). */
+    Generation tierLabel(std::size_t tier) const
+    {
+        return labels_[tier];
+    }
+    /** The edge policy out of @p tier (tier < tierCount() - 1). */
+    const PromotionPolicy &edgePolicy(std::size_t tier) const
+    {
+        return *edges_[tier];
+    }
+
+    /** Which tier currently holds @p id; panics when absent. */
+    std::size_t tierOf(TraceId id) const;
+
+    /** Trace -> tier residency index (introspection for the static
+     *  checker, src/analysis). Single-tier pipelines keep no index —
+     *  the tier is always 0 — so this is empty then. */
+    const TraceIndex<TierId> &residencyIndex() const { return where_; }
+
+    /** Internal consistency check (test support): the index and the
+     *  local caches must agree. Panics on violation. */
+    void validate() const;
+
+  private:
+    bool hasEdgeOut(TierId tier) const
+    {
+        return tier + 1u < tiers_.size();
+    }
+
+    /** Move @p frag from @p from into the next tier (promotion or
+     *  eager upgrade); the fragment is already removed from its old
+     *  tier. Cascades the destination tier's victims. */
+    void advance(TierId from, Fragment frag, TimeUs now);
+
+    /** Handle a fragment evicted from @p tier for capacity. */
+    void cascadeVictim(TierId tier, Fragment victim, TimeUs now);
+
+    /** Destroy @p frag (it left the pipeline). */
+    void destroy(const Fragment &frag, TierId tier, EvictReason reason,
+                 TimeUs now);
+
+    std::string name_;
+    std::vector<TierSpec> specs_;
+    std::vector<std::unique_ptr<LocalCache>> tiers_;
+    std::vector<std::unique_ptr<PromotionPolicy>> edges_;
+    std::vector<GenerationStats> tierStats_;
+    std::vector<Generation> labels_;
+    TraceIndex<TierId> where_;
+
+    // Hot-path flattening: raw tier/edge pointers in fixed arrays
+    // (one load instead of a vector-of-unique_ptr double hop) and the
+    // edge policy flags folded into per-pipeline bitmasks, so lookup
+    // and insert test one bit instead of chasing a policy object.
+    // Single-tier pipelines additionally skip the residency index
+    // entirely — the tier is always 0 — matching what the standalone
+    // unified manager used to cost.
+    std::array<LocalCache *, kMaxTiers> tierPtrs_{};
+    std::array<PromotionPolicy *, kMaxTiers> edgePtrs_{};
+    std::uint8_t hitObserverMask_ = 0;
+    std::uint8_t entryTrackerMask_ = 0;
+    bool multiTier_ = false;
+};
+
+/** Label of tier @p tier in a pipeline of @p tier_count tiers:
+ *  Unified for a single tier; otherwise Nursery first, Persistent
+ *  last, Probation in the middle of a 3-tier pipeline, and
+ *  Tier1..Tier6 for the middles of deeper ones. */
+Generation tierLabelFor(std::size_t tier, std::size_t tier_count);
+
+/** Value-type description of one edge policy (buildable config). */
+struct EdgeSpec
+{
+    enum class Rule : std::uint8_t {
+        AlwaysPromote,
+        AlwaysDelete,
+        Threshold,
+        Temperature,
+    };
+
+    Rule rule = Rule::AlwaysPromote;
+    std::uint32_t threshold = 1;  ///< Threshold / Temperature
+    bool eager = false;           ///< Threshold / Temperature
+    TimeUs halfLifeUs = 0;        ///< Temperature only
+
+    std::unique_ptr<PromotionPolicy> make() const;
+};
+
+/**
+ * Value-type description of a whole pipeline: per-tier budget
+ * fractions plus the edge policies between them. The canonical way
+ * sweeps, gencheck, and tests spell non-legacy topologies.
+ */
+struct TierTopology
+{
+    std::string name;               ///< report label ("4tier", ...)
+    std::vector<double> fractions;  ///< per-tier share of the budget
+    std::vector<EdgeSpec> edges;    ///< fractions.size() - 1 entries
+    LocalPolicy policy = LocalPolicy::PseudoCircular;
+    PinHandling pins = PinHandling::Sticky;
+
+    /** Split @p total_bytes per the fractions; every tier gets at
+     *  least one byte and the last tier absorbs the rounding
+     *  remainder so the specs sum exactly to @p total_bytes. */
+    std::vector<TierSpec> tierSpecs(std::uint64_t total_bytes) const;
+
+    /** Build the pipeline over a @p total_bytes budget. */
+    std::unique_ptr<TierPipeline> build(std::uint64_t total_bytes) const;
+};
+
+/** The built-in catalog of non-legacy topologies (2-tier, 4-tier,
+ *  temperature 3-tier) used by sweeps, gencheck, and the bench. */
+const std::vector<TierTopology> &namedTierTopologies();
+
+/** @return the catalog entry named @p name, or nullptr. */
+const TierTopology *findTierTopology(std::string_view name);
+
+} // namespace gencache::cache
+
+#endif // GENCACHE_CODECACHE_TIER_PIPELINE_H

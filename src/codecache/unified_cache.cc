@@ -2,135 +2,43 @@
 
 #include "codecache/list_cache.h"
 #include "support/format.h"
-#include "support/logging.h"
 
 namespace gencache::cache {
 
+namespace {
+
+TierPipelineInit
+unifiedInit(std::uint64_t capacity, LocalPolicy policy)
+{
+    LocalPolicy effective =
+        capacity == 0 ? LocalPolicy::Unbounded : policy;
+    TierPipelineInit init;
+    init.name = effective == LocalPolicy::Unbounded
+                    ? "unified/unbounded"
+                    : format("unified/{} ({})",
+                             localPolicyName(effective),
+                             humanBytes(capacity));
+    init.tiers = {TierSpec{capacity, effective}};
+    return init;
+}
+
+} // namespace
+
 UnifiedCacheManager::UnifiedCacheManager(std::uint64_t capacity,
                                          LocalPolicy policy)
-    : policy_(capacity == 0 ? LocalPolicy::Unbounded : policy)
+    : TierPipeline(unifiedInit(capacity, policy)),
+      policy_(capacity == 0 ? LocalPolicy::Unbounded : policy)
 {
-    cache_ = makeLocalCache(policy_, capacity);
-}
-
-std::string
-UnifiedCacheManager::name() const
-{
-    if (policy_ == LocalPolicy::Unbounded) {
-        return "unified/unbounded";
-    }
-    return format("unified/{} ({})", cache_->policyName(),
-                  humanBytes(cache_->capacity()));
-}
-
-bool
-UnifiedCacheManager::lookup(TraceId id, TimeUs now)
-{
-    ++stats_.lookups;
-    Fragment *frag = cache_->find(id);
-    if (frag == nullptr) {
-        ++stats_.misses;
-        if (listener_ != nullptr) {
-            listener_->onMiss(id, now);
-        }
-        return false;
-    }
-    ++stats_.hits;
-    cache_->touch(id, now);
-    if (listener_ != nullptr) {
-        listener_->onHit(id, Generation::Unified, now);
-    }
-    return true;
-}
-
-bool
-UnifiedCacheManager::insert(TraceId id, std::uint32_t size_bytes,
-                            ModuleId module, TimeUs now)
-{
-    if (cache_->find(id) != nullptr) {
-        GENCACHE_PANIC("insert of resident trace {}", id);
-    }
-    Fragment frag;
-    frag.id = id;
-    frag.sizeBytes = size_bytes;
-    frag.module = module;
-    frag.insertTime = now;
-
-    std::vector<Fragment> evicted;
-    if (!cache_->insert(frag, evicted)) {
-        ++stats_.placementFailures;
-        return false;
-    }
-    ++stats_.inserts;
-    stats_.insertedBytes += size_bytes;
-    for (const Fragment &victim : evicted) {
-        ++stats_.deletions;
-        stats_.deletedBytes += victim.sizeBytes;
-        if (listener_ != nullptr) {
-            listener_->onEvict(victim, Generation::Unified,
-                               EvictReason::Capacity, now);
-        }
-    }
-    if (listener_ != nullptr) {
-        listener_->onInsert(*cache_->find(id), Generation::Unified,
-                            now);
-    }
-    return true;
-}
-
-void
-UnifiedCacheManager::invalidateModule(ModuleId module, TimeUs now)
-{
-    std::vector<TraceId> victims;
-    cache_->forEach([&](const Fragment &frag) {
-        if (frag.module == module) {
-            victims.push_back(frag.id);
-        }
-    });
-    for (TraceId id : victims) {
-        Fragment removed;
-        cache_->remove(id, &removed);
-        ++stats_.unmapDeletions;
-        stats_.unmapDeletedBytes += removed.sizeBytes;
-        if (listener_ != nullptr) {
-            listener_->onEvict(removed, Generation::Unified,
-                               EvictReason::Unmap, now);
-        }
-    }
-}
-
-bool
-UnifiedCacheManager::setPinned(TraceId id, bool pinned)
-{
-    return cache_->setPinned(id, pinned);
-}
-
-bool
-UnifiedCacheManager::contains(TraceId id) const
-{
-    return cache_->contains(id);
-}
-
-std::uint64_t
-UnifiedCacheManager::totalCapacity() const
-{
-    return cache_->capacity();
-}
-
-std::uint64_t
-UnifiedCacheManager::usedBytes() const
-{
-    return cache_->usedBytes();
 }
 
 std::uint64_t
 UnifiedCacheManager::peakBytes() const
 {
-    auto *unbounded = dynamic_cast<const UnboundedCache *>(cache_.get());
+    auto *unbounded = dynamic_cast<const UnboundedCache *>(&local());
     if (unbounded != nullptr) {
         return unbounded->peakBytes();
     }
-    return cache_->usedBytes();
+    return local().usedBytes();
 }
 
 } // namespace gencache::cache

@@ -2,19 +2,21 @@
  * @file
  * The baseline global scheme: one unified trace cache (paper §6's
  * comparison baseline, sized at half the benchmark's maximum cache).
+ *
+ * Since the tier-pipeline refactor this is a single-tier TierPipeline
+ * adapter; stats and event streams are bit-identical to the
+ * pre-pipeline implementation (tests/test_tier_pipeline.cc).
  */
 
 #ifndef GENCACHE_CODECACHE_UNIFIED_CACHE_H
 #define GENCACHE_CODECACHE_UNIFIED_CACHE_H
 
-#include <memory>
-
-#include "codecache/cache_manager.h"
+#include "codecache/tier_pipeline.h"
 
 namespace gencache::cache {
 
 /** A single local cache behind the CacheManager interface. */
-class UnifiedCacheManager : public CacheManager
+class UnifiedCacheManager : public TierPipeline
 {
   public:
     /**
@@ -26,28 +28,16 @@ class UnifiedCacheManager : public CacheManager
         std::uint64_t capacity,
         LocalPolicy policy = LocalPolicy::PseudoCircular);
 
-    std::string name() const override;
-    bool lookup(TraceId id, TimeUs now) override;
-    bool insert(TraceId id, std::uint32_t size_bytes, ModuleId module,
-                TimeUs now) override;
-    void invalidateModule(ModuleId module, TimeUs now) override;
-    bool setPinned(TraceId id, bool pinned) override;
-    bool contains(TraceId id) const override;
-    std::uint64_t totalCapacity() const override;
-    std::uint64_t usedBytes() const override;
-    void prepareDenseIds(std::uint64_t id_bound) override
-    {
-        cache_->reserveDenseIds(id_bound);
-    }
-
     /** The underlying local cache (stats, tests). */
-    const LocalCache &local() const { return *cache_; }
+    const LocalCache &local() const { return tierCache(0); }
 
     /** Peak occupancy; meaningful for the unbounded configuration. */
     std::uint64_t peakBytes() const;
 
+    /** Effective local policy (Unbounded when capacity was 0). */
+    LocalPolicy policy() const { return policy_; }
+
   private:
-    std::unique_ptr<LocalCache> cache_;
     LocalPolicy policy_;
 };
 

@@ -150,6 +150,37 @@ ExperimentRunner::runGenerationalBatch(
     return results;
 }
 
+SimResult
+ExperimentRunner::runTopology(std::uint64_t total_bytes,
+                              const cache::TierTopology &topology) const
+{
+    std::unique_ptr<cache::TierPipeline> manager =
+        topology.build(total_bytes);
+    CacheSimulator simulator(*manager);
+    SimResult result = simulator.run(log_);
+    result.manager = topology.name;
+    return result;
+}
+
+std::vector<SimResult>
+ExperimentRunner::runTopologyBatch(
+    std::uint64_t total_bytes,
+    const std::vector<cache::TierTopology> &topologies) const
+{
+    std::vector<std::unique_ptr<cache::TierPipeline>> managers;
+    managers.reserve(topologies.size());
+    BatchedReplay replay(compiled());
+    for (const cache::TierTopology &topology : topologies) {
+        managers.push_back(topology.build(total_bytes));
+        replay.addLane(*managers.back());
+    }
+    std::vector<SimResult> results = replay.run();
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        results[i].manager = topologies[i].name;
+    }
+    return results;
+}
+
 BenchmarkComparison
 ExperimentRunner::compare(const std::vector<GenerationalLayout> &layouts,
                           ThreadPool *pool) const

@@ -122,6 +122,19 @@ class ExperimentRunner
         std::uint64_t total_bytes,
         const std::vector<GenerationalLayout> &layouts) const;
 
+    /** Replay against an arbitrary tier topology splitting
+     *  @p total_bytes (legacy per-event path). The result's manager
+     *  label is the topology name. */
+    SimResult runTopology(std::uint64_t total_bytes,
+                          const cache::TierTopology &topology) const;
+
+    /** Fast path: replay every topology in @p topologies (all over a
+     *  @p total_bytes budget) in ONE streaming pass over the compiled
+     *  log. Bit-identical to runTopology on each. */
+    std::vector<SimResult> runTopologyBatch(
+        std::uint64_t total_bytes,
+        const std::vector<cache::TierTopology> &topologies) const;
+
     /** The whole §6 pipeline with the given layouts. Per-layout runs
      *  fan out across @p pool when it has more than one worker; with
      *  no pool the environment default (GENCACHE_THREADS) decides.

@@ -204,4 +204,99 @@ runSweep(const ExperimentRunner &runner,
     return result;
 }
 
+const TopologyCell &
+TopologySweepResult::best() const
+{
+    if (cells.empty()) {
+        GENCACHE_PANIC("best() on an empty topology sweep");
+    }
+    const TopologyCell *winner = &cells.front();
+    for (const TopologyCell &cell : cells) {
+        if (cell.missRateReductionPct > winner->missRateReductionPct) {
+            winner = &cell;
+        }
+    }
+    return *winner;
+}
+
+TopologySweepResult
+runTopologySweep(const ExperimentRunner &runner,
+                 const std::vector<cache::TierTopology> &topologies,
+                 std::size_t threads)
+{
+    if (topologies.empty()) {
+        fatal("topology sweep needs at least one topology");
+    }
+    SimResult unbounded = runner.runUnbounded();
+
+    TopologySweepResult result;
+    result.benchmark = runner.profile().name;
+    result.capacityBytes = std::max<std::uint64_t>(
+        4096, static_cast<std::uint64_t>(std::llround(
+                  static_cast<double>(unbounded.peakBytes) *
+                  kCachePressureFactor)));
+
+    SimResult unified = runner.runUnified(result.capacityBytes);
+    result.unifiedMissRate = unified.missRate();
+
+    auto to_cell = [&](const cache::TierTopology &topology,
+                       const SimResult &sim) {
+        TopologyCell cell;
+        cell.topology = topology.name;
+        cell.tierCount = topology.fractions.size();
+        cell.missRate = sim.missRate();
+        cell.promotions = sim.managerStats.promotions;
+        cell.overheadInstrs = sim.overhead.total();
+        cell.missRateReductionPct =
+            unified.missRate() > 0.0
+                ? (1.0 - sim.missRate() / unified.missRate()) * 100.0
+                : 0.0;
+        return cell;
+    };
+
+    if (threads == 0) {
+        threads = ThreadPool::defaultThreadCount();
+    }
+
+    if (threads <= 1 || topologies.size() <= 1) {
+        // Serial: one streaming pass over the compiled log advances
+        // every topology lane at once.
+        std::vector<SimResult> sims = runner.runTopologyBatch(
+            result.capacityBytes, topologies);
+        result.cells.reserve(sims.size());
+        for (std::size_t i = 0; i < sims.size(); ++i) {
+            result.cells.push_back(to_cell(topologies[i], sims[i]));
+        }
+        return result;
+    }
+
+    // Parallel: one single-topology batched pass per worker task;
+    // filled by index so the cell order matches the serial path.
+    ThreadPool pool(std::min<std::size_t>(threads, topologies.size()));
+    std::vector<std::future<SimResult>> futures;
+    futures.reserve(topologies.size());
+    for (const cache::TierTopology &topology : topologies) {
+        futures.push_back(pool.submit([&runner, &result, &topology]() {
+            return runner
+                .runTopologyBatch(result.capacityBytes, {topology})
+                .front();
+        }));
+    }
+    result.cells.reserve(topologies.size());
+    for (std::size_t i = 0; i < topologies.size(); ++i) {
+        result.cells.push_back(to_cell(topologies[i],
+                                       futures[i].get()));
+    }
+    return result;
+}
+
+TopologySweepResult
+runTopologySweep(const workload::BenchmarkProfile &profile,
+                 const std::vector<cache::TierTopology> &topologies,
+                 std::size_t threads)
+{
+    ExperimentRunner runner(profile);
+    return runTopologySweep(runner, topologies, threads);
+}
+
 } // namespace gencache::sim

@@ -101,6 +101,49 @@ SweepResult runSweep(const ExperimentRunner &runner,
                      std::size_t threads = 0,
                      ReplayEngine engine = ReplayEngine::BatchedCompiled);
 
+/** Result of one topology of a topology sweep. */
+struct TopologyCell
+{
+    std::string topology;      ///< TierTopology::name
+    std::size_t tierCount = 0;
+    double missRate = 0.0;
+    double missRateReductionPct = 0.0; ///< vs the unified baseline
+    std::uint64_t promotions = 0;
+    std::uint64_t overheadInstrs = 0;  ///< Table 2 cost-model total
+};
+
+/** Full topology-sweep output for one benchmark. */
+struct TopologySweepResult
+{
+    std::string benchmark;
+    std::uint64_t capacityBytes = 0;
+    double unifiedMissRate = 0.0;
+    std::vector<TopologyCell> cells; ///< one per topology, in order
+
+    /** @return the cell with the highest miss-rate reduction;
+     *  panics when the sweep is empty. */
+    const TopologyCell &best() const;
+};
+
+/**
+ * Sweep arbitrary tier topologies (the pipeline generalization of the
+ * proportion grid): unbounded pre-pass, unified baseline at half the
+ * peak, then every topology in @p topologies over the same budget via
+ * batched replay. @p threads fans topology chunks out across a
+ * ThreadPool (0 obeys GENCACHE_THREADS); results are identical
+ * regardless of thread count.
+ */
+TopologySweepResult runTopologySweep(
+    const ExperimentRunner &runner,
+    const std::vector<cache::TierTopology> &topologies,
+    std::size_t threads = 0);
+
+/** As above, generating @p profile's workload first. */
+TopologySweepResult runTopologySweep(
+    const workload::BenchmarkProfile &profile,
+    const std::vector<cache::TierTopology> &topologies,
+    std::size_t threads = 0);
+
 } // namespace gencache::sim
 
 #endif // GENCACHE_SIM_SWEEP_H

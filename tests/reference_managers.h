@@ -1,0 +1,447 @@
+/**
+ * @file
+ * Frozen pre-pipeline cache managers (test and bench oracle).
+ *
+ * These are verbatim copies of GenerationalCacheManager and
+ * UnifiedCacheManager as they existed before the tier-pipeline
+ * refactor, kept so the equivalence suite (test_tier_pipeline.cc) and
+ * the dispatch-overhead bench (bench/tier_overhead.cc) can compare
+ * the composable TierPipeline against the original monoliths —
+ * bit-identical stats and event streams, comparable wall time.
+ *
+ * Do not "fix" or modernize this file: its value is that it does not
+ * change. It is not part of the library build.
+ */
+
+#ifndef GENCACHE_TESTS_REFERENCE_MANAGERS_H
+#define GENCACHE_TESTS_REFERENCE_MANAGERS_H
+
+#include <cmath>
+#include <memory>
+
+#include "codecache/cache_manager.h"
+#include "codecache/generational_cache.h"
+#include "codecache/list_cache.h"
+#include "codecache/trace_index.h"
+#include "support/format.h"
+#include "support/logging.h"
+
+namespace gencache::cache::reference {
+
+/** The pre-refactor generational monolith (paper §5, Figure 8). */
+class ReferenceGenerationalManager : public CacheManager
+{
+  public:
+    explicit ReferenceGenerationalManager(
+        const GenerationalConfig &config)
+        : config_(config)
+    {
+        if (config_.nurseryBytes == 0 || config_.probationBytes == 0 ||
+            config_.persistentBytes == 0) {
+            fatal("generational caches need positive sizes "
+                  "({} / {} / {})", config_.nurseryBytes,
+                  config_.probationBytes, config_.persistentBytes);
+        }
+        if (config_.promotionThreshold == 0) {
+            fatal("promotion threshold must be at least 1");
+        }
+        if (config_.policy == LocalPolicy::Unbounded) {
+            fatal("generational caches require a bounded local policy");
+        }
+        nursery_ = makeLocalCache(config_.policy, config_.nurseryBytes);
+        probation_ =
+            makeLocalCache(config_.policy, config_.probationBytes);
+        persistent_ =
+            makeLocalCache(config_.policy, config_.persistentBytes);
+    }
+
+    std::string name() const override
+    {
+        double total = static_cast<double>(config_.totalBytes());
+        auto pct = [total](std::uint64_t bytes) {
+            return static_cast<int>(std::llround(
+                100.0 * static_cast<double>(bytes) / total));
+        };
+        return format("generational {}-{}-{} thr={}{}",
+                      pct(config_.nurseryBytes),
+                      pct(config_.probationBytes),
+                      pct(config_.persistentBytes),
+                      config_.promotionThreshold,
+                      config_.eagerPromotion ? " eager" : "");
+    }
+
+    bool lookup(TraceId id, TimeUs now) override
+    {
+        ++stats_.lookups;
+        const Generation *found = where_.find(id);
+        if (found == nullptr) {
+            ++stats_.misses;
+            if (listener_ != nullptr) {
+                listener_->onMiss(id, now);
+            }
+            return false;
+        }
+
+        Generation gen = *found;
+        LocalCache &cache = cacheOf(gen);
+        Fragment *frag = cache.find(id);
+        if (frag == nullptr) {
+            GENCACHE_PANIC("trace {} indexed in {} but not resident",
+                           id, generationName(gen));
+        }
+        ++stats_.hits;
+        ++statsOf(gen).hits;
+        cache.touch(id, now);
+        if (listener_ != nullptr) {
+            listener_->onHit(id, gen, now);
+        }
+
+        if (gen == Generation::Probation) {
+            ++frag->accessCount;
+            if (config_.eagerPromotion &&
+                frag->accessCount >= config_.promotionThreshold) {
+                Fragment moving = *frag;
+                probation_->remove(id);
+                where_.erase(id);
+                promoteToPersistent(moving, now);
+            }
+        }
+        return true;
+    }
+
+    bool insert(TraceId id, std::uint32_t size_bytes, ModuleId module,
+                TimeUs now) override
+    {
+        if (where_.contains(id)) {
+            GENCACHE_PANIC("insert of resident trace {}", id);
+        }
+        Fragment frag;
+        frag.id = id;
+        frag.sizeBytes = size_bytes;
+        frag.module = module;
+        frag.insertTime = now;
+
+        std::vector<Fragment> evicted;
+        if (!nursery_->insert(frag, evicted)) {
+            ++stats_.placementFailures;
+            return false;
+        }
+        where_.insert(id, Generation::Nursery);
+        ++stats_.inserts;
+        stats_.insertedBytes += size_bytes;
+        if (listener_ != nullptr) {
+            listener_->onInsert(frag, Generation::Nursery, now);
+        }
+        for (Fragment &victim : evicted) {
+            cascadeVictim(Generation::Nursery, victim, now);
+        }
+        return true;
+    }
+
+    void invalidateModule(ModuleId module, TimeUs now) override
+    {
+        const Generation generations[] = {Generation::Nursery,
+                                          Generation::Probation,
+                                          Generation::Persistent};
+        for (Generation gen : generations) {
+            LocalCache &cache = cacheOf(gen);
+            std::vector<TraceId> victims;
+            cache.forEach([&](const Fragment &frag) {
+                if (frag.module == module) {
+                    victims.push_back(frag.id);
+                }
+            });
+            for (TraceId id : victims) {
+                Fragment removed;
+                cache.remove(id, &removed);
+                where_.erase(id);
+                ++stats_.unmapDeletions;
+                stats_.unmapDeletedBytes += removed.sizeBytes;
+                ++statsOf(gen).deletions;
+                if (listener_ != nullptr) {
+                    listener_->onEvict(removed, gen,
+                                       EvictReason::Unmap, now);
+                }
+            }
+        }
+    }
+
+    bool setPinned(TraceId id, bool pinned) override
+    {
+        const Generation *found = where_.find(id);
+        if (found == nullptr) {
+            return false;
+        }
+        return cacheOf(*found).setPinned(id, pinned);
+    }
+
+    bool contains(TraceId id) const override
+    {
+        return where_.contains(id);
+    }
+
+    void prepareDenseIds(std::uint64_t id_bound) override
+    {
+        where_.reserveDense(id_bound);
+        nursery_->reserveDenseIds(id_bound);
+        probation_->reserveDenseIds(id_bound);
+        persistent_->reserveDenseIds(id_bound);
+    }
+
+    std::uint64_t totalCapacity() const override
+    {
+        return config_.totalBytes();
+    }
+
+    std::uint64_t usedBytes() const override
+    {
+        return nursery_->usedBytes() + probation_->usedBytes() +
+               persistent_->usedBytes();
+    }
+
+  private:
+    LocalCache &cacheOf(Generation gen)
+    {
+        switch (gen) {
+          case Generation::Nursery: return *nursery_;
+          case Generation::Probation: return *probation_;
+          case Generation::Persistent: return *persistent_;
+          default:
+            break;
+        }
+        GENCACHE_PANIC("generational manager has no {} cache",
+                       generationName(gen));
+    }
+
+    GenerationStats &statsOf(Generation gen)
+    {
+        switch (gen) {
+          case Generation::Nursery: return nurseryStats_;
+          case Generation::Probation: return probationStats_;
+          case Generation::Persistent: return persistentStats_;
+          default:
+            break;
+        }
+        GENCACHE_PANIC("generational manager has no {} stats",
+                       generationName(gen));
+    }
+
+    void cascadeVictim(Generation gen, Fragment victim, TimeUs now)
+    {
+        if (gen == Generation::Nursery) {
+            victim.accessCount = 0;
+            victim.insertTime = now;
+            std::vector<Fragment> evicted;
+            if (!probation_->insert(victim, evicted)) {
+                ++stats_.placementFailures;
+                destroy(victim, Generation::Nursery,
+                        EvictReason::Capacity, now);
+                return;
+            }
+            where_.set(victim.id, Generation::Probation);
+            ++stats_.promotions;
+            stats_.promotedBytes += victim.sizeBytes;
+            ++nurseryStats_.promotionsOut;
+            ++probationStats_.promotionsIn;
+            if (listener_ != nullptr) {
+                listener_->onEvict(victim, Generation::Nursery,
+                                   EvictReason::PromotionMove, now);
+                listener_->onPromote(victim, Generation::Nursery,
+                                     Generation::Probation, now);
+            }
+            for (Fragment &next : evicted) {
+                cascadeVictim(Generation::Probation, next, now);
+            }
+            return;
+        }
+
+        if (gen == Generation::Probation) {
+            if (victim.accessCount >= config_.promotionThreshold) {
+                promoteToPersistent(victim, now);
+            } else {
+                ++stats_.probationRejections;
+                destroy(victim, Generation::Probation,
+                        EvictReason::Rejected, now);
+            }
+            return;
+        }
+
+        destroy(victim, Generation::Persistent, EvictReason::Capacity,
+                now);
+    }
+
+    void promoteToPersistent(Fragment frag, TimeUs now)
+    {
+        Generation from = Generation::Probation;
+        frag.insertTime = now;
+        std::vector<Fragment> evicted;
+        if (!persistent_->insert(frag, evicted)) {
+            ++stats_.placementFailures;
+            destroy(frag, from, EvictReason::Capacity, now);
+            return;
+        }
+        where_.set(frag.id, Generation::Persistent);
+        ++stats_.promotions;
+        stats_.promotedBytes += frag.sizeBytes;
+        ++probationStats_.promotionsOut;
+        ++persistentStats_.promotionsIn;
+        if (listener_ != nullptr) {
+            listener_->onEvict(frag, from, EvictReason::PromotionMove,
+                               now);
+            listener_->onPromote(frag, from, Generation::Persistent,
+                                 now);
+        }
+        for (Fragment &victim : evicted) {
+            cascadeVictim(Generation::Persistent, victim, now);
+        }
+    }
+
+    void destroy(const Fragment &frag, Generation gen,
+                 EvictReason reason, TimeUs now)
+    {
+        where_.erase(frag.id);
+        ++stats_.deletions;
+        stats_.deletedBytes += frag.sizeBytes;
+        ++statsOf(gen).deletions;
+        if (listener_ != nullptr) {
+            listener_->onEvict(frag, gen, reason, now);
+        }
+    }
+
+    GenerationalConfig config_;
+    std::unique_ptr<LocalCache> nursery_;
+    std::unique_ptr<LocalCache> probation_;
+    std::unique_ptr<LocalCache> persistent_;
+    GenerationStats nurseryStats_;
+    GenerationStats probationStats_;
+    GenerationStats persistentStats_;
+    TraceIndex<Generation> where_;
+};
+
+/** The pre-refactor single-cache baseline manager. */
+class ReferenceUnifiedManager : public CacheManager
+{
+  public:
+    explicit ReferenceUnifiedManager(
+        std::uint64_t capacity,
+        LocalPolicy policy = LocalPolicy::PseudoCircular)
+        : policy_(capacity == 0 ? LocalPolicy::Unbounded : policy)
+    {
+        cache_ = makeLocalCache(policy_, capacity);
+    }
+
+    std::string name() const override
+    {
+        if (policy_ == LocalPolicy::Unbounded) {
+            return "unified/unbounded";
+        }
+        return format("unified/{} ({})", cache_->policyName(),
+                      humanBytes(cache_->capacity()));
+    }
+
+    bool lookup(TraceId id, TimeUs now) override
+    {
+        ++stats_.lookups;
+        Fragment *frag = cache_->find(id);
+        if (frag == nullptr) {
+            ++stats_.misses;
+            if (listener_ != nullptr) {
+                listener_->onMiss(id, now);
+            }
+            return false;
+        }
+        ++stats_.hits;
+        cache_->touch(id, now);
+        if (listener_ != nullptr) {
+            listener_->onHit(id, Generation::Unified, now);
+        }
+        return true;
+    }
+
+    bool insert(TraceId id, std::uint32_t size_bytes, ModuleId module,
+                TimeUs now) override
+    {
+        if (cache_->find(id) != nullptr) {
+            GENCACHE_PANIC("insert of resident trace {}", id);
+        }
+        Fragment frag;
+        frag.id = id;
+        frag.sizeBytes = size_bytes;
+        frag.module = module;
+        frag.insertTime = now;
+
+        std::vector<Fragment> evicted;
+        if (!cache_->insert(frag, evicted)) {
+            ++stats_.placementFailures;
+            return false;
+        }
+        ++stats_.inserts;
+        stats_.insertedBytes += size_bytes;
+        for (const Fragment &victim : evicted) {
+            ++stats_.deletions;
+            stats_.deletedBytes += victim.sizeBytes;
+            if (listener_ != nullptr) {
+                listener_->onEvict(victim, Generation::Unified,
+                                   EvictReason::Capacity, now);
+            }
+        }
+        if (listener_ != nullptr) {
+            listener_->onInsert(*cache_->find(id), Generation::Unified,
+                                now);
+        }
+        return true;
+    }
+
+    void invalidateModule(ModuleId module, TimeUs now) override
+    {
+        std::vector<TraceId> victims;
+        cache_->forEach([&](const Fragment &frag) {
+            if (frag.module == module) {
+                victims.push_back(frag.id);
+            }
+        });
+        for (TraceId id : victims) {
+            Fragment removed;
+            cache_->remove(id, &removed);
+            ++stats_.unmapDeletions;
+            stats_.unmapDeletedBytes += removed.sizeBytes;
+            if (listener_ != nullptr) {
+                listener_->onEvict(removed, Generation::Unified,
+                                   EvictReason::Unmap, now);
+            }
+        }
+    }
+
+    bool setPinned(TraceId id, bool pinned) override
+    {
+        return cache_->setPinned(id, pinned);
+    }
+
+    bool contains(TraceId id) const override
+    {
+        return cache_->contains(id);
+    }
+
+    std::uint64_t totalCapacity() const override
+    {
+        return cache_->capacity();
+    }
+
+    std::uint64_t usedBytes() const override
+    {
+        return cache_->usedBytes();
+    }
+
+    void prepareDenseIds(std::uint64_t id_bound) override
+    {
+        cache_->reserveDenseIds(id_bound);
+    }
+
+  private:
+    std::unique_ptr<LocalCache> cache_;
+    LocalPolicy policy_;
+};
+
+} // namespace gencache::cache::reference
+
+#endif // GENCACHE_TESTS_REFERENCE_MANAGERS_H

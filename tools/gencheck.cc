@@ -19,16 +19,25 @@
  *    fast replay path honest: the dense-id residency indices must
  *    leave the same self-consistent storage state the legacy loop
  *    does.
+ *  - tier:<topology>:<profile> — the workload replayed against a
+ *    named non-legacy tier topology (cache::namedTierTopologies: a
+ *    2-tier filter, a 4-tier pipeline, a temperature-policy 3-tier),
+ *    then checked at the storage level with the tier-indexed passes;
+ *  - live:tier:<topology> — a synthetic guest executed under the
+ *    runtime on top of a named topology pipeline, checked
+ *    whole-system.
  *
  * Exit status is 1 when any error-severity diagnostic was reported,
  * 0 otherwise (warnings and notes do not fail the run).
  *
  * Usage:
- *   gencheck [--json FILE] [--profile NAME]... [--seed N] [--quiet]
+ *   gencheck [--json FILE] [--profile NAME]... [--tier NAME]...
+ *            [--seed N] [--quiet]
  *
  * --profile may be given multiple times; the default set is gzip
- * (SPEC) and mpeg (interactive, exercises DLL unloads). --seed varies
- * the synthetic guest program of the live subjects.
+ * (SPEC) and mpeg (interactive, exercises DLL unloads). --tier
+ * selects topologies from the named catalog (default: all of them).
+ * --seed varies the synthetic guest program of the live subjects.
  */
 
 #include <cstdio>
@@ -122,6 +131,26 @@ checkSimSubject(const workload::BenchmarkProfile &profile)
     return report;
 }
 
+/** Replay a benchmark profile against a named tier topology and
+ *  check the storage state through the tier-indexed passes. */
+SubjectReport
+checkTierSubject(const cache::TierTopology &topology,
+                 const workload::BenchmarkProfile &profile)
+{
+    tracelog::AccessLog log = workload::generateWorkload(profile);
+    auto total = static_cast<std::uint64_t>(
+        profile.finalCacheKb * static_cast<double>(kKiB) / 2.0);
+    std::unique_ptr<cache::TierPipeline> manager =
+        topology.build(total);
+    sim::CacheSimulator simulator(*manager);
+    simulator.run(log);
+
+    SubjectReport report;
+    report.name = format("tier:{}:{}", topology.name, profile.name);
+    report.engine = analysis::checkManager(*manager);
+    return report;
+}
+
 /** Stream one compiled workload through the batched replay driver —
  *  one lane per standard sweep threshold — and check every lane's
  *  end state. */
@@ -165,7 +194,7 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--json FILE] [--profile NAME]... "
-                 "[--seed N] [--quiet]\n",
+                 "[--tier NAME]... [--seed N] [--quiet]\n",
                  argv0);
 }
 
@@ -176,6 +205,7 @@ main(int argc, char **argv)
 {
     std::string json_path;
     std::vector<std::string> profile_names;
+    std::vector<std::string> tier_names;
     std::uint64_t seed = 2003;
     bool quiet = false;
 
@@ -185,6 +215,8 @@ main(int argc, char **argv)
             json_path = argv[++i];
         } else if (arg == "--profile" && i + 1 < argc) {
             profile_names.push_back(argv[++i]);
+        } else if (arg == "--tier" && i + 1 < argc) {
+            tier_names.push_back(argv[++i]);
         } else if (arg == "--seed" && i + 1 < argc) {
             const char *text = argv[++i];
             char *end = nullptr;
@@ -232,6 +264,22 @@ main(int argc, char **argv)
             return 2;
         }
     }
+    std::vector<cache::TierTopology> topologies;
+    if (tier_names.empty()) {
+        topologies = cache::namedTierTopologies();
+    } else {
+        for (const std::string &name : tier_names) {
+            const cache::TierTopology *topology =
+                cache::findTierTopology(name);
+            if (topology == nullptr) {
+                std::fprintf(stderr,
+                             "gencheck: unknown tier topology '%s'\n",
+                             name.c_str());
+                return 2;
+            }
+            topologies.push_back(*topology);
+        }
+    }
     std::ofstream json_out;
     if (!json_path.empty()) {
         json_out.open(json_path);
@@ -257,10 +305,22 @@ main(int argc, char **argv)
         reports.push_back(
             checkLiveSubject("live:unified", manager, seed));
     }
+    for (const cache::TierTopology &topology : topologies) {
+        // The runtime constructs its manager through the topology
+        // catalog too — the live path must work on any pipeline, not
+        // just the two legacy adapters.
+        std::unique_ptr<cache::TierPipeline> manager =
+            topology.build(4 * kKiB);
+        reports.push_back(checkLiveSubject(
+            format("live:tier:{}", topology.name), *manager, seed));
+    }
     for (const workload::BenchmarkProfile &profile : profiles) {
         reports.push_back(checkSimSubject(profile));
         for (SubjectReport &report : checkBatchedSubjects(profile)) {
             reports.push_back(std::move(report));
+        }
+        for (const cache::TierTopology &topology : topologies) {
+            reports.push_back(checkTierSubject(topology, profile));
         }
     }
 

@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "support/simd.h"
+#include "support/thread_pool.h"
 #include "workload/profile.h"
 
 namespace gencache::bench {
@@ -211,7 +213,46 @@ class JsonArray
     std::string body_;
 };
 
-/** Write @p object to @p path and report where it went.
+/** Best-effort git revision of the working tree; "unknown" when the
+ *  binary runs outside a checkout (or git is unavailable). */
+inline std::string
+gitRevision()
+{
+    FILE *pipe = ::popen("git rev-parse HEAD 2>/dev/null", "r");
+    if (pipe == nullptr) {
+        return "unknown";
+    }
+    char buffer[80] = {0};
+    std::string sha;
+    if (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+        sha = buffer;
+        while (!sha.empty() &&
+               (sha.back() == '\n' || sha.back() == '\r')) {
+            sha.pop_back();
+        }
+    }
+    ::pclose(pipe);
+    return sha.empty() ? "unknown" : sha;
+}
+
+/** The run-environment stamp every perf artifact carries: where the
+ *  numbers came from (revision), and the two knobs that change them
+ *  without a code change (worker count, SIMD dispatch). */
+inline JsonObject
+runMetadata()
+{
+    JsonObject meta;
+    meta.put("git_sha", gitRevision())
+        .put("threads",
+             static_cast<std::uint64_t>(
+                 ThreadPool::defaultThreadCount()))
+        .put("simd", simd::activeSimdMode())
+        .put("scale", scaleFactor());
+    return meta;
+}
+
+/** Write @p object to @p path (stamped with runMetadata() under a
+ *  "meta" key) and report where it went.
  *  @return false (with a message) when the file cannot be written. */
 inline bool
 writeJsonArtifact(const std::string &path, const JsonObject &object)
@@ -222,7 +263,9 @@ writeJsonArtifact(const std::string &path, const JsonObject &object)
                      path.c_str());
         return false;
     }
-    out << object.toString() << "\n";
+    JsonObject stamped = object;
+    stamped.putRaw("meta", runMetadata().toString());
+    out << stamped.toString() << "\n";
     std::printf("\nperf artifact: %s\n", path.c_str());
     return true;
 }

@@ -8,9 +8,15 @@
  * measured interval is pure generational-cell replay. The one-time
  * CompiledLog build is timed separately and reported alongside.
  *
+ * Three engines are timed on the same grid: the legacy per-event
+ * CacheSimulator, the batched engine pinned to its per-event
+ * reference kernel (the PR-3 loop), and the batched engine's blocked
+ * (chunk x lane-block, table-priced) kernel.
+ *
  * Emits BENCH_replay.json: per-benchmark and total wall times,
- * replayed-events/sec, and the single-threaded (threads=1) speedup —
- * the acceptance number — plus the same comparison at the default
+ * replayed-events/sec, the single-threaded legacy-vs-blocked speedup,
+ * and the single-threaded blocked-vs-reference speedup — the
+ * acceptance number (>= 2x) — plus the same comparison at the default
  * thread count (GENCACHE_THREADS / hardware concurrency).
  */
 
@@ -76,6 +82,7 @@ main()
 
     bench::JsonArray benchmarks;
     double total_legacy_serial = 0.0;
+    double total_reference_serial = 0.0;
     double total_compiled_serial = 0.0;
     double total_legacy_threaded = 0.0;
     double total_compiled_threaded = 0.0;
@@ -105,6 +112,12 @@ main()
         double legacy_serial_sec = timer.seconds();
 
         timer.reset();
+        sim::SweepResult reference_serial =
+            sim::runSweep(runner, points, thresholds, 1,
+                          sim::ReplayEngine::BatchedReference);
+        double reference_serial_sec = timer.seconds();
+
+        timer.reset();
         sim::SweepResult compiled_serial =
             sim::runSweep(runner, points, thresholds, 1,
                           sim::ReplayEngine::BatchedCompiled);
@@ -124,6 +137,7 @@ main()
 
         bool identical =
             cellsIdentical(legacy_serial, compiled_serial) &&
+            cellsIdentical(legacy_serial, reference_serial) &&
             cellsIdentical(legacy_serial, legacy_threaded) &&
             cellsIdentical(legacy_serial, compiled_threaded) &&
             warm.capacityBytes == legacy_serial.capacityBytes;
@@ -133,25 +147,32 @@ main()
             compiled_serial_sec > 0.0
                 ? legacy_serial_sec / compiled_serial_sec
                 : 0.0;
+        double blocked_speedup =
+            compiled_serial_sec > 0.0
+                ? reference_serial_sec / compiled_serial_sec
+                : 0.0;
         double threaded_speedup =
             compiled_threaded_sec > 0.0
                 ? legacy_threaded_sec / compiled_threaded_sec
                 : 0.0;
 
         total_legacy_serial += legacy_serial_sec;
+        total_reference_serial += reference_serial_sec;
         total_compiled_serial += compiled_serial_sec;
         total_legacy_threaded += legacy_threaded_sec;
         total_compiled_threaded += compiled_threaded_sec;
         total_compile_sec += compile_sec;
         total_events += events;
 
-        std::printf("%-10s %9llu events  serial %.3fs -> %.3fs "
-                    "(%.2fx)  %zu-thread %.3fs -> %.3fs (%.2fx)  "
+        std::printf("%-10s %9llu events  serial legacy %.3fs ref "
+                    "%.3fs blocked %.3fs (%.2fx vs legacy, %.2fx vs "
+                    "ref)  %zu-thread %.3fs -> %.3fs (%.2fx)  "
                     "compile %.3fs  cells %s\n",
                     name,
                     static_cast<unsigned long long>(events),
-                    legacy_serial_sec, compiled_serial_sec,
-                    serial_speedup, threads, legacy_threaded_sec,
+                    legacy_serial_sec, reference_serial_sec,
+                    compiled_serial_sec, serial_speedup,
+                    blocked_speedup, threads, legacy_threaded_sec,
                     compiled_threaded_sec, threaded_speedup,
                     compile_sec,
                     identical ? "identical" : "MISMATCH");
@@ -162,8 +183,10 @@ main()
             .put("cells", static_cast<std::uint64_t>(cells))
             .put("compile_sec", compile_sec)
             .put("legacy_serial_sec", legacy_serial_sec)
+            .put("reference_serial_sec", reference_serial_sec)
             .put("compiled_serial_sec", compiled_serial_sec)
             .put("serial_speedup", serial_speedup)
+            .put("blocked_vs_reference_speedup", blocked_speedup)
             .put("legacy_events_per_sec",
                  eventsPerSec(events, cells, legacy_serial_sec))
             .put("compiled_events_per_sec",
@@ -179,15 +202,21 @@ main()
         total_compiled_serial > 0.0
             ? total_legacy_serial / total_compiled_serial
             : 0.0;
+    double blocked_speedup =
+        total_compiled_serial > 0.0
+            ? total_reference_serial / total_compiled_serial
+            : 0.0;
     double threaded_speedup =
         total_compiled_threaded > 0.0
             ? total_legacy_threaded / total_compiled_threaded
             : 0.0;
 
-    std::printf("\ntotal: serial %.2fs -> %.2fs (%.2fx), %zu-thread "
+    std::printf("\ntotal: serial legacy %.2fs ref %.2fs blocked "
+                "%.2fs (%.2fx vs legacy, %.2fx vs ref), %zu-thread "
                 "%.2fs -> %.2fs (%.2fx), compile %.2fs, cells %s\n",
-                total_legacy_serial, total_compiled_serial,
-                serial_speedup, threads, total_legacy_threaded,
+                total_legacy_serial, total_reference_serial,
+                total_compiled_serial, serial_speedup,
+                blocked_speedup, threads, total_legacy_threaded,
                 total_compiled_threaded, threaded_speedup,
                 total_compile_sec,
                 all_identical ? "identical" : "MISMATCH");
@@ -201,8 +230,10 @@ main()
         .put("total_events", total_events)
         .put("total_compile_sec", total_compile_sec)
         .put("legacy_serial_sec", total_legacy_serial)
+        .put("reference_serial_sec", total_reference_serial)
         .put("compiled_serial_sec", total_compiled_serial)
         .put("serial_speedup", serial_speedup)
+        .put("blocked_vs_reference_speedup", blocked_speedup)
         .put("legacy_threaded_sec", total_legacy_threaded)
         .put("compiled_threaded_sec", total_compiled_threaded)
         .put("threaded_speedup", threaded_speedup)

@@ -11,13 +11,21 @@
 #      dispatch, tier-pipeline adapters vs the frozen pre-refactor
 #      managers — the memory-unsafe-optimization tripwires), then the
 #      rest of the suite
-#   5. gencheck over the example workloads — live runs, legacy sim
+#   5. smoke policy tournament (2 profiles x ~28 configurations) —
+#      the sharded multi-config replay driver end-to-end, run in the
+#      plain build and (unless --fast) again under ASan+UBSan; the
+#      `tournament`-labelled determinism/Pareto tests run in step 1
+#      with the rest of the suite
+#   6. GENCACHE_SIMD=OFF build: the scalar-only fallback must build
+#      and pass the replay bit-identity and SIMD-kernel tests
+#   7. gencheck over the example workloads — live runs, legacy sim
 #      replays, and batched-replay end states; any diagnostic of
 #      severity error (or worse) fails the pipeline
-#   6. formatting check (no-op when clang-format is absent)
+#   8. formatting check (no-op when clang-format is absent)
 #
 # Usage: scripts/ci.sh [--fast]
-#   --fast skips the two sanitizer builds (steps 3 and 4).
+#   --fast skips the sanitizer builds (steps 3, 4, and the sanitized
+#   half of 5).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -63,6 +71,22 @@ if [[ $fast -eq 0 ]]; then
 else
     step "skipping sanitizer builds (--fast)"
 fi
+
+step "smoke policy tournament (plain build)"
+(cd build-ci && bench/policy_tournament --smoke)
+
+if [[ $fast -eq 0 ]]; then
+    step "smoke policy tournament (ASan+UBSan build)"
+    (cd build-asan && bench/policy_tournament --smoke)
+fi
+
+step "GENCACHE_SIMD=OFF scalar-fallback build + replay/simd tests"
+cmake -B build-nosimd -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DGENCACHE_SIMD=OFF >/tmp/gencache-nosimd-configure.log
+cmake --build build-nosimd -j "$jobs"
+ctest --test-dir build-nosimd --output-on-failure \
+    -R "Simd|ReplayIdentity.BlockedKernelMatchesReferenceAcrossLaneCounts|CompiledLog" \
+    -j "$jobs"
 
 step "gencheck on example workloads"
 # gencheck exits 1 on any error-severity diagnostic (its subjects

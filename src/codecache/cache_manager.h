@@ -28,6 +28,12 @@ class CacheEventListener
   public:
     virtual ~CacheEventListener() = default;
 
+    /** Hot-path hint: skip the virtual onHit/onMiss calls for
+     *  listeners that never override them (cost accounting only
+     *  observes inserts, evictions, and promotions). */
+    bool wantsHits() const { return wantsHits_; }
+    bool wantsMisses() const { return wantsMisses_; }
+
     /** A lookup missed: the trace must be (re)generated. */
     virtual void onMiss(TraceId id, TimeUs now)
     {
@@ -72,6 +78,20 @@ class CacheEventListener
         (void)to;
         (void)now;
     }
+
+  protected:
+    CacheEventListener() = default;
+
+    /** Subclasses that leave onHit/onMiss as the base no-ops should
+     *  pass false so managers can skip the virtual dispatch. */
+    CacheEventListener(bool wants_hits, bool wants_misses)
+        : wantsHits_(wants_hits), wantsMisses_(wants_misses)
+    {
+    }
+
+  private:
+    bool wantsHits_ = true;
+    bool wantsMisses_ = true;
 };
 
 /** Aggregate counters of a global manager. */

@@ -232,6 +232,49 @@ CacheRegion::remove(TraceId id, Fragment *out)
     return true;
 }
 
+std::size_t
+CacheRegion::removeModule(ModuleId module, std::vector<Fragment> &out)
+{
+    const std::size_t before = out.size();
+    for (const Fragment &frag : below_) {
+        if (frag.module == module) {
+            out.push_back(frag);
+        }
+    }
+    for (auto it = above_.rbegin(); it != above_.rend(); ++it) {
+        if (it->module == module) {
+            out.push_back(*it);
+        }
+    }
+    const std::size_t removed = out.size() - before;
+    if (removed == 0) {
+        return 0;
+    }
+    auto prune = [&](std::vector<Fragment> &half) {
+        std::size_t write = 0;
+        for (std::size_t read = 0; read < half.size(); ++read) {
+            const Fragment &frag = half[read];
+            if (frag.module == module) {
+                usedBytes_ -= frag.sizeBytes;
+                if (frag.pinned) {
+                    --pinnedCount_;
+                }
+                addrOf_.erase(frag.id);
+                continue;
+            }
+            if (write != read) {
+                half[write] = frag;
+            }
+            ++write;
+        }
+        half.resize(write);
+        reindexFrom(half, 0);
+    };
+    prune(below_);
+    prune(above_);
+    return removed;
+}
+
 Fragment *
 CacheRegion::find(TraceId id)
 {

@@ -107,6 +107,14 @@ class CacheRegion
      *  @return true when the fragment was present. */
     bool remove(TraceId id, Fragment *out = nullptr);
 
+    /** Remove every fragment of @p module in one pass, appending them
+     *  to @p out in forEach() (address) order. Equivalent to — but
+     *  O(n) instead of O(n * removed) — collecting the ids via
+     *  forEach() and calling remove() on each. @return the number of
+     *  fragments removed. */
+    std::size_t removeModule(ModuleId module,
+                             std::vector<Fragment> &out);
+
     /** @return the resident fragment with identity @p id, or nullptr. */
     Fragment *find(TraceId id);
     const Fragment *find(TraceId id) const;

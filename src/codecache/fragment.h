@@ -77,6 +77,7 @@ struct Fragment
     std::uint32_t sizeBytes = 0;
     ModuleId module = kNoModule;
     bool pinned = false;          ///< undeletable (paper §4.2)
+    std::uint8_t rrpv = 0;        ///< RRIP re-reference prediction
     std::uint32_t accessCount = 0; ///< hits while in probation
     TimeUs insertTime = 0;         ///< when it entered its current cache
     TimeUs lastAccess = 0;         ///< policy clock (temperature decay)

@@ -194,7 +194,7 @@ FifoCache::insert(const Fragment &frag, std::vector<Fragment> &evicted)
 }
 
 LruCache::LruCache(std::uint64_t capacity)
-    : ListCache(capacity)
+    : ListCache(capacity, /*observes_touch=*/true)
 {
     if (capacity == 0) {
         GENCACHE_PANIC("LruCache requires a positive capacity");
@@ -263,6 +263,109 @@ FlushCache::insert(const Fragment &frag, std::vector<Fragment> &evicted)
     return true;
 }
 
+RripCache::RripCache(std::uint64_t capacity, bool bimodal)
+    : ListCache(capacity, /*observes_touch=*/true), bimodal_(bimodal)
+{
+    if (capacity == 0) {
+        GENCACHE_PANIC("RripCache requires a positive capacity");
+    }
+}
+
+bool
+RripCache::insert(const Fragment &frag, std::vector<Fragment> &evicted)
+{
+    if (index_.contains(frag.id)) {
+        GENCACHE_PANIC("fragment {} already resident", frag.id);
+    }
+    if (frag.sizeBytes > capacity_) {
+        ++stats_.placementFailures;
+        return false;
+    }
+
+    // Plan: evict distant-predicted fragments first, aging the whole
+    // cache one RRPV step whenever no unchosen victim is distant yet.
+    // `ages` is the number of global increments this insert performs;
+    // a node's effective prediction during planning is rrpv + ages.
+    std::uint64_t reclaimed = 0;
+    std::uint8_t ages = 0;
+    planScratch_.clear();
+    while (used_ - reclaimed + frag.sizeBytes > capacity_) {
+        std::uint32_t choice = kNil;
+        for (std::uint32_t n = head_; n != kNil; n = nodes_[n].next) {
+            const Fragment &cand = nodes_[n].frag;
+            if (cand.pinned || cand.rrpv + ages < kMaxRrpv) {
+                continue;
+            }
+            bool chosen = false;
+            for (std::uint32_t v : planScratch_) {
+                if (v == n) {
+                    chosen = true;
+                    break;
+                }
+            }
+            if (!chosen) {
+                choice = n;
+                break;
+            }
+        }
+        if (choice != kNil) {
+            reclaimed += nodes_[choice].frag.sizeBytes;
+            planScratch_.push_back(choice);
+            continue;
+        }
+        if (ages >= kMaxRrpv) {
+            // Every unchosen fragment is pinned: no plan fits.
+            ++stats_.placementFailures;
+            return false;
+        }
+        ++ages;
+    }
+
+    for (std::uint32_t victim : planScratch_) {
+        const Fragment &gone = nodes_[victim].frag;
+        evicted.push_back(gone);
+        used_ -= gone.sizeBytes;
+        ++stats_.capacityEvictions;
+        stats_.capacityEvictedBytes += gone.sizeBytes;
+        eraseNode(victim);
+    }
+    if (ages != 0) {
+        for (std::uint32_t n = head_; n != kNil; n = nodes_[n].next) {
+            Fragment &survivor = nodes_[n].frag;
+            survivor.rrpv = static_cast<std::uint8_t>(
+                std::min<std::uint32_t>(kMaxRrpv,
+                                        survivor.rrpv + ages));
+        }
+    }
+
+    Fragment placed = frag;
+    placed.rrpv = kMaxRrpv - 1;
+    if (bimodal_) {
+        // Deterministic bimodal throttle: only every kBimodalPeriod-th
+        // insert predicts long; the rest predict distant.
+        placed.rrpv = insertTick_ == 0
+                          ? static_cast<std::uint8_t>(kMaxRrpv - 1)
+                          : kMaxRrpv;
+        insertTick_ = (insertTick_ + 1) % kBimodalPeriod;
+    }
+    std::uint32_t n = pushBack(placed);
+    index_.insert(placed.id, n);
+    used_ += placed.sizeBytes;
+    ++stats_.inserts;
+    stats_.insertedBytes += placed.sizeBytes;
+    return true;
+}
+
+void
+RripCache::touch(TraceId id, TimeUs now)
+{
+    (void)now;
+    Fragment *frag = find(id);
+    if (frag != nullptr) {
+        frag->rrpv = 0;
+    }
+}
+
 UnboundedCache::UnboundedCache()
     : ListCache(0)
 {
@@ -288,6 +391,8 @@ localPolicyName(LocalPolicy policy)
       case LocalPolicy::Lru: return "lru";
       case LocalPolicy::PreemptiveFlush: return "preemptive-flush";
       case LocalPolicy::Unbounded: return "unbounded";
+      case LocalPolicy::Srrip: return "srrip";
+      case LocalPolicy::Brrip: return "brrip";
     }
     GENCACHE_PANIC("unknown local policy {}", static_cast<int>(policy));
 }

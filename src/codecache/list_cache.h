@@ -75,7 +75,11 @@ class ListCache : public LocalCache
     /// @}
 
   protected:
-    explicit ListCache(std::uint64_t capacity) : LocalCache(capacity) {}
+    explicit ListCache(std::uint64_t capacity,
+                       bool observes_touch = false)
+        : LocalCache(capacity, observes_touch)
+    {
+    }
 
     /**
      * Insert @p frag after evicting unpinned fragments from the front
@@ -146,6 +150,45 @@ class FlushCache : public ListCache
     }
     bool insert(const Fragment &frag,
                 std::vector<Fragment> &evicted) override;
+};
+
+/**
+ * RRIP replacement (TRRIP direction): every fragment carries a 2-bit
+ * re-reference prediction value (RRPV). Insertion predicts a *long*
+ * re-reference interval (RRPV 2) under SRRIP, or — under BRRIP — a
+ * *distant* one (RRPV 3) for all but every 32nd insert, so a burst of
+ * single-use traces cannot flush the cache. A hit predicts *near*
+ * (RRPV 0). Victims are the fragments already predicted distant; when
+ * none exists, all predictions age by one step until one is. Ties
+ * break in list (insertion) order, so replacement is deterministic.
+ *
+ * The byte-budget generalization evicts distant-first until the new
+ * fragment fits. Like the other list caches, planning happens before
+ * mutation: a failed insert (pinned congestion or an oversized
+ * fragment) leaves residency *and* all RRPVs unchanged.
+ */
+class RripCache : public ListCache
+{
+  public:
+    static constexpr std::uint8_t kMaxRrpv = 3;
+    /** BRRIP inserts RRPV 2 on every kBimodalPeriod-th insert. */
+    static constexpr std::uint32_t kBimodalPeriod = 32;
+
+    /** @param bimodal false = SRRIP, true = BRRIP. */
+    RripCache(std::uint64_t capacity, bool bimodal);
+
+    const char *policyName() const override
+    {
+        return bimodal_ ? "brrip" : "srrip";
+    }
+    bool insert(const Fragment &frag,
+                std::vector<Fragment> &evicted) override;
+    void touch(TraceId id, TimeUs now) override;
+
+  private:
+    bool bimodal_;
+    std::uint32_t insertTick_ = 0; ///< BRRIP bimodal counter
+    std::vector<std::uint32_t> planScratch_; ///< victim plan reuse
 };
 
 /** Unbounded cache: never evicts; records peak occupancy (§3.1). */

@@ -13,6 +13,23 @@ LocalCache::touch(TraceId id, TimeUs now)
     (void)now;
 }
 
+std::size_t
+LocalCache::removeModule(ModuleId module, std::vector<Fragment> &out)
+{
+    std::vector<TraceId> victims;
+    forEach([&](const Fragment &frag) {
+        if (frag.module == module) {
+            victims.push_back(frag.id);
+        }
+    });
+    for (TraceId id : victims) {
+        Fragment removed;
+        remove(id, &removed);
+        out.push_back(removed);
+    }
+    return victims.size();
+}
+
 std::unique_ptr<LocalCache>
 makeLocalCache(LocalPolicy policy, std::uint64_t capacity)
 {
@@ -27,6 +44,10 @@ makeLocalCache(LocalPolicy policy, std::uint64_t capacity)
         return std::make_unique<FlushCache>(capacity);
       case LocalPolicy::Unbounded:
         return std::make_unique<UnboundedCache>();
+      case LocalPolicy::Srrip:
+        return std::make_unique<RripCache>(capacity, /*bimodal=*/false);
+      case LocalPolicy::Brrip:
+        return std::make_unique<RripCache>(capacity, /*bimodal=*/true);
     }
     GENCACHE_PANIC("unknown local policy {}", static_cast<int>(policy));
 }

@@ -76,6 +76,10 @@ class LocalCache
     /** Notify the policy of an access (recency-based policies). */
     virtual void touch(TraceId id, TimeUs now);
 
+    /** Hot-path hint: true when the policy overrides touch(), so
+     *  managers can skip the virtual call on hit for the others. */
+    bool observesTouch() const { return observesTouch_; }
+
     /** Dense-id declaration forwarded by the global manager (see
      *  CacheManager::prepareDenseIds). Default: no-op. */
     virtual void reserveDenseIds(std::uint64_t id_bound)
@@ -88,6 +92,14 @@ class LocalCache
      *  @param out receives the removed fragment when non-null.
      *  @return true when the fragment was resident. */
     virtual bool remove(TraceId id, Fragment *out = nullptr) = 0;
+
+    /** Remove every fragment of @p module, appending the removed
+     *  fragments to @p out in forEach() order. The default collects
+     *  via forEach() and calls remove() per fragment; policies whose
+     *  per-fragment removal is not O(1) override this with a bulk
+     *  pass. @return the number of fragments removed. */
+    virtual std::size_t removeModule(ModuleId module,
+                                    std::vector<Fragment> &out);
 
     /** Mark/unmark a resident fragment undeletable.
      *  @return false when not resident. */
@@ -103,8 +115,17 @@ class LocalCache
     const LocalCacheStats &stats() const { return stats_; }
 
   protected:
+    /** Policies that override touch() pass observes_touch = true. */
+    LocalCache(std::uint64_t capacity, bool observes_touch)
+        : capacity_(capacity), observesTouch_(observes_touch)
+    {
+    }
+
     std::uint64_t capacity_;
     LocalCacheStats stats_;
+
+  private:
+    bool observesTouch_ = false;
 };
 
 /** Local replacement policies available to the factory. */
@@ -114,6 +135,8 @@ enum class LocalPolicy {
     Lru,            ///< least-recently-used
     PreemptiveFlush, ///< flush everything when full (Dynamo-style)
     Unbounded,      ///< never evicts; tracks peak occupancy
+    Srrip,          ///< static re-reference interval prediction
+    Brrip,          ///< bimodal RRIP (mostly-distant insertion)
 };
 
 /** @return short printable name of @p policy. */

@@ -66,6 +66,19 @@ PseudoCircularCache::remove(TraceId id, Fragment *out)
     return true;
 }
 
+std::size_t
+PseudoCircularCache::removeModule(ModuleId module,
+                                 std::vector<Fragment> &out)
+{
+    const std::size_t before = out.size();
+    const std::size_t removed = region_.removeModule(module, out);
+    stats_.removals += removed;
+    for (std::size_t i = before; i < out.size(); ++i) {
+        stats_.removedBytes += out[i].sizeBytes;
+    }
+    return removed;
+}
+
 bool
 PseudoCircularCache::setPinned(TraceId id, bool pinned)
 {

@@ -31,6 +31,8 @@ class PseudoCircularCache : public LocalCache
     Fragment *find(TraceId id) override;
     bool contains(TraceId id) const override;
     bool remove(TraceId id, Fragment *out = nullptr) override;
+    std::size_t removeModule(ModuleId module,
+                             std::vector<Fragment> &out) override;
     bool setPinned(TraceId id, bool pinned) override;
     void flush(std::vector<Fragment> &evicted) override;
     void forEach(const std::function<void(const Fragment &)> &fn)

@@ -144,15 +144,17 @@ TierPipeline::lookup(TraceId id, TimeUs now)
         LocalCache &cache = *tierPtrs_[0];
         if (cache.find(id) == nullptr) {
             ++stats_.misses;
-            if (listener_ != nullptr) {
+            if (listener_ != nullptr && listener_->wantsMisses()) {
                 listener_->onMiss(id, now);
             }
             return false;
         }
         ++stats_.hits;
         ++tierStats_[0].hits;
-        cache.touch(id, now);
-        if (listener_ != nullptr) {
+        if (cache.observesTouch()) {
+            cache.touch(id, now);
+        }
+        if (listener_ != nullptr && listener_->wantsHits()) {
             listener_->onHit(id, labels_[0], now);
         }
         return true;
@@ -161,7 +163,7 @@ TierPipeline::lookup(TraceId id, TimeUs now)
     const TierId *found = where_.find(id);
     if (found == nullptr) {
         ++stats_.misses;
-        if (listener_ != nullptr) {
+        if (listener_ != nullptr && listener_->wantsMisses()) {
             listener_->onMiss(id, now);
         }
         return false;
@@ -176,8 +178,10 @@ TierPipeline::lookup(TraceId id, TimeUs now)
     }
     ++stats_.hits;
     ++tierStats_[tier].hits;
-    cache.touch(id, now);
-    if (listener_ != nullptr) {
+    if (cache.observesTouch()) {
+        cache.touch(id, now);
+    }
+    if (listener_ != nullptr && listener_->wantsHits()) {
         listener_->onHit(id, labels_[tier], now);
     }
 
@@ -187,9 +191,63 @@ TierPipeline::lookup(TraceId id, TimeUs now)
         Fragment moving = *frag;
         cache.remove(id);
         where_.erase(id);
+        syncFastSlot(moving);
         advance(tier, moving, now);
     }
     return true;
+}
+
+bool
+TierPipeline::enableFastReplay(std::uint64_t id_bound)
+{
+    if (usedBytes_ != 0 || stats_.inserts != 0) {
+        GENCACHE_PANIC("enableFastReplay on a non-empty pipeline");
+    }
+    for (std::size_t i = 0; i < tiers_.size(); ++i) {
+        if (tierPtrs_[i]->observesTouch()) {
+            return false;
+        }
+    }
+    std::uint16_t mask = 0;
+    for (std::size_t i = 0; i < edges_.size(); ++i) {
+        if (!edges_[i]->observesHits()) {
+            continue;
+        }
+        const auto *threshold =
+            dynamic_cast<const ThresholdPolicy *>(edges_[i].get());
+        if (threshold == nullptr || threshold->eager()) {
+            return false;
+        }
+        mask |= static_cast<std::uint16_t>(1u << (i + 1));
+    }
+    if (listener_ != nullptr &&
+        (listener_->wantsHits() || listener_->wantsMisses())) {
+        return false;
+    }
+    hot_.assign(id_bound, HotSlot{});
+    countMask_ = mask;
+    return true;
+}
+
+void
+TierPipeline::flushFastCounts()
+{
+    for (std::size_t id = 0; id < hot_.size(); ++id) {
+        HotSlot &slot = hot_[id];
+        if (slot.delta == 0) {
+            continue;
+        }
+        Fragment *frag =
+            tierPtrs_[slot.tierPlusOne - 1]->find(id);
+        if (frag == nullptr) {
+            GENCACHE_PANIC("fast-replay slot for trace {} points at "
+                           "{} but the trace is not resident", id,
+                           generationName(
+                               labels_[slot.tierPlusOne - 1]));
+        }
+        frag->accessCount += slot.delta;
+        slot.delta = 0;
+    }
 }
 
 bool
@@ -209,13 +267,15 @@ TierPipeline::insert(TraceId id, std::uint32_t size_bytes,
         edgePtrs_[0]->onEnter(frag, now);
     }
 
-    std::vector<Fragment> evicted;
+    std::vector<Fragment> &evicted = evictScratch_[0];
+    evicted.clear();
     if (!first.insert(frag, evicted)) {
         ++stats_.placementFailures;
         return false;
     }
     ++stats_.inserts;
     stats_.insertedBytes += size_bytes;
+    usedBytes_ += size_bytes;
 
     if (!multiTier_) {
         // Single-tier (unified) event order: capacity victims are
@@ -224,6 +284,7 @@ TierPipeline::insert(TraceId id, std::uint32_t size_bytes,
         for (Fragment &victim : evicted) {
             destroy(victim, TierId{0}, EvictReason::Capacity, now);
         }
+        setFastSlot(id, TierId{0});
         if (listener_ != nullptr) {
             listener_->onInsert(*first.find(id), labels_[0], now);
         }
@@ -231,6 +292,7 @@ TierPipeline::insert(TraceId id, std::uint32_t size_bytes,
     }
 
     where_.insert(id, TierId{0});
+    setFastSlot(id, TierId{0});
     if (listener_ != nullptr) {
         listener_->onInsert(frag, labels_[0], now);
     }
@@ -243,6 +305,7 @@ TierPipeline::insert(TraceId id, std::uint32_t size_bytes,
 void
 TierPipeline::cascadeVictim(TierId tier, Fragment victim, TimeUs now)
 {
+    syncFastSlot(victim);
     if (!hasEdgeOut(tier)) {
         // Last-tier victims are deleted.
         destroy(victim, tier, EvictReason::Capacity, now);
@@ -269,13 +332,15 @@ TierPipeline::advance(TierId from, Fragment frag, TimeUs now)
         edgePtrs_[to]->onEnter(frag, now);
     }
 
-    std::vector<Fragment> evicted;
+    std::vector<Fragment> &evicted = evictScratch_[to];
+    evicted.clear();
     if (!tierPtrs_[to]->insert(frag, evicted)) {
         ++stats_.placementFailures;
         destroy(frag, from, EvictReason::Capacity, now);
         return;
     }
     where_.set(frag.id, to);
+    setFastSlot(frag.id, to);
     ++stats_.promotions;
     stats_.promotedBytes += frag.sizeBytes;
     ++tierStats_[from].promotionsOut;
@@ -297,8 +362,10 @@ TierPipeline::destroy(const Fragment &frag, TierId tier,
     if (multiTier_) {
         where_.erase(frag.id);
     }
+    clearFastSlot(frag.id);
     ++stats_.deletions;
     stats_.deletedBytes += frag.sizeBytes;
+    usedBytes_ -= frag.sizeBytes;
     ++tierStats_[tier].deletions;
     if (listener_ != nullptr) {
         listener_->onEvict(frag, labels_[tier], reason, now);
@@ -308,25 +375,21 @@ TierPipeline::destroy(const Fragment &frag, TierId tier,
 void
 TierPipeline::invalidateModule(ModuleId module, TimeUs now)
 {
+    std::vector<Fragment> removed;
     for (std::size_t tier = 0; tier < tiers_.size(); ++tier) {
-        LocalCache &cache = *tiers_[tier];
-        std::vector<TraceId> victims;
-        cache.forEach([&](const Fragment &frag) {
-            if (frag.module == module) {
-                victims.push_back(frag.id);
-            }
-        });
-        for (TraceId id : victims) {
-            Fragment removed;
-            cache.remove(id, &removed);
+        removed.clear();
+        tiers_[tier]->removeModule(module, removed);
+        for (Fragment &frag : removed) {
             if (multiTier_) {
-                where_.erase(id);
+                where_.erase(frag.id);
             }
+            syncFastSlot(frag);
             ++stats_.unmapDeletions;
-            stats_.unmapDeletedBytes += removed.sizeBytes;
+            stats_.unmapDeletedBytes += frag.sizeBytes;
+            usedBytes_ -= frag.sizeBytes;
             ++tierStats_[tier].deletions;
             if (listener_ != nullptr) {
-                listener_->onEvict(removed, labels_[tier],
+                listener_->onEvict(frag, labels_[tier],
                                    EvictReason::Unmap, now);
             }
         }
@@ -379,11 +442,9 @@ TierPipeline::totalCapacity() const
 std::uint64_t
 TierPipeline::usedBytes() const
 {
-    std::uint64_t used = 0;
-    for (const auto &tier : tiers_) {
-        used += tier->usedBytes();
-    }
-    return used;
+    // Maintained incrementally (+insert, -destroy/-unmap; promotions
+    // net zero) so replay peak tracking is O(1) per observation.
+    return usedBytes_;
 }
 
 std::size_t
@@ -405,6 +466,37 @@ TierPipeline::tierOf(TraceId id) const
 void
 TierPipeline::validate() const
 {
+    std::uint64_t summed = 0;
+    for (const auto &tier : tiers_) {
+        summed += tier->usedBytes();
+    }
+    if (summed != usedBytes_) {
+        GENCACHE_PANIC("incremental usedBytes {} but tiers hold {}",
+                       usedBytes_, summed);
+    }
+    if (!hot_.empty()) {
+        std::size_t occupied = 0;
+        for (const HotSlot &slot : hot_) {
+            occupied += slot.tierPlusOne != 0 ? 1 : 0;
+        }
+        std::size_t resident = 0;
+        for (std::size_t tier = 0; tier < tiers_.size(); ++tier) {
+            resident += tiers_[tier]->fragmentCount();
+            tiers_[tier]->forEach([&](const Fragment &frag) {
+                if (frag.id >= hot_.size() ||
+                    hot_[frag.id].tierPlusOne != tier + 1) {
+                    GENCACHE_PANIC(
+                        "fast-replay slot disagrees with residency "
+                        "for trace {} in {}", frag.id,
+                        generationName(labels_[tier]));
+                }
+            });
+        }
+        if (occupied != resident) {
+            GENCACHE_PANIC("fast-replay sidecar tracks {} traces but "
+                           "caches hold {}", occupied, resident);
+        }
+    }
     if (!multiTier_) {
         if (where_.size() != 0) {
             GENCACHE_PANIC("single-tier pipeline carries a residency "

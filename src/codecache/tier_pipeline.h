@@ -249,16 +249,19 @@ class TierPipeline : public CacheManager
   public:
     explicit TierPipeline(TierPipelineInit init);
 
+    // The hot entry points are final: the adapters below never
+    // override them, and sealing lets the batched-replay fast path
+    // devirtualize once it knows it holds a TierPipeline.
     std::string name() const override { return name_; }
-    bool lookup(TraceId id, TimeUs now) override;
+    bool lookup(TraceId id, TimeUs now) final;
     bool insert(TraceId id, std::uint32_t size_bytes, ModuleId module,
-                TimeUs now) override;
-    void invalidateModule(ModuleId module, TimeUs now) override;
-    bool setPinned(TraceId id, bool pinned) override;
-    bool contains(TraceId id) const override;
-    std::uint64_t totalCapacity() const override;
-    std::uint64_t usedBytes() const override;
-    void prepareDenseIds(std::uint64_t id_bound) override;
+                TimeUs now) final;
+    void invalidateModule(ModuleId module, TimeUs now) final;
+    bool setPinned(TraceId id, bool pinned) final;
+    bool contains(TraceId id) const final;
+    std::uint64_t totalCapacity() const final;
+    std::uint64_t usedBytes() const final;
+    void prepareDenseIds(std::uint64_t id_bound) final;
 
     // --- introspection (analysis passes, tests, tools) ---
 
@@ -298,6 +301,84 @@ class TierPipeline : public CacheManager
      *  local caches must agree. Panics on violation. */
     void validate() const;
 
+    // --- dense fast-replay hit path (sim::BatchedReplay) ---
+    //
+    // A replay hit normally costs two index probes (residency map +
+    // local-cache find), a fragment-line read-modify-write, and up to
+    // three virtual calls. When every tier's local policy ignores
+    // touches, every hit-observing edge is a plain non-eager
+    // ThresholdPolicy (a bare counter bump), and the listener declines
+    // hit/miss events, all a hit *observably* does is increment one
+    // counter — so the pipeline can keep a dense per-trace sidecar of
+    // {pending counter delta, tier + 1} slots and serve the hit from a
+    // single cache line with no virtual dispatch. Deltas are folded
+    // back into the authoritative Fragment::accessCount at every
+    // residency transition (eviction, promotion, unmap) — i.e. before
+    // any policy or listener can read the count — and in bulk by
+    // flushFastCounts() before external inspection, so every decision
+    // and every end state is bit-identical to the slow path.
+
+    /** One sidecar slot: pending accessCount delta plus residency
+     *  (0 = absent, else tier + 1). Sized to one aligned 8-byte load
+     *  so a fast hit touches a single cache line. */
+    struct HotSlot
+    {
+        std::uint32_t delta = 0;
+        std::uint8_t tierPlusOne = 0;
+    };
+
+    /**
+     * Enable the fast path for dense ids in [0, @p id_bound).
+     * Requires an empty pipeline. @return false (leaving the pipeline
+     * untouched) when the configuration is ineligible: a
+     * touch-observing local policy (LRU/RRIP), an eager or
+     * temperature edge, or a listener that wants hit/miss events.
+     */
+    bool enableFastReplay(std::uint64_t id_bound);
+
+    bool fastReplayEnabled() const { return !hot_.empty(); }
+
+    /** Fast hit probe: @return 0 when @p id is absent (caller runs
+     *  the regular miss path), else the residency tier + 1. Counts
+     *  the hit for the tier's out-edge threshold when it observes
+     *  hits. Only legal after enableFastReplay() returned true. */
+    std::uint8_t fastProbe(TraceId id)
+    {
+        HotSlot &slot = hot_[id];
+        const std::uint8_t t1 = slot.tierPlusOne;
+        if ((countMask_ >> t1 & 1u) != 0) {
+            ++slot.delta;
+        }
+        return t1;
+    }
+
+    /** Prefetch the sidecar slot of @p id. The sidecar of a large
+     *  log outgrows L1/L2, so a replay kernel that knows upcoming
+     *  dense ids can hide the probe's cache miss by prefetching a
+     *  few events ahead. Only legal after enableFastReplay(). */
+    void fastPrefetch(TraceId id) const
+    {
+        __builtin_prefetch(hot_.data() + id);
+    }
+
+    /** Fold a chunk's worth of fast-path lookups into the manager
+     *  stats (@p tier_hits holds per-tier hit tallies). */
+    void noteFastLookups(std::uint64_t lookups, std::uint64_t misses,
+                         const std::uint64_t *tier_hits)
+    {
+        stats_.lookups += lookups;
+        stats_.hits += lookups - misses;
+        stats_.misses += misses;
+        for (std::size_t i = 0; i < tiers_.size(); ++i) {
+            tierStats_[i].hits += tier_hits[i];
+        }
+    }
+
+    /** Fold every pending fast-path counter delta into its resident
+     *  Fragment. Call before any external fragment inspection (end of
+     *  replay, checkpoint hooks). */
+    void flushFastCounts();
+
   private:
     bool hasEdgeOut(TierId tier) const
     {
@@ -315,6 +396,35 @@ class TierPipeline : public CacheManager
     /** Destroy @p frag (it left the pipeline). */
     void destroy(const Fragment &frag, TierId tier, EvictReason reason,
                  TimeUs now);
+
+    // Sidecar maintenance (no-ops while the fast path is disabled).
+    // Every copy that leaves a local cache must pull its pending
+    // delta before any policy or listener reads its access count.
+
+    void syncFastSlot(Fragment &frag)
+    {
+        if (hot_.empty()) {
+            return;
+        }
+        HotSlot &slot = hot_[frag.id];
+        frag.accessCount += slot.delta;
+        slot = HotSlot{};
+    }
+
+    void setFastSlot(TraceId id, TierId tier)
+    {
+        if (!hot_.empty()) {
+            hot_[id] =
+                HotSlot{0, static_cast<std::uint8_t>(tier + 1)};
+        }
+    }
+
+    void clearFastSlot(TraceId id)
+    {
+        if (!hot_.empty()) {
+            hot_[id] = HotSlot{};
+        }
+    }
 
     std::string name_;
     std::vector<TierSpec> specs_;
@@ -336,6 +446,20 @@ class TierPipeline : public CacheManager
     std::uint8_t hitObserverMask_ = 0;
     std::uint8_t entryTrackerMask_ = 0;
     bool multiTier_ = false;
+    std::uint64_t usedBytes_ = 0; ///< incremental sum of tier usage
+
+    // Fast-replay sidecar (empty unless enableFastReplay() accepted).
+    // countMask_ is indexed by tierPlusOne (bit 0 never set) so the
+    // probe shifts by the slot byte directly.
+    std::vector<HotSlot> hot_;
+    std::uint16_t countMask_ = 0;
+
+    // Per-depth eviction scratch, reused across inserts so the hot
+    // insert/cascade path allocates nothing after warm-up. insert()
+    // owns slot 0 and advance(from, ...) owns slot from + 1, so the
+    // cascade recursion (strictly increasing tier) never aliases a
+    // vector that an outer frame is still iterating.
+    std::array<std::vector<Fragment>, kMaxTiers> evictScratch_;
 };
 
 /** Label of tier @p tier in a pipeline of @p tier_count tiers:

@@ -99,7 +99,9 @@ class OverheadAccount : public cache::CacheEventListener
 {
   public:
     explicit OverheadAccount(CostModel model = CostModel{})
-        : model_(model)
+        : cache::CacheEventListener(/*wants_hits=*/false,
+                                    /*wants_misses=*/false),
+          model_(model)
     {
     }
 

@@ -1,5 +1,8 @@
 #include "sim/batched_replay.h"
 
+#include <algorithm>
+
+#include "codecache/tier_pipeline.h"
 #include "support/logging.h"
 
 namespace gencache::sim {
@@ -9,12 +12,15 @@ BatchedReplay::BatchedReplay(const tracelog::CompiledLog &log)
 {
 }
 
+BatchedReplay::~BatchedReplay() = default;
+
 std::size_t
 BatchedReplay::addLane(cache::CacheManager &manager,
                        cost::CostModel model)
 {
     Lane lane;
     lane.manager = &manager;
+    lane.pipeline = dynamic_cast<cache::TierPipeline *>(&manager);
     lane.account = std::make_unique<cost::OverheadAccount>(model);
     manager.setListener(lane.account.get());
     lane.result.benchmark = log_.benchmark();
@@ -30,6 +36,30 @@ BatchedReplay::run()
         lane.manager->prepareDenseIds(log_.traceCount());
     }
 
+    if (kernel_ == ReplayKernel::Reference) {
+        runReference();
+    } else {
+        runBlocked();
+    }
+
+    std::vector<SimResult> results;
+    results.reserve(lanes_.size());
+    for (Lane &lane : lanes_) {
+        if (checkpointHook_) {
+            checkpointHook_(*lane.manager, log_.duration());
+        }
+        lane.result.managerStats = lane.manager->stats();
+        lane.result.overhead = lane.tableAccount != nullptr
+                                   ? lane.tableAccount->breakdown()
+                                   : lane.account->breakdown();
+        results.push_back(lane.result);
+    }
+    return results;
+}
+
+void
+BatchedReplay::runReference()
+{
     std::vector<std::uint8_t> pinnedWanted(log_.traceCount(), 0);
 
     const std::vector<tracelog::EventType> &types = log_.types();
@@ -108,18 +138,264 @@ BatchedReplay::run()
             break;
         }
     }
+}
 
-    std::vector<SimResult> results;
-    results.reserve(lanes_.size());
-    for (Lane &lane : lanes_) {
-        if (checkpointHook_) {
-            checkpointHook_(*lane.manager, log_.duration());
+template <typename ManagerT>
+void
+BatchedReplay::runChunk(Lane &lane, ManagerT &manager,
+                        const tracelog::CompiledLog::Chunk &chunk)
+{
+    const TimeUs *times = log_.times().data();
+    const tracelog::DenseTraceId *traces = log_.traces().data();
+    const std::uint8_t *execPinned = log_.execPinned().data();
+    SimResult &result = lane.result;
+
+    auto note_peak = [&] {
+        std::uint64_t used = manager.usedBytes();
+        if (used > result.peakBytes) {
+            result.peakBytes = used;
         }
-        lane.result.managerStats = lane.manager->stats();
-        lane.result.overhead = lane.account->breakdown();
-        results.push_back(lane.result);
+    };
+    auto miss_service = [&](std::size_t i,
+                            tracelog::DenseTraceId dense,
+                            TimeUs now) {
+        if (manager.insert(dense, log_.traceSize(dense),
+                           log_.traceModule(dense), now)) {
+            ++result.regenerations;
+            if (execPinned[i] != 0) {
+                manager.setPinned(dense, true);
+            }
+        }
+        note_peak();
+    };
+
+    const std::size_t first = chunk.first;
+    const std::size_t end = first + chunk.count;
+
+    if (chunk.barrier) {
+        // Singleton module event: a global phase boundary.
+        const TimeUs now = times[first];
+        if (log_.types()[first] ==
+            tracelog::EventType::ModuleUnload) {
+            manager.invalidateModule(log_.modules()[first], now);
+        }
+        if (checkpointHook_) {
+            checkpointHook_(*lane.manager, now);
+        }
+        return;
     }
-    return results;
+
+    if (chunk.pureExec()) {
+        // The dominant chunk class: no event-type dispatch at all,
+        // and the lookup counters are tallied once per chunk.
+        std::uint64_t misses = 0;
+        for (std::size_t i = first; i < end; ++i) {
+            const tracelog::DenseTraceId dense = traces[i];
+            const TimeUs now = times[i];
+            if (!manager.lookup(dense, now)) [[unlikely]] {
+                ++misses;
+                miss_service(i, dense, now);
+            }
+        }
+        result.lookups += chunk.count;
+        result.hits += chunk.count - misses;
+        result.misses += misses;
+        return;
+    }
+
+    const tracelog::EventType *types = log_.types().data();
+    const std::uint32_t *sizes = log_.sizes().data();
+    const cache::ModuleId *modules = log_.modules().data();
+    for (std::size_t i = first; i < end; ++i) {
+        const TimeUs now = times[i];
+        const tracelog::DenseTraceId dense = traces[i];
+        switch (types[i]) {
+          case tracelog::EventType::TraceCreate:
+            ++result.createdTraces;
+            result.createdBytes += sizes[i];
+            manager.insert(dense, sizes[i], modules[i], now);
+            note_peak();
+            break;
+          case tracelog::EventType::TraceExec:
+            ++result.lookups;
+            if (manager.lookup(dense, now)) {
+                ++result.hits;
+            } else {
+                ++result.misses;
+                miss_service(i, dense, now);
+            }
+            break;
+          case tracelog::EventType::Pin:
+            manager.setPinned(dense, true);
+            break;
+          case tracelog::EventType::Unpin:
+            manager.setPinned(dense, false);
+            break;
+          case tracelog::EventType::ModuleLoad:
+          case tracelog::EventType::ModuleUnload:
+            GENCACHE_PANIC("module event outside a barrier chunk");
+        }
+    }
+}
+
+void
+BatchedReplay::runChunkFast(Lane &lane,
+                            cache::TierPipeline &pipeline,
+                            const tracelog::CompiledLog::Chunk &chunk)
+{
+    if (chunk.barrier) {
+        if (checkpointHook_) {
+            // The hook may inspect fragments; fold the pending hit
+            // counters in before the phase boundary runs. (Module
+            // invalidation itself syncs each removed fragment, so
+            // without a hook no flush is needed.)
+            pipeline.flushFastCounts();
+        }
+        runChunk(lane, pipeline, chunk);
+        return;
+    }
+
+    const TimeUs *times = log_.times().data();
+    const tracelog::DenseTraceId *traces = log_.traces().data();
+    const std::uint8_t *execPinned = log_.execPinned().data();
+    SimResult &result = lane.result;
+
+    std::uint64_t tierHits[cache::kMaxTiers] = {};
+    std::uint64_t lookups = 0;
+    std::uint64_t misses = 0;
+    const std::size_t end = chunk.first + chunk.count;
+
+    auto note_peak = [&] {
+        std::uint64_t used = pipeline.usedBytes();
+        if (used > result.peakBytes) {
+            result.peakBytes = used;
+        }
+    };
+    auto fast_exec = [&](std::size_t i,
+                         tracelog::DenseTraceId dense) {
+        const std::uint8_t tierPlusOne = pipeline.fastProbe(dense);
+        if (tierPlusOne == 0) [[unlikely]] {
+            ++misses;
+            const TimeUs now = times[i];
+            if (pipeline.insert(dense, log_.traceSize(dense),
+                                log_.traceModule(dense), now)) {
+                ++result.regenerations;
+                if (execPinned[i] != 0) {
+                    pipeline.setPinned(dense, true);
+                }
+            }
+            note_peak();
+        } else {
+            ++tierHits[tierPlusOne - 1];
+        }
+    };
+
+    // The sidecar of a big log spans megabytes, so the probe's slot
+    // load usually misses L2; prefetching a fixed distance down the
+    // dense-id column hides that latency behind the loop.
+    constexpr std::size_t kProbeAhead = 16;
+    const std::size_t fetchEnd = end - std::min<std::size_t>(
+                                           end - chunk.first,
+                                           kProbeAhead);
+
+    if (chunk.pureExec()) {
+        for (std::size_t i = chunk.first; i < end; ++i) {
+            if (i < fetchEnd) {
+                pipeline.fastPrefetch(traces[i + kProbeAhead]);
+            }
+            fast_exec(i, traces[i]);
+        }
+        lookups = chunk.count;
+    } else {
+        // Mixed chunk: keep the event switch but serve the exec
+        // events (the bulk even here) from the sidecar.
+        const tracelog::EventType *types = log_.types().data();
+        const std::uint32_t *sizes = log_.sizes().data();
+        const cache::ModuleId *modules = log_.modules().data();
+        for (std::size_t i = chunk.first; i < end; ++i) {
+            const tracelog::DenseTraceId dense = traces[i];
+            if (i < fetchEnd) {
+                pipeline.fastPrefetch(traces[i + kProbeAhead]);
+            }
+            switch (types[i]) {
+              case tracelog::EventType::TraceCreate:
+                ++result.createdTraces;
+                result.createdBytes += sizes[i];
+                pipeline.insert(dense, sizes[i], modules[i],
+                                times[i]);
+                note_peak();
+                break;
+              case tracelog::EventType::TraceExec:
+                ++lookups;
+                fast_exec(i, dense);
+                break;
+              case tracelog::EventType::Pin:
+                pipeline.setPinned(dense, true);
+                break;
+              case tracelog::EventType::Unpin:
+                pipeline.setPinned(dense, false);
+                break;
+              case tracelog::EventType::ModuleLoad:
+              case tracelog::EventType::ModuleUnload:
+                GENCACHE_PANIC("module event outside a barrier "
+                               "chunk");
+            }
+        }
+    }
+    pipeline.noteFastLookups(lookups, misses, tierHits);
+    result.lookups += lookups;
+    result.hits += lookups - misses;
+    result.misses += misses;
+}
+
+void
+BatchedReplay::runBlocked()
+{
+    // Table-driven cost accounting replaces the live formulas.
+    const CostTables *tables = sharedTables_;
+    if (tables == nullptr) {
+        ownedTables_.emplace(
+            CostTables::build(log_, cost::CostModel{}));
+        tables = &*ownedTables_;
+    }
+    for (Lane &lane : lanes_) {
+        lane.tableAccount =
+            std::make_unique<TableOverheadListener>(*tables);
+        lane.manager->setListener(lane.tableAccount.get());
+        lane.fast =
+            lane.pipeline != nullptr &&
+            lane.pipeline->enableFastReplay(log_.traceCount());
+    }
+
+    const std::vector<tracelog::CompiledLog::Chunk> &chunks =
+        log_.chunks();
+    const std::size_t laneCount = lanes_.size();
+    for (std::size_t blockFirst = 0; blockFirst < laneCount;
+         blockFirst += kLaneBlock) {
+        const std::size_t blockEnd =
+            std::min(laneCount, blockFirst + kLaneBlock);
+        for (const tracelog::CompiledLog::Chunk &chunk : chunks) {
+            for (std::size_t l = blockFirst; l < blockEnd; ++l) {
+                Lane &lane = lanes_[l];
+                if (lane.fast) {
+                    runChunkFast(lane, *lane.pipeline, chunk);
+                } else if (lane.pipeline != nullptr) {
+                    runChunk(lane, *lane.pipeline, chunk);
+                } else {
+                    runChunk(lane, *lane.manager, chunk);
+                }
+            }
+        }
+    }
+
+    // End states are inspected by callers (stats snapshots, gencheck
+    // passes, identity tests): fold every pending counter back into
+    // its fragment.
+    for (Lane &lane : lanes_) {
+        if (lane.fast) {
+            lane.pipeline->flushFastCounts();
+        }
+    }
 }
 
 } // namespace gencache::sim

@@ -6,17 +6,41 @@
  * managers (e.g. the four promotion thresholds of one sweep point).
  * Running K independent CacheSimulators costs O(K * events) of log
  * decode and event dispatch. BatchedReplay streams a CompiledLog
- * once and advances every registered lane per event, paying the
- * decode/dispatch cost once: O(events + K * manager work).
+ * once and advances every registered lane, paying the decode and
+ * dispatch cost once: O(events + K * manager work).
  *
- * Each lane owns its manager, its OverheadAccount (installed as the
- * manager's listener), and its SimResult. Pin/unpin bookkeeping
- * (pinnedWanted) is shared across lanes: it depends only on the log
- * position, never on manager state, so one copy serves all lanes.
+ * Two kernels share the lane bookkeeping:
  *
- * Results are bit-identical to running CacheSimulator::run per lane:
- * the per-lane event handling is the same code path, only the event
- * decode is hoisted out of the lane loop.
+ *  - ReplayKernel::Reference is the original per-event outer loop
+ *    (event decoded once, inner loop over lanes), with live
+ *    OverheadAccount cost pricing. It is the baseline the blocked
+ *    kernel is benchmarked against and validated to match.
+ *  - ReplayKernel::Blocked (the default) iterates the CompiledLog's
+ *    cache-sized chunks, sweeping a block of kLaneBlock lanes per
+ *    chunk so the event columns stay hot in cache across lanes.
+ *    Per-event branches are hoisted: pure-exec chunks (the vast
+ *    majority) run a switch-free inner loop with the lookup counters
+ *    tallied per chunk, pin intent comes from the precomputed
+ *    execPinned() column instead of shared mutable state, and Table 2
+ *    costs come from precomputed per-trace CostTables instead of
+ *    per-event pow()/llround() evaluations. Lanes whose manager is a
+ *    cache::TierPipeline (all catalog topologies and both legacy
+ *    adapters) run through a statically typed fast path whose hot
+ *    calls devirtualize against the pipeline's final methods.
+ *
+ * Results are bit-identical between the kernels and to running
+ * CacheSimulator::run per lane: per-lane event order is preserved
+ * (lanes are independent, so reordering chunk x lane changes nothing a
+ * lane can observe), the cost tables hold the exact values the live
+ * formulas produce, and execPinned() is the pin state the shared
+ * pinnedWanted vector would have held at each event. The only visible
+ * difference is checkpoint-hook interleaving across lanes: the blocked
+ * kernel finishes one lane block's hooks before the next block starts,
+ * while the reference kernel interleaves all lanes per event. Per-lane
+ * hook order — all any hook inspects — is identical.
+ *
+ * Each lane owns its manager, its cost accounting (installed as the
+ * manager's listener), and its SimResult.
  */
 
 #ifndef GENCACHE_SIM_BATCHED_REPLAY_H
@@ -24,23 +48,42 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
+#include "sim/cost_tables.h"
 #include "sim/simulator.h"
 #include "tracelog/compiled_log.h"
 
+namespace gencache::cache {
+class TierPipeline;
+} // namespace gencache::cache
+
 namespace gencache::sim {
+
+/** Which replay inner loop run() executes. */
+enum class ReplayKernel : std::uint8_t {
+    Reference, ///< per-event outer loop, live cost formulas
+    Blocked,   ///< chunk x lane-block loop, precomputed cost tables
+};
 
 /** Replays one compiled log against K cache managers in one pass. */
 class BatchedReplay
 {
   public:
+    /** Lanes per block of the blocked kernel: small enough that the
+     *  block's manager state stays cache-resident across one chunk,
+     *  large enough to amortize streaming the chunk columns. */
+    static constexpr std::size_t kLaneBlock = 8;
+
     /** @param log compiled log to stream; must outlive the replay. */
     explicit BatchedReplay(const tracelog::CompiledLog &log);
 
+    ~BatchedReplay();
+
     /**
      * Register @p manager as a replay lane and return its lane index.
-     * The replay installs a per-lane OverheadAccount (built from
+     * The replay installs per-lane cost accounting (built from
      * @p model) as the manager's event listener. Managers must be
      * freshly constructed: run() switches their residency indexes to
      * dense storage via prepareDenseIds().
@@ -59,9 +102,24 @@ class BatchedReplay
         checkpointHook_ = std::move(hook);
     }
 
+    /** Select the replay kernel (default: Blocked). */
+    void setKernel(ReplayKernel kernel) { kernel_ = kernel; }
+
     /**
-     * Stream the log once, advancing all lanes per event. Returns one
-     * SimResult per lane, in addLane() order. Call at most once.
+     * Share precomputed cost tables (blocked kernel only). They must
+     * have been built from this replay's log with each lane's cost
+     * model — CostModel is stateless, so one table set serves all.
+     * Without this, run() builds a private set; sharing matters when
+     * many replays stream the same profile (sweeps, the tournament).
+     */
+    void setCostTables(const CostTables *tables)
+    {
+        sharedTables_ = tables;
+    }
+
+    /**
+     * Stream the log once, advancing all lanes. Returns one SimResult
+     * per lane, in addLane() order. Call at most once.
      */
     std::vector<SimResult> run();
 
@@ -69,12 +127,31 @@ class BatchedReplay
     struct Lane
     {
         cache::CacheManager *manager = nullptr;
+        cache::TierPipeline *pipeline = nullptr; ///< fast-path alias
+        bool fast = false; ///< pipeline accepted enableFastReplay()
         std::unique_ptr<cost::OverheadAccount> account;
+        std::unique_ptr<TableOverheadListener> tableAccount;
         SimResult result;
     };
 
+    void runReference();
+    void runBlocked();
+
+    template <typename ManagerT>
+    void runChunk(Lane &lane, ManagerT &manager,
+                  const tracelog::CompiledLog::Chunk &chunk);
+
+    /** Blocked-kernel chunk replay through the pipeline's dense
+     *  hit-slot sidecar (single cache line per hit, no virtual
+     *  dispatch); mixed and barrier chunks delegate to runChunk. */
+    void runChunkFast(Lane &lane, cache::TierPipeline &pipeline,
+                      const tracelog::CompiledLog::Chunk &chunk);
+
     const tracelog::CompiledLog &log_;
     std::vector<Lane> lanes_;
+    ReplayKernel kernel_ = ReplayKernel::Blocked;
+    const CostTables *sharedTables_ = nullptr;
+    std::optional<CostTables> ownedTables_;
     std::function<void(const cache::CacheManager &, TimeUs)>
         checkpointHook_;
 };

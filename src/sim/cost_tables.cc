@@ -1,0 +1,26 @@
+#include "sim/cost_tables.h"
+
+namespace gencache::sim {
+
+CostTables
+CostTables::build(const tracelog::CompiledLog &log,
+                  const cost::CostModel &model)
+{
+    CostTables tables;
+    const std::size_t count =
+        static_cast<std::size_t>(log.traceCount());
+    tables.generation.resize(count);
+    tables.eviction.resize(count);
+    tables.promotion.resize(count);
+    for (std::size_t id = 0; id < count; ++id) {
+        const std::uint32_t bytes =
+            log.traceSize(static_cast<tracelog::DenseTraceId>(id));
+        tables.generation[id] = model.traceGeneration(bytes);
+        tables.eviction[id] = model.eviction(bytes);
+        tables.promotion[id] = model.promotion(bytes);
+    }
+    tables.missSwitches = 2 * model.contextSwitch();
+    return tables;
+}
+
+} // namespace gencache::sim

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Precomputed per-trace overhead tables for replay hot loops.
+ *
+ * The Table 2 cost formulas include 865 * bytes^0.8 — a transcendental
+ * evaluated on every insert when OverheadAccount prices events live.
+ * In a compiled-log replay every fragment the manager ever sees is one
+ * of the log's traces, and the manager is driven with dense trace ids,
+ * so all three per-byte formulas collapse into flat arrays indexed by
+ * dense id, built once per CompiledLog and shared read-only across
+ * every lane and configuration (the tournament replays one profile's
+ * tables thousands of times).
+ *
+ * TableOverheadListener replays the exact accounting rules of
+ * cost::OverheadAccount against those tables: the per-event values are
+ * the same InstrCount results the formulas produce (the tables are
+ * filled by calling them), so replay results are bit-identical.
+ */
+
+#ifndef GENCACHE_SIM_COST_TABLES_H
+#define GENCACHE_SIM_COST_TABLES_H
+
+#include <vector>
+
+#include "codecache/cache_manager.h"
+#include "costmodel/cost_model.h"
+#include "tracelog/compiled_log.h"
+
+namespace gencache::sim {
+
+/** Table 2 formulas evaluated per dense trace id. */
+struct CostTables
+{
+    std::vector<InstrCount> generation; ///< traceGeneration(size)
+    std::vector<InstrCount> eviction;   ///< eviction(size)
+    std::vector<InstrCount> promotion;  ///< promotion(size) == copy
+    InstrCount missSwitches = 0;        ///< 2 * contextSwitch()
+
+    /** Evaluate @p model over every trace of @p log. */
+    static CostTables build(const tracelog::CompiledLog &log,
+                            const cost::CostModel &model);
+};
+
+/**
+ * Drop-in replacement for cost::OverheadAccount on compiled-log
+ * replays: identical accounting, table lookups instead of formula
+ * evaluations. Fragment ids must be dense ids of the CompiledLog the
+ * tables were built from.
+ */
+class TableOverheadListener : public cache::CacheEventListener
+{
+  public:
+    explicit TableOverheadListener(const CostTables &tables)
+        : cache::CacheEventListener(/*wants_hits=*/false,
+                                    /*wants_misses=*/false),
+          tables_(&tables)
+    {
+    }
+
+    void onInsert(const cache::Fragment &frag, cache::Generation gen,
+                  TimeUs now) override
+    {
+        (void)gen;
+        (void)now;
+        breakdown_.traceGeneration += tables_->generation[frag.id];
+        breakdown_.contextSwitches += tables_->missSwitches;
+        breakdown_.copies += tables_->promotion[frag.id];
+    }
+
+    void onEvict(const cache::Fragment &frag, cache::Generation gen,
+                 cache::EvictReason reason, TimeUs now) override
+    {
+        (void)gen;
+        (void)now;
+        if (cache::isDeletion(reason)) {
+            breakdown_.evictions += tables_->eviction[frag.id];
+        }
+    }
+
+    void onPromote(const cache::Fragment &frag, cache::Generation from,
+                   cache::Generation to, TimeUs now) override
+    {
+        (void)from;
+        (void)now;
+        // Persistent upgrades pay the full §5.4 relocation; other
+        // inter-tier moves are priced as link-update bookkeeping (see
+        // OverheadAccount::onPromote).
+        breakdown_.promotions += to == cache::Generation::Persistent
+                                     ? tables_->promotion[frag.id]
+                                     : tables_->eviction[frag.id];
+    }
+
+    const cost::OverheadBreakdown &breakdown() const
+    {
+        return breakdown_;
+    }
+
+  private:
+    const CostTables *tables_;
+    cost::OverheadBreakdown breakdown_;
+};
+
+} // namespace gencache::sim
+
+#endif // GENCACHE_SIM_COST_TABLES_H

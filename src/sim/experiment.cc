@@ -72,6 +72,16 @@ ExperimentRunner::compiled() const
     return *compiled_;
 }
 
+const CostTables &
+ExperimentRunner::costTables() const
+{
+    std::call_once(costTablesOnce_, [this]() {
+        costTables_ = std::make_unique<CostTables>(
+            CostTables::build(compiled(), cost::CostModel{}));
+    });
+    return *costTables_;
+}
+
 SimResult
 ExperimentRunner::runUnbounded() const
 {
@@ -131,12 +141,15 @@ ExperimentRunner::runGenerational(std::uint64_t total_bytes,
 std::vector<SimResult>
 ExperimentRunner::runGenerationalBatch(
     std::uint64_t total_bytes,
-    const std::vector<GenerationalLayout> &layouts) const
+    const std::vector<GenerationalLayout> &layouts,
+    ReplayKernel kernel) const
 {
     std::vector<std::unique_ptr<cache::GenerationalCacheManager>>
         managers;
     managers.reserve(layouts.size());
     BatchedReplay replay(compiled());
+    replay.setKernel(kernel);
+    replay.setCostTables(&costTables());
     for (const GenerationalLayout &layout : layouts) {
         managers.push_back(
             std::make_unique<cache::GenerationalCacheManager>(
@@ -165,11 +178,14 @@ ExperimentRunner::runTopology(std::uint64_t total_bytes,
 std::vector<SimResult>
 ExperimentRunner::runTopologyBatch(
     std::uint64_t total_bytes,
-    const std::vector<cache::TierTopology> &topologies) const
+    const std::vector<cache::TierTopology> &topologies,
+    ReplayKernel kernel) const
 {
     std::vector<std::unique_ptr<cache::TierPipeline>> managers;
     managers.reserve(topologies.size());
     BatchedReplay replay(compiled());
+    replay.setKernel(kernel);
+    replay.setCostTables(&costTables());
     for (const cache::TierTopology &topology : topologies) {
         managers.push_back(topology.build(total_bytes));
         replay.addLane(*managers.back());

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "codecache/generational_cache.h"
+#include "sim/batched_replay.h"
 #include "sim/simulator.h"
 #include "support/thread_pool.h"
 #include "tracelog/compiled_log.h"
@@ -102,6 +103,11 @@ class ExperimentRunner
      *  use, then shared read-only by every batched replay. */
     const tracelog::CompiledLog &compiled() const;
 
+    /** Table 2 cost formulas evaluated once per trace of compiled().
+     *  Built on first use, then shared read-only by every blocked
+     *  replay (and the tournament's thousands of configurations). */
+    const CostTables &costTables() const;
+
     /** Step 1: unbounded replay; returns peak occupancy. Memoized. */
     SimResult runUnbounded() const;
 
@@ -116,11 +122,13 @@ class ExperimentRunner
 
     /** Fast path: replay every layout in @p layouts (all splitting
      *  @p total_bytes) in ONE streaming pass over the compiled log
-     *  (sim::BatchedReplay). Returns one SimResult per layout, in
-     *  order, bit-identical to runGenerational on each. */
+     *  (sim::BatchedReplay, @p kernel selects the inner loop).
+     *  Returns one SimResult per layout, in order, bit-identical to
+     *  runGenerational on each. */
     std::vector<SimResult> runGenerationalBatch(
         std::uint64_t total_bytes,
-        const std::vector<GenerationalLayout> &layouts) const;
+        const std::vector<GenerationalLayout> &layouts,
+        ReplayKernel kernel = ReplayKernel::Blocked) const;
 
     /** Replay against an arbitrary tier topology splitting
      *  @p total_bytes (legacy per-event path). The result's manager
@@ -133,7 +141,8 @@ class ExperimentRunner
      *  log. Bit-identical to runTopology on each. */
     std::vector<SimResult> runTopologyBatch(
         std::uint64_t total_bytes,
-        const std::vector<cache::TierTopology> &topologies) const;
+        const std::vector<cache::TierTopology> &topologies,
+        ReplayKernel kernel = ReplayKernel::Blocked) const;
 
     /** The whole §6 pipeline with the given layouts. Per-layout runs
      *  fan out across @p pool when it has more than one worker; with
@@ -158,6 +167,9 @@ class ExperimentRunner
 
     mutable std::once_flag compiledOnce_;
     mutable std::unique_ptr<tracelog::CompiledLog> compiled_;
+
+    mutable std::once_flag costTablesOnce_;
+    mutable std::unique_ptr<CostTables> costTables_;
 };
 
 } // namespace gencache::sim

@@ -129,10 +129,14 @@ runSweep(const ExperimentRunner &runner,
         threads = ThreadPool::defaultThreadCount();
     }
 
-    if (engine == ReplayEngine::BatchedCompiled) {
+    if (engine != ReplayEngine::Legacy) {
         // One streaming pass per sweep point: the point's whole
         // threshold column advances lane-by-lane through a single
         // decode of the compiled log.
+        const ReplayKernel kernel =
+            engine == ReplayEngine::BatchedReference
+                ? ReplayKernel::Reference
+                : ReplayKernel::Blocked;
         const std::size_t row = thresholds.size();
         auto run_row = [&](std::size_t point_index) {
             std::vector<GenerationalLayout> row_layouts(
@@ -142,7 +146,7 @@ runSweep(const ExperimentRunner &runner,
                     static_cast<std::ptrdiff_t>((point_index + 1) *
                                                 row));
             std::vector<SimResult> sims = runner.runGenerationalBatch(
-                result.capacityBytes, row_layouts);
+                result.capacityBytes, row_layouts, kernel);
             std::vector<SweepCell> cells;
             cells.reserve(row);
             for (std::size_t i = 0; i < sims.size(); ++i) {

@@ -69,9 +69,14 @@ enum class ReplayEngine {
     /** One CacheSimulator pass over the AccessLog per cell. */
     Legacy,
     /** One BatchedReplay pass over the CompiledLog per sweep point,
-     *  advancing the whole threshold column at once. Cell results are
-     *  bit-identical to Legacy. */
+     *  advancing the whole threshold column at once with the blocked
+     *  (chunk x lane-block) kernel. Cell results are bit-identical to
+     *  Legacy. */
     BatchedCompiled,
+    /** The batched engine pinned to its per-event reference kernel
+     *  (the PR-3 loop) — the baseline the blocked kernel is
+     *  benchmarked against. Bit-identical results. */
+    BatchedReference,
 };
 
 /**

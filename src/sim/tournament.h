@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Thousand-configuration policy tournament.
+ *
+ * The sweeps of §6.1 explore one axis at a time (proportions, or
+ * thresholds, or topologies). The tournament crosses every axis the
+ * pipeline exposes — tier shape x local replacement policy x
+ * promotion policy x cache pressure — into a single configuration
+ * grid, replays every configuration against every benchmark profile,
+ * and reports the per-configuration mean miss rate and Table 2
+ * overhead ratio versus the paper's unified pseudo-circular baseline
+ * at the same pressure, plus the Pareto front of the
+ * (overhead, miss rate) plane.
+ *
+ * Each profile's log is generated and compiled exactly once
+ * (ExperimentRunner memoizes the CompiledLog and the CostTables);
+ * configurations are sharded into lane groups and replayed by the
+ * blocked BatchedReplay kernel, with (profile, shard) tasks fanned out
+ * across a ThreadPool. Results are deterministic: rows are keyed by
+ * the enumeration order of the config list, every reduction runs in
+ * fixed profile order, and the Pareto front is sorted by
+ * (overhead ratio, miss rate, config name) — the same bytes for the
+ * same inputs regardless of thread count or sharding.
+ */
+
+#ifndef GENCACHE_SIM_TOURNAMENT_H
+#define GENCACHE_SIM_TOURNAMENT_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "codecache/tier_pipeline.h"
+#include "workload/profile.h"
+
+namespace gencache::sim {
+
+/** One tournament entrant: a buildable topology at a pressure point. */
+struct TournamentConfig
+{
+    std::string name;          ///< unique deterministic key
+    std::string promotionLabel; ///< "thr5", "temp2-50ms", "none", ...
+    cache::TierTopology topology;
+    double capacityFactor = 0.5; ///< fraction of the unbounded peak
+};
+
+/** Aggregated (across profiles) results of one configuration. */
+struct TournamentRow
+{
+    std::string config;     ///< TournamentConfig::name
+    std::string topology;   ///< shape label ("3tier-45-10-45", ...)
+    std::string localPolicy;
+    std::string promotion;
+    std::size_t tierCount = 0;
+    double capacityFactor = 0.5;
+
+    double meanMissRate = 0.0;
+    double meanMissRateReductionPct = 0.0; ///< vs unified baseline
+    double meanOverheadRatioPct = 0.0;     ///< vs unified baseline
+};
+
+/** Tournament output: one row per configuration plus the front. */
+struct TournamentResult
+{
+    std::size_t profileCount = 0;
+    std::vector<TournamentRow> rows; ///< config enumeration order
+
+    /** Indices into rows of the non-dominated configurations of the
+     *  minimize-(meanOverheadRatioPct, meanMissRate) plane, sorted by
+     *  (overhead asc, miss rate asc, config name asc). */
+    std::vector<std::size_t> pareto;
+};
+
+/**
+ * The full default grid: 8 multi-tier shapes x 4 local policies
+ * (pseudo-circular, LRU, SRRIP, BRRIP) x 8 promotion variants
+ * (threshold ladder, eager thresholds, temperature points) x 4
+ * pressure points, plus the single-tier shapes (no promotion axis) —
+ * 1040 configurations.
+ */
+std::vector<TournamentConfig> defaultTournamentConfigs();
+
+/** A ~28-configuration subset for CI smoke runs and tests. */
+std::vector<TournamentConfig> smokeTournamentConfigs();
+
+/**
+ * Replay every configuration of @p configs against every profile of
+ * @p profiles and aggregate. @p threads sizes the ThreadPool (0 obeys
+ * GENCACHE_THREADS); @p shard_lanes is the number of configurations
+ * each replay task advances in one pass (sharding granularity only —
+ * results are identical for any value >= 1).
+ */
+TournamentResult runTournament(
+    const std::vector<workload::BenchmarkProfile> &profiles,
+    const std::vector<TournamentConfig> &configs,
+    std::size_t threads = 0, std::size_t shard_lanes = 32);
+
+} // namespace gencache::sim
+
+#endif // GENCACHE_SIM_TOURNAMENT_H

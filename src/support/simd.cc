@@ -1,0 +1,126 @@
+#include "support/simd.h"
+
+#if defined(GENCACHE_SIMD_AVX2)
+#include <immintrin.h>
+#endif
+
+namespace gencache::simd {
+
+namespace {
+
+std::uint8_t
+byteOccurrenceMaskScalar(const std::uint8_t *data, std::size_t n)
+{
+    std::uint8_t mask = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        mask |= static_cast<std::uint8_t>(1u << (data[i] & 7u));
+    }
+    return mask;
+}
+
+std::uint64_t
+byteEqMaskScalar(const std::uint8_t *data, std::size_t n,
+                 std::uint8_t value)
+{
+    std::uint64_t mask = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        mask |= static_cast<std::uint64_t>(data[i] == value) << i;
+    }
+    return mask;
+}
+
+#if defined(GENCACHE_SIMD_AVX2)
+
+__attribute__((target("avx2"))) std::uint8_t
+byteOccurrenceMaskAvx2(const std::uint8_t *data, std::size_t n)
+{
+    // Map each byte b (< 16) to 1 << (b & 7) with an in-register
+    // nibble LUT, then OR-reduce the whole stream.
+    const __m256i lut = _mm256_setr_epi8(
+        1, 2, 4, 8, 16, 32, 64, -128, 1, 2, 4, 8, 16, 32, 64, -128,
+        1, 2, 4, 8, 16, 32, 64, -128, 1, 2, 4, 8, 16, 32, 64, -128);
+    __m256i acc = _mm256_setzero_si256();
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(data + i));
+        acc = _mm256_or_si256(acc, _mm256_shuffle_epi8(lut, v));
+    }
+    __m128i half = _mm_or_si128(_mm256_castsi256_si128(acc),
+                                _mm256_extracti128_si256(acc, 1));
+    half = _mm_or_si128(half, _mm_srli_si128(half, 8));
+    std::uint64_t lanes =
+        static_cast<std::uint64_t>(_mm_cvtsi128_si64(half));
+    lanes |= lanes >> 32;
+    lanes |= lanes >> 16;
+    lanes |= lanes >> 8;
+    std::uint8_t mask = static_cast<std::uint8_t>(lanes);
+    return mask | byteOccurrenceMaskScalar(data + i, n - i);
+}
+
+__attribute__((target("avx2"))) std::uint64_t
+byteEqMaskAvx2(const std::uint8_t *data, std::size_t n,
+               std::uint8_t value)
+{
+    const __m256i needle =
+        _mm256_set1_epi8(static_cast<char>(value));
+    std::uint64_t mask = 0;
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(data + i));
+        std::uint32_t bits = static_cast<std::uint32_t>(
+            _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, needle)));
+        mask |= static_cast<std::uint64_t>(bits) << i;
+    }
+    if (i < n) {
+        mask |= byteEqMaskScalar(data + i, n - i, value) << i;
+    }
+    return mask;
+}
+
+bool
+haveAvx2()
+{
+    static const bool have = __builtin_cpu_supports("avx2") != 0;
+    return have;
+}
+
+#endif // GENCACHE_SIMD_AVX2
+
+} // namespace
+
+std::uint8_t
+byteOccurrenceMask(const std::uint8_t *data, std::size_t n)
+{
+#if defined(GENCACHE_SIMD_AVX2)
+    if (haveAvx2()) {
+        return byteOccurrenceMaskAvx2(data, n);
+    }
+#endif
+    return byteOccurrenceMaskScalar(data, n);
+}
+
+std::uint64_t
+byteEqMask(const std::uint8_t *data, std::size_t n,
+           std::uint8_t value)
+{
+#if defined(GENCACHE_SIMD_AVX2)
+    if (haveAvx2()) {
+        return byteEqMaskAvx2(data, n, value);
+    }
+#endif
+    return byteEqMaskScalar(data, n, value);
+}
+
+const char *
+activeSimdMode()
+{
+#if defined(GENCACHE_SIMD_AVX2)
+    return haveAvx2() ? "avx2" : "scalar";
+#else
+    return "scalar (simd disabled)";
+#endif
+}
+
+} // namespace gencache::simd

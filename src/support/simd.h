@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Runtime-dispatched SIMD helpers with mandatory scalar fallbacks.
+ *
+ * The replay hot paths only need a few data-parallel primitives; each
+ * one here has a portable scalar implementation and, when the build
+ * enables GENCACHE_SIMD and the CPU reports AVX2, an AVX2 kernel
+ * selected once at first use via __builtin_cpu_supports. Results are
+ * bit-identical between the two implementations — callers never see
+ * which one ran (except through activeSimdMode(), which benches embed
+ * in their run metadata).
+ *
+ * Building with -DGENCACHE_SIMD=OFF compiles the scalar paths only;
+ * no AVX2 instructions are emitted anywhere in the binary then.
+ */
+
+#ifndef GENCACHE_SUPPORT_SIMD_H
+#define GENCACHE_SUPPORT_SIMD_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gencache::simd {
+
+/**
+ * OR together (1u << data[i]) over @p n bytes. Byte values must be
+ * < 8 (event-type bytes are); the result is the occurrence bitmask
+ * used to classify replay chunks.
+ */
+std::uint8_t byteOccurrenceMask(const std::uint8_t *data,
+                                std::size_t n);
+
+/**
+ * @return the bit-position mask of bytes equal to @p value within
+ * data[0..n), n <= 64: bit i set iff data[i] == value. Used to find
+ * the rare non-exec events inside a mixed chunk.
+ */
+std::uint64_t byteEqMask(const std::uint8_t *data, std::size_t n,
+                         std::uint8_t value);
+
+/** Kernel set the dispatcher resolved to: "avx2", "scalar", or
+ *  "scalar (simd disabled)" when built with GENCACHE_SIMD=OFF. */
+const char *activeSimdMode();
+
+} // namespace gencache::simd
+
+#endif // GENCACHE_SUPPORT_SIMD_H

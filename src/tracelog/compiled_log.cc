@@ -1,8 +1,10 @@
 #include "tracelog/compiled_log.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "support/logging.h"
+#include "support/simd.h"
 
 namespace gencache::tracelog {
 
@@ -26,6 +28,7 @@ CompiledLog::compile(const AccessLog &log)
     std::unordered_map<cache::TraceId, DenseTraceId> remap;
     std::unordered_map<cache::ModuleId, std::size_t> moduleSlot;
     std::vector<bool> created;
+    std::vector<std::uint8_t> pinWanted;
 
     auto dense_of = [&](cache::TraceId id) {
         auto [it, fresh] = remap.emplace(
@@ -35,6 +38,7 @@ CompiledLog::compile(const AccessLog &log)
             out.traceSize_.push_back(0);
             out.traceModule_.push_back(cache::kNoModule);
             created.push_back(false);
+            pinWanted.push_back(0);
         }
         return it->second;
     };
@@ -52,6 +56,7 @@ CompiledLog::compile(const AccessLog &log)
                                event.trace);
             }
             created[dense] = true;
+            pinWanted[dense] = 0;
             out.traceSize_[dense] = event.sizeBytes;
             out.traceModule_[dense] = event.module;
             size_bytes = event.sizeBytes;
@@ -65,8 +70,12 @@ CompiledLog::compile(const AccessLog &log)
             }
             break;
           case EventType::Pin:
+            dense = dense_of(event.trace);
+            pinWanted[dense] = 1;
+            break;
           case EventType::Unpin:
             dense = dense_of(event.trace);
+            pinWanted[dense] = 0;
             break;
           case EventType::ModuleLoad:
           case EventType::ModuleUnload: {
@@ -94,9 +103,54 @@ CompiledLog::compile(const AccessLog &log)
         out.trace_.push_back(dense);
         out.size_.push_back(size_bytes);
         out.module_.push_back(module);
+        out.execPinned_.push_back(
+            event.type == EventType::TraceExec ? pinWanted[dense] : 0);
     }
 
+    out.buildChunks();
     return out;
+}
+
+void
+CompiledLog::buildChunks()
+{
+    const std::size_t count = type_.size();
+    const std::uint8_t *bytes =
+        reinterpret_cast<const std::uint8_t *>(type_.data());
+    auto isModuleEvent = [](EventType type) {
+        return type == EventType::ModuleLoad ||
+               type == EventType::ModuleUnload;
+    };
+
+    std::size_t i = 0;
+    while (i < count) {
+        if (isModuleEvent(type_[i])) {
+            Chunk barrier;
+            barrier.first = i;
+            barrier.count = 1;
+            barrier.typeMask = static_cast<std::uint8_t>(
+                1u << static_cast<unsigned>(type_[i]));
+            barrier.barrier = true;
+            chunks_.push_back(barrier);
+            ++i;
+            continue;
+        }
+        // Extend a trace-event chunk to kChunkEvents or the next
+        // module event, whichever comes first.
+        std::size_t end = i;
+        const std::size_t limit =
+            std::min(count, i + kChunkEvents);
+        while (end < limit && !isModuleEvent(type_[end])) {
+            ++end;
+        }
+        Chunk chunk;
+        chunk.first = i;
+        chunk.count = static_cast<std::uint32_t>(end - i);
+        chunk.typeMask =
+            simd::byteOccurrenceMask(bytes + i, end - i);
+        chunks_.push_back(chunk);
+        i = end;
+    }
 }
 
 } // namespace gencache::tracelog

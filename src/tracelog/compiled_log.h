@@ -54,6 +54,32 @@ class CompiledLog
         std::uint32_t unloads = 0;
     };
 
+    /** Events per non-barrier replay chunk (see chunks()). */
+    static constexpr std::size_t kChunkEvents = 1024;
+
+    /**
+     * One cache-sized slice of the event columns. Replay kernels sweep
+     * a block of lanes chunk by chunk, so the slice's columns stay in
+     * cache across lanes. Module events sit alone in `barrier` chunks:
+     * they are global phase boundaries (checkpoint hooks fire), so
+     * isolating them keeps every other chunk free of that branch.
+     */
+    struct Chunk
+    {
+        std::size_t first = 0;      ///< first event index
+        std::uint32_t count = 0;    ///< number of events
+        std::uint8_t typeMask = 0;  ///< OR of (1 << EventType) present
+        bool barrier = false;       ///< singleton module event
+
+        /** True when every event is TraceExec: the kernel can run the
+         *  switch-free exec-only inner loop. */
+        bool pureExec() const
+        {
+            return typeMask ==
+                   (1u << static_cast<unsigned>(EventType::TraceExec));
+        }
+    };
+
     /**
      * Compile @p log. Panics (like the legacy replay loop) when a
      * trace is created twice or executed before creation.
@@ -86,6 +112,23 @@ class CompiledLog
     {
         return module_;
     }
+
+    /**
+     * Pin intent per event: whether the event's trace is inside a
+     * pin/unpin window at this log position (1) or not (0). Replay
+     * consults this on miss regeneration; precomputing it here removes
+     * the only cross-lane mutable state from the replay kernels, since
+     * pin intent depends on log position alone, never on cache state.
+     */
+    const std::vector<std::uint8_t> &execPinned() const
+    {
+        return execPinned_;
+    }
+
+    /** The event stream cut into replay chunks: runs of at most
+     *  kChunkEvents trace events, with every module event isolated in
+     *  its own barrier chunk. Chunks tile the log exactly. */
+    const std::vector<Chunk> &chunks() const { return chunks_; }
 
     // --- per-trace side tables (indexed by dense id) ----------------
 
@@ -121,6 +164,9 @@ class CompiledLog
   private:
     CompiledLog() = default;
 
+    /** Cut the event columns into chunks_ (see chunks()). */
+    void buildChunks();
+
     std::string benchmark_;
     TimeUs duration_ = 0;
     std::uint64_t footprint_ = 0;
@@ -132,6 +178,8 @@ class CompiledLog
     std::vector<DenseTraceId> trace_;
     std::vector<std::uint32_t> size_;
     std::vector<cache::ModuleId> module_;
+    std::vector<std::uint8_t> execPinned_;
+    std::vector<Chunk> chunks_;
 
     std::vector<std::uint32_t> traceSize_;
     std::vector<cache::ModuleId> traceModule_;

@@ -103,6 +103,35 @@ readVarint(std::istream &in)
     fatal("binary gclog: varint longer than 64 bits");
 }
 
+/** Decode a +1-biased trace reference: 0 is reserved (it would
+ *  underflow to kInvalidTrace), so a corrupt stream fails loudly
+ *  instead of producing a sentinel trace id. */
+cache::TraceId
+readTraceRef(std::istream &in, std::uint64_t event_index)
+{
+    std::uint64_t raw = readVarint(in);
+    if (raw == 0) {
+        fatal("binary gclog: event {} has trace reference 0 "
+              "(corrupt stream)", event_index);
+    }
+    return raw - 1;
+}
+
+/** Decode a +1-biased module reference. The writer adds 1 in 32-bit
+ *  arithmetic (kNoModule wraps to 0, which is legal), so any varint
+ *  wider than 32 bits means the stream is corrupt, not merely
+ *  large. */
+cache::ModuleId
+readModuleRef(std::istream &in, std::uint64_t event_index)
+{
+    std::uint64_t raw = readVarint(in);
+    if (raw > 0xffffffffULL) {
+        fatal("binary gclog: event {} has bad module reference {} "
+              "(corrupt stream)", event_index, raw);
+    }
+    return static_cast<cache::ModuleId>(raw) - 1U;
+}
+
 void
 writeBinaryV2(const AccessLog &log, std::ostream &out)
 {
@@ -173,22 +202,25 @@ readBinaryV2(std::istream &in)
         event.time = prev + delta;
         prev = event.time;
         switch (event.type) {
-          case EventType::TraceCreate:
-            event.trace = readVarint(in) - 1;
-            event.sizeBytes =
-                static_cast<std::uint32_t>(readVarint(in));
-            event.module =
-                static_cast<cache::ModuleId>(readVarint(in)) - 1U;
+          case EventType::TraceCreate: {
+            event.trace = readTraceRef(in, i);
+            std::uint64_t size_bytes = readVarint(in);
+            if (size_bytes > 0xffffffffULL) {
+                fatal("binary gclog: event {} trace size {} exceeds "
+                      "32 bits (corrupt stream)", i, size_bytes);
+            }
+            event.sizeBytes = static_cast<std::uint32_t>(size_bytes);
+            event.module = readModuleRef(in, i);
             break;
+          }
           case EventType::TraceExec:
           case EventType::Pin:
           case EventType::Unpin:
-            event.trace = readVarint(in) - 1;
+            event.trace = readTraceRef(in, i);
             break;
           case EventType::ModuleLoad:
           case EventType::ModuleUnload:
-            event.module =
-                static_cast<cache::ModuleId>(readVarint(in)) - 1U;
+            event.module = readModuleRef(in, i);
             break;
         }
         log.append(event);
@@ -315,6 +347,10 @@ readBinary(std::istream &in)
     }
     AccessLog log;
     auto name_len = readLe<std::uint32_t>(in);
+    if (name_len > (1U << 20)) {
+        fatal("binary gclog: implausible benchmark name length {}",
+              name_len);
+    }
     std::string name(name_len, '\0');
     in.read(name.data(), name_len);
     if (!in) {

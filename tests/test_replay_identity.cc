@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "codecache/generational_cache.h"
 #include "codecache/unified_cache.h"
 #include "sim/batched_replay.h"
@@ -93,6 +95,56 @@ TEST(ReplayIdentity, BatchedMatchesLegacyOnAllWorkloads)
                             profile.name + " thr " +
                                 std::to_string(
                                     layouts[i].promotionThreshold));
+        }
+    }
+}
+
+// The blocked (chunk x lane-block, table-priced, SIMD-classified)
+// kernel against the per-event reference kernel: every profile, lane
+// counts straddling the lane-block size (1, a partial block, exactly
+// one block, one block plus a straggler). Every SimResult field —
+// counters, manager stats, and the overhead breakdown priced by the
+// precomputed cost tables — must be bit-identical.
+TEST(ReplayIdentity, BlockedKernelMatchesReferenceAcrossLaneCounts)
+{
+    const std::size_t block = sim::BatchedReplay::kLaneBlock;
+    const std::size_t laneCounts[] = {1, 3, block, block + 1};
+    const std::uint32_t thresholds[] = {1, 5, 10, 50};
+
+    for (const workload::BenchmarkProfile &profile :
+         workload::allProfiles()) {
+        sim::ExperimentRunner runner(profile);
+        // Cheap capacity proxy (both kernels see the same value, so
+        // the exact pressure point is immaterial here).
+        std::uint64_t capacity = std::max<std::uint64_t>(
+            4096, static_cast<std::uint64_t>(profile.finalCacheKb) *
+                      512);
+
+        for (std::size_t lanes : laneCounts) {
+            std::vector<sim::GenerationalLayout> layouts;
+            for (std::size_t i = 0; i < lanes; ++i) {
+                sim::GenerationalLayout layout;
+                layout.label = "45-10-45 thr " +
+                               std::to_string(thresholds[i % 4]);
+                layout.nurseryFrac = 0.45;
+                layout.probationFrac = 0.10;
+                layout.promotionThreshold = thresholds[i % 4];
+                layouts.push_back(std::move(layout));
+            }
+            std::vector<sim::SimResult> reference =
+                runner.runGenerationalBatch(
+                    capacity, layouts, sim::ReplayKernel::Reference);
+            std::vector<sim::SimResult> blocked =
+                runner.runGenerationalBatch(
+                    capacity, layouts, sim::ReplayKernel::Blocked);
+            ASSERT_EQ(reference.size(), lanes);
+            ASSERT_EQ(blocked.size(), lanes);
+            for (std::size_t i = 0; i < lanes; ++i) {
+                expectIdentical(reference[i], blocked[i],
+                                profile.name + " lanes " +
+                                    std::to_string(lanes) + " lane " +
+                                    std::to_string(i));
+            }
         }
     }
 }

@@ -8,9 +8,11 @@
 
 #include <cmath>
 #include <set>
+#include <vector>
 
 #include "support/format.h"
 #include "support/rng.h"
+#include "support/simd.h"
 #include "support/units.h"
 
 namespace gencache {
@@ -217,6 +219,52 @@ TEST(ZipfSampler, RankOneDominates)
     }
     EXPECT_GT(first, tail);
     EXPECT_GT(zipf.probability(1), zipf.probability(2));
+}
+
+TEST(Simd, ByteOccurrenceMaskMatchesScalarReference)
+{
+    // Exercise every length around the 32-byte vector width so both
+    // the SIMD body and the scalar tail are covered, whichever kernel
+    // the dispatcher picked.
+    Rng rng(99);
+    for (std::size_t n : {std::size_t{0}, std::size_t{1},
+                          std::size_t{31}, std::size_t{32},
+                          std::size_t{33}, std::size_t{64},
+                          std::size_t{1000}}) {
+        std::vector<std::uint8_t> data(n);
+        std::uint8_t expected = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            data[i] = static_cast<std::uint8_t>(static_cast<std::uint64_t>(rng.uniformInt(0, 5)));
+            expected |= static_cast<std::uint8_t>(1u << data[i]);
+        }
+        EXPECT_EQ(simd::byteOccurrenceMask(data.data(), n), expected)
+            << "n=" << n;
+    }
+}
+
+TEST(Simd, ByteEqMaskMatchesScalarReference)
+{
+    Rng rng(7);
+    for (std::size_t n : {std::size_t{0}, std::size_t{1},
+                          std::size_t{32}, std::size_t{33},
+                          std::size_t{64}}) {
+        std::vector<std::uint8_t> data(n);
+        std::uint64_t expected = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            data[i] = static_cast<std::uint8_t>(static_cast<std::uint64_t>(rng.uniformInt(0, 2)));
+            expected |=
+                static_cast<std::uint64_t>(data[i] == 1) << i;
+        }
+        EXPECT_EQ(simd::byteEqMask(data.data(), n, 1), expected)
+            << "n=" << n;
+    }
+}
+
+TEST(Simd, ActiveModeIsNamed)
+{
+    const std::string mode = simd::activeSimdMode();
+    EXPECT_TRUE(mode == "avx2" || mode == "scalar" ||
+                mode == "scalar (simd disabled)");
 }
 
 } // namespace

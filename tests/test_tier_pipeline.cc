@@ -27,6 +27,7 @@
 
 #include "analysis/checker.h"
 #include "codecache/generational_cache.h"
+#include "codecache/list_cache.h"
 #include "codecache/tier_pipeline.h"
 #include "codecache/unified_cache.h"
 #include "reference_managers.h"
@@ -669,6 +670,146 @@ TEST(Topology, ExactBudgetSplitAcrossTiers)
         EXPECT_EQ(sum, total);
     }
     EXPECT_EQ(cache::findTierTopology("no-such-topology"), nullptr);
+}
+
+cache::Fragment
+rripFrag(cache::TraceId id, std::uint32_t size)
+{
+    cache::Fragment frag;
+    frag.id = id;
+    frag.sizeBytes = size;
+    return frag;
+}
+
+TEST(RripCache, SrripEvictsDistantBeforeRecentlyTouched)
+{
+    cache::RripCache srrip(100, /*bimodal=*/false);
+    std::vector<cache::Fragment> evicted;
+    ASSERT_TRUE(srrip.insert(rripFrag(1, 50), evicted));
+    ASSERT_TRUE(srrip.insert(rripFrag(2, 50), evicted));
+    EXPECT_TRUE(evicted.empty());
+
+    // A hit predicts a near re-reference; the untouched fragment ages
+    // to distant first and is the victim despite being no older.
+    srrip.touch(1, 10);
+    ASSERT_TRUE(srrip.insert(rripFrag(3, 50), evicted));
+    ASSERT_EQ(evicted.size(), 1u);
+    EXPECT_EQ(evicted[0].id, 2u);
+    EXPECT_TRUE(srrip.contains(1));
+    EXPECT_TRUE(srrip.contains(3));
+}
+
+TEST(RripCache, SrripTieBreaksInInsertionOrder)
+{
+    cache::RripCache srrip(100, /*bimodal=*/false);
+    std::vector<cache::Fragment> evicted;
+    ASSERT_TRUE(srrip.insert(rripFrag(1, 50), evicted));
+    ASSERT_TRUE(srrip.insert(rripFrag(2, 50), evicted));
+    ASSERT_TRUE(srrip.insert(rripFrag(3, 100), evicted));
+    ASSERT_EQ(evicted.size(), 2u);
+    EXPECT_EQ(evicted[0].id, 1u);
+    EXPECT_EQ(evicted[1].id, 2u);
+}
+
+TEST(RripCache, SurvivorsAgeWhenAnInsertNeedsIt)
+{
+    cache::RripCache srrip(100, /*bimodal=*/false);
+    std::vector<cache::Fragment> evicted;
+    ASSERT_TRUE(srrip.insert(rripFrag(1, 50), evicted));
+    ASSERT_TRUE(srrip.insert(rripFrag(2, 50), evicted));
+    srrip.touch(1, 10); // rrpv 0
+    ASSERT_TRUE(srrip.insert(rripFrag(3, 50), evicted)); // ages once
+    const cache::Fragment *survivor = srrip.find(1);
+    ASSERT_NE(survivor, nullptr);
+    EXPECT_EQ(survivor->rrpv, 1); // 0 + one aging step
+}
+
+TEST(RripCache, BrripPredictsDistantExceptEveryPeriodthInsert)
+{
+    cache::RripCache brrip(1 << 20, /*bimodal=*/true);
+    std::vector<cache::Fragment> evicted;
+    for (cache::TraceId id = 0;
+         id < cache::RripCache::kBimodalPeriod + 1; ++id) {
+        ASSERT_TRUE(brrip.insert(rripFrag(id, 8), evicted));
+    }
+    // Inserts 0 and kBimodalPeriod predict long; all between predict
+    // distant — deterministic, no RNG.
+    EXPECT_EQ(brrip.find(0)->rrpv, cache::RripCache::kMaxRrpv - 1);
+    EXPECT_EQ(brrip.find(1)->rrpv, cache::RripCache::kMaxRrpv);
+    EXPECT_EQ(brrip.find(cache::RripCache::kBimodalPeriod - 1)->rrpv,
+              cache::RripCache::kMaxRrpv);
+    EXPECT_EQ(brrip.find(cache::RripCache::kBimodalPeriod)->rrpv,
+              cache::RripCache::kMaxRrpv - 1);
+}
+
+TEST(RripCache, FailedInsertLeavesResidencyAndPredictionsUnchanged)
+{
+    cache::RripCache srrip(100, /*bimodal=*/false);
+    std::vector<cache::Fragment> evicted;
+    ASSERT_TRUE(srrip.insert(rripFrag(1, 60), evicted));
+    srrip.touch(1, 5);
+    ASSERT_TRUE(srrip.setPinned(1, true));
+
+    // Oversized fragment: rejected outright.
+    EXPECT_FALSE(srrip.insert(rripFrag(2, 200), evicted));
+    // Pinned congestion: no evictable plan exists.
+    EXPECT_FALSE(srrip.insert(rripFrag(3, 60), evicted));
+
+    EXPECT_TRUE(evicted.empty());
+    EXPECT_EQ(srrip.stats().placementFailures, 2u);
+    ASSERT_TRUE(srrip.contains(1));
+    EXPECT_EQ(srrip.find(1)->rrpv, 0); // untouched by failed plans
+    EXPECT_FALSE(srrip.contains(2));
+    EXPECT_FALSE(srrip.contains(3));
+}
+
+TEST(RripCache, FactoryBuildsBothVariants)
+{
+    auto srrip = cache::makeLocalCache(cache::LocalPolicy::Srrip, 1024);
+    auto brrip = cache::makeLocalCache(cache::LocalPolicy::Brrip, 1024);
+    EXPECT_STREQ(srrip->policyName(), "srrip");
+    EXPECT_STREQ(brrip->policyName(), "brrip");
+    EXPECT_TRUE(srrip->observesTouch());
+    EXPECT_TRUE(brrip->observesTouch());
+    EXPECT_STREQ(cache::localPolicyName(cache::LocalPolicy::Srrip),
+                 "srrip");
+    EXPECT_STREQ(cache::localPolicyName(cache::LocalPolicy::Brrip),
+                 "brrip");
+}
+
+// Pipeline-level: RRIP-policied topologies replay cleanly and the
+// batched fast path stays bit-identical to the legacy per-event path.
+TEST(Topology, RripTopologiesBatchedMatchesLegacy)
+{
+    workload::BenchmarkProfile profile = workload::findProfile("gzip");
+    sim::ExperimentRunner runner(profile);
+    std::uint64_t capacity = profileCapacity(profile);
+
+    std::vector<cache::TierTopology> topologies;
+    for (cache::LocalPolicy policy :
+         {cache::LocalPolicy::Srrip, cache::LocalPolicy::Brrip}) {
+        cache::TierTopology topology;
+        topology.name = std::string("3tier-") +
+                        cache::localPolicyName(policy);
+        topology.fractions = {0.45, 0.10, 0.45};
+        topology.edges.resize(2);
+        topology.edges[0].rule =
+            cache::EdgeSpec::Rule::AlwaysPromote;
+        topology.edges[1].rule = cache::EdgeSpec::Rule::Threshold;
+        topology.edges[1].threshold = 2;
+        topology.policy = policy;
+        topologies.push_back(std::move(topology));
+    }
+
+    std::vector<sim::SimResult> batched =
+        runner.runTopologyBatch(capacity, topologies);
+    ASSERT_EQ(batched.size(), topologies.size());
+    for (std::size_t i = 0; i < topologies.size(); ++i) {
+        sim::SimResult legacy =
+            runner.runTopology(capacity, topologies[i]);
+        expectIdentical(legacy, batched[i], topologies[i].name);
+        EXPECT_GT(batched[i].lookups, 0u);
+    }
 }
 
 } // namespace

@@ -1,0 +1,162 @@
+// The policy tournament: configuration grid shape, determinism across
+// thread counts and shard sizes, baseline parity, and the Pareto
+// front contract (non-dominated, deterministically ordered).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/tournament.h"
+#include "workload/profile.h"
+
+namespace {
+
+using namespace gencache;
+
+std::vector<workload::BenchmarkProfile>
+smokeProfiles()
+{
+    // Two small profiles, shrunk further so the grid replays fast.
+    std::vector<workload::BenchmarkProfile> profiles = {
+        workload::findProfile("gzip"),
+        workload::findProfile("word"),
+    };
+    for (workload::BenchmarkProfile &profile : profiles) {
+        profile.finalCacheKb *= 0.1;
+        profile.durationSec *= 0.1;
+        if (profile.finalCacheKb < 16.0) {
+            profile.finalCacheKb = 16.0;
+        }
+        if (profile.durationSec < 0.25) {
+            profile.durationSec = 0.25;
+        }
+    }
+    return profiles;
+}
+
+void
+expectIdenticalResults(const sim::TournamentResult &a,
+                       const sim::TournamentResult &b,
+                       const std::string &what)
+{
+    ASSERT_EQ(a.rows.size(), b.rows.size()) << what;
+    for (std::size_t i = 0; i < a.rows.size(); ++i) {
+        EXPECT_EQ(a.rows[i].config, b.rows[i].config) << what;
+        EXPECT_EQ(a.rows[i].meanMissRate, b.rows[i].meanMissRate)
+            << what << " row " << a.rows[i].config;
+        EXPECT_EQ(a.rows[i].meanMissRateReductionPct,
+                  b.rows[i].meanMissRateReductionPct)
+            << what << " row " << a.rows[i].config;
+        EXPECT_EQ(a.rows[i].meanOverheadRatioPct,
+                  b.rows[i].meanOverheadRatioPct)
+            << what << " row " << a.rows[i].config;
+    }
+    ASSERT_EQ(a.pareto, b.pareto) << what;
+}
+
+TEST(Tournament, DefaultGridCrossesAtLeastAThousandConfigs)
+{
+    std::vector<sim::TournamentConfig> configs =
+        sim::defaultTournamentConfigs();
+    EXPECT_GE(configs.size(), 1000u);
+
+    // Names are unique (they key artifact rows) and every config is
+    // buildable at a nominal budget.
+    std::set<std::string> names;
+    for (const sim::TournamentConfig &config : configs) {
+        EXPECT_TRUE(names.insert(config.name).second)
+            << "duplicate config name " << config.name;
+        EXPECT_GT(config.capacityFactor, 0.0) << config.name;
+        ASSERT_FALSE(config.topology.fractions.empty())
+            << config.name;
+    }
+    // The paper's baseline must be an entrant at every pressure point
+    // so overhead ratios have an in-grid anchor.
+    EXPECT_TRUE(names.count("unified|pseudo-circular|none|c50"))
+        << "baseline config missing";
+}
+
+TEST(Tournament, ResultsIdenticalAcrossThreadsAndShards)
+{
+    std::vector<workload::BenchmarkProfile> profiles = smokeProfiles();
+    std::vector<sim::TournamentConfig> configs =
+        sim::smokeTournamentConfigs();
+
+    sim::TournamentResult serial =
+        sim::runTournament(profiles, configs, 1, configs.size());
+    sim::TournamentResult threaded =
+        sim::runTournament(profiles, configs, 4, 5);
+    sim::TournamentResult rerun =
+        sim::runTournament(profiles, configs, 2, 1);
+
+    expectIdenticalResults(serial, threaded, "threads=4 shard=5");
+    expectIdenticalResults(serial, rerun, "threads=2 shard=1");
+    EXPECT_EQ(serial.profileCount, profiles.size());
+    EXPECT_EQ(serial.rows.size(), configs.size());
+}
+
+TEST(Tournament, UnifiedBaselineSitsAtParity)
+{
+    std::vector<workload::BenchmarkProfile> profiles = smokeProfiles();
+    std::vector<sim::TournamentConfig> configs =
+        sim::smokeTournamentConfigs();
+    sim::TournamentResult result =
+        sim::runTournament(profiles, configs, 2);
+
+    // The unified pseudo-circular entrant IS the baseline the ratios
+    // are computed against, so its row must sit at exactly 100% with
+    // zero miss-rate reduction, at every pressure point.
+    std::size_t found = 0;
+    for (const sim::TournamentRow &row : result.rows) {
+        if (row.topology == "unified" &&
+            row.localPolicy == "pseudo-circular") {
+            ++found;
+            EXPECT_DOUBLE_EQ(row.meanOverheadRatioPct, 100.0)
+                << row.config;
+            EXPECT_DOUBLE_EQ(row.meanMissRateReductionPct, 0.0)
+                << row.config;
+        }
+    }
+    EXPECT_GE(found, 2u);
+}
+
+TEST(Tournament, ParetoFrontIsNonDominatedAndSorted)
+{
+    std::vector<workload::BenchmarkProfile> profiles = smokeProfiles();
+    std::vector<sim::TournamentConfig> configs =
+        sim::smokeTournamentConfigs();
+    sim::TournamentResult result =
+        sim::runTournament(profiles, configs, 2);
+
+    ASSERT_FALSE(result.pareto.empty());
+    for (std::size_t index : result.pareto) {
+        ASSERT_LT(index, result.rows.size());
+        const sim::TournamentRow &a = result.rows[index];
+        for (const sim::TournamentRow &b : result.rows) {
+            bool dominates =
+                b.meanOverheadRatioPct <= a.meanOverheadRatioPct &&
+                b.meanMissRate <= a.meanMissRate &&
+                (b.meanOverheadRatioPct < a.meanOverheadRatioPct ||
+                 b.meanMissRate < a.meanMissRate);
+            EXPECT_FALSE(dominates)
+                << b.config << " dominates front member " << a.config;
+        }
+    }
+    for (std::size_t i = 1; i < result.pareto.size(); ++i) {
+        const sim::TournamentRow &prev =
+            result.rows[result.pareto[i - 1]];
+        const sim::TournamentRow &next =
+            result.rows[result.pareto[i]];
+        bool ordered =
+            prev.meanOverheadRatioPct < next.meanOverheadRatioPct ||
+            (prev.meanOverheadRatioPct == next.meanOverheadRatioPct &&
+             (prev.meanMissRate < next.meanMissRate ||
+              (prev.meanMissRate == next.meanMissRate &&
+               prev.config < next.config)));
+        EXPECT_TRUE(ordered)
+            << "front unordered at " << prev.config << " -> "
+            << next.config;
+    }
+}
+
+} // namespace

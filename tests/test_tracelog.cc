@@ -6,7 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 #include "tracelog/compiled_log.h"
@@ -267,6 +270,101 @@ TEST(SerializeV2Death, TimeOverflowIsFatal)
                 "time overflows");
 }
 
+TEST(SerializeV2Death, ZeroTraceReferenceIsFatal)
+{
+    // One exec event whose +1-biased trace varint is 0 — decoding it
+    // would underflow to kInvalidTrace, so the loader must reject it.
+    std::string bytes("GCL2\0\0\0\x01", 8);
+    bytes += '\x01'; // exec
+    bytes += '\x00'; // delta 0
+    bytes += '\x00'; // trace reference 0: reserved
+    std::stringstream stream(bytes);
+    EXPECT_EXIT(readBinary(stream), ::testing::ExitedWithCode(1),
+                "trace reference 0");
+}
+
+TEST(SerializeV2Death, OversizedTraceSizeIsFatal)
+{
+    // A create whose size varint needs more than 32 bits; silently
+    // truncating it would corrupt every downstream byte count.
+    std::string bytes("GCL2\0\0\0\x01", 8);
+    bytes += '\x00';                    // create
+    bytes += '\x00';                    // delta 0
+    bytes += '\x01';                    // trace 0
+    bytes += "\x80\x80\x80\x80\x10";    // size = 2^32
+    bytes += '\x01';                    // module (unreached)
+    std::stringstream stream(bytes);
+    EXPECT_EXIT(readBinary(stream), ::testing::ExitedWithCode(1),
+                "exceeds 32 bits");
+}
+
+TEST(SerializeV2Death, OversizedModuleReferenceIsFatal)
+{
+    std::string bytes("GCL2\0\0\0\x01", 8);
+    bytes += '\x02';                        // module load
+    bytes += '\x00';                        // delta 0
+    bytes += "\x81\x80\x80\x80\x80\x10";    // module ref > 2^32
+    std::stringstream stream(bytes);
+    EXPECT_EXIT(readBinary(stream), ::testing::ExitedWithCode(1),
+                "bad module reference");
+}
+
+TEST(SerializeV2Death, EveryClipPointDiagnosesCleanly)
+{
+    // Clipping a valid stream at any byte boundary must produce a
+    // clean fatal diagnostic, never a silent partial load or a read
+    // past the buffer.
+    AccessLog original = sampleLog();
+    std::stringstream stream;
+    writeBinary(original, stream, 2);
+    const std::string bytes = stream.str();
+    for (std::size_t cut : {std::size_t{3}, std::size_t{7},
+                            bytes.size() / 4, bytes.size() / 2,
+                            bytes.size() - 2, bytes.size() - 1}) {
+        std::stringstream clipped(bytes.substr(0, cut));
+        EXPECT_EXIT(readBinary(clipped), ::testing::ExitedWithCode(1),
+                    "gclog|truncated")
+            << "clip at " << cut;
+    }
+}
+
+TEST(SerializeV2, BitFlipsNeverLoadSilentlyWrongEventCounts)
+{
+    // Flip one bit at a time across the whole stream. Every flip must
+    // either still load (the flip hit a benign field: name byte,
+    // metadata, a time delta, an id) or die with a diagnostic — the
+    // loader must never crash uncleanly. Loads that succeed must not
+    // read past the event count.
+    AccessLog original = sampleLog();
+    std::stringstream stream;
+    writeBinary(original, stream, 2);
+    const std::string bytes = stream.str();
+    // Exit code 0 (benign flip, clean load) and 1 (fatal diagnostic)
+    // are both fine; a crash signal is not.
+    auto exited_cleanly = [](int status) {
+        return WIFEXITED(status) && (WEXITSTATUS(status) == 0 ||
+                                     WEXITSTATUS(status) == 1);
+    };
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+        for (int bit : {0, 3, 7}) {
+            std::string mutated = bytes;
+            mutated[i] = static_cast<char>(
+                mutated[i] ^ static_cast<char>(1 << bit));
+            std::stringstream in(mutated);
+            // Run the loader in a child so a fatal() exit does not
+            // take the test down.
+            EXPECT_EXIT(
+                {
+                    AccessLog loaded = readBinary(in);
+                    (void)loaded;
+                    std::exit(0);
+                },
+                exited_cleanly, "")
+                << "byte " << i << " bit " << bit;
+        }
+    }
+}
+
 TEST(CompiledLog, ColumnsMirrorTheLog)
 {
     AccessLog log = sampleLog();
@@ -321,6 +419,64 @@ TEST(CompiledLog, ModuleRangesCoverLoadsAndUnloads)
     EXPECT_EQ(mod1.loads, 1u);
     EXPECT_EQ(mod1.unloads, 1u);
     EXPECT_EQ(mod1.lastEvent, 8u);
+}
+
+TEST(CompiledLog, ChunksTileTheLogWithModuleBarriers)
+{
+    AccessLog log = sampleLog();
+    CompiledLog compiled = CompiledLog::compile(log);
+    std::size_t covered = 0;
+    for (const CompiledLog::Chunk &chunk : compiled.chunks()) {
+        EXPECT_EQ(chunk.first, covered);
+        EXPECT_GT(chunk.count, 0u);
+        std::uint8_t expected = 0;
+        for (std::size_t i = 0; i < chunk.count; ++i) {
+            EventType type = compiled.types()[chunk.first + i];
+            expected |= static_cast<std::uint8_t>(
+                1u << static_cast<unsigned>(type));
+            if (chunk.barrier) {
+                EXPECT_TRUE(type == EventType::ModuleLoad ||
+                            type == EventType::ModuleUnload);
+            }
+        }
+        EXPECT_EQ(chunk.typeMask, expected);
+        if (chunk.barrier) {
+            EXPECT_EQ(chunk.count, 1u);
+        }
+        covered += chunk.count;
+    }
+    EXPECT_EQ(covered, compiled.size());
+}
+
+TEST(CompiledLog, LongChunksSplitAtTheChunkSize)
+{
+    AccessLog log;
+    log.append(Event::traceCreate(0, 1, 64, cache::kNoModule));
+    for (std::size_t i = 0; i < 3 * CompiledLog::kChunkEvents; ++i) {
+        log.append(Event::traceExec(static_cast<TimeUs>(i + 1), 1));
+    }
+    CompiledLog compiled = CompiledLog::compile(log);
+    ASSERT_GE(compiled.chunks().size(), 3u);
+    EXPECT_EQ(compiled.chunks()[0].count, CompiledLog::kChunkEvents);
+    EXPECT_FALSE(compiled.chunks()[0].pureExec()); // holds the create
+    EXPECT_TRUE(compiled.chunks()[1].pureExec());
+}
+
+TEST(CompiledLog, ExecPinnedFollowsPinWindows)
+{
+    AccessLog log;
+    log.append(Event::traceCreate(0, 7, 64, cache::kNoModule));
+    log.append(Event::traceExec(1, 7));   // before pin: 0
+    log.append(Event::pin(2, 7));
+    log.append(Event::traceExec(3, 7));   // pinned: 1
+    log.append(Event::unpin(4, 7));
+    log.append(Event::traceExec(5, 7));   // after unpin: 0
+    CompiledLog compiled = CompiledLog::compile(log);
+    const std::vector<std::uint8_t> &pinned = compiled.execPinned();
+    ASSERT_EQ(pinned.size(), compiled.size());
+    EXPECT_EQ(pinned[1], 0);
+    EXPECT_EQ(pinned[3], 1);
+    EXPECT_EQ(pinned[5], 0);
 }
 
 TEST(CompiledLogDeath, DuplicateCreateIsFatal)

@@ -18,10 +18,17 @@
 #      with the rest of the suite
 #   6. GENCACHE_SIMD=OFF build: the scalar-only fallback must build
 #      and pass the replay bit-identity and SIMD-kernel tests
-#   7. gencheck over the example workloads — live runs, legacy sim
-#      replays, and batched-replay end states; any diagnostic of
-#      severity error (or worse) fails the pipeline
-#   8. formatting check (no-op when clang-format is absent)
+#   7. gencheck over the example workloads — topology lints, live
+#      runs, legacy sim replays, and batched-replay end states; any
+#      diagnostic of severity error (or worse) fails the pipeline
+#   8. gencheck temporal over recorded journals: record gzip and mpeg
+#      event streams with logreplay_tool, then replay them offline
+#      through the temporal invariant engine (gencheck --journal);
+#      also exercises the distinct load-failure exit code (3)
+#   9. clang -Wthread-safety -Werror compile of the annotated tree
+#      (ThreadPool, shared sweep/tournament state); self-skips with a
+#      notice when no clang toolchain is installed
+#  10. formatting check (no-op when clang-format is absent)
 #
 # Usage: scripts/ci.sh [--fast]
 #   --fast skips the sanitizer builds (steps 3, 4, and the sanitized
@@ -93,6 +100,37 @@ step "gencheck on example workloads"
 # include batched-replay lane end states); keep the JSON report as a
 # CI artifact.
 "$root"/build-ci/tools/gencheck --json build-ci/gencheck-report.json
+
+step "gencheck temporal over recorded journals"
+mkdir -p build-ci/journals
+"$root"/build-ci/examples/logreplay_tool generate gzip \
+    build-ci/journals/gzip.gclogb
+"$root"/build-ci/examples/logreplay_tool generate mpeg \
+    build-ci/journals/mpeg.gclogb
+"$root"/build-ci/tools/gencheck \
+    --journal build-ci/journals/gzip.gclogb \
+    --journal build-ci/journals/mpeg.gclogb \
+    --json build-ci/gencheck-temporal-report.json
+# The load-failure exit code must stay distinct from "found errors".
+load_rc=0
+"$root"/build-ci/tools/gencheck \
+    --journal build-ci/journals/does-not-exist.gclogb \
+    --quiet 2>/dev/null || load_rc=$?
+if [[ $load_rc -ne 3 ]]; then
+    echo "ci: gencheck load failure must exit 3 (got $load_rc)" >&2
+    exit 1
+fi
+
+step "clang -Wthread-safety compile"
+if command -v clang++ >/dev/null 2>&1; then
+    cmake -B build-tsa -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_COMPILER=clang++ \
+        -DCMAKE_CXX_FLAGS="-Wthread-safety -Werror=thread-safety" \
+        >/tmp/gencache-tsa-configure.log
+    cmake --build build-tsa -j "$jobs"
+else
+    echo "ci: clang++ not installed; skipping thread-safety analysis"
+fi
 
 step "format check"
 scripts/format-check.sh

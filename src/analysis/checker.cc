@@ -1,8 +1,10 @@
 #include "analysis/checker.h"
 
 #include <cstdlib>
+#include <memory>
 #include <string_view>
 
+#include "analysis/temporal_passes.h"
 #include "runtime/runtime.h"
 #include "sim/simulator.h"
 #include "support/logging.h"
@@ -73,12 +75,28 @@ attachPhaseChecks(sim::CacheSimulator &simulator)
     if (!checkingEnabled()) {
         return false;
     }
+    // Beyond the snapshot passes, GENCACHE_CHECK runs the temporal
+    // invariant engine online: a TemporalChecker is teed beside the
+    // simulator's cost accountant and panics on the first violation
+    // (enforce mode). The checkpoint-hook closure owns it, so it
+    // lives exactly as long as the hook; the manager must still be
+    // empty here (the checker needs the whole event stream).
+    TemporalOptions options;
+    options.enforce = true;
+    auto engine = std::make_shared<DiagnosticEngine>();
+    auto temporal =
+        std::make_shared<TemporalChecker>(*engine, options);
+    temporal->bindSubject(dynamic_cast<const cache::TierPipeline *>(
+        &simulator.manager()));
+    simulator.setProbeListener(temporal.get());
     simulator.setCheckpointHook(
-        [](const cache::CacheManager &manager, TimeUs) {
-            DiagnosticEngine engine;
-            runPasses(AnalysisInput::forManager(manager), engine,
+        [engine, temporal](const cache::CacheManager &manager,
+                           TimeUs) {
+            DiagnosticEngine snapshot;
+            runPasses(AnalysisInput::forManager(manager), snapshot,
                       /*cheap_only=*/true);
-            enforce(engine, "simulator phase boundary");
+            enforce(snapshot, "simulator phase boundary");
+            temporal->checkpoint(); // panics itself in enforce mode
         });
     return true;
 }

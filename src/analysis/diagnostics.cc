@@ -18,10 +18,224 @@ severityName(Severity severity)
     GENCACHE_PANIC("unknown severity {}", static_cast<int>(severity));
 }
 
+const std::vector<CheckInfo> &
+checkRegistry()
+{
+    // Ordered by family, then ID. The severity is the ONE severity
+    // the check reports at; report() enforces both the ID and the
+    // severity, and tests/test_check_registry.cc keeps this table in
+    // lockstep with the DESIGN.md §8/§13 inventory.
+    static const std::vector<CheckInfo> registry = {
+        // CFG passes (whole-program).
+        {"cfg-no-entry", Severity::Warning, "cfg",
+         "program has no entry point set"},
+        {"cfg-entry-unmapped", Severity::Error, "cfg",
+         "entry address is not a block start in any module"},
+        {"cfg-module-overlap", Severity::Error, "cfg",
+         "two modules' address extents intersect"},
+        {"cfg-empty-module", Severity::Warning, "cfg",
+         "module maps no blocks"},
+        {"cfg-block-empty", Severity::Error, "cfg",
+         "basic block with zero instructions"},
+        {"cfg-block-unterminated", Severity::Error, "cfg",
+         "block does not end in control flow"},
+        {"cfg-dangling-target", Severity::Error, "cfg",
+         "direct branch/call target is no block start"},
+        {"cfg-fallthrough-invalid", Severity::Error, "cfg",
+         "fall-through address is no block start"},
+        {"cfg-unreachable", Severity::Warning, "cfg",
+         "block unreachable from entry + address-taken roots"},
+        {"cfg-orphan-module", Severity::Warning, "cfg",
+         "entire non-entry module unreachable"},
+        // Superblock passes (whole-program).
+        {"sb-empty", Severity::Error, "sb",
+         "trace with an empty block path"},
+        {"sb-zero-size", Severity::Error, "sb",
+         "trace with zero code bytes"},
+        {"sb-multi-entry", Severity::Error, "sb",
+         "block address repeats on the path"},
+        {"sb-broken-path", Severity::Error, "sb",
+         "path not a valid CFG walk"},
+        {"sb-module-mismatch", Severity::Error, "sb",
+         "path block owned by a different module than the trace claims"},
+        {"sb-exit-invalid", Severity::Error, "sb",
+         "exit target is neither a block start nor a live trace entry"},
+        // Link-graph passes (cheap).
+        {"link-dangling", Severity::Error, "link",
+         "edge references a missing or non-resident trace"},
+        {"link-stale-node", Severity::Error, "link",
+         "linker node for a trace the cache no longer holds"},
+        {"link-missing-node", Severity::Warning, "link",
+         "resident runtime trace unknown to the linker"},
+        {"link-asym", Severity::Error, "link",
+         "outgoing edge without matching incoming backref"},
+        {"link-edge-no-exit", Severity::Error, "link",
+         "edge exists but no exit target reaches the target's entry"},
+        {"link-entry-stale", Severity::Error, "link",
+         "entry-address index disagrees with the node set"},
+        {"link-unpatched", Severity::Warning, "link",
+         "exit targets a resident trace's entry but was never patched"},
+        // Front-end passes (cheap).
+        {"fe-exit-shape", Severity::Error, "fe",
+         "per-trace exit cache missing or shaped unlike the exits"},
+        {"fe-exit-slot", Severity::Error, "fe",
+         "cached successor slot disagrees with the link graph"},
+        {"fe-block-roundtrip", Severity::Error, "fe",
+         "block dense id does not round-trip through the index"},
+        {"fe-dispatch-stale", Severity::Error, "fe",
+         "dense dispatch table names a dead or relocated trace"},
+        {"fe-dispatch-missing", Severity::Error, "fe",
+         "live trace not reachable through the dense dispatch table"},
+        // Cache-state passes (cheap).
+        {"region-split", Severity::Error, "region",
+         "fragment on the wrong side of the allocation pointer"},
+        {"region-unsorted", Severity::Error, "region",
+         "half of the region out of address order"},
+        {"region-overlap", Severity::Error, "region",
+         "two fragments' byte ranges intersect"},
+        {"region-oob", Severity::Error, "region",
+         "fragment outside [0, capacity)"},
+        {"region-pointer-oob", Severity::Error, "region",
+         "allocation pointer beyond capacity"},
+        {"region-index", Severity::Error, "region",
+         "id->address index disagrees with storage"},
+        {"region-bytes", Severity::Error, "region",
+         "byte accounting != sum of fragment sizes"},
+        {"region-pinned-count", Severity::Error, "region",
+         "pinned count != pinned fragments"},
+        {"list-ring-broken", Severity::Error, "list",
+         "victim ring cyclic or inconsistent"},
+        {"list-free-broken", Severity::Error, "list",
+         "free list cyclic, out of bounds, or overlapping live slots"},
+        {"list-index", Severity::Error, "list",
+         "id->slot index disagrees with slab"},
+        {"list-bytes", Severity::Error, "list",
+         "byte accounting != sum of live fragments"},
+        {"list-over-capacity", Severity::Error, "list",
+         "used bytes exceed capacity"},
+        {"cache-bytes", Severity::Error, "cache",
+         "byte accounting mismatch (generic fallback)"},
+        {"cache-over-capacity", Severity::Error, "cache",
+         "over capacity (generic fallback)"},
+        {"tier-dup-residency", Severity::Error, "tier",
+         "trace resident in two tiers at once"},
+        {"tier-index-mismatch", Severity::Error, "tier",
+         "residency index disagrees with actual residency"},
+        {"tier-flow", Severity::Error, "tier",
+         "promotion-flow identity broken"},
+        // Temporal passes (event streams, online + offline).
+        {"tmp-use-after-evict", Severity::Error, "tmp",
+         "hit reported for a trace that is not resident"},
+        {"tmp-miss-resident", Severity::Error, "tmp",
+         "miss reported for a resident trace"},
+        {"tmp-hit-tier-mismatch", Severity::Error, "tmp",
+         "hit names a tier other than the trace's residency"},
+        {"tmp-double-residency", Severity::Error, "tmp",
+         "insert of a trace that is already resident"},
+        {"tmp-insert-tier", Severity::Error, "tmp",
+         "fresh insert lands in a tier other than the entry tier"},
+        {"tmp-evict-absent", Severity::Error, "tmp",
+         "evict reported for a trace that is not resident"},
+        {"tmp-evict-tier-mismatch", Severity::Error, "tmp",
+         "evict names a tier other than the trace's residency"},
+        {"tmp-promote-protocol", Severity::Error, "tmp",
+         "promotion not bracketed by its PromotionMove evict"},
+        {"tmp-promote-order", Severity::Error, "tmp",
+         "promotion violates tier monotonicity (Figure 8 cascade)"},
+        {"tmp-unload-incomplete", Severity::Error, "tmp",
+         "fragments of an unloaded module still resident at the marker"},
+        {"tmp-unload-window", Severity::Error, "tmp",
+         "unmap eviction not claimed by a module-unload marker in time"},
+        {"tmp-flow", Severity::Error, "tmp",
+         "event stream disagrees with the manager's flow counters"},
+        {"tmp-leak", Severity::Error, "tmp",
+         "end-of-run residency disagrees with the event stream"},
+        {"tmp-time-regression", Severity::Error, "tmp",
+         "event timestamps moved backwards"},
+        {"tmp-sidecar-desync", Severity::Error, "tmp",
+         "fast-replay sidecar slot disagrees at a residency transition"},
+        // Topology linter (static, configs never run).
+        {"topo-no-tiers", Severity::Error, "topo",
+         "topology has no tiers"},
+        {"topo-edge-count", Severity::Error, "topo",
+         "edge count is not tier count - 1"},
+        {"topo-too-deep", Severity::Error, "topo",
+         "more tiers than the pipeline supports"},
+        {"topo-fraction-range", Severity::Error, "topo",
+         "tier fraction non-positive, above 1, or not finite"},
+        {"topo-fraction-sum", Severity::Error, "topo",
+         "fractions leave no budget for the last tier"},
+        {"topo-zero-capacity", Severity::Error, "topo",
+         "tier share rounds to zero bytes under the budget"},
+        {"topo-unbounded-multi", Severity::Error, "topo",
+         "unbounded local policy in a multi-tier topology"},
+        {"topo-unreachable-tier", Severity::Error, "topo",
+         "tier behind an always-delete edge can never be reached"},
+        {"topo-edge-never-fires", Severity::Error, "topo",
+         "promotion edge whose source can never evict into it"},
+        {"topo-temp-halflife", Severity::Error, "topo",
+         "temperature edge with a zero half-life"},
+        {"topo-threshold-zero", Severity::Warning, "topo",
+         "threshold 0 makes the edge identical to always-promote"},
+        {"topo-pin-shed-single", Severity::Warning, "topo",
+         "pin shedding configured where no promotion can occur"},
+        {"topo-pin-shed-flush", Severity::Warning, "topo",
+         "pin shedding feeds a preemptive-flush tier"},
+        {"topo-fraction-sum-low", Severity::Warning, "topo",
+         "fractions sum well below 1; last tier absorbs the rest"},
+    };
+    return registry;
+}
+
+const CheckInfo *
+findCheckInfo(std::string_view id)
+{
+    std::string_view canonical = canonicalCheckId(id);
+    for (const CheckInfo &info : checkRegistry()) {
+        if (info.id == canonical) {
+            return &info;
+        }
+    }
+    return nullptr;
+}
+
+std::string
+checkRegistryJson()
+{
+    std::ostringstream out;
+    out << "[";
+    bool first = true;
+    for (const CheckInfo &info : checkRegistry()) {
+        if (!first) {
+            out << ", ";
+        }
+        first = false;
+        out << "{\"id\": \"" << jsonEscape(info.id)
+            << "\", \"severity\": \"" << severityName(info.severity)
+            << "\", \"family\": \"" << jsonEscape(info.family)
+            << "\", \"summary\": \"" << jsonEscape(info.summary)
+            << "\"}";
+    }
+    out << "]";
+    return out.str();
+}
+
 void
 DiagnosticEngine::report(Severity severity, std::string check_id,
                          std::string location, std::string message)
 {
+    const CheckInfo *info = findCheckInfo(check_id);
+    if (info == nullptr) {
+        GENCACHE_PANIC("report of unregistered check ID '{}' "
+                       "(register it in checkRegistry() and document "
+                       "it in DESIGN.md)", check_id);
+    }
+    if (info->severity != severity) {
+        GENCACHE_PANIC("check '{}' reported at severity {} but is "
+                       "registered at {}", check_id,
+                       severityName(severity),
+                       severityName(info->severity));
+    }
     Diagnostic diag;
     diag.checkId = std::move(check_id);
     diag.severity = severity;

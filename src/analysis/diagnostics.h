@@ -94,6 +94,36 @@ class DiagnosticEngine
 };
 
 /**
+ * Registry entry of one check ID.
+ *
+ * Every check a pass can report is registered here with its canonical
+ * ID, the one severity it reports at, the pass family that owns it,
+ * and a one-line summary. The registry is the machine-readable twin
+ * of the DESIGN.md §8/§13 inventory tables: a drift test
+ * (tests/test_check_registry.cc) cross-checks the two in both
+ * directions, and `gencheck --list-checks` dumps the registry as
+ * JSON. DiagnosticEngine::report panics on IDs (or severities) that
+ * are not registered, so a new check cannot ship undocumented.
+ */
+struct CheckInfo
+{
+    std::string_view id;       ///< canonical check ID
+    Severity severity;         ///< the severity this check reports at
+    std::string_view family;   ///< owning pass family ("cfg", "tmp", ...)
+    std::string_view summary;  ///< one-line invariant description
+};
+
+/** All registered checks, ordered by family then ID. */
+const std::vector<CheckInfo> &checkRegistry();
+
+/** Registry entry for @p id (alias spellings accepted), or nullptr
+ *  when @p id is not a registered check. */
+const CheckInfo *findCheckInfo(std::string_view id);
+
+/** JSON array of the whole registry (gencheck --list-checks). */
+std::string checkRegistryJson();
+
+/**
  * Canonical spelling of check ID @p id.
  *
  * The generation-specific cache-state checks generalized to

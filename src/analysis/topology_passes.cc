@@ -1,0 +1,319 @@
+#include "analysis/topology_passes.h"
+
+#include <cmath>
+
+#include "codecache/local_cache.h"
+#include "support/format.h"
+
+namespace gencache::analysis {
+
+namespace {
+
+const char *
+edgeRuleName(cache::EdgeSpec::Rule rule)
+{
+    using Rule = cache::EdgeSpec::Rule;
+    switch (rule) {
+      case Rule::AlwaysPromote: return "always-promote";
+      case Rule::AlwaysDelete: return "always-delete";
+      case Rule::Threshold: return "threshold";
+      case Rule::Temperature: return "temperature";
+    }
+    return "?";
+}
+
+class TopologyLinter
+{
+  public:
+    TopologyLinter(const cache::TierTopology &topo, DiagnosticEngine &out)
+        : topo_(topo), out_(out)
+    {
+    }
+
+    bool run()
+    {
+        out_.setCurrentPass("topo");
+        const std::size_t before = out_.errorCount();
+        checkShape();
+        if (!topo_.fractions.empty()) {
+            checkFractions();
+            checkPolicies();
+            checkEdges();
+            checkPins();
+        }
+        return out_.errorCount() == before;
+    }
+
+    bool runWithBudget(std::uint64_t budget)
+    {
+        const bool clean = run();
+        out_.setCurrentPass("topo");
+        const std::size_t before = out_.errorCount();
+        checkBudget(budget);
+        return clean && out_.errorCount() == before;
+    }
+
+  private:
+    void report(Severity severity, std::string_view check,
+                std::string location, std::string message)
+    {
+        out_.report(severity, std::string(check), std::move(location),
+                    std::move(message));
+    }
+
+    std::string tierLoc(std::size_t tier) const
+    {
+        return format("{}: tier {}", topo_.name, tier);
+    }
+
+    std::string edgeLoc(std::size_t edge) const
+    {
+        return format("{}: edge {} -> {}", topo_.name, edge, edge + 1);
+    }
+
+    std::size_t tierCount() const { return topo_.fractions.size(); }
+
+    /** True when a fragment can ever reside in @p tier: fresh inserts
+     *  only land in tier 0, so every edge below must be able to move
+     *  fragments up, which an always-delete edge never does (neither
+     *  on eviction nor eagerly — the rule has no eager variant). */
+    bool tierReachable(std::size_t tier) const
+    {
+        for (std::size_t i = 0; i < tier && i < topo_.edges.size();
+             ++i) {
+            if (topo_.edges[i].rule ==
+                cache::EdgeSpec::Rule::AlwaysDelete) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    void checkShape()
+    {
+        if (topo_.fractions.empty()) {
+            report(Severity::Error, "topo-no-tiers", topo_.name,
+                   "no tier fractions; a pipeline needs at least one "
+                   "tier");
+            return;
+        }
+        if (tierCount() > cache::kMaxTiers) {
+            report(Severity::Error, "topo-too-deep", topo_.name,
+                   format("{} tiers but pipelines support at most {}",
+                          tierCount(), cache::kMaxTiers));
+        }
+        if (topo_.edges.size() != tierCount() - 1) {
+            report(Severity::Error, "topo-edge-count", topo_.name,
+                   format("{} tiers need {} promotion edges, got {}",
+                          tierCount(), tierCount() - 1,
+                          topo_.edges.size()));
+        }
+    }
+
+    void checkFractions()
+    {
+        double sum = 0.0;
+        double sum_but_last = 0.0;
+        bool range_clean = true;
+        for (std::size_t i = 0; i < tierCount(); ++i) {
+            const double frac = topo_.fractions[i];
+            if (!std::isfinite(frac) || frac <= 0.0 || frac > 1.0) {
+                report(Severity::Error, "topo-fraction-range",
+                       tierLoc(i),
+                       format("fraction {} is not in (0, 1]", frac));
+                range_clean = false;
+                continue;
+            }
+            sum += frac;
+            if (i + 1 < tierCount()) {
+                sum_but_last += frac;
+            }
+        }
+        if (!range_clean) {
+            return; // sums over bad fractions are noise
+        }
+        // tierSpecs assigns llround(total * frac) to every tier but
+        // the last, then hands the last tier the remainder; when the
+        // leading fractions already claim the whole budget there is
+        // no remainder to hand out, at any budget.
+        if (tierCount() > 1 && sum_but_last >= 1.0) {
+            report(Severity::Error, "topo-fraction-sum", topo_.name,
+                   format("fractions before the last tier sum to {}; "
+                          "no budget remains for the last tier",
+                          sum_but_last));
+        } else if (sum < kFractionSumLowThreshold) {
+            report(Severity::Warning, "topo-fraction-sum-low",
+                   topo_.name,
+                   format("fractions sum to {}; the last tier "
+                          "silently absorbs the remaining {} of the "
+                          "budget",
+                          sum, 1.0 - sum));
+        }
+    }
+
+    void checkPolicies()
+    {
+        if (topo_.policy == cache::LocalPolicy::Unbounded &&
+            tierCount() > 1) {
+            report(Severity::Error, "topo-unbounded-multi", topo_.name,
+                   format("unbounded tiers are only legal in a "
+                          "single-tier pipeline ({} tiers here)",
+                          tierCount()));
+        }
+    }
+
+    void checkEdges()
+    {
+        const std::size_t edges =
+            std::min(topo_.edges.size(),
+                     tierCount() > 0 ? tierCount() - 1 : 0);
+        for (std::size_t i = 0; i < edges; ++i) {
+            const cache::EdgeSpec &edge = topo_.edges[i];
+            using Rule = cache::EdgeSpec::Rule;
+            if (edge.rule == Rule::Temperature &&
+                edge.halfLifeUs == 0) {
+                report(Severity::Error, "topo-temp-halflife",
+                       edgeLoc(i),
+                       "temperature decay needs a positive half-life");
+            }
+            if ((edge.rule == Rule::Threshold ||
+                 edge.rule == Rule::Temperature) &&
+                edge.threshold == 0) {
+                report(Severity::Warning, "topo-threshold-zero",
+                       edgeLoc(i),
+                       format("{} edge with threshold 0 admits every "
+                              "victim; spell it always-promote",
+                              edgeRuleName(edge.rule)));
+            }
+            if (!tierReachable(i)) {
+                report(Severity::Error, "topo-edge-never-fires",
+                       edgeLoc(i),
+                       format("source tier {} is unreachable, so this "
+                              "{} edge can never see a victim",
+                              i, edgeRuleName(edge.rule)));
+            }
+        }
+        for (std::size_t tier = 1; tier < tierCount(); ++tier) {
+            if (tier - 1 < topo_.edges.size() && !tierReachable(tier)) {
+                report(Severity::Error, "topo-unreachable-tier",
+                       tierLoc(tier),
+                       "behind an always-delete edge; no fragment can "
+                       "ever reach it (its capacity is wasted)");
+            }
+        }
+    }
+
+    void checkPins()
+    {
+        if (topo_.pins != cache::PinHandling::Shed) {
+            return;
+        }
+        if (tierCount() == 1) {
+            report(Severity::Warning, "topo-pin-shed-single",
+                   topo_.name,
+                   "pin shedding applies on promotion, but a "
+                   "single-tier pipeline never promotes");
+        } else if (topo_.policy == cache::LocalPolicy::PreemptiveFlush) {
+            report(Severity::Warning, "topo-pin-shed-flush", topo_.name,
+                   "promotion sheds the pin right before the fragment "
+                   "enters a preemptive-flush tier, so pinned code "
+                   "loses its flush protection by being promoted");
+        }
+    }
+
+    void checkBudget(std::uint64_t budget)
+    {
+        // Only meaningful when the shape and fractions are sane;
+        // otherwise the split below would double-report their causes.
+        if (topo_.fractions.empty() ||
+            topo_.edges.size() != tierCount() - 1) {
+            return;
+        }
+        if (budget < tierCount()) {
+            report(Severity::Error, "topo-zero-capacity", topo_.name,
+                   format("budget of {} byte(s) cannot give each of "
+                          "{} tiers a positive capacity",
+                          budget, tierCount()));
+            return;
+        }
+        // Exact replay of TierTopology::tierSpecs' byte split.
+        std::uint64_t assigned = 0;
+        for (std::size_t i = 0; i + 1 < tierCount(); ++i) {
+            const double frac = topo_.fractions[i];
+            if (!std::isfinite(frac) || frac <= 0.0) {
+                return; // topo-fraction-range already fired
+            }
+            std::uint64_t bytes = static_cast<std::uint64_t>(
+                std::llround(static_cast<double>(budget) * frac));
+            if (bytes == 0) {
+                report(Severity::Error, "topo-zero-capacity",
+                       tierLoc(i),
+                       format("share {} of {} bytes rounds to zero",
+                              frac, budget));
+                bytes = 1; // the clamp tierSpecs would apply
+            }
+            assigned += bytes;
+        }
+        if (tierCount() > 1 && assigned >= budget) {
+            report(Severity::Error, "topo-fraction-sum", topo_.name,
+                   format("rounded shares assign {} of {} bytes "
+                          "before the last tier; no budget remains "
+                          "for it",
+                          assigned, budget));
+        }
+    }
+
+    const cache::TierTopology &topo_;
+    DiagnosticEngine &out_;
+};
+
+} // namespace
+
+bool
+lintTopology(const cache::TierTopology &topo, DiagnosticEngine &out)
+{
+    return TopologyLinter(topo, out).run();
+}
+
+bool
+lintTopology(const cache::TierTopology &topo, std::uint64_t budget_bytes,
+             DiagnosticEngine &out)
+{
+    return TopologyLinter(topo, out).runWithBudget(budget_bytes);
+}
+
+FastPathExplanation
+explainFastReplay(const cache::TierTopology &topo)
+{
+    FastPathExplanation answer;
+    answer.listenerCaveat =
+        "the attached event listener declines hit/miss events "
+        "(the fast path serves hits without emitting them)";
+    if (cache::localPolicyObservesTouch(topo.policy)) {
+        answer.eligible = false;
+        answer.blockers.push_back(format(
+            "local policy {} updates replacement state on touch; the "
+            "fast path never delivers touches",
+            cache::localPolicyName(topo.policy)));
+    }
+    for (std::size_t i = 0; i < topo.edges.size(); ++i) {
+        const cache::EdgeSpec &edge = topo.edges[i];
+        using Rule = cache::EdgeSpec::Rule;
+        if (edge.rule == Rule::Temperature) {
+            answer.eligible = false;
+            answer.blockers.push_back(format(
+                "edge {} -> {} uses temperature decay, which must "
+                "observe every hit's timestamp",
+                i, i + 1));
+        } else if (edge.rule == Rule::Threshold && edge.eager) {
+            answer.eligible = false;
+            answer.blockers.push_back(format(
+                "edge {} -> {} upgrades eagerly on hit; the fast "
+                "path only defers plain threshold counting",
+                i, i + 1));
+        }
+    }
+    return answer;
+}
+
+} // namespace gencache::analysis

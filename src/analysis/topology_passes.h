@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Static topology/config linter (gencheck v2).
+ *
+ * A TierTopology is a value-type config: fractions, edge specs, one
+ * local policy, one pin rule. Building it (tierSpecs/build) fatal()s
+ * on ill-formed input, which is the wrong failure mode for a sweep
+ * that enumerates a thousand configs or a user typing one at the CLI.
+ * lintTopology() predicts every such fatal *statically* — without
+ * constructing a cache — and additionally flags configs that would
+ * build fine but can never behave as written (tiers no fragment can
+ * reach, promotion edges that can never fire, pin handling that is
+ * vacuous or self-defeating). Findings carry stable `topo-*` IDs from
+ * the check registry; sim::tournament pre-lints its enumeration with
+ * this and rejects dirty configs up front.
+ *
+ * explainFastReplay() answers gencheck's explain mode: whether a
+ * topology is eligible for the TierPipeline hot-slot fast path
+ * (enableFastReplay), and if not, which properties block it.
+ */
+
+#ifndef GENCACHE_ANALYSIS_TOPOLOGY_PASSES_H
+#define GENCACHE_ANALYSIS_TOPOLOGY_PASSES_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "codecache/tier_pipeline.h"
+
+namespace gencache::analysis {
+
+/**
+ * Lint @p topo statically (budget-independent checks only).
+ *
+ * Reports through @p out under pass "topo". @return true when no
+ * error-severity finding was added (warnings alone keep a config
+ * buildable).
+ */
+bool lintTopology(const cache::TierTopology &topo, DiagnosticEngine &out);
+
+/**
+ * Lint @p topo against a concrete @p budget_bytes: the
+ * budget-independent checks plus an exact replay of the
+ * tierSpecs(budget) byte split, predicting its fatals
+ * (budget too small for the tier count, shares that round to zero,
+ * fractions that leave no bytes for the last tier).
+ */
+bool lintTopology(const cache::TierTopology &topo,
+                  std::uint64_t budget_bytes, DiagnosticEngine &out);
+
+/** Sum of all fractions below which topo-fraction-sum-low warns that
+ *  the last tier silently absorbs the slack. */
+constexpr double kFractionSumLowThreshold = 0.9;
+
+/** Answer of explainFastReplay(). */
+struct FastPathExplanation
+{
+    /** True when TierPipeline::enableFastReplay would accept a
+     *  pipeline built from the topology — provided the attached
+     *  listener also declines hit/miss events (a runtime property a
+     *  static explanation cannot see; see listenerCaveat). */
+    bool eligible = true;
+
+    /** One human-readable sentence per blocking property (empty when
+     *  eligible). */
+    std::vector<std::string> blockers;
+
+    /** The runtime condition the static answer is contingent on. */
+    std::string listenerCaveat;
+};
+
+/**
+ * Explain hot-slot fast-path eligibility of @p topo: mirrors
+ * TierPipeline::enableFastReplay's config-derived conditions (no
+ * touch-observing local policy; every hit-observing edge a plain
+ * non-eager threshold).
+ */
+FastPathExplanation explainFastReplay(const cache::TierTopology &topo);
+
+} // namespace gencache::analysis
+
+#endif // GENCACHE_ANALYSIS_TOPOLOGY_PASSES_H

@@ -79,6 +79,17 @@ class CacheEventListener
         (void)now;
     }
 
+    /** Module @p module finished unloading: every onEvict with reason
+     *  Unmap for its fragments has been delivered. Emitted by
+     *  TierPipeline (and its adapters) after invalidateModule so
+     *  temporal checkers can verify unload completeness; cost
+     *  accounting ignores it. */
+    virtual void onModuleUnload(ModuleId module, TimeUs now)
+    {
+        (void)module;
+        (void)now;
+    }
+
   protected:
     CacheEventListener() = default;
 
@@ -92,6 +103,76 @@ class CacheEventListener
   private:
     bool wantsHits_ = true;
     bool wantsMisses_ = true;
+};
+
+/**
+ * Fan-out listener: forwards every event to two listeners, @p first
+ * before @p second. The hit/miss dispatch hints are the union of the
+ * two, so a hit-indifferent accountant plus a hit-observing checker
+ * still sees hits. Used by CacheSimulator to attach an analysis probe
+ * beside its cost accountant (neither is owned).
+ */
+class TeeListener : public CacheEventListener
+{
+  public:
+    TeeListener(CacheEventListener &first, CacheEventListener &second)
+        : CacheEventListener(
+              first.wantsHits() || second.wantsHits(),
+              first.wantsMisses() || second.wantsMisses()),
+          first_(first), second_(second)
+    {
+    }
+
+    void onMiss(TraceId id, TimeUs now) override
+    {
+        if (first_.wantsMisses()) {
+            first_.onMiss(id, now);
+        }
+        if (second_.wantsMisses()) {
+            second_.onMiss(id, now);
+        }
+    }
+
+    void onHit(TraceId id, Generation gen, TimeUs now) override
+    {
+        if (first_.wantsHits()) {
+            first_.onHit(id, gen, now);
+        }
+        if (second_.wantsHits()) {
+            second_.onHit(id, gen, now);
+        }
+    }
+
+    void onInsert(const Fragment &frag, Generation gen,
+                  TimeUs now) override
+    {
+        first_.onInsert(frag, gen, now);
+        second_.onInsert(frag, gen, now);
+    }
+
+    void onEvict(const Fragment &frag, Generation gen,
+                 EvictReason reason, TimeUs now) override
+    {
+        first_.onEvict(frag, gen, reason, now);
+        second_.onEvict(frag, gen, reason, now);
+    }
+
+    void onPromote(const Fragment &frag, Generation from,
+                   Generation to, TimeUs now) override
+    {
+        first_.onPromote(frag, from, to, now);
+        second_.onPromote(frag, from, to, now);
+    }
+
+    void onModuleUnload(ModuleId module, TimeUs now) override
+    {
+        first_.onModuleUnload(module, now);
+        second_.onModuleUnload(module, now);
+    }
+
+  private:
+    CacheEventListener &first_;
+    CacheEventListener &second_;
 };
 
 /** Aggregate counters of a global manager. */

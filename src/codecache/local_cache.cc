@@ -30,6 +30,23 @@ LocalCache::removeModule(ModuleId module, std::vector<Fragment> &out)
     return victims.size();
 }
 
+bool
+localPolicyObservesTouch(LocalPolicy policy)
+{
+    switch (policy) {
+      case LocalPolicy::PseudoCircular:
+      case LocalPolicy::Fifo:
+      case LocalPolicy::PreemptiveFlush:
+      case LocalPolicy::Unbounded:
+        return false;
+      case LocalPolicy::Lru:
+      case LocalPolicy::Srrip:
+      case LocalPolicy::Brrip:
+        return true;
+    }
+    GENCACHE_PANIC("unknown local policy {}", static_cast<int>(policy));
+}
+
 std::unique_ptr<LocalCache>
 makeLocalCache(LocalPolicy policy, std::uint64_t capacity)
 {

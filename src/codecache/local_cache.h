@@ -142,6 +142,12 @@ enum class LocalPolicy {
 /** @return short printable name of @p policy. */
 const char *localPolicyName(LocalPolicy policy);
 
+/** @return whether caches of @p policy observe touch() (recency/RRIP
+ *  state updated on hit). Static twin of LocalCache::observesTouch()
+ *  so the topology linter and the fast-path explainer can answer
+ *  eligibility questions without building a cache. */
+bool localPolicyObservesTouch(LocalPolicy policy);
+
 /** Create a local cache of @p policy with @p capacity bytes. */
 std::unique_ptr<LocalCache> makeLocalCache(LocalPolicy policy,
                                            std::uint64_t capacity);

@@ -394,6 +394,11 @@ TierPipeline::invalidateModule(ModuleId module, TimeUs now)
             }
         }
     }
+    // Completion marker: every Unmap eviction of this module has been
+    // delivered (temporal checkers key unload completeness on it).
+    if (listener_ != nullptr) {
+        listener_->onModuleUnload(module, now);
+    }
 }
 
 bool

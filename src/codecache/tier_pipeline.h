@@ -338,6 +338,12 @@ class TierPipeline : public CacheManager
 
     bool fastReplayEnabled() const { return !hot_.empty(); }
 
+    /** Sidecar slot of dense id @p id (introspection for the temporal
+     *  checker's reconciliation pass): tierPlusOne is 0 when the
+     *  sidecar believes @p id absent. Only legal after
+     *  enableFastReplay() accepted and for @p id inside its bound. */
+    HotSlot fastSlotOf(TraceId id) const { return hot_[id]; }
+
     /** Fast hit probe: @return 0 when @p id is absent (caller runs
      *  the regular miss path), else the residency tier + 1. Counts
      *  the hit for the tier's out-edge threshold when it observes

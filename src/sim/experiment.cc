@@ -86,7 +86,7 @@ SimResult
 ExperimentRunner::runUnbounded() const
 {
     {
-        std::lock_guard<std::mutex> lock(memoMutex_);
+        MutexLock lock(memoMutex_);
         if (unbounded_.has_value()) {
             return *unbounded_;
         }
@@ -97,7 +97,7 @@ ExperimentRunner::runUnbounded() const
     // The list cache tracks its own peak; prefer it (it includes the
     // occupancy between simulator samples).
     result.peakBytes = std::max(result.peakBytes, manager.peakBytes());
-    std::lock_guard<std::mutex> lock(memoMutex_);
+    MutexLock lock(memoMutex_);
     if (!unbounded_.has_value()) {
         unbounded_ = result;
     }
@@ -111,7 +111,7 @@ ExperimentRunner::runUnified(std::uint64_t capacity_bytes) const
         fatal("unified baseline requires a positive capacity");
     }
     {
-        std::lock_guard<std::mutex> lock(memoMutex_);
+        MutexLock lock(memoMutex_);
         auto it = unifiedByCapacity_.find(capacity_bytes);
         if (it != unifiedByCapacity_.end()) {
             return it->second;
@@ -121,7 +121,7 @@ ExperimentRunner::runUnified(std::uint64_t capacity_bytes) const
         capacity_bytes, cache::LocalPolicy::PseudoCircular);
     CacheSimulator simulator(manager);
     SimResult result = simulator.run(log_);
-    std::lock_guard<std::mutex> lock(memoMutex_);
+    MutexLock lock(memoMutex_);
     return unifiedByCapacity_.emplace(capacity_bytes, result)
         .first->second;
 }

@@ -34,6 +34,7 @@
 #include "codecache/generational_cache.h"
 #include "sim/batched_replay.h"
 #include "sim/simulator.h"
+#include "support/thread_annotations.h"
 #include "support/thread_pool.h"
 #include "tracelog/compiled_log.h"
 #include "workload/profile.h"
@@ -161,9 +162,11 @@ class ExperimentRunner
     workload::BenchmarkProfile profile_;
     tracelog::AccessLog log_;
 
-    mutable std::mutex memoMutex_;
-    mutable std::optional<SimResult> unbounded_;
-    mutable std::map<std::uint64_t, SimResult> unifiedByCapacity_;
+    mutable Mutex memoMutex_;
+    mutable std::optional<SimResult> unbounded_
+        GENCACHE_GUARDED_BY(memoMutex_);
+    mutable std::map<std::uint64_t, SimResult> unifiedByCapacity_
+        GENCACHE_GUARDED_BY(memoMutex_);
 
     mutable std::once_flag compiledOnce_;
     mutable std::unique_ptr<tracelog::CompiledLog> compiled_;

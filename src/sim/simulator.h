@@ -17,6 +17,7 @@
 #define GENCACHE_SIM_SIMULATOR_H
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <unordered_map>
 
@@ -90,6 +91,28 @@ class CacheSimulator
         checkpointHook_ = std::move(hook);
     }
 
+    /**
+     * Attach @p probe as a second event listener beside the cost
+     * accountant: a TeeListener fans every manager event out to the
+     * accountant first, then the probe. The temporal invariant engine
+     * (analysis::attachPhaseChecks, gencheck --journal) observes runs
+     * through this. @p probe is not owned and must outlive the runs;
+     * nullptr restores the accountant alone.
+     */
+    void setProbeListener(cache::CacheEventListener *probe)
+    {
+        if (probe == nullptr) {
+            tee_.reset();
+            manager_.setListener(&account_);
+        } else {
+            tee_.emplace(account_, *probe);
+            manager_.setListener(&*tee_);
+        }
+    }
+
+    /** The manager under simulation (probe attachment, checks). */
+    const cache::CacheManager &manager() const { return manager_; }
+
   private:
     struct TraceInfo
     {
@@ -100,6 +123,7 @@ class CacheSimulator
 
     cache::CacheManager &manager_;
     cost::OverheadAccount account_;
+    std::optional<cache::TeeListener> tee_; ///< set by setProbeListener
     std::function<void(const cache::CacheManager &, TimeUs)>
         checkpointHook_;
 };

@@ -6,6 +6,7 @@
 #include <memory>
 #include <set>
 
+#include "analysis/topology_passes.h"
 #include "sim/batched_replay.h"
 #include "sim/experiment.h"
 #include "support/format.h"
@@ -223,14 +224,37 @@ smokeTournamentConfigs()
 
 TournamentResult
 runTournament(const std::vector<workload::BenchmarkProfile> &profiles,
-              const std::vector<TournamentConfig> &configs,
+              const std::vector<TournamentConfig> &all_configs,
               std::size_t threads, std::size_t shard_lanes)
 {
-    if (profiles.empty() || configs.empty()) {
+    if (profiles.empty() || all_configs.empty()) {
         fatal("tournament needs at least one profile and one config");
     }
     if (shard_lanes == 0) {
         shard_lanes = 1;
+    }
+
+    // Pre-lint: an ill-formed topology would fatal() inside build()
+    // in the middle of a replay shard; reject it up front instead and
+    // report why. Budgets vary per profile, so only the
+    // budget-independent checks apply here.
+    std::vector<TournamentConfig> configs;
+    std::vector<TournamentRejection> rejected;
+    configs.reserve(all_configs.size());
+    for (const TournamentConfig &config : all_configs) {
+        analysis::DiagnosticEngine engine;
+        if (analysis::lintTopology(config.topology, engine)) {
+            configs.push_back(config);
+        } else {
+            rejected.push_back(
+                TournamentRejection{config.name,
+                                    engine.diagnostics()});
+        }
+    }
+    if (configs.empty()) {
+        fatal("tournament: the topology linter rejected every "
+              "configuration ({} of {})", rejected.size(),
+              all_configs.size());
     }
 
     // Distinct pressure points drive the per-profile baselines.
@@ -315,6 +339,7 @@ runTournament(const std::vector<workload::BenchmarkProfile> &profiles,
     // the floating-point reductions are reproducible bit-for-bit.
     TournamentResult tournament;
     tournament.profileCount = profiles.size();
+    tournament.rejected = std::move(rejected);
     tournament.rows.reserve(configs.size());
     for (std::size_t c = 0; c < configs.size(); ++c) {
         const TournamentConfig &config = configs[c];

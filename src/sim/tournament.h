@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostics.h"
 #include "codecache/tier_pipeline.h"
 #include "workload/profile.h"
 
@@ -59,16 +60,29 @@ struct TournamentRow
     double meanOverheadRatioPct = 0.0;     ///< vs unified baseline
 };
 
-/** Tournament output: one row per configuration plus the front. */
+/** A configuration the topology linter rejected before replay. */
+struct TournamentRejection
+{
+    std::string config; ///< TournamentConfig::name
+    std::vector<analysis::Diagnostic> diagnostics; ///< topo-* findings
+};
+
+/** Tournament output: one row per accepted configuration plus the
+ *  front, and the configurations the pre-lint rejected. */
 struct TournamentResult
 {
     std::size_t profileCount = 0;
-    std::vector<TournamentRow> rows; ///< config enumeration order
+    std::vector<TournamentRow> rows; ///< accepted configs, input order
 
     /** Indices into rows of the non-dominated configurations of the
      *  minimize-(meanOverheadRatioPct, meanMissRate) plane, sorted by
      *  (overhead asc, miss rate asc, config name asc). */
     std::vector<std::size_t> pareto;
+
+    /** Configurations rejected up front by the static topology linter
+     *  (analysis::lintTopology) — ill-formed topologies would fatal()
+     *  inside build() mid-replay otherwise. Input order. */
+    std::vector<TournamentRejection> rejected;
 };
 
 /**

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Clang thread-safety analysis annotations and an annotated mutex.
+ *
+ * The GENCACHE_* macros expand to clang's `__attribute__((...))` thread
+ * safety attributes when compiling with a compiler that understands
+ * them (clang with -Wthread-safety) and to nothing elsewhere, so the
+ * annotations are free documentation under gcc and machine-checked
+ * proof obligations under clang.
+ *
+ * `Mutex` wraps std::mutex as a CAPABILITY so GUARDED_BY/REQUIRES
+ * clauses can name it; `MutexLock` is the matching SCOPED_CAPABILITY
+ * RAII guard. Condition waits go through std::condition_variable_any,
+ * which accepts any lockable (std::condition_variable demands a bare
+ * std::unique_lock<std::mutex> and cannot see through the wrapper).
+ *
+ * Annotate every piece of state shared by parallel sweep / tournament
+ * workers: the analysis is only as good as its coverage, and the CI
+ * thread-safety stage (scripts/ci.sh) builds with
+ * -Wthread-safety -Werror=thread-safety whenever clang is available.
+ */
+
+#ifndef GENCACHE_SUPPORT_THREAD_ANNOTATIONS_H
+#define GENCACHE_SUPPORT_THREAD_ANNOTATIONS_H
+
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define GENCACHE_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define GENCACHE_THREAD_ANNOTATION(x) // no-op outside clang
+#endif
+
+#define GENCACHE_CAPABILITY(x) GENCACHE_THREAD_ANNOTATION(capability(x))
+
+#define GENCACHE_SCOPED_CAPABILITY GENCACHE_THREAD_ANNOTATION(scoped_lockable)
+
+#define GENCACHE_GUARDED_BY(x) GENCACHE_THREAD_ANNOTATION(guarded_by(x))
+
+#define GENCACHE_PT_GUARDED_BY(x) GENCACHE_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define GENCACHE_REQUIRES(...) \
+    GENCACHE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+#define GENCACHE_ACQUIRE(...) \
+    GENCACHE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define GENCACHE_RELEASE(...) \
+    GENCACHE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define GENCACHE_TRY_ACQUIRE(...) \
+    GENCACHE_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define GENCACHE_EXCLUDES(...) \
+    GENCACHE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define GENCACHE_RETURN_CAPABILITY(x) \
+    GENCACHE_THREAD_ANNOTATION(lock_returned(x))
+
+#define GENCACHE_NO_THREAD_SAFETY_ANALYSIS \
+    GENCACHE_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace gencache {
+
+/** std::mutex annotated as a thread-safety capability. */
+class GENCACHE_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() GENCACHE_ACQUIRE() { impl_.lock(); }
+    void unlock() GENCACHE_RELEASE() { impl_.unlock(); }
+    bool try_lock() GENCACHE_TRY_ACQUIRE(true) { return impl_.try_lock(); }
+
+  private:
+    std::mutex impl_;
+};
+
+/** RAII guard for Mutex, visible to the thread-safety analysis. */
+class GENCACHE_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mutex) GENCACHE_ACQUIRE(mutex) : mutex_(mutex)
+    {
+        mutex_.lock();
+    }
+
+    ~MutexLock() GENCACHE_RELEASE() { mutex_.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &mutex_;
+};
+
+} // namespace gencache
+
+#endif // GENCACHE_SUPPORT_THREAD_ANNOTATIONS_H

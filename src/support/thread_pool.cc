@@ -54,7 +54,7 @@ ThreadPool::ThreadPool(std::size_t threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stopping_ = true;
     }
     available_.notify_all();
@@ -69,8 +69,10 @@ ThreadPool::workerLoop()
     while (true) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            available_.wait(lock, [this]() {
+            MutexLock lock(mutex_);
+            // wait() releases and reacquires mutex_ itself; the
+            // predicate always runs with the lock held.
+            available_.wait(mutex_, [this]() GENCACHE_REQUIRES(mutex_) {
                 return stopping_ || !queue_.empty();
             });
             if (queue_.empty()) {

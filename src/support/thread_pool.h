@@ -23,10 +23,11 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "support/thread_annotations.h"
 
 namespace gencache {
 
@@ -64,7 +65,7 @@ class ThreadPool
             std::forward<Fn>(fn));
         std::future<Result> future = task->get_future();
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             queue_.emplace_back([task]() { (*task)(); });
         }
         available_.notify_one();
@@ -84,11 +85,14 @@ class ThreadPool
   private:
     void workerLoop();
 
-    std::mutex mutex_;
-    std::condition_variable available_;
-    std::deque<std::function<void()>> queue_;
+    Mutex mutex_;
+    // condition_variable_any: the annotated Mutex is a BasicLockable
+    // that std::condition_variable (unique_lock<std::mutex> only)
+    // cannot wait on.
+    std::condition_variable_any available_;
+    std::deque<std::function<void()>> queue_ GENCACHE_GUARDED_BY(mutex_);
     std::vector<std::thread> workers_;
-    bool stopping_ = false;
+    bool stopping_ GENCACHE_GUARDED_BY(mutex_) = false;
 };
 
 } // namespace gencache

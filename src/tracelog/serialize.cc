@@ -6,11 +6,21 @@
 #include <ostream>
 #include <sstream>
 
+#include "support/format.h"
 #include "support/logging.h"
 
 namespace gencache::tracelog {
 
 namespace {
+
+/** Abort parsing: malformed or truncated input. The public entry
+ *  points translate this into parseFail() or a tryLoadLog error. */
+template <typename... Args>
+[[noreturn]] void
+parseFail(std::string_view spec, const Args &...args)
+{
+    throw ParseError(format(spec, args...));
+}
 
 constexpr char kTextMagic[] = "gclog";
 constexpr std::uint32_t kTextVersion = 1;
@@ -59,7 +69,7 @@ readLe(std::istream &in)
     unsigned char bytes[sizeof(T)];
     in.read(reinterpret_cast<char *>(bytes), sizeof(T));
     if (!in) {
-        fatal("truncated binary access log");
+        parseFail("truncated binary access log");
     }
     T value = 0;
     for (std::size_t i = 0; i < sizeof(T); ++i) {
@@ -93,14 +103,14 @@ readVarint(std::istream &in)
     for (unsigned shift = 0; shift < 64; shift += 7) {
         int byte = in.get();
         if (byte == std::char_traits<char>::eof()) {
-            fatal("truncated binary access log");
+            parseFail("truncated binary access log");
         }
         value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
         if ((byte & 0x80) == 0) {
             return value;
         }
     }
-    fatal("binary gclog: varint longer than 64 bits");
+    parseFail("binary gclog: varint longer than 64 bits");
 }
 
 /** Decode a +1-biased trace reference: 0 is reserved (it would
@@ -111,7 +121,7 @@ readTraceRef(std::istream &in, std::uint64_t event_index)
 {
     std::uint64_t raw = readVarint(in);
     if (raw == 0) {
-        fatal("binary gclog: event {} has trace reference 0 "
+        parseFail("binary gclog: event {} has trace reference 0 "
               "(corrupt stream)", event_index);
     }
     return raw - 1;
@@ -126,7 +136,7 @@ readModuleRef(std::istream &in, std::uint64_t event_index)
 {
     std::uint64_t raw = readVarint(in);
     if (raw > 0xffffffffULL) {
-        fatal("binary gclog: event {} has bad module reference {} "
+        parseFail("binary gclog: event {} has bad module reference {} "
               "(corrupt stream)", event_index, raw);
     }
     return static_cast<cache::ModuleId>(raw) - 1U;
@@ -175,13 +185,13 @@ readBinaryV2(std::istream &in)
     AccessLog log;
     auto name_len = readVarint(in);
     if (name_len > (1U << 20)) {
-        fatal("binary gclog: implausible benchmark name length {}",
+        parseFail("binary gclog: implausible benchmark name length {}",
               name_len);
     }
     std::string name(name_len, '\0');
     in.read(name.data(), static_cast<std::streamsize>(name_len));
     if (!in) {
-        fatal("truncated binary access log header");
+        parseFail("truncated binary access log header");
     }
     log.setBenchmark(name);
     log.setDuration(readVarint(in));
@@ -192,12 +202,12 @@ readBinaryV2(std::istream &in)
         Event event;
         auto type = readLe<std::uint8_t>(in);
         if (type > static_cast<std::uint8_t>(EventType::Unpin)) {
-            fatal("binary gclog: bad event type {}", int{type});
+            parseFail("binary gclog: bad event type {}", int{type});
         }
         event.type = static_cast<EventType>(type);
         TimeUs delta = readVarint(in);
         if (delta > ~prev) {
-            fatal("binary gclog: event {} time overflows", i);
+            parseFail("binary gclog: event {} time overflows", i);
         }
         event.time = prev + delta;
         prev = event.time;
@@ -206,7 +216,7 @@ readBinaryV2(std::istream &in)
             event.trace = readTraceRef(in, i);
             std::uint64_t size_bytes = readVarint(in);
             if (size_bytes > 0xffffffffULL) {
-                fatal("binary gclog: event {} trace size {} exceeds "
+                parseFail("binary gclog: event {} trace size {} exceeds "
                       "32 bits (corrupt stream)", i, size_bytes);
             }
             event.sizeBytes = static_cast<std::uint32_t>(size_bytes);
@@ -230,6 +240,13 @@ readBinaryV2(std::istream &in)
 
 } // namespace
 
+namespace {
+
+AccessLog readTextImpl(std::istream &in);
+AccessLog readBinaryImpl(std::istream &in);
+
+} // namespace
+
 void
 writeText(const AccessLog &log, std::ostream &out)
 {
@@ -247,14 +264,16 @@ writeText(const AccessLog &log, std::ostream &out)
     }
 }
 
+namespace {
+
 AccessLog
-readText(std::istream &in)
+readTextImpl(std::istream &in)
 {
     std::string magic;
     std::uint32_t version = 0;
     in >> magic >> version;
     if (magic != kTextMagic || version != kTextVersion) {
-        fatal("not a gclog text file (magic '{}', version {})", magic,
+        parseFail("not a gclog text file (magic '{}', version {})", magic,
               version);
     }
 
@@ -267,19 +286,19 @@ readText(std::istream &in)
 
     in >> key >> benchmark;
     if (key != "benchmark") {
-        fatal("gclog: expected 'benchmark', got '{}'", key);
+        parseFail("gclog: expected 'benchmark', got '{}'", key);
     }
     in >> key >> duration;
     if (key != "duration_us") {
-        fatal("gclog: expected 'duration_us', got '{}'", key);
+        parseFail("gclog: expected 'duration_us', got '{}'", key);
     }
     in >> key >> footprint;
     if (key != "footprint_bytes") {
-        fatal("gclog: expected 'footprint_bytes', got '{}'", key);
+        parseFail("gclog: expected 'footprint_bytes', got '{}'", key);
     }
     in >> key >> count;
     if (key != "events") {
-        fatal("gclog: expected 'events', got '{}'", key);
+        parseFail("gclog: expected 'events', got '{}'", key);
     }
     if (benchmark != "-") {
         log.setBenchmark(benchmark);
@@ -293,14 +312,26 @@ readText(std::istream &in)
         in >> token >> event.time >> event.trace >> event.sizeBytes >>
             event.module;
         if (!in) {
-            fatal("gclog: truncated after {} of {} events", i, count);
+            parseFail("gclog: truncated after {} of {} events", i, count);
         }
         if (!tokenToType(token, event.type)) {
-            fatal("gclog: unknown event type '{}'", token);
+            parseFail("gclog: unknown event type '{}'", token);
         }
         log.append(event);
     }
     return log;
+}
+
+} // namespace
+
+AccessLog
+readText(std::istream &in)
+{
+    try {
+        return readTextImpl(in);
+    } catch (const ParseError &error) {
+        fatal("{}", error.what());
+    }
 }
 
 void
@@ -331,30 +362,32 @@ writeBinary(const AccessLog &log, std::ostream &out, int version)
     }
 }
 
+namespace {
+
 AccessLog
-readBinary(std::istream &in)
+readBinaryImpl(std::istream &in)
 {
     char magic[4];
     in.read(magic, sizeof(magic));
     if (!in) {
-        fatal("not a gclog binary file");
+        parseFail("not a gclog binary file");
     }
     if (std::memcmp(magic, kBinaryMagicV2, sizeof(magic)) == 0) {
         return readBinaryV2(in);
     }
     if (std::memcmp(magic, kBinaryMagic, sizeof(magic)) != 0) {
-        fatal("not a gclog binary file");
+        parseFail("not a gclog binary file");
     }
     AccessLog log;
     auto name_len = readLe<std::uint32_t>(in);
     if (name_len > (1U << 20)) {
-        fatal("binary gclog: implausible benchmark name length {}",
+        parseFail("binary gclog: implausible benchmark name length {}",
               name_len);
     }
     std::string name(name_len, '\0');
     in.read(name.data(), name_len);
     if (!in) {
-        fatal("truncated binary access log header");
+        parseFail("truncated binary access log header");
     }
     log.setBenchmark(name);
     log.setDuration(readLe<std::uint64_t>(in));
@@ -364,7 +397,7 @@ readBinary(std::istream &in)
         Event event;
         auto type = readLe<std::uint8_t>(in);
         if (type > static_cast<std::uint8_t>(EventType::Unpin)) {
-            fatal("binary gclog: bad event type {}", int{type});
+            parseFail("binary gclog: bad event type {}", int{type});
         }
         event.type = static_cast<EventType>(type);
         event.time = readLe<std::uint64_t>(in);
@@ -376,6 +409,18 @@ readBinary(std::istream &in)
     return log;
 }
 
+} // namespace
+
+AccessLog
+readBinary(std::istream &in)
+{
+    try {
+        return readBinaryImpl(in);
+    } catch (const ParseError &error) {
+        fatal("{}", error.what());
+    }
+}
+
 namespace {
 
 bool
@@ -384,6 +429,19 @@ endsWith(const std::string &text, const std::string &suffix)
     return text.size() >= suffix.size() &&
            text.compare(text.size() - suffix.size(), suffix.size(),
                         suffix) == 0;
+}
+
+AccessLog
+loadLogImpl(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        parseFail("cannot open '{}' for reading", path);
+    }
+    if (endsWith(path, ".gclogb")) {
+        return readBinaryImpl(in);
+    }
+    return readTextImpl(in);
 }
 
 } // namespace
@@ -409,14 +467,23 @@ saveLog(const AccessLog &log, const std::string &path,
 AccessLog
 loadLog(const std::string &path)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
-        fatal("cannot open '{}' for reading", path);
+    try {
+        return loadLogImpl(path);
+    } catch (const ParseError &error) {
+        fatal("{}", error.what());
     }
-    if (endsWith(path, ".gclogb")) {
-        return readBinary(in);
+}
+
+bool
+tryLoadLog(const std::string &path, AccessLog &out, std::string &error)
+{
+    try {
+        out = loadLogImpl(path);
+        return true;
+    } catch (const ParseError &parse_error) {
+        error = parse_error.what();
+        return false;
     }
-    return readText(in);
 }
 
 } // namespace gencache::tracelog

@@ -8,11 +8,23 @@
 #define GENCACHE_TRACELOG_SERIALIZE_H
 
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 
 #include "tracelog/event.h"
 
 namespace gencache::tracelog {
+
+/** Thrown by the parsing internals on unreadable or malformed input.
+ *  The public readers convert it to fatal() (their documented
+ *  contract); tryLoadLog() converts it to an error string so tools
+ *  can distinguish "the subject failed to load" from "the subject
+ *  loaded and has findings". */
+class ParseError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
 
 /**
  * Text format:
@@ -62,6 +74,13 @@ AccessLog readBinary(std::istream &in);
 void saveLog(const AccessLog &log, const std::string &path,
              int binary_version = 2);
 AccessLog loadLog(const std::string &path);
+
+/** Like loadLog(), but reports unreadable or malformed input instead
+ *  of aborting: @return true and fill @p out on success, else false
+ *  with the reason in @p error (gencheck --journal exits with its
+ *  distinct load-failure status on this path). */
+bool tryLoadLog(const std::string &path, AccessLog &out,
+                std::string &error);
 
 } // namespace gencache::tracelog
 

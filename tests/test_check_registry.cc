@@ -1,0 +1,148 @@
+// Drift test between the machine-readable check registry
+// (analysis::checkRegistry) and the DESIGN.md §8/§13 inventory
+// tables: every registered check must be documented at the same
+// severity, every documented check must be registered, the JSON dump
+// behind `gencheck --list-checks` must name them all, and reporting
+// under an unregistered ID must die.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "analysis/diagnostics.h"
+
+namespace {
+
+using namespace gencache;
+using analysis::Severity;
+
+/** DESIGN.md check rows: ID -> documented severity word. A row reads
+ *  `| `check-id` | warn | description |`. */
+std::map<std::string, std::string>
+documentedChecks()
+{
+    const std::string path =
+        std::string(GENCACHE_SOURCE_ROOT) + "/DESIGN.md";
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+
+    std::map<std::string, std::string> rows;
+    std::string line;
+    while (std::getline(in, line)) {
+        // "| `id` | sev | ..." — tolerate surrounding spaces only.
+        if (line.rfind("| `", 0) != 0) {
+            continue;
+        }
+        const std::size_t idEnd = line.find('`', 3);
+        if (idEnd == std::string::npos) {
+            continue;
+        }
+        const std::string id = line.substr(3, idEnd - 3);
+        std::size_t sevStart = line.find('|', idEnd);
+        if (sevStart == std::string::npos) {
+            continue;
+        }
+        sevStart = line.find_first_not_of(" |", sevStart);
+        const std::size_t sevEnd =
+            line.find_first_of(" |", sevStart);
+        if (sevStart == std::string::npos ||
+            sevEnd == std::string::npos) {
+            continue;
+        }
+        const std::string severity =
+            line.substr(sevStart, sevEnd - sevStart);
+        // Only check-inventory rows: other DESIGN.md tables also
+        // start cells with backticked identifiers, but only the
+        // inventories put a severity word in column two.
+        if (severity != "note" && severity != "warn" &&
+            severity != "error") {
+            continue;
+        }
+        rows[id] = severity;
+    }
+    return rows;
+}
+
+const char *
+documentedWord(Severity severity)
+{
+    switch (severity) {
+      case Severity::Note:
+        return "note";
+      case Severity::Warning:
+        return "warn";
+      case Severity::Error:
+        return "error";
+    }
+    return "?";
+}
+
+TEST(CheckRegistry, EveryRegisteredCheckIsDocumented)
+{
+    const std::map<std::string, std::string> documented =
+        documentedChecks();
+    ASSERT_FALSE(documented.empty());
+    for (const analysis::CheckInfo &info :
+         analysis::checkRegistry()) {
+        const auto row = documented.find(std::string(info.id));
+        ASSERT_NE(row, documented.end())
+            << "check `" << info.id
+            << "` is registered but missing from the DESIGN.md "
+               "inventory tables";
+        EXPECT_EQ(row->second, documentedWord(info.severity))
+            << "check `" << info.id
+            << "` is documented at the wrong severity";
+    }
+}
+
+TEST(CheckRegistry, EveryDocumentedCheckIsRegistered)
+{
+    for (const auto &[id, severity] : documentedChecks()) {
+        const analysis::CheckInfo *info =
+            analysis::findCheckInfo(id);
+        ASSERT_NE(info, nullptr)
+            << "DESIGN.md documents `" << id
+            << "` but the registry does not know it";
+        EXPECT_EQ(severity, documentedWord(info->severity))
+            << "`" << id << "`";
+        // The tables list canonical spellings only.
+        EXPECT_EQ(analysis::canonicalCheckId(id), id);
+    }
+}
+
+TEST(CheckRegistry, JsonDumpNamesEveryCheck)
+{
+    const std::string json = analysis::checkRegistryJson();
+    for (const analysis::CheckInfo &info :
+         analysis::checkRegistry()) {
+        EXPECT_NE(json.find("\"" + std::string(info.id) + "\""),
+                  std::string::npos)
+            << info.id;
+        EXPECT_NE(
+            json.find(std::string(severityName(info.severity))),
+            std::string::npos);
+    }
+}
+
+TEST(CheckRegistry, LegacyAliasesResolveToRegisteredChecks)
+{
+    for (const char *alias :
+         {"gen-dup-residency", "gen-index-mismatch", "gen-flow"}) {
+        const analysis::CheckInfo *info =
+            analysis::findCheckInfo(alias);
+        ASSERT_NE(info, nullptr) << alias;
+        EXPECT_NE(analysis::canonicalCheckId(alias), alias);
+    }
+}
+
+TEST(CheckRegistryDeathTest, ReportingUnregisteredIdPanics)
+{
+    analysis::DiagnosticEngine engine;
+    EXPECT_DEATH(engine.report(Severity::Error, "tmp-not-a-check",
+                               "nowhere", "bogus"),
+                 "tmp-not-a-check");
+}
+
+} // namespace

@@ -1,0 +1,277 @@
+// The static topology linter (analysis/topology_passes): every
+// ill-formed TierTopology class must be rejected with its stable
+// topo-* ID without constructing a cache, the shipped catalog must
+// lint clean, the tournament must pre-reject dirty configs, and the
+// static fast-path explanation must agree with the real pipeline.
+
+#include <gtest/gtest.h>
+
+#include "analysis/topology_passes.h"
+#include "codecache/local_cache.h"
+#include "codecache/tier_pipeline.h"
+#include "sim/tournament.h"
+#include "support/units.h"
+#include "workload/profile.h"
+
+namespace {
+
+using namespace gencache;
+using analysis::DiagnosticEngine;
+using analysis::lintTopology;
+using cache::EdgeSpec;
+using cache::LocalPolicy;
+using cache::PinHandling;
+using cache::TierTopology;
+
+EdgeSpec
+edge(EdgeSpec::Rule rule, std::uint32_t threshold = 1,
+     bool eager = false, TimeUs half_life_us = 0)
+{
+    EdgeSpec spec;
+    spec.rule = rule;
+    spec.threshold = threshold;
+    spec.eager = eager;
+    spec.halfLifeUs = half_life_us;
+    return spec;
+}
+
+TierTopology
+topo(std::vector<double> fractions, std::vector<EdgeSpec> edges)
+{
+    TierTopology topology;
+    topology.name = "under-test";
+    topology.fractions = std::move(fractions);
+    topology.edges = std::move(edges);
+    return topology;
+}
+
+/** Run the budget-independent linter; @return the engine. */
+DiagnosticEngine
+lint(const TierTopology &topology, bool expect_ok)
+{
+    DiagnosticEngine engine;
+    EXPECT_EQ(lintTopology(topology, engine), expect_ok)
+        << engine.textReport();
+    return engine;
+}
+
+TEST(TopologyLint, EmptyTopologyIsRejected)
+{
+    DiagnosticEngine engine = lint(topo({}, {}), false);
+    EXPECT_TRUE(engine.hasCheck("topo-no-tiers"))
+        << engine.textReport();
+}
+
+TEST(TopologyLint, EdgeCountMismatchIsRejected)
+{
+    DiagnosticEngine engine = lint(topo({0.5, 0.5}, {}), false);
+    EXPECT_TRUE(engine.hasCheck("topo-edge-count"))
+        << engine.textReport();
+}
+
+TEST(TopologyLint, NinePipelineStagesAreRejected)
+{
+    std::vector<double> fractions(9, 0.1);
+    std::vector<EdgeSpec> edges(
+        8, edge(EdgeSpec::Rule::AlwaysPromote));
+    DiagnosticEngine engine =
+        lint(topo(std::move(fractions), std::move(edges)), false);
+    EXPECT_TRUE(engine.hasCheck("topo-too-deep"))
+        << engine.textReport();
+}
+
+TEST(TopologyLint, NegativeFractionIsRejected)
+{
+    DiagnosticEngine engine = lint(
+        topo({-0.5, 0.5}, {edge(EdgeSpec::Rule::AlwaysPromote)}),
+        false);
+    EXPECT_TRUE(engine.hasCheck("topo-fraction-range"))
+        << engine.textReport();
+}
+
+TEST(TopologyLint, OverCommittedFractionsAreRejected)
+{
+    // Every tier but the last already claims >= 100% of the budget,
+    // so tierSpecs() would leave nothing for the last tier.
+    DiagnosticEngine engine =
+        lint(topo({0.7, 0.4, 0.2}, {edge(EdgeSpec::Rule::AlwaysPromote),
+                                    edge(EdgeSpec::Rule::Threshold)}),
+             false);
+    EXPECT_TRUE(engine.hasCheck("topo-fraction-sum"))
+        << engine.textReport();
+}
+
+TEST(TopologyLint, LowFractionSumOnlyWarns)
+{
+    DiagnosticEngine engine = lint(
+        topo({0.1, 0.1}, {edge(EdgeSpec::Rule::Threshold)}), true);
+    EXPECT_TRUE(engine.hasCheck("topo-fraction-sum-low"))
+        << engine.textReport();
+    EXPECT_EQ(engine.errorCount(), 0u);
+}
+
+TEST(TopologyLint, BudgetBelowTierCountIsRejected)
+{
+    TierTopology topology =
+        topo({0.4, 0.3, 0.3}, {edge(EdgeSpec::Rule::AlwaysPromote),
+                               edge(EdgeSpec::Rule::Threshold)});
+    DiagnosticEngine engine;
+    EXPECT_FALSE(lintTopology(topology, /*budget_bytes=*/2, engine));
+    EXPECT_TRUE(engine.hasCheck("topo-zero-capacity"))
+        << engine.textReport();
+    // The same topology is fine at a real budget.
+    DiagnosticEngine ok;
+    EXPECT_TRUE(lintTopology(topology, 64 * kKiB, ok))
+        << ok.textReport();
+}
+
+TEST(TopologyLint, UnboundedMultiTierIsRejected)
+{
+    TierTopology topology =
+        topo({0.5, 0.5}, {edge(EdgeSpec::Rule::Threshold)});
+    topology.policy = LocalPolicy::Unbounded;
+    DiagnosticEngine engine = lint(topology, false);
+    EXPECT_TRUE(engine.hasCheck("topo-unbounded-multi"))
+        << engine.textReport();
+}
+
+TEST(TopologyLint, TiersBehindAlwaysDeleteAreRejected)
+{
+    DiagnosticEngine engine = lint(
+        topo({0.4, 0.3, 0.3}, {edge(EdgeSpec::Rule::AlwaysDelete),
+                               edge(EdgeSpec::Rule::Threshold)}),
+        false);
+    EXPECT_TRUE(engine.hasCheck("topo-unreachable-tier"))
+        << engine.textReport();
+    EXPECT_TRUE(engine.hasCheck("topo-edge-never-fires"))
+        << engine.textReport();
+}
+
+TEST(TopologyLint, ZeroTemperatureHalfLifeIsRejected)
+{
+    DiagnosticEngine engine =
+        lint(topo({0.5, 0.5}, {edge(EdgeSpec::Rule::Temperature,
+                                    /*threshold=*/2, false,
+                                    /*half_life_us=*/0)}),
+             false);
+    EXPECT_TRUE(engine.hasCheck("topo-temp-halflife"))
+        << engine.textReport();
+}
+
+TEST(TopologyLint, ZeroThresholdOnlyWarns)
+{
+    DiagnosticEngine engine = lint(
+        topo({0.5, 0.5},
+             {edge(EdgeSpec::Rule::Threshold, /*threshold=*/0)}),
+        true);
+    EXPECT_TRUE(engine.hasCheck("topo-threshold-zero"))
+        << engine.textReport();
+    EXPECT_EQ(engine.errorCount(), 0u);
+}
+
+TEST(TopologyLint, ShedPinsOnSingleTierOnlyWarns)
+{
+    TierTopology topology = topo({1.0}, {});
+    topology.pins = PinHandling::Shed;
+    DiagnosticEngine engine = lint(topology, true);
+    EXPECT_TRUE(engine.hasCheck("topo-pin-shed-single"))
+        << engine.textReport();
+    EXPECT_EQ(engine.errorCount(), 0u);
+}
+
+TEST(TopologyLint, ShedPinsUnderPreemptiveFlushOnlyWarn)
+{
+    TierTopology topology =
+        topo({0.5, 0.5}, {edge(EdgeSpec::Rule::Threshold)});
+    topology.pins = PinHandling::Shed;
+    topology.policy = LocalPolicy::PreemptiveFlush;
+    DiagnosticEngine engine = lint(topology, true);
+    EXPECT_TRUE(engine.hasCheck("topo-pin-shed-flush"))
+        << engine.textReport();
+    EXPECT_EQ(engine.errorCount(), 0u);
+}
+
+TEST(TopologyLint, ShippedCatalogLintsClean)
+{
+    for (const TierTopology &topology :
+         cache::namedTierTopologies()) {
+        DiagnosticEngine engine;
+        EXPECT_TRUE(lintTopology(topology, engine))
+            << topology.name << "\n" << engine.textReport();
+        EXPECT_EQ(engine.errorCount(), 0u) << topology.name;
+
+        DiagnosticEngine budgeted;
+        EXPECT_TRUE(lintTopology(topology, kMiB, budgeted))
+            << topology.name << "\n" << budgeted.textReport();
+    }
+}
+
+TEST(TopologyLint, TournamentRejectsDirtyConfigsUpFront)
+{
+    workload::BenchmarkProfile profile =
+        workload::findProfile("gzip");
+    profile.finalCacheKb *= 0.1;
+    profile.durationSec *= 0.1;
+    if (profile.finalCacheKb < 16.0) {
+        profile.finalCacheKb = 16.0;
+    }
+    if (profile.durationSec < 0.25) {
+        profile.durationSec = 0.25;
+    }
+
+    sim::TournamentConfig good;
+    good.name = "good-2tier";
+    good.promotionLabel = "thr1";
+    good.topology = *cache::findTierTopology("2tier");
+
+    sim::TournamentConfig bad;
+    bad.name = "bad-edge-count";
+    bad.promotionLabel = "none";
+    bad.topology = topo({0.5, 0.5}, {});
+
+    sim::TournamentResult result = sim::runTournament(
+        {profile}, {good, bad}, /*threads=*/1, /*shard_lanes=*/4);
+
+    ASSERT_EQ(result.rows.size(), 1u);
+    EXPECT_EQ(result.rows[0].config, "good-2tier");
+    ASSERT_EQ(result.rejected.size(), 1u);
+    EXPECT_EQ(result.rejected[0].config, "bad-edge-count");
+    ASSERT_FALSE(result.rejected[0].diagnostics.empty());
+    EXPECT_EQ(result.rejected[0].diagnostics[0].checkId,
+              "topo-edge-count");
+}
+
+TEST(TopologyLint, FastPathExplanationMatchesThePipeline)
+{
+    for (const TierTopology &topology :
+         cache::namedTierTopologies()) {
+        analysis::FastPathExplanation explanation =
+            analysis::explainFastReplay(topology);
+        std::unique_ptr<cache::TierPipeline> pipeline =
+            topology.build(64 * kKiB);
+        // No listener attached, so the config-derived conditions the
+        // static explanation models are the only ones in play.
+        EXPECT_EQ(pipeline->enableFastReplay(/*id_bound=*/1024),
+                  explanation.eligible)
+            << topology.name;
+        EXPECT_EQ(explanation.blockers.empty(), explanation.eligible)
+            << topology.name;
+        EXPECT_FALSE(explanation.listenerCaveat.empty())
+            << topology.name;
+    }
+}
+
+TEST(TopologyLint, ObservesTouchPredicateMatchesRealCaches)
+{
+    for (LocalPolicy policy :
+         {LocalPolicy::PseudoCircular, LocalPolicy::Fifo,
+          LocalPolicy::Lru, LocalPolicy::PreemptiveFlush,
+          LocalPolicy::Unbounded, LocalPolicy::Srrip,
+          LocalPolicy::Brrip}) {
+        EXPECT_EQ(cache::localPolicyObservesTouch(policy),
+                  cache::makeLocalCache(policy, kKiB)->observesTouch())
+            << static_cast<int>(policy);
+    }
+}
+
+} // namespace

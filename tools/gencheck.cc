@@ -25,19 +25,38 @@
  *    then checked at the storage level with the tier-indexed passes;
  *  - live:tier:<topology> — a synthetic guest executed under the
  *    runtime on top of a named topology pipeline, checked
- *    whole-system.
+ *    whole-system;
+ *  - topo:<topology> — the named topology linted statically
+ *    (analysis::lintTopology), no cache ever built;
+ *  - journal:<file>:<manager> — a recorded gclog journal
+ *    (--journal) replayed against the legacy generational config and
+ *    every selected topology with the temporal invariant engine
+ *    attached, then snapshot-checked. This is the offline temporal
+ *    mode: the event stream of the whole replay is validated, not
+ *    just the end state.
  *
- * Exit status is 1 when any error-severity diagnostic was reported,
- * 0 otherwise (warnings and notes do not fail the run).
+ * The sim: and tier: subjects also run the temporal engine online
+ * while they replay.
+ *
+ * Exit status: 0 clean (warnings and notes do not fail the run),
+ * 1 when any error-severity diagnostic was reported, 2 on usage
+ * errors, 3 when a subject failed to load (unreadable or malformed
+ * --journal file).
  *
  * Usage:
  *   gencheck [--json FILE] [--profile NAME]... [--tier NAME]...
- *            [--seed N] [--quiet]
+ *            [--journal FILE]... [--seed N] [--quiet]
+ *   gencheck --list-checks
+ *   gencheck --explain-fast-path [--tier NAME]...
  *
  * --profile may be given multiple times; the default set is gzip
  * (SPEC) and mpeg (interactive, exercises DLL unloads). --tier
  * selects topologies from the named catalog (default: all of them).
- * --seed varies the synthetic guest program of the live subjects.
+ * --journal switches to offline journal checking (the live/sim
+ * subjects are skipped). --seed varies the synthetic guest program of
+ * the live subjects. --list-checks dumps the full check-ID registry
+ * as JSON and exits. --explain-fast-path explains hot-slot fast-path
+ * eligibility of the selected topologies and exits.
  */
 
 #include <cstdio>
@@ -50,6 +69,8 @@
 
 #include "analysis/checker.h"
 #include "analysis/pass.h"
+#include "analysis/temporal_passes.h"
+#include "analysis/topology_passes.h"
 #include "codecache/generational_cache.h"
 #include "codecache/unified_cache.h"
 #include "guest/synthetic_program.h"
@@ -58,6 +79,7 @@
 #include "sim/simulator.h"
 #include "sim/sweep.h"
 #include "tracelog/compiled_log.h"
+#include "tracelog/serialize.h"
 #include "support/format.h"
 #include "support/units.h"
 #include "workload/generator.h"
@@ -106,6 +128,20 @@ checkLiveSubject(const std::string &name, cache::CacheManager &manager,
     return report;
 }
 
+/** Replay @p log against @p manager with the temporal invariant
+ *  engine observing every cache event, then run the snapshot passes
+ *  over the end state. Everything lands in one engine. */
+analysis::DiagnosticEngine
+replayWithTemporal(const tracelog::AccessLog &log,
+                   cache::CacheManager &manager)
+{
+    analysis::DiagnosticEngine engine;
+    analysis::runTemporalReplay(log, manager, engine);
+    analysis::runPasses(analysis::AnalysisInput::forManager(manager),
+                        engine);
+    return engine;
+}
+
 /** Replay a benchmark profile and check the cache storage state. */
 SubjectReport
 checkSimSubject(const workload::BenchmarkProfile &profile)
@@ -122,12 +158,10 @@ checkSimSubject(const workload::BenchmarkProfile &profile)
             total, /*nursery_frac=*/0.45, /*probation_frac=*/0.10,
             /*threshold=*/1);
     cache::GenerationalCacheManager manager(config);
-    sim::CacheSimulator simulator(manager);
-    simulator.run(log);
 
     SubjectReport report;
     report.name = "sim:" + profile.name;
-    report.engine = analysis::checkManager(manager);
+    report.engine = replayWithTemporal(log, manager);
     return report;
 }
 
@@ -142,13 +176,58 @@ checkTierSubject(const cache::TierTopology &topology,
         profile.finalCacheKb * static_cast<double>(kKiB) / 2.0);
     std::unique_ptr<cache::TierPipeline> manager =
         topology.build(total);
-    sim::CacheSimulator simulator(*manager);
-    simulator.run(log);
 
     SubjectReport report;
     report.name = format("tier:{}:{}", topology.name, profile.name);
-    report.engine = analysis::checkManager(*manager);
+    report.engine = replayWithTemporal(log, *manager);
     return report;
+}
+
+/** Lint a named topology statically — no cache is ever built. */
+SubjectReport
+lintTopologySubject(const cache::TierTopology &topology)
+{
+    SubjectReport report;
+    report.name = format("topo:{}", topology.name);
+    analysis::lintTopology(topology, report.engine);
+    return report;
+}
+
+/** Offline temporal mode: replay a loaded journal against the legacy
+ *  generational config and every selected topology. */
+std::vector<SubjectReport>
+checkJournalSubjects(const std::string &label,
+                     const tracelog::AccessLog &log,
+                     const std::vector<cache::TierTopology> &topologies)
+{
+    // Half the recorded footprint keeps the caches under pressure;
+    // hand-written journals without footprint metadata get a small
+    // fixed budget instead of a degenerate zero-byte cache.
+    std::uint64_t total = log.footprintBytes() / 2;
+    if (total < 4 * kKiB) {
+        total = 4 * kKiB;
+    }
+
+    std::vector<SubjectReport> reports;
+    {
+        cache::GenerationalCacheManager manager(
+            cache::GenerationalConfig::fromProportions(
+                total, /*nursery_frac=*/0.45,
+                /*probation_frac=*/0.10, /*threshold=*/1));
+        SubjectReport report;
+        report.name = format("journal:{}:generational", label);
+        report.engine = replayWithTemporal(log, manager);
+        reports.push_back(std::move(report));
+    }
+    for (const cache::TierTopology &topology : topologies) {
+        std::unique_ptr<cache::TierPipeline> manager =
+            topology.build(total);
+        SubjectReport report;
+        report.name = format("journal:{}:{}", label, topology.name);
+        report.engine = replayWithTemporal(log, *manager);
+        reports.push_back(std::move(report));
+    }
+    return reports;
 }
 
 /** Stream one compiled workload through the batched replay driver —
@@ -194,8 +273,63 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--json FILE] [--profile NAME]... "
-                 "[--tier NAME]... [--seed N] [--quiet]\n",
-                 argv0);
+                 "[--tier NAME]... [--journal FILE]... [--seed N] "
+                 "[--quiet]\n"
+                 "       %s --list-checks\n"
+                 "       %s --explain-fast-path [--tier NAME]...\n",
+                 argv0, argv0, argv0);
+}
+
+/** Last path component of @p path (journal subject labels). */
+std::string
+baseName(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? path
+                                      : path.substr(slash + 1);
+}
+
+/** The JSON schema identifier written to --json reports. Bump when
+ *  the report shape changes so consumers can dispatch on it. */
+constexpr const char *kJsonSchema = "gencheck/2";
+
+/** Print every report, emit the JSON document, and map the findings
+ *  to the exit status (0 clean, 1 errors). */
+int
+reportAndExit(const std::vector<SubjectReport> &reports,
+              std::ofstream &json_out, bool quiet)
+{
+    std::size_t errors = 0;
+    std::size_t total = 0;
+    for (const SubjectReport &report : reports) {
+        errors += report.engine.errorCount();
+        total += report.engine.size();
+        if (!quiet) {
+            std::printf("== %s ==\n%s\n", report.name.c_str(),
+                        report.engine.textReport().c_str());
+        }
+    }
+    std::printf("gencheck: %zu subject%s, %zu diagnostic%s, %zu "
+                "error%s\n",
+                reports.size(), reports.size() == 1 ? "" : "s", total,
+                total == 1 ? "" : "s", errors,
+                errors == 1 ? "" : "s");
+
+    if (json_out.is_open()) {
+        json_out << "{\"schema\": \"" << kJsonSchema
+                 << "\", \"subjects\": [";
+        for (std::size_t i = 0; i < reports.size(); ++i) {
+            if (i > 0) {
+                json_out << ", ";
+            }
+            json_out << "{\"name\": \""
+                     << analysis::jsonEscape(reports[i].name)
+                     << "\", \"report\": "
+                     << reports[i].engine.jsonReport() << "}";
+        }
+        json_out << "], \"errors\": " << errors << "}\n";
+    }
+    return errors > 0 ? 1 : 0;
 }
 
 } // namespace
@@ -206,8 +340,11 @@ main(int argc, char **argv)
     std::string json_path;
     std::vector<std::string> profile_names;
     std::vector<std::string> tier_names;
+    std::vector<std::string> journal_paths;
     std::uint64_t seed = 2003;
     bool quiet = false;
+    bool list_checks = false;
+    bool explain_fast_path = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -217,6 +354,12 @@ main(int argc, char **argv)
             profile_names.push_back(argv[++i]);
         } else if (arg == "--tier" && i + 1 < argc) {
             tier_names.push_back(argv[++i]);
+        } else if (arg == "--journal" && i + 1 < argc) {
+            journal_paths.push_back(argv[++i]);
+        } else if (arg == "--list-checks") {
+            list_checks = true;
+        } else if (arg == "--explain-fast-path") {
+            explain_fast_path = true;
         } else if (arg == "--seed" && i + 1 < argc) {
             const char *text = argv[++i];
             char *end = nullptr;
@@ -238,6 +381,10 @@ main(int argc, char **argv)
             usage(argv[0]);
             return 2;
         }
+    }
+    if (list_checks) {
+        std::printf("%s\n", analysis::checkRegistryJson().c_str());
+        return 0;
     }
     if (profile_names.empty()) {
         profile_names = {"gzip", "mpeg"};
@@ -290,7 +437,52 @@ main(int argc, char **argv)
         }
     }
 
+    if (explain_fast_path) {
+        for (const cache::TierTopology &topology : topologies) {
+            analysis::FastPathExplanation answer =
+                analysis::explainFastReplay(topology);
+            std::printf("%s: %s\n", topology.name.c_str(),
+                        answer.eligible ? "eligible" : "ineligible");
+            for (const std::string &blocker : answer.blockers) {
+                std::printf("  - %s\n", blocker.c_str());
+            }
+            if (answer.eligible) {
+                std::printf("  (provided %s)\n",
+                            answer.listenerCaveat.c_str());
+            }
+        }
+        return 0;
+    }
+
+    // Journals must all load before anything is checked: a missing or
+    // malformed subject is a distinct failure (exit 3), not a finding.
+    std::vector<tracelog::AccessLog> journals;
+    for (const std::string &path : journal_paths) {
+        tracelog::AccessLog log;
+        std::string error;
+        if (!tracelog::tryLoadLog(path, log, error)) {
+            std::fprintf(stderr, "gencheck: %s\n", error.c_str());
+            return 3;
+        }
+        journals.push_back(std::move(log));
+    }
+
     std::vector<SubjectReport> reports;
+    for (const cache::TierTopology &topology : topologies) {
+        reports.push_back(lintTopologySubject(topology));
+    }
+    if (!journals.empty()) {
+        // Offline temporal mode: check the recorded event streams
+        // only; the synthetic live/sim subjects are skipped.
+        for (std::size_t j = 0; j < journals.size(); ++j) {
+            for (SubjectReport &report : checkJournalSubjects(
+                     baseName(journal_paths[j]), journals[j],
+                     topologies)) {
+                reports.push_back(std::move(report));
+            }
+        }
+        return reportAndExit(reports, json_out, quiet);
+    }
     {
         cache::GenerationalConfig config =
             cache::GenerationalConfig::fromProportions(
@@ -324,34 +516,5 @@ main(int argc, char **argv)
         }
     }
 
-    std::size_t errors = 0;
-    std::size_t total = 0;
-    for (const SubjectReport &report : reports) {
-        errors += report.engine.errorCount();
-        total += report.engine.size();
-        if (!quiet) {
-            std::printf("== %s ==\n%s\n", report.name.c_str(),
-                        report.engine.textReport().c_str());
-        }
-    }
-    std::printf("gencheck: %zu subject%s, %zu diagnostic%s, %zu "
-                "error%s\n",
-                reports.size(), reports.size() == 1 ? "" : "s", total,
-                total == 1 ? "" : "s", errors,
-                errors == 1 ? "" : "s");
-
-    if (json_out.is_open()) {
-        json_out << "{\"subjects\": [";
-        for (std::size_t i = 0; i < reports.size(); ++i) {
-            if (i > 0) {
-                json_out << ", ";
-            }
-            json_out << "{\"name\": \""
-                     << analysis::jsonEscape(reports[i].name)
-                     << "\", \"report\": "
-                     << reports[i].engine.jsonReport() << "}";
-        }
-        json_out << "], \"errors\": " << errors << "}\n";
-    }
-    return errors > 0 ? 1 : 0;
+    return reportAndExit(reports, json_out, quiet);
 }

@@ -4,7 +4,9 @@
 #   2. the same suite again under GENCACHE_CHECK=1 (phase-boundary
 #      invariant passes active inside the runtime/simulator tests)
 #   3. ThreadSanitizer build, running the `tsan`-labelled concurrency
-#      tests
+#      tests (thread pool, parallel sweep, and the fleet simulator's
+#      racing shared-store processes) plus the fleet_replay smoke
+#      bench — the shared code store's shard locks under real races
 #   4. AddressSanitizer+UBSan build: first the `replay`-, `frontend`-
 #      and `tiers`-labelled bit-identity tests (compiled/batched
 #      replay vs the legacy loop, predecoded front end vs legacy
@@ -64,6 +66,11 @@ if [[ $fast -eq 0 ]]; then
     ctest --test-dir build-tsan --output-on-failure -L tsan \
         -j "$jobs"
 
+    step "fleet_replay smoke bench (TSan build)"
+    # The threaded leg races every process on the store's shard
+    # locks; TSan must stay silent.
+    (cd build-tsan && bench/fleet_replay --smoke)
+
     step "ASan+UBSan build + replay/frontend/tiers bit-identity tests"
     cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DGENCACHE_SANITIZE=address,undefined \
@@ -81,6 +88,9 @@ fi
 
 step "smoke policy tournament (plain build)"
 (cd build-ci && bench/policy_tournament --smoke)
+
+step "fleet_replay smoke bench (plain build)"
+(cd build-ci && bench/fleet_replay --smoke)
 
 if [[ $fast -eq 0 ]]; then
     step "smoke policy tournament (ASan+UBSan build)"

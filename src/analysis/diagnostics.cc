@@ -123,6 +123,19 @@ checkRegistry()
          "residency index disagrees with actual residency"},
         {"tier-flow", Severity::Error, "tier",
          "promotion-flow identity broken"},
+        // Shared-store passes (cross-process tier, fleet runs).
+        {"shr-shard-owner", Severity::Error, "shr",
+         "entry resident in a shard other than shardOf(key)"},
+        {"shr-bytes", Severity::Error, "shr",
+         "used/claimed byte accounting != sums over entries"},
+        {"shr-over-budget", Severity::Error, "shr",
+         "shard resident bytes exceed the shard budget"},
+        {"shr-orphan", Severity::Error, "shr",
+         "resident entry with no attached process"},
+        {"shr-attach-bounds", Severity::Error, "shr",
+         "attach mask outside the fleet or popcount drift"},
+        {"shr-unmap-stale", Severity::Error, "shr",
+         "entry of an invalidated module predates the invalidation"},
         // Temporal passes (event streams, online + offline).
         {"tmp-use-after-evict", Severity::Error, "tmp",
          "hit reported for a trace that is not resident"},

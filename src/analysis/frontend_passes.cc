@@ -1,5 +1,7 @@
 #include "analysis/frontend_passes.h"
 
+#include <unordered_set>
+
 #include "guest/address_space.h"
 #include "runtime/linker.h"
 #include "runtime/runtime.h"
@@ -9,19 +11,21 @@ namespace gencache::analysis {
 namespace {
 
 /** The successor slot the link graph implies for @p node exiting to
- *  @p target: the resident trace at @p target when a patched edge to
- *  it exists, else kInvalidTrace. */
-cache::TraceId
+ *  @p target: the slot of the resident trace at @p target when a
+ *  patched edge to it exists, else kInvalidSlot. */
+runtime::TraceSlot
 impliedSlot(const runtime::TraceLinker &linker,
             const runtime::TraceLinker::Node &node,
             isa::GuestAddr target)
 {
     auto hit = linker.entryIndex().find(target);
     if (hit == linker.entryIndex().end()) {
-        return cache::kInvalidTrace;
+        return runtime::kInvalidSlot;
     }
-    return node.outgoing.count(hit->second) != 0 ? hit->second
-                                                 : cache::kInvalidTrace;
+    if (node.outgoing.count(hit->second) == 0) {
+        return runtime::kInvalidSlot;
+    }
+    return linker.nodes().at(hit->second).slot;
 }
 
 } // namespace
@@ -31,15 +35,19 @@ checkExitCaches(const runtime::TraceLinker &linker,
                 DiagnosticEngine &out)
 {
     const auto &caches = linker.exitCaches();
+    std::unordered_set<runtime::TraceSlot> residentSlots;
     for (const auto &[id, node] : linker.nodes()) {
+        residentSlots.insert(node.slot);
         std::string where = format("trace {}", id);
-        if (id >= caches.size()) {
+        if (node.slot == runtime::kInvalidSlot ||
+            node.slot >= caches.size()) {
             out.report(Severity::Error, "fe-exit-shape", where,
                        "resident trace has no direct-chaining exit "
                        "cache");
             continue;
         }
-        const runtime::TraceLinker::ExitCache &cache = caches[id];
+        const runtime::TraceLinker::ExitCache &cache =
+            caches[node.slot];
         if (cache.targets != node.exitTargets ||
             cache.slots.size() != cache.targets.size()) {
             out.report(Severity::Error, "fe-exit-shape", where,
@@ -51,7 +59,7 @@ checkExitCaches(const runtime::TraceLinker &linker,
             continue;
         }
         for (std::size_t i = 0; i < cache.targets.size(); ++i) {
-            cache::TraceId expected =
+            runtime::TraceSlot expected =
                 impliedSlot(linker, node, cache.targets[i]);
             if (cache.slots[i] != expected) {
                 out.report(
@@ -59,19 +67,19 @@ checkExitCaches(const runtime::TraceLinker &linker,
                     format("cached successor slot for exit {} is {} "
                            "but the link graph implies {}",
                            hexAddr(cache.targets[i]),
-                           static_cast<std::int64_t>(cache.slots[i]),
-                           static_cast<std::int64_t>(expected)));
+                           static_cast<std::int32_t>(cache.slots[i]),
+                           static_cast<std::int32_t>(expected)));
             }
         }
     }
 
     // An evicted trace must not leave a stale cached jump behind.
-    for (std::size_t id = 0; id < caches.size(); ++id) {
-        if (linker.nodes().count(static_cast<cache::TraceId>(id)) ==
-                0 &&
-            !caches[id].targets.empty()) {
+    for (std::size_t slot = 0; slot < caches.size(); ++slot) {
+        if (residentSlots.count(
+                static_cast<runtime::TraceSlot>(slot)) == 0 &&
+            !caches[slot].targets.empty()) {
             out.report(Severity::Error, "fe-exit-shape",
-                       format("trace {}", id),
+                       format("trace slot {}", slot),
                        "non-resident trace still has a populated exit "
                        "cache");
         }

@@ -4,6 +4,7 @@
 #include "analysis/cfg_passes.h"
 #include "analysis/frontend_passes.h"
 #include "analysis/link_passes.h"
+#include "analysis/shared_passes.h"
 #include "analysis/superblock_passes.h"
 #include "runtime/runtime.h"
 
@@ -29,6 +30,16 @@ AnalysisInput::forManager(const cache::CacheManager &manager)
     return input;
 }
 
+AnalysisInput
+AnalysisInput::forSharedStore(const cache::SharedCodeStore &store,
+                              unsigned fleet_processes)
+{
+    AnalysisInput input;
+    input.sharedStore = &store;
+    input.fleetProcesses = fleet_processes;
+    return input;
+}
+
 std::vector<std::unique_ptr<Pass>>
 makeAllPasses()
 {
@@ -39,6 +50,7 @@ makeAllPasses()
     passes.push_back(std::make_unique<LinkGraphPass>());
     passes.push_back(std::make_unique<FrontendPass>());
     passes.push_back(std::make_unique<CacheStatePass>());
+    passes.push_back(std::make_unique<SharedStorePass>());
     return passes;
 }
 

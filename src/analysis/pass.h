@@ -26,6 +26,7 @@
 
 namespace gencache::cache {
 class CacheManager;
+class SharedCodeStore;
 } // namespace gencache::cache
 
 namespace gencache::guest {
@@ -47,12 +48,24 @@ struct AnalysisInput
     const cache::CacheManager *manager = nullptr;
     const runtime::TraceLinker *linker = nullptr;
 
+    /** The cross-process shared tier of a fleet run, checked by the
+     *  shr-* passes. Must be quiescent (no concurrent mutators). */
+    const cache::SharedCodeStore *sharedStore = nullptr;
+    /** Processes in the fleet that fed sharedStore; bounds the attach
+     *  masks. 0 falls back to the store's own process limit. */
+    unsigned fleetProcesses = 0;
+
     /** Input over a finished (or paused) live runtime. */
     static AnalysisInput forRuntime(const guest::GuestProgram &program,
                                     const runtime::Runtime &runtime);
 
     /** Input over a trace-driven simulation's cache manager. */
     static AnalysisInput forManager(const cache::CacheManager &manager);
+
+    /** Input over a fleet's shared store alone. */
+    static AnalysisInput
+    forSharedStore(const cache::SharedCodeStore &store,
+                   unsigned fleet_processes = 0);
 };
 
 /** One invariant-analysis pass. */

@@ -1,0 +1,134 @@
+#include "analysis/shared_passes.h"
+
+#include <bit>
+#include <utility>
+#include <vector>
+
+#include "codecache/shared_store.h"
+#include "support/format.h"
+
+namespace gencache::analysis {
+namespace {
+
+using cache::SharedCodeStore;
+
+std::string
+entryLocation(unsigned shard, cache::TraceId key)
+{
+    return format("shard{}:{}", shard,
+                  hexAddr(static_cast<std::uint64_t>(key)));
+}
+
+} // namespace
+
+void
+checkSharedStore(const SharedCodeStore &store, unsigned fleet_processes,
+                 DiagnosticEngine &out)
+{
+    const unsigned shard_count = store.shardCount();
+    const unsigned process_bound =
+        fleet_processes > 0 ? fleet_processes : store.processLimit();
+
+    // Snapshot first: forEachEntry holds a shard lock during the
+    // callback and the store must not be reentered from it.
+    std::vector<std::pair<unsigned, SharedCodeStore::Entry>> entries;
+    store.forEachEntry(
+        [&entries](unsigned shard, const SharedCodeStore::Entry &entry) {
+            entries.emplace_back(shard, entry);
+        });
+
+    std::vector<std::uint64_t> shard_bytes(shard_count, 0);
+    std::uint64_t sum_bytes = 0;
+    std::uint64_t sum_claimed = 0;
+    for (const auto &[shard, entry] : entries) {
+        const unsigned owner =
+            SharedCodeStore::shardOf(entry.key, shard_count);
+        if (owner != shard) {
+            out.report(Severity::Error, "shr-shard-owner",
+                       entryLocation(shard, entry.key),
+                       format("entry resident in shard {} but "
+                              "shardOf() names shard {}",
+                              shard, owner));
+        }
+        if (shard < shard_count) {
+            shard_bytes[shard] += entry.sizeBytes;
+        }
+        sum_bytes += entry.sizeBytes;
+        sum_claimed += static_cast<std::uint64_t>(entry.sizeBytes) *
+                       entry.attachCount;
+
+        const auto popcount = static_cast<std::uint32_t>(
+            std::popcount(entry.attachedMask));
+        if (entry.attachCount == 0 || entry.attachedMask == 0) {
+            out.report(Severity::Error, "shr-orphan",
+                       entryLocation(shard, entry.key),
+                       "resident entry with no attached process");
+        }
+        if (popcount != entry.attachCount) {
+            out.report(Severity::Error, "shr-attach-bounds",
+                       entryLocation(shard, entry.key),
+                       format("attach count {} disagrees with the "
+                              "mask's {} set bits",
+                              entry.attachCount, popcount));
+        }
+        if (process_bound < 64 &&
+            (entry.attachedMask >> process_bound) != 0) {
+            out.report(Severity::Error, "shr-attach-bounds",
+                       entryLocation(shard, entry.key),
+                       format("attach mask {} names a process "
+                              "outside the fleet of {}",
+                              hexAddr(entry.attachedMask),
+                              process_bound));
+        }
+
+        // Invalidation completeness: a survivor of an invalidated
+        // module must postdate the invalidation's store tick.
+        const cache::ModuleUid uid = cache::traceIdUid(entry.key);
+        const std::uint64_t invalidated =
+            store.lastInvalidationTick(uid);
+        if (invalidated != 0 && entry.insertTick <= invalidated) {
+            out.report(Severity::Error, "shr-unmap-stale",
+                       entryLocation(shard, entry.key),
+                       format("entry of module {} inserted at tick "
+                              "{} survived the invalidation at tick "
+                              "{}",
+                              hexAddr(uid), entry.insertTick,
+                              invalidated));
+        }
+    }
+
+    if (sum_bytes != store.usedBytes()) {
+        out.report(Severity::Error, "shr-bytes", "store",
+                   format("used-byte accounting {} != sum of entry "
+                          "sizes {}",
+                          store.usedBytes(), sum_bytes));
+    }
+    if (sum_claimed != store.claimedBytes()) {
+        out.report(Severity::Error, "shr-bytes", "store",
+                   format("claimed-byte accounting {} != sum of "
+                          "size x attach count {}",
+                          store.claimedBytes(), sum_claimed));
+    }
+    for (unsigned shard = 0; shard < shard_count; ++shard) {
+        if (shard_bytes[shard] > store.shardCapacityBytes()) {
+            out.report(Severity::Error, "shr-over-budget",
+                       format("shard{}", shard),
+                       format("resident bytes {} exceed the shard "
+                              "budget {}",
+                              shard_bytes[shard],
+                              store.shardCapacityBytes()));
+        }
+    }
+}
+
+void
+SharedStorePass::run(const AnalysisInput &input,
+                     DiagnosticEngine &out) const
+{
+    if (input.sharedStore == nullptr) {
+        return;
+    }
+    checkSharedStore(*input.sharedStore, input.fleetProcesses, out);
+}
+
+} // namespace gencache::analysis

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shared-store pass family: invariants of the cross-process tier.
+ *
+ * The SharedCodeStore (codecache/shared_store.h) is the one piece of
+ * cache state that several processes mutate at once, so its end state
+ * is re-derived here from first principles rather than trusted:
+ *
+ *  - shard ownership is a pure function of the canonical key
+ *    (SharedCodeStore::shardOf), so every resident entry must sit in
+ *    exactly the shard that function names;
+ *  - the store's byte accounting — both the single-copy resident
+ *    bytes and the per-attachment claimed bytes behind the dedup
+ *    metric — must equal the sums over the entries actually present,
+ *    and no shard may exceed its budget slice;
+ *  - every entry must be attached by at least one fleet process, and
+ *    its attach mask must stay inside the fleet (popcount matching
+ *    the cached attach count);
+ *  - cross-process invalidation must be complete: after
+ *    invalidateModule(uid), any surviving entry of that module must
+ *    have been inserted *after* the invalidation's store tick — an
+ *    older survivor means some shard missed the sweep.
+ *
+ * Check IDs: shr-shard-owner, shr-bytes, shr-over-budget, shr-orphan,
+ * shr-attach-bounds, shr-unmap-stale.
+ */
+
+#ifndef GENCACHE_ANALYSIS_SHARED_PASSES_H
+#define GENCACHE_ANALYSIS_SHARED_PASSES_H
+
+#include "analysis/pass.h"
+
+namespace gencache::cache {
+class SharedCodeStore;
+} // namespace gencache::cache
+
+namespace gencache::analysis {
+
+/** Validates a quiescent SharedCodeStore. Cheap: linear in resident
+ *  entries. Runs only when AnalysisInput.sharedStore is set. */
+class SharedStorePass : public Pass
+{
+  public:
+    const char *name() const override { return "shared-store"; }
+    void run(const AnalysisInput &input,
+             DiagnosticEngine &out) const override;
+};
+
+/** Run the shared-store pass over @p store alone (test support).
+ *  @p fleet_processes bounds the attach masks; 0 falls back to the
+ *  store's own process limit. */
+void checkSharedStore(const cache::SharedCodeStore &store,
+                      unsigned fleet_processes, DiagnosticEngine &out);
+
+} // namespace gencache::analysis
+
+#endif // GENCACHE_ANALYSIS_SHARED_PASSES_H

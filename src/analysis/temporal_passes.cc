@@ -21,6 +21,7 @@ generationRank(cache::Generation gen)
       case Generation::Tier5: return 5;
       case Generation::Tier6: return 6;
       case Generation::Persistent: return 7;
+      case Generation::Shared: return 8;
     }
     GENCACHE_PANIC("unknown generation {}", static_cast<int>(gen));
 }

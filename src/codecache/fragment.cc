@@ -18,6 +18,7 @@ generationName(Generation gen)
       case Generation::Tier4: return "tier4";
       case Generation::Tier5: return "tier5";
       case Generation::Tier6: return "tier6";
+      case Generation::Shared: return "shared";
     }
     GENCACHE_PANIC("unknown generation {}", static_cast<int>(gen));
 }

@@ -15,6 +15,7 @@
 #define GENCACHE_CODECACHE_FRAGMENT_H
 
 #include <cstdint>
+#include <string_view>
 
 #include "support/units.h"
 
@@ -31,6 +32,82 @@ using ModuleId = std::uint32_t;
 
 /** Sentinel for "no module". */
 constexpr ModuleId kNoModule = ~0U;
+
+/**
+ * Process-independent identity of a module's code image (a stable
+ * hash of its name/version). Two guest processes that map the same
+ * DLL agree on its ModuleUid even though their process-local
+ * ModuleIds differ — the property the cross-process shared code
+ * store keys on.
+ */
+using ModuleUid = std::uint32_t;
+
+/** Sentinel for "no shared identity" (private/anonymous code). */
+constexpr ModuleUid kNoModuleUid = ~0U;
+
+/**
+ * Uid of the module named @p name: FNV-1a over the name, so every
+ * process derives the same uid for "user32.dll" without coordination
+ * (a stand-in for hashing the image's bytes/version). Never returns
+ * kNoModuleUid.
+ */
+constexpr ModuleUid moduleUidOfName(std::string_view name)
+{
+    std::uint32_t hash = 2166136261u;
+    for (char c : name) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 16777619u;
+    }
+    return hash == kNoModuleUid ? hash - 1 : hash;
+}
+
+/**
+ * Canonical trace identity: (module uid, module-relative code
+ * offset) packed into one TraceId, uid in the high 32 bits. Unlike a
+ * process-local sequence number, the canonical id names *the same
+ * trace* in every process that maps the module, which is what lets a
+ * shared tier deduplicate traces across a fleet. The packing keeps
+ * TraceId an opaque uint64 everywhere ids are stored or hashed.
+ */
+struct TraceKey
+{
+    ModuleUid module = kNoModuleUid;
+    std::uint32_t offset = 0;
+
+    constexpr TraceId pack() const
+    {
+        return (static_cast<TraceId>(module) << 32) | offset;
+    }
+
+    static constexpr TraceKey unpack(TraceId id)
+    {
+        return TraceKey{static_cast<ModuleUid>(id >> 32),
+                        static_cast<std::uint32_t>(id)};
+    }
+
+    constexpr bool operator==(const TraceKey &other) const
+    {
+        return module == other.module && offset == other.offset;
+    }
+};
+
+/** @return the packed canonical id for @p uid / @p offset. */
+constexpr TraceId canonicalTraceId(ModuleUid uid, std::uint32_t offset)
+{
+    return TraceKey{uid, offset}.pack();
+}
+
+/** @return the module uid packed into canonical id @p id. */
+constexpr ModuleUid traceIdUid(TraceId id)
+{
+    return static_cast<ModuleUid>(id >> 32);
+}
+
+/** @return the module-relative offset packed into canonical @p id. */
+constexpr std::uint32_t traceIdOffset(TraceId id)
+{
+    return static_cast<std::uint32_t>(id);
+}
 
 /** Which cache of the hierarchy a fragment lives in.
  *
@@ -49,6 +126,7 @@ enum class Generation : std::uint8_t {
     Tier4,      ///< middle tier #4
     Tier5,      ///< middle tier #5
     Tier6,      ///< middle tier #6
+    Shared,     ///< cross-process shared store (tier_pipeline mount)
 };
 
 /** @return a short printable name for @p gen. */

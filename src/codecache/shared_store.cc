@@ -1,0 +1,397 @@
+#include "codecache/shared_store.h"
+
+#include <bit>
+
+#include "support/logging.h"
+
+namespace gencache::cache {
+
+SharedCodeStore::SharedCodeStore(SharedStoreConfig config)
+    : config_(config)
+{
+    if (config_.shards == 0) {
+        fatal("shared store needs at least one shard");
+    }
+    if (config_.processLimit == 0 || config_.processLimit > 64) {
+        fatal("shared store process limit {} outside 1..64",
+              config_.processLimit);
+    }
+    if (config_.capacityBytes < config_.shards) {
+        fatal("shared store capacity {} B cannot cover {} shards",
+              config_.capacityBytes, config_.shards);
+    }
+    shardCapacity_ = config_.capacityBytes / config_.shards;
+    shards_.resize(config_.shards);
+}
+
+void
+SharedCodeStore::lockShard(const Shard &shard) const
+    GENCACHE_NO_THREAD_SAFETY_ANALYSIS
+{
+    // try_lock first purely to observe contention; the analysis can't
+    // follow the two-step acquire, hence the local opt-out (the
+    // GENCACHE_ACQUIRE contract in the header still holds on return).
+    if (shard.mutex.try_lock()) {
+        return;
+    }
+    lockContentions_.fetch_add(1, std::memory_order_relaxed);
+    shard.mutex.lock();
+}
+
+bool
+SharedCodeStore::attachLocked(Shard &shard, Entry &entry,
+                              unsigned process)
+{
+    std::uint64_t bit = 1ull << process;
+    if ((entry.attachedMask & bit) != 0) {
+        return false;
+    }
+    entry.attachedMask |= bit;
+    entry.attachCount += 1;
+    shard.claimedBytes += entry.sizeBytes;
+    if (shard.claimedBytes > shard.peakClaimedBytes) {
+        shard.peakClaimedBytes = shard.claimedBytes;
+    }
+    shard.stats.attaches += 1;
+    return true;
+}
+
+bool
+SharedCodeStore::probe(TraceId key, unsigned process)
+{
+    if (process >= config_.processLimit) {
+        GENCACHE_PANIC("process index {} exceeds shared-store limit {}",
+                       process, config_.processLimit);
+    }
+    Shard &shard = shardFor(key);
+    lockShard(shard);
+    shard.stats.probes += 1;
+    auto it = shard.entries.find(key);
+    bool hit = it != shard.entries.end();
+    if (hit) {
+        shard.stats.probeHits += 1;
+        attachLocked(shard, it->second, process);
+    }
+    shard.mutex.unlock();
+    return hit;
+}
+
+SharedCodeStore::PublishResult
+SharedCodeStore::publish(TraceId key, std::uint32_t size_bytes,
+                         unsigned process)
+{
+    if (process >= config_.processLimit) {
+        GENCACHE_PANIC("process index {} exceeds shared-store limit {}",
+                       process, config_.processLimit);
+    }
+    if (key == kInvalidTrace) {
+        GENCACHE_PANIC("cannot publish the invalid trace id");
+    }
+    Shard &shard = shardFor(key);
+    lockShard(shard);
+    shard.stats.publishes += 1;
+
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+        // Deduplicated: another copy of the same canonical trace is
+        // already resident; the publisher just attaches to it.
+        bool fresh = attachLocked(shard, it->second, process);
+        if (!fresh) {
+            shard.stats.duplicatePublishes += 1;
+        }
+        shard.mutex.unlock();
+        return fresh ? PublishResult::Attached
+                     : PublishResult::AlreadyAttached;
+    }
+
+    if (size_bytes > shardCapacity_) {
+        shard.stats.rejectedPublishes += 1;
+        shard.mutex.unlock();
+        return PublishResult::Rejected;
+    }
+
+    // FIFO-evict until the new entry fits its shard's budget.
+    while (shard.usedBytes + size_bytes > shardCapacity_) {
+        TraceId victim = shard.fifo.front();
+        shard.fifo.pop_front();
+        auto vit = shard.entries.find(victim);
+        if (vit == shard.entries.end()) {
+            GENCACHE_PANIC("shared-store FIFO names missing entry {}",
+                           victim);
+        }
+        shard.usedBytes -= vit->second.sizeBytes;
+        shard.claimedBytes -= static_cast<std::uint64_t>(
+                                  vit->second.sizeBytes) *
+                              vit->second.attachCount;
+        shard.stats.capacityEvictions += 1;
+        shard.stats.capacityEvictedBytes += vit->second.sizeBytes;
+        shard.entries.erase(vit);
+    }
+
+    Entry entry;
+    entry.key = key;
+    entry.sizeBytes = size_bytes;
+    entry.insertTick = tick_.fetch_add(1, std::memory_order_relaxed);
+    shard.entries.emplace(key, entry);
+    shard.fifo.push_back(key);
+    shard.usedBytes += size_bytes;
+    if (shard.usedBytes > shard.peakUsedBytes) {
+        shard.peakUsedBytes = shard.usedBytes;
+    }
+    shard.stats.inserts += 1;
+    attachLocked(shard, shard.entries.at(key), process);
+    shard.mutex.unlock();
+    return PublishResult::Inserted;
+}
+
+void
+SharedCodeStore::invalidateModule(ModuleUid uid)
+{
+    // Stamp the invalidation *before* sweeping: any entry inserted
+    // after this tick raced past the unmap and is legitimately newer
+    // (a republish of the remapped image).
+    std::uint64_t stamp =
+        tick_.fetch_add(1, std::memory_order_relaxed);
+    invalidationCalls_.fetch_add(1, std::memory_order_relaxed);
+    {
+        MutexLock lock(invalidationMutex_);
+        lastInvalidation_[uid] = stamp;
+    }
+    for (Shard &shard : shards_) {
+        lockShard(shard);
+        for (auto it = shard.entries.begin();
+             it != shard.entries.end();) {
+            if (traceIdUid(it->first) != uid) {
+                ++it;
+                continue;
+            }
+            shard.usedBytes -= it->second.sizeBytes;
+            shard.claimedBytes -= static_cast<std::uint64_t>(
+                                      it->second.sizeBytes) *
+                                  it->second.attachCount;
+            shard.stats.unmapEvictions += 1;
+            shard.stats.unmapEvictedBytes += it->second.sizeBytes;
+            it = shard.entries.erase(it);
+        }
+        std::erase_if(shard.fifo, [&](TraceId id) {
+            return traceIdUid(id) == uid;
+        });
+        shard.mutex.unlock();
+    }
+}
+
+bool
+SharedCodeStore::contains(TraceId key) const
+{
+    const Shard &shard = shardFor(key);
+    lockShard(shard);
+    bool hit = shard.entries.count(key) != 0;
+    shard.mutex.unlock();
+    return hit;
+}
+
+bool
+SharedCodeStore::containsModule(ModuleUid uid) const
+{
+    for (const Shard &shard : shards_) {
+        lockShard(shard);
+        bool found = false;
+        for (const auto &[key, entry] : shard.entries) {
+            if (traceIdUid(key) == uid) {
+                found = true;
+                break;
+            }
+        }
+        shard.mutex.unlock();
+        if (found) {
+            return true;
+        }
+    }
+    return false;
+}
+
+std::uint64_t
+SharedCodeStore::usedBytes() const
+{
+    std::uint64_t total = 0;
+    for (const Shard &shard : shards_) {
+        lockShard(shard);
+        total += shard.usedBytes;
+        shard.mutex.unlock();
+    }
+    return total;
+}
+
+std::uint64_t
+SharedCodeStore::peakUsedBytes() const
+{
+    std::uint64_t total = 0;
+    for (const Shard &shard : shards_) {
+        lockShard(shard);
+        total += shard.peakUsedBytes;
+        shard.mutex.unlock();
+    }
+    return total;
+}
+
+std::uint64_t
+SharedCodeStore::claimedBytes() const
+{
+    std::uint64_t total = 0;
+    for (const Shard &shard : shards_) {
+        lockShard(shard);
+        total += shard.claimedBytes;
+        shard.mutex.unlock();
+    }
+    return total;
+}
+
+std::uint64_t
+SharedCodeStore::peakClaimedBytes() const
+{
+    std::uint64_t total = 0;
+    for (const Shard &shard : shards_) {
+        lockShard(shard);
+        total += shard.peakClaimedBytes;
+        shard.mutex.unlock();
+    }
+    return total;
+}
+
+std::size_t
+SharedCodeStore::entryCount() const
+{
+    std::size_t total = 0;
+    for (const Shard &shard : shards_) {
+        lockShard(shard);
+        total += shard.entries.size();
+        shard.mutex.unlock();
+    }
+    return total;
+}
+
+SharedStoreStats
+SharedCodeStore::stats() const
+{
+    SharedStoreStats out;
+    for (const Shard &shard : shards_) {
+        lockShard(shard);
+        out.probes += shard.stats.probes;
+        out.probeHits += shard.stats.probeHits;
+        out.publishes += shard.stats.publishes;
+        out.inserts += shard.stats.inserts;
+        out.attaches += shard.stats.attaches;
+        out.duplicatePublishes += shard.stats.duplicatePublishes;
+        out.rejectedPublishes += shard.stats.rejectedPublishes;
+        out.capacityEvictions += shard.stats.capacityEvictions;
+        out.capacityEvictedBytes += shard.stats.capacityEvictedBytes;
+        out.unmapEvictions += shard.stats.unmapEvictions;
+        out.unmapEvictedBytes += shard.stats.unmapEvictedBytes;
+        shard.mutex.unlock();
+    }
+    out.invalidations =
+        invalidationCalls_.load(std::memory_order_relaxed);
+    out.lockContentions =
+        lockContentions_.load(std::memory_order_relaxed);
+    return out;
+}
+
+std::uint64_t
+SharedCodeStore::lastInvalidationTick(ModuleUid uid) const
+{
+    MutexLock lock(invalidationMutex_);
+    auto it = lastInvalidation_.find(uid);
+    return it == lastInvalidation_.end() ? 0 : it->second;
+}
+
+void
+SharedCodeStore::forEachEntry(
+    const std::function<void(unsigned, const Entry &)> &fn) const
+{
+    for (unsigned s = 0; s < shardCount(); ++s) {
+        const Shard &shard = shards_[s];
+        lockShard(shard);
+        for (const auto &[key, entry] : shard.entries) {
+            fn(s, entry);
+        }
+        shard.mutex.unlock();
+    }
+}
+
+void
+SharedCodeStore::validate() const
+{
+    for (unsigned s = 0; s < shardCount(); ++s) {
+        const Shard &shard = shards_[s];
+        lockShard(shard);
+        std::uint64_t used = 0;
+        std::uint64_t claimed = 0;
+        for (const auto &[key, entry] : shard.entries) {
+            if (shardOf(key, shardCount()) != s) {
+                GENCACHE_PANIC(
+                    "entry {} resident in shard {} but owned by {}",
+                    key, s, shardOf(key, shardCount()));
+            }
+            if (entry.key != key) {
+                GENCACHE_PANIC("entry keyed {} carries key {}", key,
+                               entry.key);
+            }
+            if (static_cast<unsigned>(
+                    std::popcount(entry.attachedMask)) !=
+                entry.attachCount) {
+                GENCACHE_PANIC(
+                    "entry {} attach count {} disagrees with mask",
+                    key, entry.attachCount);
+            }
+            if (entry.attachCount == 0) {
+                GENCACHE_PANIC("entry {} resident with no attached "
+                               "process",
+                               key);
+            }
+            used += entry.sizeBytes;
+            claimed += static_cast<std::uint64_t>(entry.sizeBytes) *
+                       entry.attachCount;
+        }
+        if (used != shard.usedBytes || claimed != shard.claimedBytes) {
+            GENCACHE_PANIC(
+                "shard {} byte accounting drifted ({} used vs {}, {} "
+                "claimed vs {})",
+                s, shard.usedBytes, used, shard.claimedBytes, claimed);
+        }
+        if (used > shardCapacity_) {
+            GENCACHE_PANIC("shard {} over budget: {} of {} bytes", s,
+                           used, shardCapacity_);
+        }
+        if (shard.fifo.size() != shard.entries.size()) {
+            GENCACHE_PANIC(
+                "shard {} FIFO tracks {} entries but map holds {}", s,
+                shard.fifo.size(), shard.entries.size());
+        }
+        for (TraceId id : shard.fifo) {
+            if (shard.entries.count(id) == 0) {
+                GENCACHE_PANIC(
+                    "shard {} FIFO names non-resident entry {}", s,
+                    id);
+            }
+        }
+        shard.mutex.unlock();
+    }
+}
+
+const char *
+publishResultName(SharedCodeStore::PublishResult result)
+{
+    switch (result) {
+    case SharedCodeStore::PublishResult::Inserted:
+        return "inserted";
+    case SharedCodeStore::PublishResult::Attached:
+        return "attached";
+    case SharedCodeStore::PublishResult::AlreadyAttached:
+        return "already-attached";
+    case SharedCodeStore::PublishResult::Rejected:
+        return "rejected";
+    }
+    return "?";
+}
+
+} // namespace gencache::cache

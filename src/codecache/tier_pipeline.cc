@@ -136,6 +136,21 @@ TierPipeline::TierPipeline(TierPipelineInit init)
 }
 
 bool
+TierPipeline::sharedProbe(TraceId id, TimeUs now)
+{
+    ++sharedStats_.probes;
+    if (!sharedStore_->probe(sharedKeyOf(id), sharedProcess_)) {
+        return false;
+    }
+    ++stats_.hits;
+    ++sharedStats_.hits;
+    if (listener_ != nullptr && listener_->wantsHits()) {
+        listener_->onHit(id, Generation::Shared, now);
+    }
+    return true;
+}
+
+bool
 TierPipeline::lookup(TraceId id, TimeUs now)
 {
     ++stats_.lookups;
@@ -143,6 +158,9 @@ TierPipeline::lookup(TraceId id, TimeUs now)
         // Single tier: the local cache is its own residency index.
         LocalCache &cache = *tierPtrs_[0];
         if (cache.find(id) == nullptr) {
+            if (sharedStore_ != nullptr && sharedProbe(id, now)) {
+                return true;
+            }
             ++stats_.misses;
             if (listener_ != nullptr && listener_->wantsMisses()) {
                 listener_->onMiss(id, now);
@@ -162,6 +180,9 @@ TierPipeline::lookup(TraceId id, TimeUs now)
 
     const TierId *found = where_.find(id);
     if (found == nullptr) {
+        if (sharedStore_ != nullptr && sharedProbe(id, now)) {
+            return true;
+        }
         ++stats_.misses;
         if (listener_ != nullptr && listener_->wantsMisses()) {
             listener_->onMiss(id, now);
@@ -202,6 +223,11 @@ TierPipeline::enableFastReplay(std::uint64_t id_bound)
 {
     if (usedBytes_ != 0 || stats_.inserts != 0) {
         GENCACHE_PANIC("enableFastReplay on a non-empty pipeline");
+    }
+    if (sharedStore_ != nullptr) {
+        // The sidecar serves misses without reaching lookup(), which
+        // would silently skip every shared probe.
+        return false;
     }
     for (std::size_t i = 0; i < tiers_.size(); ++i) {
         if (tierPtrs_[i]->observesTouch()) {
@@ -359,6 +385,33 @@ void
 TierPipeline::destroy(const Fragment &frag, TierId tier,
                       EvictReason reason, TimeUs now)
 {
+    // A last-tier capacity victim earned its way through every
+    // promotion filter; with a shared tier mounted that is exactly
+    // the promotion into shared memory. Anonymous code (no module
+    // uid in the canonical id) stays private, and Rejected/Unmap
+    // victims never publish — they were filtered out or their module
+    // is going away.
+    if (sharedStore_ != nullptr && reason == EvictReason::Capacity &&
+        tier + 1u == tiers_.size() &&
+        traceIdUid(sharedKeyOf(frag.id)) != kNoModuleUid) {
+        ++sharedStats_.publishes;
+        switch (sharedStore_->publish(sharedKeyOf(frag.id),
+                                      frag.sizeBytes,
+                                      sharedProcess_)) {
+          case SharedCodeStore::PublishResult::Inserted:
+            ++sharedStats_.publishedInserts;
+            break;
+          case SharedCodeStore::PublishResult::Attached:
+            ++sharedStats_.publishedAttaches;
+            break;
+          case SharedCodeStore::PublishResult::AlreadyAttached:
+            ++sharedStats_.publishedDuplicates;
+            break;
+          case SharedCodeStore::PublishResult::Rejected:
+            ++sharedStats_.publishedRejects;
+            break;
+        }
+    }
     if (multiTier_) {
         where_.erase(frag.id);
     }
@@ -399,6 +452,54 @@ TierPipeline::invalidateModule(ModuleId module, TimeUs now)
     if (listener_ != nullptr) {
         listener_->onModuleUnload(module, now);
     }
+    // Cross-process completeness: this process unmapping the module
+    // invalidates its traces for the whole fleet (conservative — any
+    // other process still running the DLL will republish on its next
+    // last-tier eviction of the remapped image).
+    if (sharedStore_ != nullptr) {
+        auto uid = sharedModuleUids_.find(module);
+        if (uid != sharedModuleUids_.end()) {
+            sharedStore_->invalidateModule(uid->second);
+            ++sharedStats_.invalidationsForwarded;
+        }
+    }
+}
+
+void
+TierPipeline::mountSharedStore(SharedCodeStore *store, unsigned process)
+{
+    if (store == nullptr) {
+        GENCACHE_PANIC("mountSharedStore(nullptr)");
+    }
+    if (sharedStore_ != nullptr) {
+        GENCACHE_PANIC("pipeline {} already mounts a shared store",
+                       name_);
+    }
+    if (usedBytes_ != 0 || stats_.inserts != 0) {
+        GENCACHE_PANIC("mountSharedStore on a non-empty pipeline");
+    }
+    if (fastReplayEnabled()) {
+        // The sidecar's miss path never reaches lookup(), so a fast
+        // pipeline would silently skip every shared probe.
+        GENCACHE_PANIC("mountSharedStore is incompatible with the "
+                       "fast-replay sidecar");
+    }
+    if (process >= store->processLimit()) {
+        fatal("process index {} exceeds shared-store limit {}",
+              process, store->processLimit());
+    }
+    sharedStore_ = store;
+    sharedProcess_ = process;
+}
+
+void
+TierPipeline::setSharedModuleUid(ModuleId module, ModuleUid uid)
+{
+    if (uid == kNoModuleUid) {
+        sharedModuleUids_.erase(module);
+        return;
+    }
+    sharedModuleUids_[module] = uid;
 }
 
 bool

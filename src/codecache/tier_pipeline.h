@@ -35,9 +35,11 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "codecache/cache_manager.h"
+#include "codecache/shared_store.h"
 #include "codecache/trace_index.h"
 
 namespace gencache::cache {
@@ -301,6 +303,85 @@ class TierPipeline : public CacheManager
      *  local caches must agree. Panics on violation. */
     void validate() const;
 
+    // --- cross-process shared tier (shared_store.h) ---
+    //
+    // A mounted SharedCodeStore acts as one extra read-mostly tier
+    // behind the private pipeline, shared with every other process
+    // that mounted the same store. The pipeline probes it on a
+    // private miss (a hit is reported as Generation::Shared), offers
+    // its last-tier capacity victims to it (publish = the ShareJIT
+    // promotion into shared memory), and forwards module
+    // invalidations by uid so an unmap in this process drops the
+    // module fleet-wide. Sharing off (no mount) leaves every code
+    // path and event stream bit-identical to the unmounted pipeline.
+
+    /** This process's view of its mounted shared tier. */
+    struct SharedTierStats
+    {
+        std::uint64_t probes = 0;
+        std::uint64_t hits = 0;
+        std::uint64_t publishes = 0;
+        std::uint64_t publishedInserts = 0;  ///< first copy fleet-wide
+        std::uint64_t publishedAttaches = 0; ///< deduplicated
+        std::uint64_t publishedDuplicates = 0;
+        std::uint64_t publishedRejects = 0;
+        std::uint64_t invalidationsForwarded = 0;
+    };
+
+    /**
+     * Mount @p store as the shared tier, acting as process
+     * @p process (the store's attach-mask index; unique per mounted
+     * pipeline). Requires an empty pipeline; mutually exclusive with
+     * enableFastReplay (the sidecar miss path would bypass the
+     * probe).
+     */
+    void mountSharedStore(SharedCodeStore *store, unsigned process);
+
+    bool sharedStoreMounted() const { return sharedStore_ != nullptr; }
+
+    /** The mounted store (nullptr when sharing is off). */
+    const SharedCodeStore *sharedStore() const { return sharedStore_; }
+
+    /** This pipeline's attach-mask index in the mounted store. */
+    unsigned sharedProcessIndex() const { return sharedProcess_; }
+
+    /**
+     * Register the process-independent uid behind local module id
+     * @p module, so invalidateModule(@p module) can forward the unmap
+     * to the mounted store. Unregistered modules invalidate only the
+     * private tiers (anonymous/private code never reaches the store
+     * anyway — publish drops fragments whose id carries no uid).
+     */
+    void setSharedModuleUid(ModuleId module, ModuleUid uid);
+
+    /**
+     * Install a dense-id -> canonical-key translation for the shared
+     * tier. Replay feeds the pipeline dense per-log ids, which are
+     * meaningless to other processes; the table (one CompiledLog's
+     * originalIds(), which must outlive the pipeline) maps them back
+     * to canonical (module uid, offset) keys before any probe or
+     * publish. Without a table, ids are taken as already canonical
+     * (the live-runtime case). nullptr clears.
+     */
+    void setSharedKeyTable(const TraceId *keys, std::uint64_t count)
+    {
+        sharedKeys_ = keys;
+        sharedKeyCount_ = keys == nullptr ? 0 : count;
+    }
+
+    /** The shared-store key this pipeline uses for trace @p id. */
+    TraceId sharedKeyOf(TraceId id) const
+    {
+        return sharedKeys_ != nullptr && id < sharedKeyCount_
+                   ? sharedKeys_[id]
+                   : id;
+    }
+
+    const SharedTierStats &sharedTierStats() const
+    {
+        return sharedStats_;
+    }
+
     // --- dense fast-replay hit path (sim::BatchedReplay) ---
     //
     // A replay hit normally costs two index probes (residency map +
@@ -332,7 +413,9 @@ class TierPipeline : public CacheManager
      * Requires an empty pipeline. @return false (leaving the pipeline
      * untouched) when the configuration is ineligible: a
      * touch-observing local policy (LRU/RRIP), an eager or
-     * temperature edge, or a listener that wants hit/miss events.
+     * temperature edge, a listener that wants hit/miss events, or a
+     * mounted shared store (whose probe lives on the miss path the
+     * sidecar skips).
      */
     bool enableFastReplay(std::uint64_t id_bound);
 
@@ -399,6 +482,11 @@ class TierPipeline : public CacheManager
     /** Handle a fragment evicted from @p tier for capacity. */
     void cascadeVictim(TierId tier, Fragment victim, TimeUs now);
 
+    /** Probe the mounted shared store on a private miss. @return true
+     *  on a shared hit (already counted and reported). Only called
+     *  with sharedStore_ mounted. */
+    bool sharedProbe(TraceId id, TimeUs now);
+
     /** Destroy @p frag (it left the pipeline). */
     void destroy(const Fragment &frag, TierId tier, EvictReason reason,
                  TimeUs now);
@@ -459,6 +547,14 @@ class TierPipeline : public CacheManager
     // probe shifts by the slot byte directly.
     std::vector<HotSlot> hot_;
     std::uint16_t countMask_ = 0;
+
+    // Shared tier (nullptr unless mountSharedStore() was called).
+    SharedCodeStore *sharedStore_ = nullptr;
+    unsigned sharedProcess_ = 0;
+    SharedTierStats sharedStats_;
+    std::unordered_map<ModuleId, ModuleUid> sharedModuleUids_;
+    const TraceId *sharedKeys_ = nullptr;
+    std::uint64_t sharedKeyCount_ = 0;
 
     // Per-depth eviction scratch, reused across inserts so the hot
     // insert/cascade path allocates nothing after warm-up. insert()

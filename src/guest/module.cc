@@ -6,7 +6,8 @@ namespace gencache::guest {
 
 GuestModule::GuestModule(ModuleId id, std::string name,
                          isa::GuestAddr base, bool transient)
-    : id_(id), name_(std::move(name)), base_(base), transient_(transient)
+    : id_(id), name_(std::move(name)), base_(base),
+      transient_(transient), uid_(moduleUidOf(name_))
 {
 }
 

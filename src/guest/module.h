@@ -14,7 +14,9 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 
+#include "codecache/fragment.h"
 #include "isa/basic_block.h"
 
 namespace gencache::guest {
@@ -24,6 +26,17 @@ using ModuleId = std::uint32_t;
 
 /** Sentinel for "no module". */
 constexpr ModuleId kInvalidModule = ~0u;
+
+/**
+ * Process-independent uid of the module named @p name (FNV-1a of the
+ * name — cache::moduleUidOfName), so every process that maps
+ * "user32.dll" derives the same cache::ModuleUid without
+ * coordination.
+ */
+constexpr cache::ModuleUid moduleUidOf(std::string_view name)
+{
+    return cache::moduleUidOfName(name);
+}
 
 /** A contiguous range of guest code (EXE image or DLL). */
 class GuestModule
@@ -42,6 +55,10 @@ class GuestModule
     const std::string &name() const { return name_; }
     isa::GuestAddr baseAddr() const { return base_; }
     bool transient() const { return transient_; }
+
+    /** Process-independent identity (moduleUidOf the name): equal
+     *  across processes mapping the same image, unlike id(). */
+    cache::ModuleUid uid() const { return uid_; }
 
     /** Add a block; its address range must lie at/after the base and
      *  must not overlap an existing block. */
@@ -71,6 +88,7 @@ class GuestModule
     std::string name_;
     isa::GuestAddr base_;
     bool transient_;
+    cache::ModuleUid uid_;
     std::map<isa::GuestAddr, isa::BasicBlock> blocks_;
 };
 

@@ -11,8 +11,12 @@ TraceLinker::onTraceInserted(const Trace &trace)
         GENCACHE_PANIC("trace {} already known to the linker",
                        trace.id);
     }
+    if (trace.slot == kInvalidSlot) {
+        GENCACHE_PANIC("trace {} inserted without a slot", trace.id);
+    }
     Node node;
     node.entry = trace.entry;
+    node.slot = trace.slot;
     node.exitTargets = trace.exitTargets;
     auto [pos, inserted] = nodes_.emplace(trace.id, std::move(node));
     byEntry_.emplace(trace.entry, trace.id);
@@ -47,29 +51,29 @@ TraceLinker::onTraceInserted(const Trace &trace)
     // Direct-chaining cache: resolve this trace's exit slots (every
     // resident target is now patched, including a self-link), then
     // point every resident slot aimed at our entry to us.
-    if (exitCache_.size() <= trace.id) {
-        exitCache_.resize(trace.id + 1);
+    if (exitCache_.size() <= trace.slot) {
+        exitCache_.resize(trace.slot + 1);
     }
-    ExitCache &cache = exitCache_[trace.id];
+    ExitCache &cache = exitCache_[trace.slot];
     cache.targets = trace.exitTargets;
-    cache.slots.assign(cache.targets.size(), cache::kInvalidTrace);
+    cache.slots.assign(cache.targets.size(), kInvalidSlot);
     for (std::size_t i = 0; i < cache.targets.size(); ++i) {
         auto hit = byEntry_.find(cache.targets[i]);
         if (hit != byEntry_.end()) {
-            cache.slots[i] = hit->second;
+            cache.slots[i] = nodes_.at(hit->second).slot;
         }
     }
-    retargetSlots(trace.entry, trace.id);
+    retargetSlots(trace.entry, trace.slot);
 }
 
 void
-TraceLinker::retargetSlots(isa::GuestAddr entry, cache::TraceId id)
+TraceLinker::retargetSlots(isa::GuestAddr entry, TraceSlot slot)
 {
     for (const auto &[other_id, other] : nodes_) {
-        ExitCache &cache = exitCache_[other_id];
+        ExitCache &cache = exitCache_[other.slot];
         for (std::size_t i = 0; i < cache.targets.size(); ++i) {
             if (cache.targets[i] == entry) {
-                cache.slots[i] = id;
+                cache.slots[i] = slot;
             }
         }
     }
@@ -89,10 +93,10 @@ TraceLinker::onTraceEvicted(cache::TraceId id)
             other->second.outgoing.erase(id);
             ++stats_.linksUnpatched;
             // Unpatch the cached jump slots of the incoming trace.
-            ExitCache &cache = exitCache_[in];
+            ExitCache &cache = exitCache_[other->second.slot];
             for (std::size_t i = 0; i < cache.slots.size(); ++i) {
-                if (cache.slots[i] == id) {
-                    cache.slots[i] = cache::kInvalidTrace;
+                if (cache.slots[i] == node.slot) {
+                    cache.slots[i] = kInvalidSlot;
                 }
             }
         }
@@ -105,7 +109,7 @@ TraceLinker::onTraceEvicted(cache::TraceId id)
         }
     }
     byEntry_.erase(node.entry);
-    exitCache_[id] = ExitCache{};
+    exitCache_[node.slot] = ExitCache{};
     nodes_.erase(it);
 }
 

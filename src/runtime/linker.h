@@ -39,20 +39,23 @@ class TraceLinker
     struct Node
     {
         isa::GuestAddr entry = 0;
+        TraceSlot slot = kInvalidSlot; ///< dense process-local handle
         std::vector<isa::GuestAddr> exitTargets;
         std::unordered_set<cache::TraceId> outgoing;
         std::unordered_set<cache::TraceId> incoming;
     };
 
-    /** Per-trace direct-chaining cache, indexed by trace id (trace
-     *  ids are dense and never reused): for each exit target of the
-     *  resident trace, the currently linked successor trace (the
-     *  "patched jump destination"), or kInvalidTrace when the exit
-     *  returns to the dispatcher. Cleared on eviction. */
+    /** Per-trace direct-chaining cache, indexed by the owning trace's
+     *  dense TraceSlot (slots are sequential and never reused —
+     *  canonical trace *ids* are sparse 64-bit keys and cannot index
+     *  a flat array): for each exit target of the resident trace, the
+     *  slot of the currently linked successor trace (the "patched
+     *  jump destination"), or kInvalidSlot when the exit returns to
+     *  the dispatcher. Cleared on eviction. */
     struct ExitCache
     {
         std::vector<isa::GuestAddr> targets; ///< == node exitTargets
-        std::vector<cache::TraceId> slots;   ///< linked successor ids
+        std::vector<TraceSlot> slots;        ///< linked successor slots
     };
 
     TraceLinker() = default;
@@ -83,15 +86,16 @@ class TraceLinker
     cache::TraceId traceAt(isa::GuestAddr addr) const;
 
     /**
-     * Direct chaining (fast path): the cached successor slot for
-     * trace @p from exiting to guest address @p target —
-     * equivalently, `linked(from, traceAt(target)) ? traceAt(target)
-     * : kInvalidTrace` — resolved from a dense per-trace exit cache
-     * (a linear scan of the trace's few exit targets) instead of two
-     * hash probes. @p from must be resident (a linker node).
+     * Direct chaining (fast path): the cached successor slot for the
+     * trace in slot @p from exiting to guest address @p target —
+     * equivalently the slot of `linked(from, traceAt(target)) ?
+     * traceAt(target) : none` — resolved from a dense per-slot exit
+     * cache (a linear scan of the trace's few exit targets) instead
+     * of two hash probes. @p from must be the slot of a resident
+     * trace (a linker node).
      */
-    cache::TraceId cachedSuccessor(cache::TraceId from,
-                                   isa::GuestAddr target) const
+    TraceSlot cachedSuccessor(TraceSlot from,
+                              isa::GuestAddr target) const
     {
         const ExitCache &cache = exitCache_[from];
         for (std::size_t i = 0; i < cache.targets.size(); ++i) {
@@ -99,7 +103,7 @@ class TraceLinker
                 return cache.slots[i];
             }
         }
-        return cache::kInvalidTrace;
+        return kInvalidSlot;
     }
 
     const LinkerStats &stats() const { return stats_; }
@@ -117,9 +121,9 @@ class TraceLinker
     {
         return byEntry_;
     }
-    /** The dense direct-chaining cache (checked against nodes() by
-     *  the fe-exit-* analysis passes). Entries of non-resident trace
-     *  ids are empty. */
+    /** The dense direct-chaining cache, indexed by TraceSlot (checked
+     *  against nodes() by the fe-exit-* analysis passes). Entries of
+     *  non-resident slots are empty. */
     const std::vector<ExitCache> &exitCaches() const
     {
         return exitCache_;
@@ -135,8 +139,8 @@ class TraceLinker
     LinkerStats stats_;
 
   private:
-    /** Point every cached slot aimed at @p entry to @p id. */
-    void retargetSlots(isa::GuestAddr entry, cache::TraceId id);
+    /** Point every cached slot aimed at @p entry to @p slot. */
+    void retargetSlots(isa::GuestAddr entry, TraceSlot slot);
 };
 
 } // namespace gencache::runtime

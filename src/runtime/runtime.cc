@@ -15,6 +15,7 @@ Runtime::Runtime(guest::AddressSpace &space,
     std::uint64_t footprint = 0;
     for (const guest::GuestModule *module : space_.mappedModules()) {
         log_.append(tracelog::Event::moduleLoad(0, module->id()));
+        log_.setModuleUid(module->id(), module->uid());
         footprint += module->sizeBytes();
     }
     log_.setFootprintBytes(footprint);
@@ -29,6 +30,7 @@ Runtime::syncBlockCapacity()
     denseBbCache_.ensureCapacity(limit);
     if (traceIdOfBlock_.size() < limit) {
         traceIdOfBlock_.resize(limit, cache::kInvalidTrace);
+        slotOfBlock_.resize(limit, kInvalidSlot);
     }
 }
 
@@ -38,6 +40,7 @@ Runtime::loadModule(const guest::GuestModule &module)
     space_.map(module);
     syncBlockCapacity();
     log_.append(tracelog::Event::moduleLoad(now(), module.id()));
+    log_.setModuleUid(module.id(), module.uid());
     log_.setFootprintBytes(log_.footprintBytes() + module.sizeBytes());
     if (checkpointHook_) {
         checkpointHook_(*this);
@@ -71,10 +74,9 @@ Runtime::unloadModule(guest::ModuleId module)
             guest::BlockId bid = space_.blockIdAt(it->second.entry);
             if (bid != guest::kInvalidBlockId) {
                 traceIdOfBlock_[bid] = cache::kInvalidTrace;
+                slotOfBlock_[bid] = kInvalidSlot;
             }
-            if (it->first < traceBySlot_.size()) {
-                traceBySlot_[it->first] = nullptr;
-            }
+            traceBySlot_[it->second.slot] = nullptr;
             it = traces_.erase(it);
         } else {
             ++it;
@@ -172,8 +174,8 @@ Runtime::dispatchFast()
             }
         }
         ++stats_.contextSwitches; // dispatcher -> code cache
-        cache::TraceId current = tid;
-        while (current != cache::kInvalidTrace && !state_.halted) {
+        TraceSlot current = slotOfBlock_[bid];
+        while (current != kInvalidSlot && !state_.halted) {
             current = executeTraceFast(current);
         }
         ++stats_.contextSwitches; // code cache -> dispatcher
@@ -228,19 +230,19 @@ Runtime::executeTrace(cache::TraceId id)
     return cache::kInvalidTrace;
 }
 
-cache::TraceId
-Runtime::executeTraceFast(cache::TraceId id)
+TraceSlot
+Runtime::executeTraceFast(TraceSlot slot)
 {
-    const Trace *trace = traceBySlot_[id];
+    const Trace *trace = traceBySlot_[slot];
     if (trace == nullptr) {
-        GENCACHE_PANIC("executing unknown trace {}", id);
+        GENCACHE_PANIC("executing dropped trace slot {}", slot);
     }
     if (state_.pc != trace->entry) {
-        GENCACHE_PANIC("trace {} entered at {} (entry {})", id,
+        GENCACHE_PANIC("trace {} entered at {} (entry {})", trace->id,
                        state_.pc, trace->entry);
     }
     ++stats_.traceExecutions;
-    log_.append(tracelog::Event::traceExec(now(), id));
+    log_.append(tracelog::Event::traceExec(now(), trace->id));
 
     // The whole path runs out of the trace's flattened predecoded
     // stream — no per-block lookups, no per-block call overhead.
@@ -249,16 +251,16 @@ Runtime::executeTraceFast(cache::TraceId id)
         trace->blockAddrs.data() + 1, trace->blockIds.size());
     stats_.instructionsInTraces += result.instructions;
     if (result.halted) {
-        return cache::kInvalidTrace;
+        return kInvalidSlot;
     }
 
     // Trace exit: direct chaining. The linker's cached successor slot
     // resolves "is this exit patched to a resident trace" in one scan
     // of the trace's few exit targets — no dispatcher hash lookup.
     isa::GuestAddr target = result.next;
-    cache::TraceId next = linker_.cachedSuccessor(id, target);
-    if (next != cache::kInvalidTrace &&
-        manager_.lookup(next, now())) {
+    TraceSlot next = linker_.cachedSuccessor(slot, target);
+    if (next != kInvalidSlot &&
+        manager_.lookup(traceBySlot_[next]->id, now())) {
         return next;
     }
     guest::BlockId bid = space_.blockIdAt(target);
@@ -266,7 +268,7 @@ Runtime::executeTraceFast(cache::TraceId id)
         traceIdOfBlock_[bid] == cache::kInvalidTrace) {
         denseHeads_.markHead(bid, TraceHeadKind::TraceExit);
     }
-    return cache::kInvalidTrace;
+    return kInvalidSlot;
 }
 
 void
@@ -397,7 +399,16 @@ Runtime::buildTrace(isa::GuestAddr entry)
     if (module == nullptr) {
         GENCACHE_PANIC("trace head {} is not mapped", entry);
     }
-    cache::TraceId tid = nextTraceId_++;
+    // Canonical identity: (module uid, module-relative entry offset).
+    // Deterministic per code location, equal in every process mapping
+    // the module — the key the cross-process shared tier matches on.
+    isa::GuestAddr offset = entry - module->baseAddr();
+    if (offset > 0xffffffffULL) {
+        GENCACHE_PANIC("trace entry offset {} exceeds 32 bits in '{}'",
+                       offset, module->name());
+    }
+    cache::TraceId tid = cache::canonicalTraceId(
+        module->uid(), static_cast<std::uint32_t>(offset));
     builder_.begin(tid, entry, module->id());
     std::vector<const isa::BasicBlock *> path;
 
@@ -495,17 +506,22 @@ Runtime::registerTrace(cache::TraceId id, Trace trace)
             static_cast<std::uint32_t>(trace.stream.size()));
     }
 
+    // Allocate the dense process-local slot the hot paths index by
+    // (canonical ids are sparse, so they cannot index flat arrays).
+    trace.slot = static_cast<TraceSlot>(traceBySlot_.size());
+
     isa::GuestAddr entry = trace.entry;
     auto [it, inserted] = traces_.emplace(id, std::move(trace));
+    if (!inserted) {
+        GENCACHE_PANIC("canonical trace id {} registered twice", id);
+    }
     traceIdOfEntry_.emplace(entry, id);
     guest::BlockId bid = space_.blockIdAt(entry);
     if (bid != guest::kInvalidBlockId) {
         traceIdOfBlock_[bid] = id;
+        slotOfBlock_[bid] = it->second.slot;
     }
-    if (traceBySlot_.size() <= id) {
-        traceBySlot_.resize(id + 1, nullptr);
-    }
-    traceBySlot_[id] = &it->second;
+    traceBySlot_.push_back(&it->second);
     return it->second;
 }
 

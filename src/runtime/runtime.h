@@ -231,8 +231,11 @@ class Runtime : public cache::CacheEventListener
 
     /** executeTrace() for the predecoded front end: predecoded block
      *  streams and direct chaining through the linker's cached
-     *  successor slots (no dispatcher hash lookup on linked exits). */
-    cache::TraceId executeTraceFast(cache::TraceId id);
+     *  successor slots (no dispatcher hash lookup on linked exits).
+     *  Works on dense TraceSlots, not canonical ids — canonical
+     *  (module, offset) ids are sparse 64-bit keys, so the flat
+     *  hot-path tables index by slot. */
+    TraceSlot executeTraceFast(TraceSlot slot);
 
     /** Interpret one block through the bb cache, maintaining trace
      *  head counters and possibly entering trace generation. */
@@ -291,12 +294,17 @@ class Runtime : public cache::CacheEventListener
 
     std::unordered_map<cache::TraceId, Trace> traces_;
     std::unordered_map<isa::GuestAddr, cache::TraceId> traceIdOfEntry_;
-    /** Dense dispatch table: block id -> trace entered there. */
+    /** Dense dispatch table: block id -> canonical id of the trace
+     *  entered there. */
     std::vector<cache::TraceId> traceIdOfBlock_;
-    /** Dense trace-id -> Trace lookup (pointers into traces_, whose
-     *  nodes are address-stable; null once the trace is dropped). */
+    /** Dense dispatch sidecar: block id -> slot of the trace entered
+     *  there (the fast path's flat-array handle for the same trace
+     *  traceIdOfBlock_ names). */
+    std::vector<TraceSlot> slotOfBlock_;
+    /** Slot -> Trace lookup (pointers into traces_, whose nodes are
+     *  address-stable; null once the trace is dropped). Slots are
+     *  assigned sequentially at registration and never reused. */
     std::vector<Trace *> traceBySlot_;
-    cache::TraceId nextTraceId_ = 1;
     bool started_ = false;
 };
 

@@ -18,12 +18,26 @@
 namespace gencache::runtime {
 
 /**
+ * Process-local execution handle of a trace: a small dense index,
+ * assigned sequentially at registration and never reused, that the
+ * hot paths use for flat-array lookups. Distinct from cache::TraceId,
+ * which is the canonical process-independent (module uid, offset)
+ * identity: ids name traces across processes, slots index this
+ * process's tables.
+ */
+using TraceSlot = std::uint32_t;
+
+/** Sentinel for "no slot". */
+constexpr TraceSlot kInvalidSlot = ~0u;
+
+/**
  * A superblock: single-entry, multiple-exit sequence of basic blocks
  * stitched along the executed path.
  */
 struct Trace
 {
     cache::TraceId id = cache::kInvalidTrace;
+    TraceSlot slot = kInvalidSlot; ///< dense process-local handle
     isa::GuestAddr entry = 0;
     guest::ModuleId module = guest::kInvalidModule;
     std::vector<isa::GuestAddr> blockAddrs; ///< path, in order

@@ -349,7 +349,7 @@ BatchedReplay::runChunkFast(Lane &lane,
 }
 
 void
-BatchedReplay::runBlocked()
+BatchedReplay::prepareBlockedLanes()
 {
     // Table-driven cost accounting replaces the live formulas.
     const CostTables *tables = sharedTables_;
@@ -366,6 +366,25 @@ BatchedReplay::runBlocked()
             lane.pipeline != nullptr &&
             lane.pipeline->enableFastReplay(log_.traceCount());
     }
+}
+
+void
+BatchedReplay::replayChunk(Lane &lane,
+                           const tracelog::CompiledLog::Chunk &chunk)
+{
+    if (lane.fast) {
+        runChunkFast(lane, *lane.pipeline, chunk);
+    } else if (lane.pipeline != nullptr) {
+        runChunk(lane, *lane.pipeline, chunk);
+    } else {
+        runChunk(lane, *lane.manager, chunk);
+    }
+}
+
+void
+BatchedReplay::runBlocked()
+{
+    prepareBlockedLanes();
 
     const std::vector<tracelog::CompiledLog::Chunk> &chunks =
         log_.chunks();
@@ -376,14 +395,7 @@ BatchedReplay::runBlocked()
             std::min(laneCount, blockFirst + kLaneBlock);
         for (const tracelog::CompiledLog::Chunk &chunk : chunks) {
             for (std::size_t l = blockFirst; l < blockEnd; ++l) {
-                Lane &lane = lanes_[l];
-                if (lane.fast) {
-                    runChunkFast(lane, *lane.pipeline, chunk);
-                } else if (lane.pipeline != nullptr) {
-                    runChunk(lane, *lane.pipeline, chunk);
-                } else {
-                    runChunk(lane, *lane.manager, chunk);
-                }
+                replayChunk(lanes_[l], chunk);
             }
         }
     }
@@ -396,6 +408,75 @@ BatchedReplay::runBlocked()
             lane.pipeline->flushFastCounts();
         }
     }
+}
+
+void
+BatchedReplay::begin()
+{
+    if (begun_) {
+        GENCACHE_PANIC("begin() called twice on one replay");
+    }
+    if (kernel_ != ReplayKernel::Blocked) {
+        GENCACHE_PANIC("incremental stepping requires the blocked "
+                       "kernel");
+    }
+    begun_ = true;
+    for (Lane &lane : lanes_) {
+        lane.manager->prepareDenseIds(log_.traceCount());
+    }
+    prepareBlockedLanes();
+}
+
+bool
+BatchedReplay::step(std::size_t chunk_budget)
+{
+    if (!begun_) {
+        GENCACHE_PANIC("step() before begin()");
+    }
+    const std::vector<tracelog::CompiledLog::Chunk> &chunks =
+        log_.chunks();
+    if (chunkCursor_ >= chunks.size() || chunk_budget == 0) {
+        return false;
+    }
+    const std::size_t end =
+        std::min(chunks.size(), chunkCursor_ + chunk_budget);
+    for (std::size_t c = chunkCursor_; c < end; ++c) {
+        for (Lane &lane : lanes_) {
+            replayChunk(lane, chunks[c]);
+        }
+    }
+    chunkCursor_ = end;
+    return true;
+}
+
+std::vector<SimResult>
+BatchedReplay::finish()
+{
+    if (!begun_) {
+        GENCACHE_PANIC("finish() before begin()");
+    }
+    // Drain whatever the stepper left unplayed, then close out
+    // exactly like run().
+    while (step(log_.chunks().size())) {
+    }
+    for (Lane &lane : lanes_) {
+        if (lane.fast) {
+            lane.pipeline->flushFastCounts();
+        }
+    }
+    std::vector<SimResult> results;
+    results.reserve(lanes_.size());
+    for (Lane &lane : lanes_) {
+        if (checkpointHook_) {
+            checkpointHook_(*lane.manager, log_.duration());
+        }
+        lane.result.managerStats = lane.manager->stats();
+        lane.result.overhead = lane.tableAccount != nullptr
+                                   ? lane.tableAccount->breakdown()
+                                   : lane.account->breakdown();
+        results.push_back(lane.result);
+    }
+    return results;
 }
 
 } // namespace gencache::sim

@@ -123,6 +123,30 @@ class BatchedReplay
      */
     std::vector<SimResult> run();
 
+    // --- incremental stepping (sim::FleetSimulator) -----------------
+    //
+    // A fleet round-robins K per-process replays over K distinct
+    // logs, so no single run() can drive them: each replay instead
+    // exposes its chunk loop as begin() / step() / finish(). Stepping
+    // in whole chunks keeps results bit-identical to run() — chunk
+    // order per lane is the only order the kernels guarantee anyway.
+    // Blocked kernel only.
+
+    /** Prepare all lanes (dense ids, cost tables, fast flags).
+     *  Call once, before the first step(). */
+    void begin();
+
+    /** Advance every lane by up to @p chunk_budget chunks. @return
+     *  false when the log is exhausted (nothing was advanced). */
+    bool step(std::size_t chunk_budget);
+
+    /** @return chunks already replayed (monotonic progress). */
+    std::size_t chunkCursor() const { return chunkCursor_; }
+
+    /** Finish a begin()/step() replay: flush fast counters, fire the
+     *  end-of-run checkpoint, and return the per-lane results. */
+    std::vector<SimResult> finish();
+
   private:
     struct Lane
     {
@@ -137,6 +161,14 @@ class BatchedReplay
     void runReference();
     void runBlocked();
 
+    /** Shared prep of runBlocked()/begin(): cost tables, listeners,
+     *  fast-path eligibility. */
+    void prepareBlockedLanes();
+
+    /** Replay @p chunk on @p lane through its fastest legal path. */
+    void replayChunk(Lane &lane,
+                     const tracelog::CompiledLog::Chunk &chunk);
+
     template <typename ManagerT>
     void runChunk(Lane &lane, ManagerT &manager,
                   const tracelog::CompiledLog::Chunk &chunk);
@@ -150,6 +182,8 @@ class BatchedReplay
     const tracelog::CompiledLog &log_;
     std::vector<Lane> lanes_;
     ReplayKernel kernel_ = ReplayKernel::Blocked;
+    bool begun_ = false;
+    std::size_t chunkCursor_ = 0;
     const CostTables *sharedTables_ = nullptr;
     std::optional<CostTables> ownedTables_;
     std::function<void(const cache::CacheManager &, TimeUs)>

@@ -17,6 +17,7 @@ CompiledLog::compile(const AccessLog &log)
     out.footprint_ = log.footprintBytes();
     out.createdBytes_ = log.createdTraceBytes();
     out.createdCount_ = log.createdTraceCount();
+    out.moduleUids_ = log.moduleUids();
 
     const std::size_t count = log.size();
     out.type_.reserve(count);

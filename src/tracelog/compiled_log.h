@@ -31,6 +31,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "tracelog/event.h"
@@ -153,6 +154,34 @@ class CompiledLog
         return originalId_[id];
     }
 
+    /**
+     * The whole dense-id -> original-id column. When the source log
+     * used canonical (module uid, offset) ids, this is exactly the
+     * shared-store key table a mounted TierPipeline needs to
+     * translate the dense ids replay feeds it back into
+     * process-independent keys (TierPipeline::setSharedKeyTable).
+     */
+    const std::vector<cache::TraceId> &originalIds() const
+    {
+        return originalId_;
+    }
+
+    /** Process-independent uid of local module @p module (mirrors
+     *  AccessLog::moduleUid); kNoModuleUid when unregistered. */
+    cache::ModuleUid moduleUid(cache::ModuleId module) const
+    {
+        auto it = moduleUids_.find(module);
+        return it == moduleUids_.end() ? cache::kNoModuleUid
+                                       : it->second;
+    }
+
+    /** All registered module uids (mirrors AccessLog). */
+    const std::unordered_map<cache::ModuleId, cache::ModuleUid> &
+    moduleUids() const
+    {
+        return moduleUids_;
+    }
+
     // --- per-module index -------------------------------------------
 
     /** Load/unload ranges, ordered by first appearance in the log. */
@@ -184,6 +213,7 @@ class CompiledLog
     std::vector<std::uint32_t> traceSize_;
     std::vector<cache::ModuleId> traceModule_;
     std::vector<cache::TraceId> originalId_;
+    std::unordered_map<cache::ModuleId, cache::ModuleUid> moduleUids_;
 
     std::vector<ModuleRange> moduleRanges_;
 };

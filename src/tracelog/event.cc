@@ -1,5 +1,6 @@
 #include "tracelog/event.h"
 
+#include <unordered_map>
 #include <unordered_set>
 
 #include "support/logging.h"
@@ -100,7 +101,18 @@ AccessLog::append(const Event &event)
 void
 AccessLog::validate() const
 {
-    std::unordered_set<cache::TraceId> created;
+    // A re-creation of the same trace id is legal only across a
+    // reload of its module: each trace remembers the module unload
+    // epoch it was created under, and a second creation requires the
+    // epoch to have advanced since (canonical (module, offset) ids
+    // are stable, so the reload path genuinely re-creates them).
+    struct Creation
+    {
+        cache::ModuleId module = cache::kNoModule;
+        std::uint64_t unloadEpoch = 0;
+    };
+    std::unordered_map<cache::TraceId, Creation> created;
+    std::unordered_map<cache::ModuleId, std::uint64_t> unloadEpoch;
     std::unordered_set<cache::ModuleId> loaded;
     TimeUs last = 0;
     for (const Event &event : events_) {
@@ -109,16 +121,28 @@ AccessLog::validate() const
         }
         last = event.time;
         switch (event.type) {
-          case EventType::TraceCreate:
-            if (!created.insert(event.trace).second) {
-                GENCACHE_PANIC("duplicate creation of trace {}",
-                               event.trace);
+          case EventType::TraceCreate: {
+            std::uint64_t epoch = unloadEpoch[event.module];
+            auto [it, inserted] = created.emplace(
+                event.trace, Creation{event.module, epoch});
+            if (!inserted) {
+                if (it->second.module != event.module) {
+                    GENCACHE_PANIC(
+                        "trace {} re-created in module {} (was {})",
+                        event.trace, event.module, it->second.module);
+                }
+                if (it->second.unloadEpoch == epoch) {
+                    GENCACHE_PANIC("duplicate creation of trace {}",
+                                   event.trace);
+                }
+                it->second.unloadEpoch = epoch;
             }
             if (event.sizeBytes == 0) {
                 GENCACHE_PANIC("trace {} created with zero size",
                                event.trace);
             }
             break;
+          }
           case EventType::TraceExec:
           case EventType::Pin:
           case EventType::Unpin:
@@ -137,6 +161,7 @@ AccessLog::validate() const
                 GENCACHE_PANIC("module {} unloaded while not loaded",
                                event.module);
             }
+            ++unloadEpoch[event.module];
             break;
         }
     }

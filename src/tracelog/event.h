@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "codecache/fragment.h"
@@ -82,6 +83,32 @@ class AccessLog
 
     const std::vector<Event> &events() const { return events_; }
 
+    /**
+     * Register the process-independent identity of local @p module
+     * (cache::canonicalTraceId's uid half). Modules never registered
+     * report cache::kNoModuleUid, marking their traces private —
+     * ineligible for any cross-process shared tier.
+     */
+    void setModuleUid(cache::ModuleId module, cache::ModuleUid uid)
+    {
+        moduleUids_[module] = uid;
+    }
+
+    /** Uid of @p module, or cache::kNoModuleUid when unregistered. */
+    cache::ModuleUid moduleUid(cache::ModuleId module) const
+    {
+        auto it = moduleUids_.find(module);
+        return it == moduleUids_.end() ? cache::kNoModuleUid
+                                       : it->second;
+    }
+
+    /** All registered module uids (local id -> uid). */
+    const std::unordered_map<cache::ModuleId, cache::ModuleUid> &
+    moduleUids() const
+    {
+        return moduleUids_;
+    }
+
     /** Total bytes of TraceCreate events (trace volume, Figure 3). */
     std::uint64_t createdTraceBytes() const { return createdBytes_; }
 
@@ -90,8 +117,10 @@ class AccessLog
 
     /**
      * Structural validation: non-decreasing times, each trace created
-     * before executed/pinned, no duplicate creations, unloads only of
-     * loaded modules. Panics on violation (these logs are
+     * before executed/pinned, no duplicate creations (a trace may be
+     * re-created only after its owning module unloaded — the module
+     * reload path), loads only of unloaded modules and unloads only
+     * of loaded ones. Panics on violation (these logs are
      * generator/runtime products, so malformation is a bug).
      */
     void validate() const;
@@ -103,6 +132,7 @@ class AccessLog
     std::uint64_t createdBytes_ = 0;
     std::uint64_t createdCount_ = 0;
     std::vector<Event> events_;
+    std::unordered_map<cache::ModuleId, cache::ModuleUid> moduleUids_;
 };
 
 } // namespace gencache::tracelog

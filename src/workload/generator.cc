@@ -51,7 +51,11 @@ struct GenContext
     Rng &rng;
     std::vector<Event> &events;
     TimeUs total;              ///< duration in virtual microseconds
-    cache::TraceId nextId = 1;
+    /** Per-module uid and next code offset: trace ids are canonical
+     *  (module uid, offset) keys, offsets laid out cumulatively like
+     *  code in the image. Indexed by local ModuleId. */
+    std::vector<cache::ModuleUid> uids;
+    std::vector<std::uint32_t> nextOffset;
 };
 
 /**
@@ -64,7 +68,12 @@ emitTrace(GenContext &ctx, std::uint32_t size, cache::ModuleId module,
 {
     const BenchmarkProfile &p = ctx.profile;
     bool is_long = cls == LifeClass::Long;
-    cache::TraceId id = ctx.nextId++;
+    // Canonical identity: the module's uid plus the trace's offset in
+    // the image, advancing by trace size like laid-out code.
+    std::uint32_t offset = ctx.nextOffset[module];
+    ctx.nextOffset[module] += size;
+    cache::TraceId id =
+        cache::canonicalTraceId(ctx.uids[module], offset);
     ctx.events.push_back(Event::traceCreate(create, id, size, module));
 
     double execs =
@@ -222,7 +231,26 @@ generateWorkload(const BenchmarkProfile &profile)
     Rng rng(profile.seed);
     std::vector<Event> events;
     TimeUs total = secondsToUs(profile.durationSec);
-    GenContext ctx{profile, rng, events, total};
+    GenContext ctx{profile, rng, events, total, {}, {}};
+
+    // Module identities: the exe plus one entry per transient DLL.
+    // Names are salted with the benchmark so uids differ across
+    // profiles (each models a different application's private code).
+    ctx.uids.push_back(
+        cache::moduleUidOfName(profile.name + ":exe"));
+    for (unsigned d = 0; d < profile.dllCount; ++d) {
+        ctx.uids.push_back(cache::moduleUidOfName(
+            profile.name + ":dll" + std::to_string(d + 1)));
+    }
+    for (std::size_t i = 0; i < ctx.uids.size(); ++i) {
+        for (std::size_t j = 0; j < i; ++j) {
+            if (ctx.uids[i] == ctx.uids[j]) {
+                fatal("profile '{}': module uid collision ({} vs {})",
+                      profile.name, i, j);
+            }
+        }
+    }
+    ctx.nextOffset.assign(ctx.uids.size(), 0);
 
     double created_target = profile.finalCacheKb * 1024.0 /
                             (1.0 - profile.unmapFrac);
@@ -333,10 +361,233 @@ generateWorkload(const BenchmarkProfile &profile)
     log.setFootprintBytes(static_cast<std::uint64_t>(
         profile.finalCacheKb * 1024.0 * 100.0 /
         profile.codeExpansionPct));
+    for (cache::ModuleId m = 0; m < ctx.uids.size(); ++m) {
+        log.setModuleUid(m, ctx.uids[m]);
+    }
     for (const Event &event : events) {
         log.append(event);
     }
     return log;
+}
+
+namespace {
+
+/** One shared library's fleet-invariant trace layout. */
+struct SharedLibTrace
+{
+    cache::TraceId id = cache::kInvalidTrace;
+    std::uint32_t sizeBytes = 0;
+};
+
+/**
+ * The trace library of shared DLL @p name: derived from an Rng seeded
+ * by the library's uid alone, so every process (and every run) lays
+ * out the identical traces at the identical image offsets.
+ */
+std::vector<SharedLibTrace>
+sharedLibraryLayout(cache::ModuleUid uid, double lib_bytes)
+{
+    Rng rng(0x5eedc0de ^ static_cast<std::uint64_t>(uid));
+    TraceSizeModel size_model;
+    std::vector<SharedLibTrace> layout;
+    std::uint32_t offset = 0;
+    double emitted = 0.0;
+    while (emitted < lib_bytes) {
+        SharedLibTrace trace;
+        trace.sizeBytes = sampleTraceSize(rng, size_model);
+        trace.id = cache::canonicalTraceId(uid, offset);
+        offset += trace.sizeBytes;
+        emitted += trace.sizeBytes;
+        layout.push_back(trace);
+    }
+    return layout;
+}
+
+} // namespace
+
+std::vector<tracelog::AccessLog>
+generateFleetWorkload(const FleetWorkloadConfig &config)
+{
+    if (config.processes == 0 || config.processes > 64) {
+        fatal("fleet size {} outside 1..64", config.processes);
+    }
+    if (config.sharedDlls == 0) {
+        fatal("a fleet workload needs at least one shared DLL");
+    }
+    if (config.adoptFrac <= 0.0 || config.adoptFrac > 1.0) {
+        fatal("fleet adoptFrac {} outside (0, 1]", config.adoptFrac);
+    }
+    if (config.durationSec <= 0.0) {
+        fatal("fleet duration must be positive");
+    }
+
+    const TimeUs total = secondsToUs(config.durationSec);
+
+    // Shared module identities and layouts: functions of the fleet's
+    // library *names* only, never of the process.
+    std::vector<cache::ModuleUid> sharedUids;
+    std::vector<std::vector<SharedLibTrace>> libraries;
+    for (unsigned d = 0; d < config.sharedDlls; ++d) {
+        cache::ModuleUid uid = cache::moduleUidOfName(
+            config.namePrefix + ":shared" + std::to_string(d + 1) +
+            ".dll");
+        sharedUids.push_back(uid);
+        libraries.push_back(
+            sharedLibraryLayout(uid, config.sharedLibKb * 1024.0));
+    }
+
+    // Fleet-wide storm schedule: every process unloads and remaps the
+    // storm's DLL at the same virtual times (round-robin over DLLs).
+    // The last storm stays clear of the log's tail so post-storm
+    // executions can regenerate the shared working set.
+    struct Storm
+    {
+        unsigned dll = 0;
+        TimeUs unload = 0;
+        TimeUs reload = 0;
+    };
+    std::vector<Storm> storms;
+    const TimeUs remapGap = std::max<TimeUs>(1, total / 200);
+    for (unsigned s = 0; s < config.unmapStorms; ++s) {
+        Storm storm;
+        storm.dll = s % config.sharedDlls;
+        double frac = 0.25 + 0.55 * (static_cast<double>(s) + 1.0) /
+                                 (static_cast<double>(
+                                      config.unmapStorms) + 1.0);
+        storm.unload = static_cast<TimeUs>(
+            frac * static_cast<double>(total));
+        storm.reload = storm.unload + remapGap;
+        storms.push_back(storm);
+    }
+    TimeUs firstStorm = total;
+    for (const Storm &storm : storms) {
+        firstStorm = std::min(firstStorm, storm.unload);
+    }
+
+    std::vector<tracelog::AccessLog> logs;
+    logs.reserve(config.processes);
+    for (unsigned p = 0; p < config.processes; ++p) {
+        Rng rng(config.seed * 7919 + p + 1);
+        std::vector<Event> events;
+
+        // Private executable: salted per process, so its traces can
+        // never deduplicate across the fleet.
+        std::string exeName = config.namePrefix + ":proc" +
+                              std::to_string(p) + ":exe";
+        cache::ModuleUid exeUid = cache::moduleUidOfName(exeName);
+        for (cache::ModuleUid uid : sharedUids) {
+            if (uid == exeUid) {
+                fatal("fleet module uid collision for '{}'", exeName);
+            }
+        }
+        events.push_back(Event::moduleLoad(0, 0));
+
+        // Shared DLLs are modules 1..D, mapped from the start, with
+        // the fleet storm schedule appended.
+        for (unsigned d = 0; d < config.sharedDlls; ++d) {
+            events.push_back(Event::moduleLoad(0, d + 1));
+        }
+        for (const Storm &storm : storms) {
+            events.push_back(
+                Event::moduleUnload(storm.unload, storm.dll + 1));
+            events.push_back(
+                Event::moduleLoad(storm.reload, storm.dll + 1));
+        }
+
+        // Shared-library traces: each process adopts its own subset
+        // and execution schedule, but the (id, size) pairs are the
+        // library's. Creates sit before the first storm (a trace is
+        // created once; post-storm execs regenerate via the replay
+        // miss path).
+        const TimeUs createEnd = std::max<TimeUs>(
+            2, static_cast<TimeUs>(0.8 * static_cast<double>(
+                                             firstStorm)));
+        for (unsigned d = 0; d < config.sharedDlls; ++d) {
+            for (const SharedLibTrace &trace : libraries[d]) {
+                if (!rng.bernoulli(config.adoptFrac)) {
+                    continue;
+                }
+                TimeUs create = static_cast<TimeUs>(rng.uniform(
+                    1.0, static_cast<double>(createEnd)));
+                events.push_back(Event::traceCreate(
+                    create, trace.id, trace.sizeBytes, d + 1));
+                double execs = config.execsPerTraceMean *
+                               std::exp(rng.normal(0.0, 0.8));
+                auto count = static_cast<std::uint64_t>(std::llround(
+                    std::clamp(execs, 1.0, 50000.0)));
+                // A few working-set centers spanning the whole run,
+                // so executions keep arriving after every storm.
+                std::size_t centers = 3 + static_cast<std::size_t>(
+                                              count / 64);
+                std::vector<double> centerTimes(centers);
+                for (double &center : centerTimes) {
+                    center = rng.uniform(static_cast<double>(create),
+                                         static_cast<double>(total));
+                }
+                double spread = 0.02 * static_cast<double>(total);
+                for (std::uint64_t k = 0; k < count; ++k) {
+                    double center =
+                        centerTimes[static_cast<std::size_t>(
+                            rng.uniformInt(
+                                0, static_cast<std::int64_t>(
+                                       centers) - 1))];
+                    double t = std::clamp(
+                        rng.normal(center, spread),
+                        static_cast<double>(create),
+                        static_cast<double>(total));
+                    events.push_back(Event::traceExec(
+                        static_cast<TimeUs>(t), trace.id));
+                }
+            }
+        }
+
+        // Private working set through the regular emitter (module 0).
+        BenchmarkProfile priv;
+        priv.name = exeName;
+        priv.execsPerTraceMean = config.execsPerTraceMean;
+        priv.pinFrac = 0.0;
+        GenContext ctx{priv, rng, events, total, {}, {}};
+        ctx.uids.assign(1, exeUid);
+        ctx.nextOffset.assign(1, 0);
+        TraceSizeModel size_model;
+        double priv_emitted = 0.0;
+        const double priv_target = config.privateKb * 1024.0;
+        while (priv_emitted < priv_target) {
+            std::uint32_t size = sampleTraceSize(rng, size_model);
+            LifeClass cls = sampleLifeClass(rng, priv.mix);
+            TimeUs create = 0;
+            TimeUs last = 0;
+            mainWindow(ctx, cls, create, last);
+            emitTrace(ctx, size, 0, create, last, cls);
+            priv_emitted += size;
+        }
+
+        std::stable_sort(events.begin(), events.end(),
+                         [](const Event &a, const Event &b) {
+                             if (a.time != b.time) {
+                                 return a.time < b.time;
+                             }
+                             return eventRank(a.type) <
+                                    eventRank(b.type);
+                         });
+
+        tracelog::AccessLog log;
+        log.setBenchmark(config.namePrefix + ":proc" +
+                         std::to_string(p));
+        log.setDuration(total);
+        log.setFootprintBytes(static_cast<std::uint64_t>(
+            priv_target + config.sharedDlls *
+                              config.sharedLibKb * 1024.0));
+        log.setModuleUid(0, exeUid);
+        for (unsigned d = 0; d < config.sharedDlls; ++d) {
+            log.setModuleUid(d + 1, sharedUids[d]);
+        }
+        for (const Event &event : events) {
+            log.append(event);
+        }
+        logs.push_back(std::move(log));
+    }
+    return logs;
 }
 
 } // namespace gencache::workload

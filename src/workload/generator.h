@@ -36,6 +36,43 @@ namespace gencache::workload {
 /** Generate the access log of @p profile. */
 tracelog::AccessLog generateWorkload(const BenchmarkProfile &profile);
 
+/**
+ * A fleet of interactive guest processes sharing DLLs.
+ *
+ * Each of the K processes gets its own AccessLog: a private
+ * executable (uid salted per process) plus `sharedDlls` fleet-shared
+ * libraries whose *names* — and therefore module uids — coincide
+ * across processes. Each shared library's trace layout (sizes and
+ * image offsets) is derived from an Rng seeded by the library's uid
+ * alone, so every process that adopts a trace derives the identical
+ * canonical (uid, offset) id — the coincidence the cross-process
+ * shared store deduplicates. Processes differ in which subset of each
+ * library they adopt and in their execution timing/volume.
+ *
+ * `unmapStorms` schedules fleet-wide churn: at each storm time every
+ * process unloads one shared DLL and remaps it moments later
+ * (plugin/extension reload behavior). The creates stay in the
+ * pre-storm prefix — post-storm executions regenerate through the
+ * replay miss path, like the paper's Fig 4 program-forced evictions.
+ */
+struct FleetWorkloadConfig
+{
+    unsigned processes = 8;
+    unsigned sharedDlls = 4;
+    double sharedLibKb = 160.0;  ///< trace bytes per shared library
+    double privateKb = 160.0;    ///< per-process private trace bytes
+    double adoptFrac = 0.75;     ///< library fraction each process runs
+    double durationSec = 20.0;
+    unsigned unmapStorms = 0;    ///< fleet-wide unload/remap waves
+    double execsPerTraceMean = 40.0;
+    std::uint64_t seed = 1;
+    std::string namePrefix = "fleet";
+};
+
+/** Generate one AccessLog per fleet process (see FleetWorkloadConfig). */
+std::vector<tracelog::AccessLog>
+generateFleetWorkload(const FleetWorkloadConfig &config);
+
 /** Trace-size distribution parameters (lognormal, byte clamps). */
 struct TraceSizeModel
 {

@@ -315,6 +315,7 @@ TEST(Analysis, ExitToLiveTraceEntryIsAccepted)
     runtime::TraceLinker linker;
     runtime::Trace other;
     other.id = 9;
+    other.slot = 9;
     other.entry = 0x99990;
     linker.onTraceInserted(other);
 
@@ -335,10 +336,12 @@ TEST(Analysis, DanglingLinkAfterForcedEvictionIsReported)
     // linker hearing about it (the bug unlink-on-evict must prevent).
     runtime::Trace a;
     a.id = 1;
+    a.slot = 1;
     a.entry = 0x1000;
     a.exitTargets = {0x2000};
     runtime::Trace b;
     b.id = 2;
+    b.slot = 2;
     b.entry = 0x2000;
 
     runtime::TraceLinker linker;
@@ -367,10 +370,12 @@ TEST(Analysis, ConsistentLinkGraphIsClean)
 {
     runtime::Trace a;
     a.id = 1;
+    a.slot = 1;
     a.entry = 0x1000;
     a.exitTargets = {0x2000};
     runtime::Trace b;
     b.id = 2;
+    b.slot = 2;
     b.entry = 0x2000;
     b.exitTargets = {0x1000};
 
@@ -401,38 +406,42 @@ TEST(Analysis, ConsistentLinkGraphIsClean)
 class CorruptibleLinker : public runtime::TraceLinker
 {
   public:
-    void corruptSlot(cache::TraceId from, std::size_t exit,
-                     cache::TraceId value)
+    void corruptSlot(runtime::TraceSlot from, std::size_t exit,
+                     runtime::TraceSlot value)
     {
         exitCache_[from].slots[exit] = value;
     }
 
-    void corruptTargets(cache::TraceId from)
+    void corruptTargets(runtime::TraceSlot from)
     {
         exitCache_[from].targets.push_back(0xdead0);
-        exitCache_[from].slots.push_back(cache::kInvalidTrace);
+        exitCache_[from].slots.push_back(runtime::kInvalidSlot);
     }
 
-    void resurrectStaleCache(cache::TraceId id, isa::GuestAddr target)
+    void resurrectStaleCache(runtime::TraceSlot slot,
+                             isa::GuestAddr target)
     {
-        if (exitCache_.size() <= id) {
-            exitCache_.resize(id + 1);
+        if (exitCache_.size() <= slot) {
+            exitCache_.resize(slot + 1);
         }
-        exitCache_[id].targets = {target};
-        exitCache_[id].slots = {cache::kInvalidTrace};
+        exitCache_[slot].targets = {target};
+        exitCache_[slot].slots = {runtime::kInvalidSlot};
     }
 };
 
-/** Two mutually linked traces: 1 at 0x1000 <-> 2 at 0x2000. */
+/** Two mutually linked traces: id 1 in slot 1 at 0x1000 <-> id 2 in
+ *  slot 2 at 0x2000. */
 void
 insertLinkedPair(runtime::TraceLinker &linker)
 {
     runtime::Trace a;
     a.id = 1;
+    a.slot = 1;
     a.entry = 0x1000;
     a.exitTargets = {0x2000, 0x3000};
     runtime::Trace b;
     b.id = 2;
+    b.slot = 2;
     b.entry = 0x2000;
     b.exitTargets = {0x1000};
     linker.onTraceInserted(a);
@@ -446,7 +455,7 @@ TEST(Analysis, ConsistentExitCachesAreClean)
     ASSERT_TRUE(linker.linked(1, 2));
     ASSERT_EQ(linker.cachedSuccessor(1, 0x2000), 2u);
     ASSERT_EQ(linker.cachedSuccessor(1, 0x3000),
-              cache::kInvalidTrace);
+              runtime::kInvalidSlot);
 
     DiagnosticEngine engine;
     analysis::checkExitCaches(linker, engine);
@@ -466,7 +475,7 @@ TEST(Analysis, CorruptedSuccessorSlotIsReported)
     insertLinkedPair(linker);
 
     // The patched 1 -> 2 edge exists, but the cached jump was lost.
-    linker.corruptSlot(1, 0, cache::kInvalidTrace);
+    linker.corruptSlot(1, 0, runtime::kInvalidSlot);
     DiagnosticEngine engine;
     analysis::checkExitCaches(linker, engine);
     EXPECT_TRUE(engine.hasCheck("fe-exit-slot"))

@@ -192,10 +192,12 @@ TEST(TraceLinker, LinksBothDirections)
     TraceLinker linker;
     Trace first;
     first.id = 1;
+    first.slot = 1;
     first.entry = 0x400;
     first.exitTargets = {0x500};
     Trace second;
     second.id = 2;
+    second.slot = 2;
     second.entry = 0x500;
     second.exitTargets = {0x400};
 
@@ -220,6 +222,7 @@ TEST(TraceLinker, SelfLinkForLoopTraces)
     TraceLinker linker;
     Trace loop;
     loop.id = 9;
+    loop.slot = 9;
     loop.entry = 0x400;
     loop.exitTargets = {0x400};
     linker.onTraceInserted(loop);
@@ -234,10 +237,12 @@ TEST(TraceLinker, MoveCountsRelocation)
     TraceLinker linker;
     Trace first;
     first.id = 1;
+    first.slot = 1;
     first.entry = 0x400;
     first.exitTargets = {0x500};
     Trace second;
     second.id = 2;
+    second.slot = 2;
     second.entry = 0x500;
     linker.onTraceInserted(first);
     linker.onTraceInserted(second);

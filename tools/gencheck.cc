@@ -28,6 +28,11 @@
  *    whole-system;
  *  - topo:<topology> — the named topology linted statically
  *    (analysis::lintTopology), no cache ever built;
+ *  - fleet:store / fleet:p<N> — a small shared-DLL fleet (with one
+ *    unmap storm) round-robined through sim::FleetSimulator against
+ *    one SharedCodeStore; the store's end state is checked by the
+ *    shr-* passes and every process's private pipeline by the
+ *    storage passes;
  *  - journal:<file>:<manager> — a recorded gclog journal
  *    (--journal) replayed against the legacy generational config and
  *    every selected topology with the temporal invariant engine
@@ -76,6 +81,7 @@
 #include "guest/synthetic_program.h"
 #include "runtime/runtime.h"
 #include "sim/batched_replay.h"
+#include "sim/fleet.h"
 #include "sim/simulator.h"
 #include "sim/sweep.h"
 #include "tracelog/compiled_log.h"
@@ -263,6 +269,54 @@ checkBatchedSubjects(const workload::BenchmarkProfile &profile)
         report.name = format("batched:{}:t{}", profile.name,
                              thresholds[i]);
         report.engine = analysis::checkManager(*managers[i]);
+        reports.push_back(std::move(report));
+    }
+    return reports;
+}
+
+/** Round-robin a small shared-DLL fleet over one shared store, then
+ *  check the store (shr-* passes) and every process's pipeline. */
+std::vector<SubjectReport>
+checkFleetSubjects(std::uint64_t seed)
+{
+    workload::FleetWorkloadConfig config;
+    config.processes = 4;
+    config.sharedDlls = 2;
+    config.sharedLibKb = 48.0;
+    config.privateKb = 48.0;
+    config.durationSec = 8.0;
+    config.unmapStorms = 1;
+    config.seed = seed;
+    std::vector<tracelog::AccessLog> logs =
+        workload::generateFleetWorkload(config);
+
+    std::vector<tracelog::CompiledLog> compiled;
+    compiled.reserve(logs.size());
+    for (const tracelog::AccessLog &log : logs) {
+        compiled.push_back(tracelog::CompiledLog::compile(log));
+    }
+
+    sim::FleetOptions options;
+    options.budgetBytes = 32 * kKiB;
+    options.store.shards = 4;
+    options.store.capacityBytes = 256 * kKiB;
+    sim::FleetSimulator fleet(compiled, options);
+    fleet.run();
+
+    std::vector<SubjectReport> reports;
+    {
+        SubjectReport report;
+        report.name = "fleet:store";
+        analysis::runPasses(
+            analysis::AnalysisInput::forSharedStore(
+                *fleet.store(), fleet.processCount()),
+            report.engine);
+        reports.push_back(std::move(report));
+    }
+    for (unsigned p = 0; p < fleet.processCount(); ++p) {
+        SubjectReport report;
+        report.name = format("fleet:p{}", p);
+        report.engine = analysis::checkManager(fleet.pipeline(p));
         reports.push_back(std::move(report));
     }
     return reports;
@@ -514,6 +568,9 @@ main(int argc, char **argv)
         for (const cache::TierTopology &topology : topologies) {
             reports.push_back(checkTierSubject(topology, profile));
         }
+    }
+    for (SubjectReport &report : checkFleetSubjects(seed)) {
+        reports.push_back(std::move(report));
     }
 
     return reportAndExit(reports, json_out, quiet);
